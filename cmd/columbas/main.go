@@ -1,0 +1,162 @@
+// Command columbas synthesizes a manufacturing-ready mLSI design from a
+// plain-text netlist description, reproducing the Columba S flow
+// (Figure 5): planarization, layout generation, layout validation,
+// multiplexer synthesis and result interpretation.
+//
+// Usage:
+//
+//	columbas -i app.netlist -o design.svg
+//	columbas -i app.netlist -o design.scr -muxes 2 -time 60s
+//	columbas -i app.netlist -format json -stats
+//
+// The output format follows the -o extension (.svg, .scr, .json) unless
+// -format overrides it. With no -o the design summary goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/hls"
+	"columbas/internal/layout"
+	"columbas/internal/netlist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "columbas:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in     = flag.String("i", "", "input netlist description (default: stdin)")
+		out    = flag.String("o", "", "output file (.svg/.scr/.json); default: summary to stdout")
+		format = flag.String("format", "", "output format override: svg, scr or json")
+		muxes  = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
+		tl     = flag.Duration("time", 30*time.Second, "layout generation time budget")
+		effort = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
+		noDRC  = flag.Bool("nodrc", false, "skip the design-rule check")
+		stats  = flag.Bool("stats", false, "print solver statistics")
+		plan   = flag.String("plan", "", "also write the generation-phase rectangle plan (Figure 6(b)) as SVG to this file")
+		assay  = flag.Bool("assay", false, "input is an assay description (high-level synthesis front end)")
+	)
+	flag.Parse()
+
+	var src *os.File
+	if *in == "" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var n *netlist.Netlist
+	var err error
+	if *assay {
+		a, aerr := hls.Parse(src)
+		if aerr != nil {
+			return aerr
+		}
+		if n, err = a.Compile(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "assay %s: %d operation(s), %d lane(s) -> %d unit(s)\n",
+			a.Name, a.Ops(), a.Lanes(), n.NumUnits())
+	} else if n, err = netlist.Parse(src); err != nil {
+		return err
+	}
+	if *muxes != 0 {
+		if *muxes != 1 && *muxes != 2 {
+			return fmt.Errorf("-muxes must be 1 or 2")
+		}
+		n.Muxes = *muxes
+	}
+
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = *tl
+	opt.RunDRC = !*noDRC
+	switch *effort {
+	case "full":
+		opt.Layout.Effort = layout.EffortFull
+		opt.Layout.GuidedThreshold = 0
+	case "guided":
+		opt.Layout.Effort = layout.EffortGuided
+	case "seed":
+		opt.Layout.SkipMILP = true
+	case "auto":
+	default:
+		return fmt.Errorf("unknown -effort %q", *effort)
+	}
+
+	res, err := core.Synthesize(n, opt)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics()
+	fmt.Fprintf(os.Stderr, "%s: %d unit(s), %d-MUX — %.2f x %.2f mm, L_f %.2f mm, %d control inlet(s), %v\n",
+		m.Name, m.Units, m.Muxes, m.WidthMM, m.HeightMM, m.FlowMM, m.CtrlInlets, m.Runtime.Round(time.Millisecond))
+	if *stats {
+		s := res.Plan.Stats
+		fmt.Fprintf(os.Stderr, "solver: status=%v nodes=%d vars=%d rows=%d binaries=%d seed-only=%v\n",
+			s.Status, s.Nodes, s.Vars, s.Rows, s.Binaries, s.SeedOnly)
+	}
+	if res.DRC != nil {
+		fmt.Fprintf(os.Stderr, "drc: %d rule(s) checked, %d violation(s)\n",
+			res.DRC.Checked, len(res.DRC.Violations))
+	}
+	if *plan != "" {
+		pf, err := os.Create(*plan)
+		if err != nil {
+			return err
+		}
+		if err := res.WritePlanSVG(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		pf.Close()
+	}
+
+	f := *format
+	if f == "" && *out != "" {
+		f = strings.TrimPrefix(filepath.Ext(*out), ".")
+	}
+	var w *os.File
+	if *out == "" {
+		w = os.Stdout
+		if f == "" {
+			f = "json"
+		}
+	} else {
+		w, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	switch f {
+	case "svg":
+		return res.WriteSVG(w)
+	case "scr":
+		return res.WriteSCR(w)
+	case "dxf":
+		return res.WriteDXF(w)
+	case "json":
+		return res.WriteJSON(w)
+	case "txt", "ascii":
+		return res.WriteASCII(w, 120)
+	case "md", "report":
+		return res.WriteReport(w)
+	default:
+		return fmt.Errorf("unknown output format %q (want svg, scr, dxf, json, txt or md)", f)
+	}
+}

@@ -1,0 +1,103 @@
+// Command muxsim demonstrates the Columba S multiplexing function
+// (Section 2.2, Figure 4): it builds a binary multiplexer over n control
+// channels and prints, for a selected channel, the O/X configuration of
+// the MUX-flow channel pairs and the resulting open/blocked state of every
+// control channel — the experiment Figure 8 performs on the fabricated
+// chip.
+//
+// Usage:
+//
+//	muxsim -n 15 -select 9      # the paper's Figure 4 example
+//	muxsim -n 15 -all           # verify every address in turn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"columbas/internal/module"
+	"columbas/internal/mux"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "muxsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n     = flag.Int("n", 15, "number of control channels")
+		sel   = flag.Int("select", 9, "channel to select")
+		all   = flag.Bool("all", false, "exercise every address")
+		table = flag.Bool("table", false, "print the full addressing table")
+	)
+	flag.Parse()
+	if *n < 1 {
+		return fmt.Errorf("-n must be positive")
+	}
+	xs := make([]float64, *n)
+	for i := range xs {
+		xs[i] = float64(i) * 2 * module.D
+	}
+	m, err := mux.Build(xs, true, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiplexer: %d control channel(s), %d address bit(s), %d pressure inlet(s) (2*ceil(log2 n)+1)\n",
+		m.N, m.Bits, m.Inlets())
+	fmt.Printf("MUX-flow lines: %d addressing + 1 pressure main, %d valve(s)\n\n", 2*m.Bits, len(m.Valves))
+
+	if *table {
+		fmt.Println("address  binary  pair configuration")
+		fmt.Print(m.AddressTable())
+		return nil
+	}
+
+	show := func(c int) error {
+		s, err := m.Select(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("select channel %d (binary %0*b): pair configuration %s\n",
+			c, max(m.Bits, 1), c, m.PairString(s))
+		open := m.Open(s)
+		fmt.Print("channel state: ")
+		for i := 0; i < m.N; i++ {
+			if len(open) > 0 && contains(open, i) {
+				fmt.Printf("[%d:OPEN] ", i)
+			} else {
+				fmt.Printf("%d:blocked ", i)
+			}
+		}
+		fmt.Println()
+		if len(open) != 1 || open[0] != c {
+			return fmt.Errorf("isolation violated: open=%v", open)
+		}
+		return nil
+	}
+	if *all {
+		for c := 0; c < m.N; c++ {
+			if err := show(c); err != nil {
+				return err
+			}
+		}
+		fmt.Println("\nall addresses isolate exactly their channel")
+		return nil
+	}
+	if *sel < 0 || *sel >= m.N {
+		return fmt.Errorf("-select out of range [0,%d)", m.N)
+	}
+	return show(*sel)
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

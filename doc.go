@@ -1,0 +1,24 @@
+// Package columbas is a from-scratch Go reproduction of Columba S, the
+// scalable co-layout design automation tool for microfluidic large-scale
+// integration (mLSI) published at DAC 2018 (Tseng et al., DOI
+// 10.1145/3195970.3196011).
+//
+// The library synthesizes manufacturing-ready two-layer mLSI chip designs
+// from plain-text netlist descriptions. The flow (Figure 5 of the paper)
+// is: netlist planarization -> MILP-based layout generation over merged
+// rectangles -> layout validation (explicit module placement, channel
+// routing, fluid-inlet synthesis) -> binary multiplexer synthesis ->
+// AutoCAD-script / SVG / JSON export.
+//
+// Entry points:
+//
+//   - internal/core: the end-to-end flow (core.Synthesize)
+//   - internal/netlist: the input language
+//   - internal/cases: the paper's six evaluation applications
+//   - internal/bench: the Table 1 / Figure 1 harness
+//   - cmd/columbas, cmd/muxsim, cmd/benchtab: command-line tools
+//
+// The MILP solver the paper delegates to Gurobi is implemented in pure Go
+// (internal/lp + internal/milp); see DESIGN.md for the substitution notes
+// and EXPERIMENTS.md for paper-vs-measured results.
+package columbas

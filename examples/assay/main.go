@@ -1,0 +1,87 @@
+// Assay demonstrates the full application-to-chip pipeline: a biological
+// assay described as a dataflow of fluidic operations is compiled to a
+// netlist (internal/hls), synthesized into a chip (internal/core), and its
+// per-lane schedules execute on the synthesized design (internal/sim) —
+// including re-running a modified protocol on the same chip, the
+// reconfigurability property Section 1 of the paper claims for
+// multiplexed designs.
+//
+// Run with:
+//
+//	go run ./examples/assay
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/hls"
+	"columbas/internal/sim"
+)
+
+func main() {
+	// A 4-lane immunoprecipitation assay: bind chromatin to antibody
+	// beads in a sieve mixer, wash, then react and collect.
+	assay := hls.NewAssay("ip4").
+		Mix("bind", 3, hls.Fluid("chromatin"), hls.Fluid("beads")).
+		Wash("bind").
+		Incubate("react", "bind").
+		Collect("react", "product").
+		Replicate(4, true). // 4 lanes sharing control channels
+		WithMuxes(1)
+	if err := assay.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	n, err := assay.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assay %q compiled: %d units in %d lane(s), %d parallel group(s)\n",
+		n.Name, n.NumUnits(), assay.Lanes(), len(n.Parallel))
+	fmt.Println("── compiled netlist ──")
+	fmt.Print(n.Format())
+
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 20 * time.Second
+	res, err := core.Synthesize(n, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics()
+	fmt.Printf("\nsynthesized: %.1f x %.1f mm, %d control inlets, DRC %d violation(s), %v\n",
+		m.WidthMM, m.HeightMM, m.CtrlInlets, len(res.DRC.Violations),
+		m.Runtime.Round(time.Millisecond))
+
+	// Execute the assay protocol on every lane. Lanes share control, so
+	// each schedule drives all lanes simultaneously — one run suffices,
+	// but every lane's view resolves to the same shared channels.
+	ctl := sim.NewController(res.Design)
+	p, err := assay.Schedule(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur, err := p.Execute(ctl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprotocol %q: %d operation(s), %d valve actuation(s), %v simulated\n",
+		p.Name, p.Ops(), ctl.Actuations, dur)
+
+	// Reconfigure: a longer wash protocol runs on the SAME chip.
+	deep := sim.NewProtocol("deep-wash").
+		Mix("bind_l1", 5).
+		Wash("bind_l1").
+		Wash("bind_l1").
+		Wash("bind_l1").
+		Transfer("bind_l1", "react_l1")
+	ctl2 := sim.NewController(res.Design)
+	dur2, err := deep.Execute(ctl2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconfigured protocol %q on the same design: %v simulated\n", deep.Name, dur2)
+	fmt.Println("\nno re-synthesis needed: multiplexed control adapts to any schedule (Section 1).")
+}

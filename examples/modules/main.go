@@ -1,0 +1,110 @@
+// Modules renders the Columba S module model library (Figure 3): the
+// three mixer configurations (plain, sieve, cell-trap), the reaction
+// chamber, and a switch with junctions on both sides, each written as an
+// SVG panel in the style of the paper's figure.
+//
+// Run with:
+//
+//	go run ./examples/modules
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+	"columbas/internal/netlist"
+)
+
+func main() {
+	panels := []struct {
+		file  string
+		build func() (*module.Instance, error)
+		note  string
+	}{
+		{"module_mixer_plain.svg", func() (*module.Instance, error) {
+			return module.Instantiate("mixer", netlist.Unit{Name: "m", Type: netlist.Mixer}, geom.Pt{}, module.FromBottom)
+		}, "Figure 3(b): plain rotary mixer, control from the bottom"},
+		{"module_mixer_sieve.svg", func() (*module.Instance, error) {
+			return module.Instantiate("mixer", netlist.Unit{Name: "m", Type: netlist.Mixer, Opt: netlist.Sieve}, geom.Pt{}, module.FromTop)
+		}, "Figure 3(c): sieve-valve mixer (washing), control from the top"},
+		{"module_mixer_celltrap.svg", func() (*module.Instance, error) {
+			return module.Instantiate("mixer", netlist.Unit{Name: "m", Type: netlist.Mixer, Opt: netlist.CellTrap}, geom.Pt{}, module.FromBoth)
+		}, "Figure 3(d): cell-trap mixer (separation valves), control from both sides"},
+		{"module_chamber.svg", func() (*module.Instance, error) {
+			return module.Instantiate("chamber", netlist.Unit{Name: "c", Type: netlist.Chamber}, geom.Pt{}, module.FromBottom)
+		}, "reaction chamber"},
+		{"module_switch.svg", func() (*module.Instance, error) {
+			sw, err := module.InstantiateSwitch("switch", 5, geom.Pt{}, 2400, module.FromBottom)
+			if err != nil {
+				return nil, err
+			}
+			// Junctions entering from both sides, as in Figure 3(e)/(f).
+			sw.SetJunctionSide(0, true)
+			sw.SetJunctionSide(1, false)
+			sw.SetJunctionSide(2, true)
+			sw.SetJunctionSide(3, false)
+			sw.SetJunctionSide(4, true)
+			return sw, nil
+		}, "Figure 3(e): switch with 5 junctions, spine extensible vertically"},
+	}
+	for _, p := range panels {
+		in, err := p.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writePanel(p.file, in); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %s\n", p.file, p.note)
+		fmt.Printf("  box %.1f x %.1f mm, %d control line(s), %d valve(s)\n",
+			in.Box.W()/1000, in.Box.H()/1000, len(in.Lines), len(in.Valves()))
+	}
+}
+
+// writePanel renders one module instance as a standalone SVG.
+func writePanel(path string, in *module.Instance) error {
+	const scale = 0.1
+	pad := 4 * module.D
+	box := in.Box
+	w := (box.W() + 2*pad) * scale
+	h := (box.H() + 2*pad) * scale
+	x := func(v float64) float64 { return (v - box.XL + pad) * scale }
+	y := func(v float64) float64 { return (box.YT + pad - v) * scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`+"\n",
+		x(box.XL), y(box.YT), box.W()*scale, box.H()*scale)
+	for _, s := range in.Flow {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#1e66c8" stroke-width="%.1f"/>`+"\n",
+			x(s.A.X), y(s.A.Y), x(s.B.X), y(s.B.Y), module.ChannelW*scale)
+	}
+	for _, l := range in.Lines {
+		// Control line drawn to the module boundary it exits through.
+		yEnd := box.YB
+		if l.Access == module.FromTop {
+			yEnd = box.YT
+		}
+		yStart := l.Valves[0].At.Y
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#2e8b57" stroke-width="%.1f"/>`+"\n",
+			x(l.X), y(yStart), x(l.X), y(yEnd), module.ChannelW*scale)
+	}
+	colors := map[module.ValveKind]string{
+		module.ValveRegular:    "#e07020",
+		module.ValvePump:       "#8040c0",
+		module.ValveSieve:      "#107040",
+		module.ValveSeparation: "#c02060",
+	}
+	for _, v := range in.Valves() {
+		s := module.ValveSize * scale / 2
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x(v.At.X)-s, y(v.At.Y)-s, 2*s, 2*s, colors[v.Kind])
+	}
+	b.WriteString("</svg>\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,134 @@
+// Flagship end-to-end scenario: the complete platform story on one large
+// application — assay description → HLS compile → physical synthesis →
+// DRC → multiplexer-driven protocol execution → valve fault analysis.
+// This is the workflow a downstream user of the library would run.
+package columbas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/hls"
+	"columbas/internal/sim"
+)
+
+func TestFlagshipAssayPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flagship scenario skipped in -short mode")
+	}
+	// An 8-lane immunoprecipitation assay with shared control, written in
+	// the textual assay language.
+	assay, err := hls.ParseString(`
+assay flagship
+muxes 2
+lanes 8 shared
+mix bind cycles=4 fluid:chromatin fluid:beads
+wash bind
+incubate react bind
+collect react product
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := assay.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumUnits() != 16 {
+		t.Fatalf("units = %d, want 16", n.NumUnits())
+	}
+
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 30 * time.Second
+	res, err := core.Synthesize(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DRC.Clean() {
+		for _, v := range res.DRC.Violations {
+			t.Errorf("violation: %v", v)
+		}
+		t.Fatal("flagship design not DRC-clean")
+	}
+	d := res.Design
+
+	// Shared control: the 8 lanes need only one lane's worth of channels
+	// plus the planarization switches.
+	m := res.Metrics()
+	if m.CtrlInlets <= 0 || m.CtrlInlets > 40 {
+		t.Fatalf("control inlets = %d", m.CtrlInlets)
+	}
+
+	// Execute the assay protocol; lanes share channels, so one schedule
+	// drives all eight lanes.
+	ctl := sim.NewController(d)
+	p, err := assay.Schedule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := p.Execute(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 || dur > sim.HoldLimit {
+		t.Fatalf("protocol duration = %v", dur)
+	}
+	if len(ctl.HoldViolations()) != 0 {
+		t.Fatalf("hold violations: %v", ctl.HoldViolations())
+	}
+
+	// Reconfigure on the same chip: a deep-wash variant.
+	deep, err := assay.Schedule(3) // any lane resolves to the shared channels
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := deep.Execute(sim.NewController(d)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural fault coverage (a capped vector subset keeps the test
+	// economical; cmd/columbafault runs the full set).
+	fctl := sim.NewController(d)
+	vectors := sim.DefaultVectors(fctl)
+	if len(vectors) > 48 {
+		vectors = vectors[:48]
+	}
+	rep, err := fctl.RunFaultAnalysis(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || rep.Coverage() <= 0 {
+		t.Fatalf("fault report: %+v", rep)
+	}
+
+	// Every fabrication/documentation artifact renders.
+	for name, write := range map[string]func(*bytes.Buffer) error{
+		"scr":  func(b *bytes.Buffer) error { return res.WriteSCR(b) },
+		"dxf":  func(b *bytes.Buffer) error { return res.WriteDXF(b) },
+		"svg":  func(b *bytes.Buffer) error { return res.WriteSVG(b) },
+		"json": func(b *bytes.Buffer) error { return res.WriteJSON(b) },
+		"md":   func(b *bytes.Buffer) error { return res.WriteReport(b) },
+		"plan": func(b *bytes.Buffer) error { return res.WritePlanSVG(b) },
+		"txt":  func(b *bytes.Buffer) error { return res.WriteASCII(b, 80) },
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s export: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s export empty", name)
+		}
+	}
+
+	// The datasheet names the shared channels once, not per lane.
+	var md bytes.Buffer
+	if err := res.WriteReport(&md); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(md.String(), "bind_l1.pump1"); c == 0 {
+		t.Error("datasheet missing the shared pump channel")
+	}
+}

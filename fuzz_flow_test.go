@@ -1,0 +1,115 @@
+// Whole-flow randomised stress test: generate random structurally-valid
+// netlists across the feature space (unit types, mixer options, chains,
+// fan-in nets, parallel groups, 1/2 multiplexers), run the complete
+// synthesis flow on each, and require a DRC-clean design. This is the
+// repository's broadest property test — any geometric or model regression
+// anywhere in the pipeline surfaces here.
+package columbas
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/netlist"
+)
+
+// randomNetlist builds a valid netlist with up to maxChains independent
+// chains, optional fan-in through a shared net, and optional parallel
+// groups over identical chains.
+func randomNetlist(rng *rand.Rand, seed int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design fuzz%d\n", seed)
+	muxes := 1 + rng.Intn(2)
+	fmt.Fprintf(&b, "muxes %d\n", muxes)
+
+	chains := 1 + rng.Intn(5)
+	chainLen := 1 + rng.Intn(4)
+	mixOpt := []string{"", " sieve", " celltrap"}[rng.Intn(3)]
+	shareNet := rng.Intn(2) == 0 && chains > 1
+	parallel := rng.Intn(2) == 0 && chains > 1
+	inletNet := rng.Intn(3) == 0 && shareNet // extra fluid into the shared net
+
+	var lastUnits []string
+	for c := 0; c < chains; c++ {
+		var prev string
+		for k := 0; k < chainLen; k++ {
+			name := fmt.Sprintf("u%d_%d", c, k)
+			if k == 0 {
+				fmt.Fprintf(&b, "unit %s mixer%s\n", name, mixOpt)
+			} else {
+				fmt.Fprintf(&b, "unit %s chamber\n", name)
+			}
+			if k == 0 {
+				fmt.Fprintf(&b, "connect in:f%d %s\n", c, name)
+			} else {
+				fmt.Fprintf(&b, "connect %s %s\n", prev, name)
+			}
+			prev = name
+		}
+		lastUnits = append(lastUnits, prev)
+	}
+	if shareNet {
+		b.WriteString("net")
+		for _, u := range lastUnits {
+			b.WriteString(" " + u)
+		}
+		if inletNet {
+			b.WriteString(" in:buffer")
+		}
+		b.WriteString(" out:waste\n")
+	} else {
+		for c, u := range lastUnits {
+			fmt.Fprintf(&b, "connect %s out:w%d\n", u, c)
+		}
+	}
+	if parallel {
+		b.WriteString("parallel")
+		for c := 0; c < chains; c++ {
+			for k := 0; k < chainLen; k++ {
+				fmt.Fprintf(&b, " u%d_%d", c, k)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestFuzzWholeFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz flow skipped in -short mode")
+	}
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 3 * time.Second
+	opt.Layout.StallLimit = 20
+	opt.Layout.Gap = 0.2
+
+	for seed := int64(0); seed < 48; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			src := randomNetlist(rng, seed)
+			n, err := netlist.ParseString(src)
+			if err != nil {
+				t.Fatalf("generated invalid netlist:\n%s\n%v", src, err)
+			}
+			res, err := core.Synthesize(n, opt)
+			if err != nil {
+				t.Fatalf("flow failed:\n%s\n%v", src, err)
+			}
+			if res.DRC == nil || !res.DRC.Clean() {
+				for _, v := range res.DRC.Violations {
+					t.Errorf("violation: %v", v)
+				}
+				t.Fatalf("DRC failures on:\n%s", src)
+			}
+			m := res.Metrics()
+			if m.WidthMM <= 0 || m.HeightMM <= 0 || m.CtrlInlets <= 0 {
+				t.Fatalf("degenerate metrics %+v on:\n%s", m, src)
+			}
+		})
+	}
+}

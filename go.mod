@@ -1,0 +1,3 @@
+module columbas
+
+go 1.22

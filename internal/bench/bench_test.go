@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+)
+
+func quickCfg() Config {
+	return Config{
+		STime:      10 * time.Second,
+		BTime:      3 * time.Second,
+		StallLimit: 30,
+		DRC:        true,
+	}
+}
+
+func TestRunSProducesMetrics(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunS(c, 1, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.DRCOK {
+		t.Error("design not DRC-clean")
+	}
+	m := run.Metrics
+	if m.Units != 8 || m.CtrlInlets != 13 || m.WidthMM <= 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestRunBaselineSmall(t *testing.T) {
+	c, err := cases.Get("nap6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBaseline(c, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TooLarge {
+		t.Fatal("nap6 is within the baseline's size limit")
+	}
+	if b.WidthMM <= 0 || b.FlowMM <= 0 || b.CtrlInlets <= 0 {
+		t.Fatalf("baseline metrics = %+v", b)
+	}
+}
+
+func TestRunBaselineTooLarge(t *testing.T) {
+	b, err := RunBaseline(cases.ChIP64(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.TooLarge {
+		t.Fatal("chip64 must exceed the baseline frontier (Table 1: '\\')")
+	}
+}
+
+func TestRunCaseAndFormat(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	row := RunCase(c, cfg)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	out := FormatTable([]*Row{row})
+	for _, want := range []string{"mrna8", "dim 2.0", "t 2MUX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	trends := TrendReport([]*Row{row})
+	if !strings.Contains(trends, "trend 2") {
+		t.Errorf("trend report incomplete:\n%s", trends)
+	}
+}
+
+func TestFormatTableTooLargeRow(t *testing.T) {
+	row := &Row{
+		Case:     cases.ChIP64(),
+		Baseline: &BRun{TooLarge: true},
+		S1:       &SRun{},
+		S2:       &SRun{},
+	}
+	out := FormatTable([]*Row{row})
+	if !strings.Contains(out, "unsolvable") {
+		t.Fatalf("too-large baseline not marked:\n%s", out)
+	}
+}
+
+func TestFormatTableErrRow(t *testing.T) {
+	row := &Row{Case: cases.NAP6(), Err: errFake}
+	out := FormatTable([]*Row{row})
+	if !strings.Contains(out, "error") {
+		t.Fatalf("error row not rendered:\n%s", out)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestSkipBaseline(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SkipBaseline = true
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunCase(c, cfg)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if row.Baseline != nil {
+		t.Fatal("baseline should be skipped")
+	}
+	out := FormatTable([]*Row{row})
+	if !strings.Contains(out, `\`) {
+		t.Fatalf("skipped baseline should render as \\:\n%s", out)
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SkipBaseline = true
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunCase(c, cfg)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	out := FormatCSV([]*Row{row})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "case,units,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "mrna8,8,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// The header and the row have the same field count.
+	if got, want := strings.Count(lines[1], ","), strings.Count(lines[0], ","); got != want {
+		t.Fatalf("row fields = %d, header fields = %d\nrow: %s", got, want, lines[1])
+	}
+}
+
+func TestFormatCSVErrorAndTooLarge(t *testing.T) {
+	rows := []*Row{
+		{Case: cases.NAP6(), Err: errFake},
+		{Case: cases.ChIP64(), Baseline: &BRun{TooLarge: true}, S1: &SRun{}, S2: &SRun{}},
+	}
+	out := FormatCSV(rows)
+	if !strings.Contains(out, "error") || !strings.Contains(out, "unsolvable") {
+		t.Fatalf("CSV missing markers:\n%s", out)
+	}
+}

@@ -1,0 +1,186 @@
+package cases
+
+import (
+	"strings"
+	"testing"
+
+	"columbas/internal/module"
+	"columbas/internal/mux"
+	"columbas/internal/planar"
+)
+
+func TestTable1Roster(t *testing.T) {
+	cs := Table1()
+	if len(cs) != 6 {
+		t.Fatalf("cases = %d, want 6", len(cs))
+	}
+	wantUnits := []int{6, 9, 8, 21, 129, 257}
+	for i, c := range cs {
+		if c.Units != wantUnits[i] {
+			t.Errorf("%s units = %d, want %d", c.ID, c.Units, wantUnits[i])
+		}
+	}
+}
+
+func TestAllNetlistsParseAndValidate(t *testing.T) {
+	for _, c := range Table1() {
+		n, err := c.Netlist()
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if _, err := planar.Planarize(n); err != nil {
+			t.Fatalf("%s: planarize: %v", c.ID, err)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	c, err := Get("kinase21")
+	if err != nil || c.Units != 21 {
+		t.Fatalf("Get(kinase21) = %+v, %v", c, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown case")
+	}
+}
+
+func TestWithMuxes(t *testing.T) {
+	c := NAP6().WithMuxes(2)
+	n, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Muxes != 2 {
+		t.Fatalf("Muxes = %d, want 2", n.Muxes)
+	}
+	// Original case unchanged (value semantics).
+	n1, _ := NAP6().Netlist()
+	if n1.Muxes != 1 {
+		t.Fatal("original case mutated")
+	}
+}
+
+func TestChIPScaleValidation(t *testing.T) {
+	if _, err := ChIPScale(0, 1); err == nil {
+		t.Error("0 IPs should fail")
+	}
+	if _, err := ChIPScale(10, 3); err == nil {
+		t.Error("non-divisible groups should fail")
+	}
+	c, err := ChIPScale(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Units != 33 {
+		t.Fatalf("units = %d, want 33", c.Units)
+	}
+}
+
+// Control-channel budgets drive the #c_in column of Table 1; verify the
+// reconstructions land in the right inlet bands for 1-MUX designs.
+func TestControlInletBands(t *testing.T) {
+	want := map[string]int{
+		// 2*ceil(log2 n)+1 for the case's independent channel count.
+		"nap6":     13, // 33 channels
+		"chip9":    13, // 47 channels
+		"mrna8":    13, // 36 channels
+		"kinase21": 13, // 63 channels
+		"chip64":   17, // 143 channels
+	}
+	for _, c := range Table1() {
+		wantInlets, ok := want[c.ID]
+		if !ok {
+			continue
+		}
+		n, err := c.Netlist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := planar.Planarize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		channels := 0
+		seen := map[string]bool{}
+		for _, g := range pr.Parallel {
+			for _, u := range g {
+				seen[u] = true
+			}
+		}
+		// Parallel groups share one chain's lines: every group in the
+		// corpus is a stack of (sieve mixer -> chamber) chains = 7+2.
+		channels += 9 * len(pr.Parallel)
+		for _, node := range pr.Nodes {
+			switch node.Kind {
+			case planar.NodeUnit:
+				if !seen[node.Name] {
+					channels += module.ControlLineCount(*node.Unit)
+				}
+			case planar.NodeSwitch:
+				channels += node.Junctions
+			}
+		}
+		if got := mux.InletsFor(channels); got != wantInlets {
+			t.Errorf("%s: %d channels -> %d inlets, want %d", c.ID, channels, got, wantInlets)
+		}
+	}
+}
+
+func TestNetlistTextIsCanonical(t *testing.T) {
+	for _, c := range Table1() {
+		if !strings.Contains(c.Source, "design "+c.ID) {
+			t.Errorf("%s: source lacks design header", c.ID)
+		}
+	}
+}
+
+func TestChIP64Shape(t *testing.T) {
+	n, err := ChIP64().Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Parallel) != 8 {
+		t.Fatalf("parallel groups = %d, want 8", len(n.Parallel))
+	}
+	for gi, g := range n.Parallel {
+		if len(g) != 16 { // 8 mixers + 8 chambers per group
+			t.Fatalf("group %d size = %d, want 16", gi, len(g))
+		}
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pr.Stats()
+	if st.Switches != 1 {
+		t.Fatalf("switches = %d, want 1 (shared collection switch)", st.Switches)
+	}
+	if st.Junctions != 66 {
+		t.Fatalf("junctions = %d, want 66", st.Junctions)
+	}
+}
+
+func TestKinase21ParallelVariant(t *testing.T) {
+	c := Kinase21Parallel()
+	n, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Parallel) != 1 || len(n.Parallel[0]) != 21 {
+		t.Fatalf("parallel = %v", n.Parallel)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared lanes: one chain's worth of control lines = 5+2+2 = 9
+	// channels -> 2*ceil(log2 9)+1 = 9 inlets, far below the independent
+	// variant's 13.
+	if got := mux.InletsFor(9); got != 9 {
+		t.Fatalf("InletsFor(9) = %d", got)
+	}
+	_ = pr
+}

@@ -1,0 +1,200 @@
+package columba2
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"columbas/internal/milp"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+)
+
+func planarize(t *testing.T, src string) *planar.Result {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+const chainSrc = `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+func TestGridDesignMetrics(t *testing.T) {
+	pr := planarize(t, chainSrc)
+	r, err := Synthesize(pr, Options{SkipMILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.W <= 0 || r.H <= 0 {
+		t.Fatalf("dims = %v x %v", r.W, r.H)
+	}
+	if r.FlowLength <= 0 {
+		t.Fatalf("FlowLength = %v", r.FlowLength)
+	}
+	if len(r.Units) != 2 {
+		t.Fatalf("units = %d", len(r.Units))
+	}
+	// Units inside chip, non-overlapping.
+	for i, u := range r.Units {
+		if u.X < 0 || u.Y < 0 || u.X+u.W > r.W || u.Y+u.H > r.H {
+			t.Errorf("unit %s outside chip", u.Name)
+		}
+		for j := i + 1; j < len(r.Units); j++ {
+			v := r.Units[j]
+			if u.X < v.X+v.W && v.X < u.X+u.W && u.Y < v.Y+v.H && v.Y < u.Y+u.H {
+				t.Errorf("units %s and %s overlap", u.Name, v.Name)
+			}
+		}
+	}
+}
+
+func TestPressureSharingKinaseLane(t *testing.T) {
+	// One kinase lane: mixer -> chamber -> chamber.
+	// Lines: in, pump1-3, m.out+ca.in (shared), ca.out+cb.in (shared),
+	// cb.out => 7 inlets.
+	pr := planarize(t, `
+design lane
+unit m mixer
+unit ca chamber
+unit cb chamber
+connect in:s m
+connect m ca
+connect ca cb
+connect cb out:r
+`)
+	if got := PressureSharedInlets(pr); got != 7 {
+		t.Fatalf("inlets = %d, want 7", got)
+	}
+}
+
+func TestPressureSharingSevenLanes(t *testing.T) {
+	// The kinase21 shape: 7 identical lanes share pumps across lanes:
+	// 3 pump classes + 7*(in + 2 transfers + out) = 3 + 28 = 31,
+	// matching Table 1's 31 control inlets for Columba 2.0.
+	var src = "design k\n"
+	for i := 1; i <= 7; i++ {
+		src += fmt.Sprintf("unit m%d mixer\nunit ca%d chamber\nunit cb%d chamber\n", i, i, i)
+	}
+	for i := 1; i <= 7; i++ {
+		src += fmt.Sprintf("connect in:s%d m%d\nconnect m%d ca%d\nconnect ca%d cb%d\nconnect cb%d out:r%d\n",
+			i, i, i, i, i, i, i, i)
+	}
+	pr := planarize(t, src)
+	if got := PressureSharedInlets(pr); got != 31 {
+		t.Fatalf("inlets = %d, want 31 (Table 1, Columba 2.0, kinase)", got)
+	}
+}
+
+func TestSharingDoesNotMergeDifferentChains(t *testing.T) {
+	// A sieve lane and a plain lane have different signatures: no pump
+	// sharing between them.
+	pr := planarize(t, `
+design mix
+unit a mixer sieve
+unit b mixer
+connect in:x a
+connect a out:p
+connect in:y b
+connect b out:q
+`)
+	// a: 3 pumps + 2 sieve pairs + in + out = 7; b: 3 pumps + in + out = 5.
+	if got := PressureSharedInlets(pr); got != 12 {
+		t.Fatalf("inlets = %d, want 12", got)
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	var src = "design big\n"
+	for i := 0; i < MaxUnits+1; i++ {
+		src += fmt.Sprintf("unit u%d chamber\n", i)
+	}
+	for i := 0; i < MaxUnits+1; i++ {
+		src += fmt.Sprintf("connect in:x%d u%d\n", i, i)
+	}
+	pr := planarize(t, src)
+	_, err := Synthesize(pr, Options{SkipMILP: true})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFullModelBuildsAndBudgets(t *testing.T) {
+	// The full 2.0 model on a tiny case: must build, run under a small
+	// budget, and report its (large) model size.
+	pr := planarize(t, chainSrc)
+	r, err := Synthesize(pr, Options{
+		TimeLimit:  2 * time.Second,
+		StallLimit: 20,
+		Gap:        0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ModelBinaries == 0 || r.ModelRows == 0 {
+		t.Fatalf("model size not reported: %+v", r)
+	}
+	// The unreduced model for even 2 units is far bigger than the
+	// Columba S model for the same netlist (which has ~10 binaries).
+	if r.ModelBinaries < 20 {
+		t.Fatalf("binaries = %d; the unreduced model should be much larger", r.ModelBinaries)
+	}
+	if r.Status != milp.Optimal && r.Status != milp.Feasible && r.Status != milp.Limit {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Runtime <= 0 {
+		t.Fatal("runtime not measured")
+	}
+}
+
+func TestGridScalesRoughlySquare(t *testing.T) {
+	var src = "design sq\n"
+	for i := 0; i < 9; i++ {
+		src += fmt.Sprintf("unit u%d chamber\n", i)
+	}
+	for i := 0; i < 9; i++ {
+		src += fmt.Sprintf("connect in:x%d u%d\n", i, i)
+	}
+	pr := planarize(t, src)
+	r, err := Synthesize(pr, Options{SkipMILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.W / r.H
+	if ratio < 0.3 || ratio > 3.5 {
+		t.Fatalf("aspect ratio %v not grid-like", ratio)
+	}
+}
+
+func TestSwitchAnchoredRoutes(t *testing.T) {
+	pr := planarize(t, `
+design sw
+unit a mixer
+unit b mixer
+unit c mixer
+net a b c out:w
+connect in:x a
+connect in:y b
+connect in:z c
+`)
+	r, err := Synthesize(pr, Options{SkipMILP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlowLength <= 0 {
+		t.Fatal("switch-mediated routes must contribute length")
+	}
+}

@@ -1,0 +1,163 @@
+// Package core orchestrates the complete Columba S design flow
+// (Figure 5): netlist parsing, netlist planarization, layout generation,
+// layout validation, multiplexer synthesis and result interpretation.
+// It is the library's primary entry point.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"columbas/internal/drc"
+	"columbas/internal/export"
+	"columbas/internal/geom"
+	"columbas/internal/layout"
+	"columbas/internal/milp"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+	"columbas/internal/validate"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Layout configures the generation-phase MILP; zero value uses
+	// layout.DefaultOptions.
+	Layout layout.Options
+	// RunDRC verifies the completed design against the design rules and
+	// fails synthesis on violations.
+	RunDRC bool
+}
+
+// DefaultOptions returns the standard flow configuration.
+func DefaultOptions() Options {
+	return Options{Layout: layout.DefaultOptions(), RunDRC: true}
+}
+
+// Result is a completed synthesis run with its Table 1 metrics.
+type Result struct {
+	Design *validate.Design
+	Plan   *layout.Plan
+	DRC    *drc.Report // nil unless RunDRC
+
+	// Runtime is the end-to-end synthesis wall-clock time (the paper's
+	// "program run time" column).
+	Runtime time.Duration
+}
+
+// Metrics are the Table 1 figures of merit for one design.
+type Metrics struct {
+	Name string
+	// Muxes is the multiplexer count (1 or 2).
+	Muxes int
+	// WidthMM, HeightMM are v_x_max * v_y_max of the full chip in mm.
+	WidthMM, HeightMM float64
+	// FlowMM is L_f: functional-region flow channel length in mm.
+	FlowMM float64
+	// CtrlInlets is #c_in.
+	CtrlInlets int
+	// FluidPorts is the number of fluid inlets/outlets.
+	FluidPorts int
+	// Units is #u.
+	Units int
+	// Runtime is the synthesis time.
+	Runtime time.Duration
+	// SolverStatus reports how the generation model terminated.
+	SolverStatus milp.Status
+}
+
+// Metrics extracts the evaluation metrics from a run.
+func (r *Result) Metrics() Metrics {
+	w, h := r.Design.Dimensions()
+	units := 0
+	for _, n := range r.Plan.Planar.Nodes {
+		if n.Kind == planar.NodeUnit {
+			units++
+		}
+	}
+	return Metrics{
+		Name:         r.Design.Name,
+		Muxes:        r.Design.Muxes,
+		WidthMM:      geom.MM(w),
+		HeightMM:     geom.MM(h),
+		FlowMM:       geom.MM(r.Design.FlowLength()),
+		CtrlInlets:   r.Design.ControlInlets(),
+		FluidPorts:   len(r.Design.Inlets),
+		Units:        units,
+		Runtime:      r.Runtime,
+		SolverStatus: r.Plan.Stats.Status,
+	}
+}
+
+// Synthesize runs the full Columba S flow on a parsed netlist.
+func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Layout == (layout.Options{}) {
+		opt.Layout = layout.DefaultOptions()
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: planarization: %w", err)
+	}
+	plan, err := layout.Generate(pr, opt.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout generation: %w", err)
+	}
+	d, err := validate.Validate(plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout validation: %w", err)
+	}
+	res := &Result{Design: d, Plan: plan}
+	if opt.RunDRC {
+		res.DRC = drc.Check(d)
+		if !res.DRC.Clean() {
+			res.Runtime = time.Since(start)
+			return res, fmt.Errorf("core: design-rule check failed with %d violation(s); first: %v",
+				len(res.DRC.Violations), res.DRC.Violations[0])
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// SynthesizeSource parses a netlist description and synthesizes it.
+func SynthesizeSource(src string, opt Options) (*Result, error) {
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(n, opt)
+}
+
+// SynthesizeReader parses a netlist description from r and synthesizes it.
+func SynthesizeReader(r io.Reader, opt Options) (*Result, error) {
+	n, err := netlist.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(n, opt)
+}
+
+// WriteSCR exports the result as an AutoCAD script (Section 3.3).
+func (r *Result) WriteSCR(w io.Writer) error { return export.WriteSCR(w, r.Design) }
+
+// WriteSVG renders the result as an SVG figure.
+func (r *Result) WriteSVG(w io.Writer) error { return export.WriteSVG(w, r.Design) }
+
+// WriteJSON dumps the design summary as JSON.
+func (r *Result) WriteJSON(w io.Writer) error { return export.WriteJSON(w, r.Design) }
+
+// WriteDXF exports the result as an ASCII DXF drawing.
+func (r *Result) WriteDXF(w io.Writer) error { return export.WriteDXF(w, r.Design) }
+
+// WritePlanSVG renders the generation-phase rectangle plan (Figure 6(b)).
+func (r *Result) WritePlanSVG(w io.Writer) error { return export.WritePlanSVG(w, r.Plan) }
+
+// WriteASCII renders the design as a terminal character raster.
+func (r *Result) WriteASCII(w io.Writer, cols int) error {
+	return export.WriteASCII(w, r.Design, cols)
+}
+
+// WriteReport writes the markdown datasheet (metrics, module inventory,
+// multiplexer addressing tables, fluid ports).
+func (r *Result) WriteReport(w io.Writer) error { return export.WriteReport(w, r.Design) }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/layout"
+	"columbas/internal/netlist"
+)
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.Layout.TimeLimit = 3 * time.Second
+	o.Layout.StallLimit = 40
+	o.Layout.Gap = 0.1
+	return o
+}
+
+const chainSrc = `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+func TestEndToEndChain(t *testing.T) {
+	r, err := SynthesizeSource(chainSrc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRC == nil || !r.DRC.Clean() {
+		t.Fatal("DRC should run and pass")
+	}
+	m := r.Metrics()
+	if m.Units != 2 || m.Muxes != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.WidthMM <= 0 || m.HeightMM <= 0 || m.FlowMM <= 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	if m.CtrlInlets != 7 {
+		t.Fatalf("CtrlInlets = %d, want 7", m.CtrlInlets)
+	}
+	if m.Runtime <= 0 {
+		t.Fatal("runtime not measured")
+	}
+}
+
+func TestEndToEndCorpusSmallCases(t *testing.T) {
+	for _, id := range []string{"nap6", "chip9", "mrna8"} {
+		t.Run(id, func(t *testing.T) {
+			c, err := cases.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := c.Netlist()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Synthesize(n, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := r.Metrics()
+			if m.Units != c.Units {
+				t.Fatalf("units = %d, want %d", m.Units, c.Units)
+			}
+			// 1-MUX inlet counts from Table 1's band.
+			if m.CtrlInlets != 13 {
+				t.Errorf("CtrlInlets = %d, want 13 (Table 1)", m.CtrlInlets)
+			}
+		})
+	}
+}
+
+func TestEndToEndTwoMux(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.WithMuxes(2).Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Synthesize(n, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.Muxes != 2 {
+		t.Fatalf("muxes = %d", m.Muxes)
+	}
+	if r.Design.MuxTop == nil {
+		t.Fatal("2-MUX design should use the top boundary")
+	}
+}
+
+func TestExports(t *testing.T) {
+	r, err := SynthesizeSource(chainSrc, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scr, svg, js bytes.Buffer
+	if err := r.WriteSCR(&scr); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSVG(&svg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scr.String(), "PLINE") {
+		t.Error("SCR lacks geometry")
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Error("SVG malformed")
+	}
+	if !strings.Contains(js.String(), `"control_inlets"`) {
+		t.Error("JSON lacks metrics")
+	}
+}
+
+func TestSynthesizeReader(t *testing.T) {
+	r, err := SynthesizeReader(strings.NewReader(chainSrc), fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design.Name != "chain" {
+		t.Fatalf("name = %q", r.Design.Name)
+	}
+}
+
+func TestBadNetlistSource(t *testing.T) {
+	if _, err := SynthesizeSource("garbage input\n", fastOpts()); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := SynthesizeSource("design d\nunit a mixer\nunit b mixer\nconnect in:x a\n", fastOpts()); err == nil {
+		t.Fatal("expected validation error (disconnected unit)")
+	}
+}
+
+func TestZeroOptionsGetDefaults(t *testing.T) {
+	// A zero Layout options struct must be replaced by defaults, not used
+	// as-is (which would mean 0 weights and instant time-out).
+	n, err := netlist.ParseString(chainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Synthesize(n, Options{RunDRC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design == nil {
+		t.Fatal("no design")
+	}
+}
+
+func TestSeedOnlyFlow(t *testing.T) {
+	o := fastOpts()
+	o.Layout.SkipMILP = true
+	r, err := SynthesizeSource(chainSrc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Plan.Stats.SeedOnly {
+		t.Fatal("seed-only flag lost")
+	}
+	if r.DRC == nil || !r.DRC.Clean() {
+		t.Fatal("greedy seed design must be DRC-clean")
+	}
+}
+
+func TestGuidedFlow(t *testing.T) {
+	o := fastOpts()
+	o.Layout.Effort = layout.EffortGuided
+	r, err := SynthesizeSource(chainSrc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRC == nil || !r.DRC.Clean() {
+		t.Fatal("guided design must be DRC-clean")
+	}
+}
+
+// The headline scalability claim: a >200-unit design synthesizes
+// end-to-end (within minutes in the paper; we only assert completion and
+// DRC cleanliness here — timing is the benchmark harness's job).
+func TestEndToEndChIP64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large case skipped in -short mode")
+	}
+	c := cases.ChIP64()
+	n, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOpts()
+	o.Layout.TimeLimit = 20 * time.Second
+	r, err := Synthesize(n, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics()
+	if m.Units != 129 {
+		t.Fatalf("units = %d", m.Units)
+	}
+	if m.CtrlInlets != 17 {
+		t.Errorf("CtrlInlets = %d, want 17 (Table 1)", m.CtrlInlets)
+	}
+}

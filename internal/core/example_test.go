@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"columbas/internal/core"
+)
+
+// The complete flow on a two-unit application: parse, planarize, generate,
+// validate, synthesize the multiplexer, check design rules.
+func ExampleSynthesizeSource() {
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 10 * time.Second
+
+	res, err := core.SynthesizeSource(`
+design demo
+unit mix1 mixer
+unit inc1 chamber
+connect in:sample mix1
+connect mix1 inc1
+connect inc1 out:waste
+`, opt)
+	if err != nil {
+		panic(err)
+	}
+	m := res.Metrics()
+	fmt.Printf("units=%d control_inlets=%d fluid_ports=%d muxes=%d\n",
+		m.Units, m.CtrlInlets, m.FluidPorts, m.Muxes)
+	fmt.Printf("drc_violations=%d\n", len(res.DRC.Violations))
+	// Output:
+	// units=2 control_inlets=7 fluid_ports=2 muxes=1
+	// drc_violations=0
+}

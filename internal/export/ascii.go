@@ -1,0 +1,149 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"columbas/internal/module"
+	"columbas/internal/validate"
+)
+
+// WriteASCII renders the design as a character raster for terminal
+// inspection — the quickest way to see what came out of the flow without
+// leaving the shell. Legend:
+//
+//	M/C/S  mixer / chamber / switch module outline
+//	-      flow channel      |  control channel
+//	=      MUX-flow channel  o  valve
+//	()     fluid port
+//
+// cols sets the raster width in characters; the aspect ratio follows the
+// chip (terminal cells are ~2:1, which the row scale compensates).
+func WriteASCII(w io.Writer, d *validate.Design, cols int) error {
+	if cols < 20 {
+		cols = 20
+	}
+	sx := d.Chip.W() / float64(cols)
+	sy := sx * 2 // terminal cells are roughly twice as tall as wide
+	rows := int(d.Chip.H()/sy) + 1
+
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	// Map chip coordinates to the grid (y flipped).
+	cx := func(x float64) int {
+		c := int((x - d.Chip.XL) / sx)
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	cy := func(y float64) int {
+		r := int((d.Chip.YT - y) / sy)
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return r
+	}
+	set := func(r, c int, ch byte) { grid[r][c] = ch }
+	hline := func(y, x0, x1 float64, ch byte) {
+		r := cy(y)
+		for c := cx(x0); c <= cx(x1); c++ {
+			set(r, c, ch)
+		}
+	}
+	vline := func(x, y0, y1 float64, ch byte) {
+		c := cx(x)
+		r0, r1 := cy(y1), cy(y0) // flipped
+		for r := r0; r <= r1; r++ {
+			set(r, c, ch)
+		}
+	}
+
+	// Control channels first (so flow and modules draw over them).
+	for _, ch := range d.Ctrl {
+		y1 := 0.0
+		if ch.Top {
+			y1 = d.FuncRegion.YT
+			if d.MuxTop != nil {
+				y1 = d.MuxTop.ChannelY1
+			}
+			vline(ch.X, ch.YValve, y1, '|')
+		} else {
+			if d.MuxBottom != nil {
+				y1 = d.MuxBottom.ChannelY1
+			}
+			vline(ch.X, y1, ch.YValve, '|')
+		}
+	}
+	// MUX-flow lines.
+	for _, mx := range muxList(d) {
+		for _, ln := range mx.Lines {
+			hline(ln.Y, ln.Seg.A.X, ln.Seg.B.X, '=')
+		}
+	}
+	// Flow channels.
+	for _, f := range d.Flow {
+		s := f.Seg.Canon()
+		hline(s.A.Y, s.A.X, s.B.X, '-')
+	}
+	// Module outlines with a kind letter in the corner.
+	for _, m := range d.Modules {
+		letter := byte('M')
+		switch m.Kind {
+		case module.KindChamber:
+			letter = 'C'
+		case module.KindSwitch:
+			letter = 'S'
+		}
+		r0, r1 := cy(m.Box.YT), cy(m.Box.YB)
+		c0, c1 := cx(m.Box.XL), cx(m.Box.XR)
+		for c := c0; c <= c1; c++ {
+			set(r0, c, '#')
+			set(r1, c, '#')
+		}
+		for r := r0; r <= r1; r++ {
+			set(r, c0, '#')
+			set(r, c1, '#')
+		}
+		set(r0, c0, letter)
+	}
+	// Valves over everything.
+	for _, m := range d.Modules {
+		for _, v := range m.Valves() {
+			set(cy(v.At.Y), cx(v.At.X), 'o')
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, v := range mx.Valves {
+			set(cy(v.At.Y), cx(v.At.X), 'o')
+		}
+	}
+	// Fluid ports.
+	for _, in := range d.Inlets {
+		r, c := cy(in.At.Y), cx(in.At.X)
+		set(r, c, ')')
+		if c > 0 {
+			set(r, c-1, '(')
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %.1f x %.1f mm (1 char ≈ %.0f µm)\n",
+		d.Name, d.Chip.W()/1000, d.Chip.H()/1000, sx)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: M/C/S module  - flow  | control  = MUX-flow  o valve  () port\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,122 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+	"columbas/internal/validate"
+)
+
+// WriteDXF writes the design as a minimal ASCII DXF (R12 subset) with the
+// same layer structure as the SCR output. DXF is the interchange format
+// most mask-layout tool chains accept alongside raw AutoCAD scripts, so
+// both are provided for the paper's "directly exported for mask
+// fabrication" step (Section 3.3). Geometry uses LINE entities for
+// channels and closed LWPOLYLINE-equivalent 4-line loops for boxes;
+// coordinates are micrometres.
+func WriteDXF(w io.Writer, d *validate.Design) error {
+	b := &strings.Builder{}
+	wr := func(code int, val string) { fmt.Fprintf(b, "%d\n%s\n", code, val) }
+
+	// Header.
+	wr(0, "SECTION")
+	wr(2, "HEADER")
+	wr(9, "$ACADVER")
+	wr(1, "AC1009")
+	wr(0, "ENDSEC")
+
+	// Layer table.
+	wr(0, "SECTION")
+	wr(2, "TABLES")
+	wr(0, "TABLE")
+	wr(2, "LAYER")
+	wr(70, "5")
+	for i, name := range []string{LayerOutline, LayerFlow, LayerControl, LayerValve, LayerPort} {
+		wr(0, "LAYER")
+		wr(2, name)
+		wr(70, "0")
+		wr(62, fmt.Sprintf("%d", i+1)) // colour index
+		wr(6, "CONTINUOUS")
+	}
+	wr(0, "ENDTAB")
+	wr(0, "ENDSEC")
+
+	// Entities.
+	wr(0, "SECTION")
+	wr(2, "ENTITIES")
+	line := func(layer string, a, c geom.Pt) {
+		wr(0, "LINE")
+		wr(8, layer)
+		wr(10, fmt.Sprintf("%.1f", a.X))
+		wr(20, fmt.Sprintf("%.1f", a.Y))
+		wr(11, fmt.Sprintf("%.1f", c.X))
+		wr(21, fmt.Sprintf("%.1f", c.Y))
+	}
+	box := func(layer string, r geom.Rect) {
+		corners := []geom.Pt{
+			{X: r.XL, Y: r.YB}, {X: r.XR, Y: r.YB},
+			{X: r.XR, Y: r.YT}, {X: r.XL, Y: r.YT},
+		}
+		for i := range corners {
+			line(layer, corners[i], corners[(i+1)%4])
+		}
+	}
+	circle := func(layer string, p geom.Pt, radius float64) {
+		wr(0, "CIRCLE")
+		wr(8, layer)
+		wr(10, fmt.Sprintf("%.1f", p.X))
+		wr(20, fmt.Sprintf("%.1f", p.Y))
+		wr(40, fmt.Sprintf("%.1f", radius))
+	}
+
+	box(LayerOutline, d.Chip)
+	for _, m := range d.Modules {
+		box(LayerOutline, m.Box)
+	}
+	for _, f := range d.Flow {
+		line(LayerFlow, f.Seg.A, f.Seg.B)
+	}
+	for _, m := range d.Modules {
+		for _, s := range m.Flow {
+			line(LayerFlow, s.A, s.B)
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, ln := range mx.Lines {
+			line(LayerFlow, ln.Seg.A, ln.Seg.B)
+		}
+		for _, cx := range mx.ChannelX {
+			line(LayerControl,
+				geom.Pt{X: cx, Y: mx.ChannelY0},
+				geom.Pt{X: cx, Y: mx.ChannelY1})
+		}
+	}
+	for _, c := range d.Ctrl {
+		s := ctrlSeg(d, c)
+		line(LayerControl, s.A, s.B)
+	}
+	vb := func(p geom.Pt) {
+		h := module.ValveSize / 2
+		box(LayerValve, geom.Rect{XL: p.X - h, XR: p.X + h, YB: p.Y - h, YT: p.Y + h})
+	}
+	for _, m := range d.Modules {
+		for _, v := range m.Valves() {
+			vb(v.At)
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, v := range mx.Valves {
+			vb(v.At)
+		}
+	}
+	for _, in := range d.Inlets {
+		circle(LayerPort, in.At, module.DPrime/3)
+	}
+	wr(0, "ENDSEC")
+	wr(0, "EOF")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

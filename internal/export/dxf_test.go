@@ -1,0 +1,80 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDXF(t *testing.T) {
+	d := design(t, chainSrc)
+	var buf bytes.Buffer
+	if err := WriteDXF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	// Structural envelope.
+	for _, want := range []string{
+		"SECTION", "HEADER", "$ACADVER", "AC1009",
+		"TABLES", "LAYER", "ENTITIES", "ENDSEC", "EOF",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DXF missing %q", want)
+		}
+	}
+	// All five layers declared.
+	for _, l := range []string{LayerOutline, LayerFlow, LayerControl, LayerValve, LayerPort} {
+		if !strings.Contains(s, l) {
+			t.Errorf("layer %s missing", l)
+		}
+	}
+	// Entity counts: one CIRCLE per port, LINEs for channels and boxes.
+	if got := strings.Count(s, "\nCIRCLE\n"); got != len(d.Inlets) {
+		t.Errorf("CIRCLE count = %d, want %d", got, len(d.Inlets))
+	}
+	lines := strings.Count(s, "\nLINE\n")
+	minLines := len(d.Flow) + len(d.Ctrl) + 4*(1+len(d.Modules)) // channels + chip/module boxes
+	if lines < minLines {
+		t.Errorf("LINE count = %d, want >= %d", lines, minLines)
+	}
+	// Balanced sections.
+	if strings.Count(s, "\nSECTION\n") != strings.Count(s, "\nENDSEC\n") {
+		t.Error("unbalanced SECTION/ENDSEC")
+	}
+}
+
+func TestWriteDXFDeterministic(t *testing.T) {
+	d := design(t, chainSrc)
+	var a, b bytes.Buffer
+	if err := WriteDXF(&a, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDXF(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("DXF output must be deterministic")
+	}
+}
+
+// Every group-code line is followed by a value line: even line count and
+// numeric codes parse.
+func TestDXFWellFormedPairs(t *testing.T) {
+	d := design(t, chainSrc)
+	var buf bytes.Buffer
+	if err := WriteDXF(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines)%2 != 0 {
+		t.Fatalf("odd number of lines: %d", len(lines))
+	}
+	for i := 0; i < len(lines); i += 2 {
+		code := strings.TrimSpace(lines[i])
+		for _, ch := range code {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("line %d: group code %q not numeric", i, code)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+// Package export renders completed designs for inspection and
+// fabrication. Columba S outputs an AutoCAD script file that can be
+// directly exported for mask fabrication (Section 3.3); this package
+// writes that script, plus an SVG rendering (the reproduction's analogue
+// of the paper's design figures) and a JSON dump for downstream tooling.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+	"columbas/internal/mux"
+	"columbas/internal/validate"
+)
+
+// layer names used in both the SCR and SVG outputs.
+const (
+	LayerFlow    = "FLOW"
+	LayerControl = "CONTROL"
+	LayerValve   = "VALVE"
+	LayerOutline = "OUTLINE"
+	LayerPort    = "PORT"
+)
+
+// WriteSCR writes an AutoCAD script that draws the design's two layers:
+// flow geometry as polylines on FLOW, control channels on CONTROL, valves
+// as rectangles on VALVE, module outlines on OUTLINE and fluid ports as
+// circles on PORT. Coordinates are micrometres.
+func WriteSCR(w io.Writer, d *validate.Design) error {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "; Columba S design %q — AutoCAD script\n", d.Name)
+	fmt.Fprintf(b, "; chip %.0f x %.0f um, %d module(s), %d control channel(s)\n",
+		d.Chip.W(), d.Chip.H(), len(d.Modules), len(d.Ctrl))
+	layer := func(name string) { fmt.Fprintf(b, "-LAYER M %s\n\n", name) }
+
+	layer(LayerOutline)
+	rect(b, d.Chip)
+	for _, m := range d.Modules {
+		rect(b, m.Box)
+	}
+
+	layer(LayerFlow)
+	for _, f := range d.Flow {
+		line(b, f.Seg)
+	}
+	for _, m := range d.Modules {
+		for _, s := range m.Flow {
+			line(b, s)
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, ln := range mx.Lines {
+			line(b, ln.Seg)
+		}
+	}
+
+	layer(LayerControl)
+	for _, c := range d.Ctrl {
+		line(b, ctrlSeg(d, c))
+	}
+
+	layer(LayerValve)
+	for _, m := range d.Modules {
+		for _, v := range m.Valves() {
+			valveRect(b, v.At)
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, v := range mx.Valves {
+			valveRect(b, v.At)
+		}
+	}
+
+	layer(LayerPort)
+	for _, in := range d.Inlets {
+		fmt.Fprintf(b, "CIRCLE %.1f,%.1f %.1f\n", in.At.X, in.At.Y, module.DPrime/3)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func rect(b *strings.Builder, r geom.Rect) {
+	fmt.Fprintf(b, "RECTANG %.1f,%.1f %.1f,%.1f\n", r.XL, r.YB, r.XR, r.YT)
+}
+
+func line(b *strings.Builder, s geom.Seg) {
+	fmt.Fprintf(b, "PLINE %.1f,%.1f %.1f,%.1f \n", s.A.X, s.A.Y, s.B.X, s.B.Y)
+}
+
+func valveRect(b *strings.Builder, p geom.Pt) {
+	h := module.ValveSize / 2
+	fmt.Fprintf(b, "RECTANG %.1f,%.1f %.1f,%.1f\n", p.X-h, p.Y-h, p.X+h, p.Y+h)
+}
+
+// ctrlSeg materialises a control channel as a vertical segment from its
+// farthest valve to (and through) its multiplexer region.
+func ctrlSeg(d *validate.Design, c validate.CtrlChannel) geom.Seg {
+	y0 := c.YValve
+	var y1 float64
+	if c.Top {
+		if d.MuxTop != nil {
+			y1 = d.MuxTop.ChannelY1
+		} else {
+			y1 = d.FuncRegion.YT
+		}
+	} else {
+		if d.MuxBottom != nil {
+			y1 = d.MuxBottom.ChannelY1
+		} else {
+			y1 = 0
+		}
+	}
+	return geom.Seg{A: geom.Pt{X: c.X, Y: y0}, B: geom.Pt{X: c.X, Y: y1}}
+}
+
+func muxList(d *validate.Design) []*mux.Mux {
+	var out []*mux.Mux
+	if d.MuxBottom != nil {
+		out = append(out, d.MuxBottom)
+	}
+	if d.MuxTop != nil {
+		out = append(out, d.MuxTop)
+	}
+	return out
+}
+
+// WriteSVG renders the design as an SVG in the style of the paper's
+// figures: flow channels blue, control channels green, valves as filled
+// rectangles, modules as grey outlines, fluid ports as circles.
+func WriteSVG(w io.Writer, d *validate.Design) error {
+	// SVG y grows downward; flip around the chip box.
+	flip := func(y float64) float64 { return d.Chip.YT - y + 0 }
+	scale := 0.1 // 10 µm per SVG unit keeps files small
+	W := d.Chip.W() * scale
+	H := d.Chip.H() * scale
+	x := func(v float64) float64 { return (v - d.Chip.XL) * scale }
+	y := func(v float64) float64 { return (flip(v) - 0) * scale }
+
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`+"\n", W, H, W, H)
+	fmt.Fprintf(b, `<title>%s</title>`+"\n", d.Name)
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="white" stroke="black" stroke-width="0.5"/>`+"\n", W, H)
+
+	seg := func(s geom.Seg, color string, sw float64) {
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			x(s.A.X), y(s.A.Y), x(s.B.X), y(s.B.Y), color, sw)
+	}
+	box := func(r geom.Rect, stroke, fill string) {
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" stroke="%s" fill="%s" stroke-width="0.4"/>`+"\n",
+			x(r.XL), y(r.YT), r.W()*scale, r.H()*scale, stroke, fill)
+	}
+
+	for _, m := range d.Modules {
+		box(m.Box, "#999999", "none")
+	}
+	for _, c := range d.Ctrl {
+		seg(ctrlSeg(d, c), "#2e8b57", module.ChannelW*scale)
+	}
+	for _, mx := range muxList(d) {
+		for _, ln := range mx.Lines {
+			seg(ln.Seg, "#1e66c8", module.ChannelW*scale)
+		}
+		// Control-channel extensions through the MUX region.
+		for _, cx := range mx.ChannelX {
+			seg(geom.Seg{
+				A: geom.Pt{X: cx, Y: mx.ChannelY0},
+				B: geom.Pt{X: cx, Y: mx.ChannelY1},
+			}, "#2e8b57", module.ChannelW*scale)
+		}
+	}
+	for _, f := range d.Flow {
+		seg(f.Seg, "#1e66c8", module.ChannelW*scale)
+	}
+	for _, m := range d.Modules {
+		for _, s := range m.Flow {
+			seg(s, "#1e66c8", module.ChannelW*scale)
+		}
+	}
+	valveColor := map[module.ValveKind]string{
+		module.ValveRegular:    "#e07020",
+		module.ValvePump:       "#8040c0",
+		module.ValveSieve:      "#107040",
+		module.ValveSeparation: "#c02060",
+		module.ValveMux:        "#208080",
+	}
+	valve := func(p geom.Pt, k module.ValveKind) {
+		h := module.ValveSize / 2 * scale
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x(p.X)-h, y(p.Y)-h, 2*h, 2*h, valveColor[k])
+	}
+	for _, m := range d.Modules {
+		for _, v := range m.Valves() {
+			valve(v.At, v.Kind)
+		}
+	}
+	for _, mx := range muxList(d) {
+		for _, v := range mx.Valves {
+			valve(v.At, module.ValveMux)
+		}
+	}
+	for _, in := range d.Inlets {
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#1e66c8" stroke-width="0.6"/>`+"\n",
+			x(in.At.X), y(in.At.Y), module.DPrime/3*scale)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="8" fill="#333">%s</text>`+"\n",
+			x(in.At.X)+3, y(in.At.Y)-3, in.Name)
+	}
+	fmt.Fprintln(b, "</svg>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// JSONDesign is the serialisable summary of a design.
+type JSONDesign struct {
+	Name      string        `json:"name"`
+	Muxes     int           `json:"muxes"`
+	WidthMM   float64       `json:"width_mm"`
+	HeightMM  float64       `json:"height_mm"`
+	FlowMM    float64       `json:"flow_channel_length_mm"`
+	CtrlIn    int           `json:"control_inlets"`
+	FluidIO   int           `json:"fluid_ports"`
+	Modules   []JSONModule  `json:"modules"`
+	Channels  []JSONChannel `json:"control_channels"`
+	MuxBottom *JSONMux      `json:"mux_bottom,omitempty"`
+	MuxTop    *JSONMux      `json:"mux_top,omitempty"`
+}
+
+// JSONModule summarises one placed module.
+type JSONModule struct {
+	Name string    `json:"name"`
+	Kind string    `json:"kind"`
+	Box  []float64 `json:"box_um"` // xl, yb, xr, yt
+}
+
+// JSONChannel summarises one control channel.
+type JSONChannel struct {
+	Name     string  `json:"name"`
+	X        float64 `json:"x_um"`
+	Top      bool    `json:"top"`
+	MuxIndex int     `json:"mux_index"`
+}
+
+// JSONMux summarises one multiplexer.
+type JSONMux struct {
+	Channels int `json:"channels"`
+	Bits     int `json:"bits"`
+	Inlets   int `json:"inlets"`
+	Valves   int `json:"valves"`
+}
+
+// WriteJSON writes the design summary as indented JSON.
+func WriteJSON(w io.Writer, d *validate.Design) error {
+	out := JSONDesign{
+		Name:     d.Name,
+		Muxes:    d.Muxes,
+		WidthMM:  geom.MM(d.Chip.W()),
+		HeightMM: geom.MM(d.Chip.H()),
+		FlowMM:   geom.MM(d.FlowLength()),
+		CtrlIn:   d.ControlInlets(),
+		FluidIO:  len(d.Inlets),
+	}
+	for _, m := range d.Modules {
+		out.Modules = append(out.Modules, JSONModule{
+			Name: m.Name,
+			Kind: m.Kind.String(),
+			Box:  []float64{m.Box.XL, m.Box.YB, m.Box.XR, m.Box.YT},
+		})
+	}
+	sort.Slice(out.Modules, func(i, j int) bool { return out.Modules[i].Name < out.Modules[j].Name })
+	for _, c := range d.Ctrl {
+		out.Channels = append(out.Channels, JSONChannel{
+			Name: c.Name, X: c.X, Top: c.Top, MuxIndex: c.MuxIndex,
+		})
+	}
+	jm := func(m *mux.Mux) *JSONMux {
+		if m == nil {
+			return nil
+		}
+		return &JSONMux{Channels: m.N, Bits: m.Bits, Inlets: m.Inlets(), Valves: len(m.Valves)}
+	}
+	out.MuxBottom = jm(d.MuxBottom)
+	out.MuxTop = jm(d.MuxTop)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,54 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"columbas/internal/layout"
+)
+
+// WritePlanSVG renders the layout-generation phase's merged rectangles in
+// the style of the paper's Figure 6(b): blue rectangles are merged flow
+// channels, green rectangles merged control channels, grey boxes the
+// placeable block/switch rectangles. This is the intermediate artifact
+// between the two synthesis phases (Section 3.2), useful for inspecting
+// what the MILP actually decided before restoration.
+func WritePlanSVG(w io.Writer, p *layout.Plan) error {
+	const scale = 0.1
+	W := p.XMax * scale
+	H := p.YMax * scale
+	x := func(v float64) float64 { return v * scale }
+	y := func(v float64) float64 { return (p.YMax - v) * scale }
+
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`+"\n", W, H, W, H)
+	fmt.Fprintf(b, `<title>%s — layout generation plan</title>`+"\n", p.Name)
+	fmt.Fprintf(b, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="white" stroke="black" stroke-width="0.6"/>`+"\n", W, H)
+
+	// Paint channels first so the placeables' outlines stay visible.
+	order := []layout.RectKind{layout.RCtrl, layout.RFlow, layout.RBlock, layout.RSwitch}
+	style := map[layout.RectKind][2]string{
+		layout.RCtrl:   {"#2e8b57", "#b9e4cd"},
+		layout.RFlow:   {"#1e66c8", "#bcd5f5"},
+		layout.RBlock:  {"#444444", "#eeeeee"},
+		layout.RSwitch: {"#444444", "#dddddd"},
+	}
+	for _, kind := range order {
+		for _, r := range p.Rects {
+			if r.Kind != kind {
+				continue
+			}
+			st := style[kind]
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" stroke="%s" fill="%s" fill-opacity="0.8" stroke-width="0.5"/>`+"\n",
+				x(r.Box.XL), y(r.Box.YT), r.Box.W()*scale, r.Box.H()*scale, st[0], st[1])
+			if r.Placeable() {
+				fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="7" fill="#333">%s</text>`+"\n",
+					x(r.Box.XL)+1, y(r.Box.YT)+8, r.Name)
+			}
+		}
+	}
+	fmt.Fprintln(b, "</svg>")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,245 @@
+// Package geom provides the planar geometry kernel used throughout the
+// Columba S reproduction: points, rectangles and interval arithmetic on a
+// micrometre-denominated coordinate plane.
+//
+// All coordinates are float64 micrometres. The chip origin (0,0) is the
+// bottom-left corner of the functional region; x grows to the right and y
+// grows upward, matching the coordinate conventions of the paper's
+// physical-synthesis models (Section 3.2).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the geometric comparison tolerance in micrometres. Physical
+// synthesis works on a 1 µm-resolution grid, so anything below a tenth of a
+// micrometre is considered numerical noise.
+const Eps = 0.1
+
+// MicronsPerMM converts between the internal micrometre unit and the
+// millimetre figures reported in the paper's tables.
+const MicronsPerMM = 1000.0
+
+// Pt is a point on the chip plane, in micrometres.
+type Pt struct {
+	X, Y float64
+}
+
+// Add returns the translate of p by (dx, dy).
+func (p Pt) Add(dx, dy float64) Pt { return Pt{p.X + dx, p.Y + dy} }
+
+// Eq reports whether p and q coincide within Eps.
+func (p Pt) Eq(q Pt) bool {
+	return math.Abs(p.X-q.X) < Eps && math.Abs(p.Y-q.Y) < Eps
+}
+
+func (p Pt) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle described by its four boundary
+// coordinates, mirroring the v_{r,xl}, v_{r,xr}, v_{r,yb}, v_{r,yt}
+// variables of the paper's models.
+type Rect struct {
+	XL, XR, YB, YT float64
+}
+
+// RectWH builds a rectangle from its bottom-left corner and size.
+func RectWH(x, y, w, h float64) Rect { return Rect{XL: x, XR: x + w, YB: y, YT: y + h} }
+
+// W returns the x-extent (width) of r.
+func (r Rect) W() float64 { return r.XR - r.XL }
+
+// H returns the y-extent (height/length) of r.
+func (r Rect) H() float64 { return r.YT - r.YB }
+
+// Area returns the area of r in µm².
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Pt { return Pt{(r.XL + r.XR) / 2, (r.YB + r.YT) / 2} }
+
+// Valid reports whether r is a well-formed (possibly degenerate) rectangle.
+func (r Rect) Valid() bool { return r.XR >= r.XL-Eps && r.YT >= r.YB-Eps }
+
+// Empty reports whether r has (numerically) zero area.
+func (r Rect) Empty() bool { return r.W() < Eps || r.H() < Eps }
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{r.XL + dx, r.XR + dx, r.YB + dy, r.YT + dy}
+}
+
+// Union returns the bounding box of r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		XL: math.Min(r.XL, s.XL),
+		XR: math.Max(r.XR, s.XR),
+		YB: math.Min(r.YB, s.YB),
+		YT: math.Max(r.YT, s.YT),
+	}
+}
+
+// Intersect returns the overlap of r and s and whether it is non-empty.
+// Touching boundaries (shared edges) do not count as an overlap: the
+// paper's non-overlapping constraints explicitly allow rectangles to abut
+// because the module models already include the spacing margin d.
+func (r Rect) Intersect(s Rect) (Rect, bool) {
+	out := Rect{
+		XL: math.Max(r.XL, s.XL),
+		XR: math.Min(r.XR, s.XR),
+		YB: math.Max(r.YB, s.YB),
+		YT: math.Min(r.YT, s.YT),
+	}
+	if out.XR-out.XL < Eps || out.YT-out.YB < Eps {
+		return Rect{}, false
+	}
+	return out, true
+}
+
+// Overlaps reports whether r and s share interior area.
+func (r Rect) Overlaps(s Rect) bool {
+	_, ok := r.Intersect(s)
+	return ok
+}
+
+// Contains reports whether r contains p (boundary inclusive).
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.XL-Eps && p.X <= r.XR+Eps && p.Y >= r.YB-Eps && p.Y <= r.YT+Eps
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundary inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.XL >= r.XL-Eps && s.XR <= r.XR+Eps && s.YB >= r.YB-Eps && s.YT <= r.YT+Eps
+}
+
+// SharesVerticalEdge reports whether r and s touch along a vertical edge
+// with overlapping y-spans (r's right on s's left or vice versa).
+func (r Rect) SharesVerticalEdge(s Rect) bool {
+	touch := math.Abs(r.XR-s.XL) < Eps || math.Abs(s.XR-r.XL) < Eps
+	return touch && SpanOverlap(r.YB, r.YT, s.YB, s.YT) > Eps
+}
+
+// SharesHorizontalEdge reports whether r and s touch along a horizontal
+// edge with overlapping x-spans.
+func (r Rect) SharesHorizontalEdge(s Rect) bool {
+	touch := math.Abs(r.YT-s.YB) < Eps || math.Abs(s.YT-r.YB) < Eps
+	return touch && SpanOverlap(r.XL, r.XR, s.XL, s.XR) > Eps
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.1f,%.1f]x[%.1f,%.1f]", r.XL, r.XR, r.YB, r.YT)
+}
+
+// SpanOverlap returns the length of the overlap of intervals [a0,a1] and
+// [b0,b1], or 0 if they are disjoint.
+func SpanOverlap(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Seg is an axis-parallel channel segment. Channels in Columba S are
+// strictly straight (Section 2): flow channels horizontal, control channels
+// vertical, so a segment suffices to describe any routed channel.
+type Seg struct {
+	A, B Pt
+}
+
+// Horizontal reports whether s runs along the x-axis.
+func (s Seg) Horizontal() bool { return math.Abs(s.A.Y-s.B.Y) < Eps }
+
+// Vertical reports whether s runs along the y-axis.
+func (s Seg) Vertical() bool { return math.Abs(s.A.X-s.B.X) < Eps }
+
+// Len returns the Manhattan length of s.
+func (s Seg) Len() float64 {
+	return math.Abs(s.A.X-s.B.X) + math.Abs(s.A.Y-s.B.Y)
+}
+
+// Canon returns s with endpoints ordered by increasing x then y.
+func (s Seg) Canon() Seg {
+	if s.B.X < s.A.X || (s.B.X == s.A.X && s.B.Y < s.A.Y) {
+		return Seg{s.B, s.A}
+	}
+	return s
+}
+
+// Bounds returns the (possibly degenerate) bounding rectangle of s expanded
+// by half-width hw on each side, i.e. the physical footprint of a channel
+// of width 2·hw routed along s.
+func (s Seg) Bounds(hw float64) Rect {
+	c := s.Canon()
+	return Rect{
+		XL: c.A.X - hw, XR: c.B.X + hw,
+		YB: math.Min(c.A.Y, c.B.Y) - hw, YT: math.Max(c.A.Y, c.B.Y) + hw,
+	}
+}
+
+// Crosses reports whether two axis-parallel segments cross or touch, and
+// returns the crossing point when they do. Collinear overlaps report the
+// midpoint of the shared span.
+func (s Seg) Crosses(t Seg) (Pt, bool) {
+	sc, tc := s.Canon(), t.Canon()
+	switch {
+	case sc.Horizontal() && tc.Vertical():
+		return crossHV(sc, tc)
+	case sc.Vertical() && tc.Horizontal():
+		return crossHV(tc, sc)
+	case sc.Horizontal() && tc.Horizontal():
+		if math.Abs(sc.A.Y-tc.A.Y) >= Eps {
+			return Pt{}, false
+		}
+		lo := math.Max(sc.A.X, tc.A.X)
+		hi := math.Min(sc.B.X, tc.B.X)
+		if hi < lo-Eps {
+			return Pt{}, false
+		}
+		return Pt{(lo + hi) / 2, sc.A.Y}, true
+	default: // both vertical
+		if math.Abs(sc.A.X-tc.A.X) >= Eps {
+			return Pt{}, false
+		}
+		lo := math.Max(math.Min(sc.A.Y, sc.B.Y), math.Min(tc.A.Y, tc.B.Y))
+		hi := math.Min(math.Max(sc.A.Y, sc.B.Y), math.Max(tc.A.Y, tc.B.Y))
+		if hi < lo-Eps {
+			return Pt{}, false
+		}
+		return Pt{sc.A.X, (lo + hi) / 2}, true
+	}
+}
+
+func crossHV(h, v Seg) (Pt, bool) {
+	x := v.A.X
+	y := h.A.Y
+	if x < h.A.X-Eps || x > h.B.X+Eps {
+		return Pt{}, false
+	}
+	ylo := math.Min(v.A.Y, v.B.Y)
+	yhi := math.Max(v.A.Y, v.B.Y)
+	if y < ylo-Eps || y > yhi+Eps {
+		return Pt{}, false
+	}
+	return Pt{x, y}, true
+}
+
+// MM converts micrometres to millimetres for reporting.
+func MM(um float64) float64 { return um / MicronsPerMM }
+
+// UM converts millimetres to micrometres.
+func UM(mm float64) float64 { return mm * MicronsPerMM }
+
+// BoundingBox returns the union of all rectangles, or a zero rect if none.
+func BoundingBox(rs []Rect) Rect {
+	if len(rs) == 0 {
+		return Rect{}
+	}
+	out := rs[0]
+	for _, r := range rs[1:] {
+		out = out.Union(r)
+	}
+	return out
+}

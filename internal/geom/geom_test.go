@@ -1,0 +1,276 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectWH(t *testing.T) {
+	r := RectWH(10, 20, 30, 40)
+	if r.XL != 10 || r.XR != 40 || r.YB != 20 || r.YT != 60 {
+		t.Fatalf("RectWH wrong: %v", r)
+	}
+	if r.W() != 30 || r.H() != 40 {
+		t.Fatalf("W/H wrong: %v %v", r.W(), r.H())
+	}
+	if r.Area() != 1200 {
+		t.Fatalf("Area wrong: %v", r.Area())
+	}
+	if got := r.Center(); !got.Eq(Pt{25, 40}) {
+		t.Fatalf("Center wrong: %v", got)
+	}
+}
+
+func TestRectValidEmpty(t *testing.T) {
+	if !RectWH(0, 0, 5, 5).Valid() {
+		t.Error("positive rect should be valid")
+	}
+	if (Rect{XL: 10, XR: 0, YB: 0, YT: 10}).Valid() {
+		t.Error("inverted rect should be invalid")
+	}
+	if !RectWH(0, 0, 0, 10).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+	if RectWH(0, 0, 1, 1).Empty() {
+		t.Error("unit rect should not be empty")
+	}
+}
+
+func TestIntersectTouchingIsNotOverlap(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(10, 0, 10, 10) // abuts a on the right
+	if a.Overlaps(b) {
+		t.Error("abutting rectangles must not count as overlapping (paper allows shared edges)")
+	}
+	c := RectWH(9, 0, 10, 10)
+	got, ok := a.Intersect(c)
+	if !ok {
+		t.Fatal("expected overlap")
+	}
+	want := Rect{XL: 9, XR: 10, YB: 0, YT: 10}
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+}
+
+func TestUnionAndBoundingBox(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	b := RectWH(20, -5, 5, 5)
+	u := a.Union(b)
+	want := Rect{XL: 0, XR: 25, YB: -5, YT: 10}
+	if u != want {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+	if bb := BoundingBox([]Rect{a, b}); bb != want {
+		t.Fatalf("BoundingBox = %v, want %v", bb, want)
+	}
+	if bb := BoundingBox(nil); bb != (Rect{}) {
+		t.Fatalf("empty BoundingBox = %v", bb)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := RectWH(0, 0, 100, 50)
+	for _, p := range []Pt{{0, 0}, {100, 50}, {50, 25}} {
+		if !r.Contains(p) {
+			t.Errorf("r should contain %v", p)
+		}
+	}
+	for _, p := range []Pt{{-1, 0}, {101, 25}, {50, 51}} {
+		if r.Contains(p) {
+			t.Errorf("r should not contain %v", p)
+		}
+	}
+	if !r.ContainsRect(RectWH(10, 10, 20, 20)) {
+		t.Error("inner rect should be contained")
+	}
+	if r.ContainsRect(RectWH(90, 40, 20, 20)) {
+		t.Error("protruding rect should not be contained")
+	}
+}
+
+func TestSharedEdges(t *testing.T) {
+	a := RectWH(0, 0, 10, 10)
+	right := RectWH(10, 5, 10, 10)
+	if !a.SharesVerticalEdge(right) {
+		t.Error("expected shared vertical edge")
+	}
+	above := RectWH(5, 10, 10, 10)
+	if !a.SharesHorizontalEdge(above) {
+		t.Error("expected shared horizontal edge")
+	}
+	diag := RectWH(10, 10, 10, 10) // corner touch only
+	if a.SharesVerticalEdge(diag) || a.SharesHorizontalEdge(diag) {
+		t.Error("corner touch must not count as a shared edge")
+	}
+	far := RectWH(30, 0, 10, 10)
+	if a.SharesVerticalEdge(far) {
+		t.Error("distant rect shares no edge")
+	}
+}
+
+func TestSegOrientation(t *testing.T) {
+	h := Seg{Pt{0, 5}, Pt{10, 5}}
+	v := Seg{Pt{3, 0}, Pt{3, 9}}
+	if !h.Horizontal() || h.Vertical() {
+		t.Error("h should be horizontal only")
+	}
+	if !v.Vertical() || v.Horizontal() {
+		t.Error("v should be vertical only")
+	}
+	if h.Len() != 10 || v.Len() != 9 {
+		t.Errorf("lengths wrong: %v %v", h.Len(), v.Len())
+	}
+}
+
+func TestSegCanon(t *testing.T) {
+	s := Seg{Pt{10, 5}, Pt{0, 5}}
+	c := s.Canon()
+	if c.A.X != 0 || c.B.X != 10 {
+		t.Fatalf("Canon did not order by x: %v", c)
+	}
+	vs := Seg{Pt{3, 9}, Pt{3, 0}}
+	cv := vs.Canon()
+	if cv.A.Y != 0 || cv.B.Y != 9 {
+		t.Fatalf("Canon did not order vertical by y: %v", cv)
+	}
+}
+
+func TestSegBounds(t *testing.T) {
+	s := Seg{Pt{0, 5}, Pt{10, 5}}
+	b := s.Bounds(0.5)
+	want := Rect{XL: -0.5, XR: 10.5, YB: 4.5, YT: 5.5}
+	if b != want {
+		t.Fatalf("Bounds = %v, want %v", b, want)
+	}
+}
+
+func TestSegCrossesHV(t *testing.T) {
+	h := Seg{Pt{0, 5}, Pt{10, 5}}
+	v := Seg{Pt{4, 0}, Pt{4, 10}}
+	p, ok := h.Crosses(v)
+	if !ok || !p.Eq(Pt{4, 5}) {
+		t.Fatalf("Crosses = %v %v", p, ok)
+	}
+	// Crossing is symmetric.
+	p2, ok2 := v.Crosses(h)
+	if !ok2 || !p2.Eq(p) {
+		t.Fatalf("reverse Crosses = %v %v", p2, ok2)
+	}
+	// Miss.
+	v2 := Seg{Pt{4, 6}, Pt{4, 10}}
+	if _, ok := h.Crosses(v2); ok {
+		t.Error("segments should not cross")
+	}
+	// Endpoint touch counts.
+	v3 := Seg{Pt{0, 5}, Pt{0, 10}}
+	if _, ok := h.Crosses(v3); !ok {
+		t.Error("endpoint touch should count as a crossing")
+	}
+}
+
+func TestSegCrossesCollinear(t *testing.T) {
+	a := Seg{Pt{0, 5}, Pt{10, 5}}
+	b := Seg{Pt{8, 5}, Pt{20, 5}}
+	p, ok := a.Crosses(b)
+	if !ok || !p.Eq(Pt{9, 5}) {
+		t.Fatalf("collinear overlap = %v %v", p, ok)
+	}
+	c := Seg{Pt{11, 5}, Pt{20, 5}}
+	if _, ok := a.Crosses(c); ok {
+		t.Error("disjoint collinear segments should not cross")
+	}
+	va := Seg{Pt{3, 0}, Pt{3, 10}}
+	vb := Seg{Pt{3, 5}, Pt{3, 20}}
+	p, ok = va.Crosses(vb)
+	if !ok || !p.Eq(Pt{3, 7.5}) {
+		t.Fatalf("vertical collinear overlap = %v %v", p, ok)
+	}
+	vc := Seg{Pt{4, 0}, Pt{4, 10}}
+	if _, ok := va.Crosses(vc); ok {
+		t.Error("parallel verticals at different x should not cross")
+	}
+}
+
+func TestSpanOverlap(t *testing.T) {
+	if got := SpanOverlap(0, 10, 5, 20); got != 5 {
+		t.Errorf("SpanOverlap = %v, want 5", got)
+	}
+	if got := SpanOverlap(0, 10, 10, 20); got != 0 {
+		t.Errorf("touching spans should overlap 0, got %v", got)
+	}
+	if got := SpanOverlap(0, 10, 12, 20); got != 0 {
+		t.Errorf("disjoint spans should overlap 0, got %v", got)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if MM(1500) != 1.5 {
+		t.Errorf("MM(1500) = %v", MM(1500))
+	}
+	if UM(2.5) != 2500 {
+		t.Errorf("UM(2.5) = %v", UM(2.5))
+	}
+}
+
+// Property: Union is commutative and contains both operands.
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := RectWH(clamp(ax), clamp(ay), abs1(aw), abs1(ah))
+		b := RectWH(clamp(bx), clamp(by), abs1(bw), abs1(bh))
+		u1 := a.Union(b)
+		u2 := b.Union(a)
+		return u1 == u2 && u1.ContainsRect(a) && u1.ContainsRect(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: overlap is symmetric, and translation preserves it.
+func TestOverlapProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh, dx, dy float64) bool {
+		a := RectWH(clamp(ax), clamp(ay), abs1(aw), abs1(ah))
+		b := RectWH(clamp(bx), clamp(by), abs1(bw), abs1(bh))
+		d1, d2 := clamp(dx), clamp(dy)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		return a.Overlaps(b) == a.Translate(d1, d2).Overlaps(b.Translate(d1, d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection, when present, is contained in both rects and its
+// area is at most min(area(a), area(b)).
+func TestIntersectProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := RectWH(clamp(ax), clamp(ay), abs1(aw), abs1(ah))
+		b := RectWH(clamp(bx), clamp(by), abs1(bw), abs1(bh))
+		in, ok := a.Intersect(b)
+		if !ok {
+			return true
+		}
+		return a.ContainsRect(in) && b.ContainsRect(in) &&
+			in.Area() <= a.Area()+Eps && in.Area() <= b.Area()+Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps an arbitrary float into a well-behaved coordinate range.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 10000)
+}
+
+// abs1 maps an arbitrary float into a positive size at least 1.
+func abs1(v float64) float64 {
+	return math.Abs(clamp(v)) + 1
+}

@@ -1,0 +1,28 @@
+package hls_test
+
+import (
+	"fmt"
+
+	"columbas/internal/hls"
+)
+
+// An assay dataflow compiles to a Columba S netlist: operations become
+// functional units, dataflow edges become channels, and replicated lanes
+// with shared control become a parallel group.
+func ExampleAssay() {
+	a := hls.NewAssay("ip").
+		Mix("bind", 3, hls.Fluid("chromatin"), hls.Fluid("beads")).
+		Wash("bind").
+		Incubate("react", "bind").
+		Collect("react", "product").
+		Replicate(2, true)
+	n, err := a.Compile()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d units, %d parallel group(s)\n", n.Name, n.NumUnits(), len(n.Parallel))
+	fmt.Printf("bind_l1 is a %s %s\n", n.Unit("bind_l1").Opt, n.Unit("bind_l1").Type)
+	// Output:
+	// ip: 4 units, 1 parallel group(s)
+	// bind_l1 is a sieve mixer
+}

@@ -1,0 +1,339 @@
+// Package hls is a small component-oriented high-level synthesis front
+// end for Columba S, in the spirit of the hybrid-scheduling HLS flow the
+// paper builds on (reference [18]): a biological assay is described as a
+// dataflow of fluidic operations, which compiles into
+//
+//   - a netlist description (the input of the Columba S physical flow):
+//     mixers, chambers, terminals, connections and parallel groups, and
+//   - per-lane scheduling protocols (executable on the synthesized chip
+//     through internal/sim).
+//
+// Because Columba S designs are reconfigurable, the schedule is not baked
+// into the chip: the same compiled netlist runs any protocol whose
+// operations the instantiated units support.
+package hls
+
+import (
+	"fmt"
+
+	"columbas/internal/netlist"
+	"columbas/internal/sim"
+)
+
+// OpKind is a fluidic operation class.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpMix      OpKind = iota // rotary mixing of one or more inputs
+	OpIncubate               // passive reaction in a chamber
+	OpCapture                // cell capture in a cell-trap mixer
+	OpCollect                // routing a product to an outlet
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMix:
+		return "mix"
+	case OpIncubate:
+		return "incubate"
+	case OpCapture:
+		return "capture"
+	case OpCollect:
+		return "collect"
+	}
+	return "unknown"
+}
+
+// Op is one operation of the assay dataflow.
+type Op struct {
+	Name   string
+	Kind   OpKind
+	Inputs []string // fluid names ("fluid:x") or producing op names
+	Cycles int      // mixing cycles (OpMix)
+	Outlet string   // outlet terminal (OpCollect)
+	Washed bool     // a wash step targets this mix op (sieve mixer)
+}
+
+// Assay is a high-level application description.
+type Assay struct {
+	Name  string
+	Muxes int
+	ops   []*Op
+	lanes int
+	share bool
+	err   error
+}
+
+// NewAssay starts an empty single-lane assay.
+func NewAssay(name string) *Assay {
+	return &Assay{Name: name, Muxes: 1, lanes: 1}
+}
+
+func (a *Assay) fail(format string, args ...any) *Assay {
+	if a.err == nil {
+		a.err = fmt.Errorf("hls: "+format, args...)
+	}
+	return a
+}
+
+func (a *Assay) op(name string) *Op {
+	for _, o := range a.ops {
+		if o.Name == name {
+			return o
+		}
+	}
+	return nil
+}
+
+// Fluid references an external fluid input in an operation's input list.
+func Fluid(name string) string { return "fluid:" + name }
+
+func isFluid(ref string) (string, bool) {
+	if len(ref) > 6 && ref[:6] == "fluid:" {
+		return ref[6:], true
+	}
+	return "", false
+}
+
+func (a *Assay) add(o *Op) *Assay {
+	if a.err != nil {
+		return a
+	}
+	if o.Name == "" {
+		return a.fail("operation needs a name")
+	}
+	if a.op(o.Name) != nil {
+		return a.fail("duplicate operation %q", o.Name)
+	}
+	for _, in := range o.Inputs {
+		if _, ok := isFluid(in); ok {
+			continue
+		}
+		if a.op(in) == nil {
+			return a.fail("operation %q consumes unknown input %q", o.Name, in)
+		}
+	}
+	a.ops = append(a.ops, o)
+	return a
+}
+
+// Mix adds a rotary-mixing operation over the inputs.
+func (a *Assay) Mix(name string, cycles int, inputs ...string) *Assay {
+	if cycles < 1 {
+		return a.fail("mix %q needs at least one cycle", name)
+	}
+	if len(inputs) == 0 {
+		return a.fail("mix %q needs inputs", name)
+	}
+	return a.add(&Op{Name: name, Kind: OpMix, Cycles: cycles, Inputs: inputs})
+}
+
+// Incubate adds a passive reaction step on one input.
+func (a *Assay) Incubate(name, input string) *Assay {
+	return a.add(&Op{Name: name, Kind: OpIncubate, Inputs: []string{input}})
+}
+
+// Capture adds a cell-capture step (cell-trap mixer).
+func (a *Assay) Capture(name string, cycles int, inputs ...string) *Assay {
+	if len(inputs) == 0 {
+		return a.fail("capture %q needs inputs", name)
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	return a.add(&Op{Name: name, Kind: OpCapture, Cycles: cycles, Inputs: inputs})
+}
+
+// Wash marks a mix operation as washed: its mixer gains sieve valves and
+// the schedule inserts a wash phase (Figure 3(c)).
+func (a *Assay) Wash(target string) *Assay {
+	if a.err != nil {
+		return a
+	}
+	o := a.op(target)
+	if o == nil {
+		return a.fail("wash targets unknown operation %q", target)
+	}
+	if o.Kind != OpMix {
+		return a.fail("wash target %q is not a mix operation", target)
+	}
+	o.Washed = true
+	return a
+}
+
+// Collect routes an operation's product to a named outlet.
+func (a *Assay) Collect(input, outlet string) *Assay {
+	if a.err != nil {
+		return a
+	}
+	if a.op(input) == nil {
+		return a.fail("collect consumes unknown operation %q", input)
+	}
+	return a.add(&Op{
+		Name: "collect:" + outlet, Kind: OpCollect,
+		Inputs: []string{input}, Outlet: outlet,
+	})
+}
+
+// Replicate runs the whole assay in n identical lanes. With shareControl
+// the lanes share their control channels (parallel groups, Figure 6(a)) —
+// identical actuation across lanes, fewer multiplexed channels.
+func (a *Assay) Replicate(n int, shareControl bool) *Assay {
+	if a.err != nil {
+		return a
+	}
+	if n < 1 {
+		return a.fail("replicate needs n >= 1")
+	}
+	a.lanes = n
+	a.share = shareControl
+	return a
+}
+
+// WithMuxes sets the multiplexer count of the compiled netlist.
+func (a *Assay) WithMuxes(m int) *Assay {
+	if m != 1 && m != 2 {
+		return a.fail("muxes must be 1 or 2")
+	}
+	a.Muxes = m
+	return a
+}
+
+// Err surfaces the first builder error.
+func (a *Assay) Err() error { return a.err }
+
+// unitName is the functional unit instantiated for op o in lane l.
+func unitName(o *Op, lane int) string {
+	return fmt.Sprintf("%s_l%d", o.Name, lane+1)
+}
+
+// Compile lowers the assay to a Columba S netlist description.
+func (a *Assay) Compile() (*netlist.Netlist, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	if len(a.ops) == 0 {
+		return nil, fmt.Errorf("hls: assay %q has no operations", a.Name)
+	}
+	consumed := map[string]int{}
+	for _, o := range a.ops {
+		for _, in := range o.Inputs {
+			if _, ok := isFluid(in); !ok {
+				consumed[in]++
+			}
+		}
+	}
+	var src []string
+	src = append(src, "design "+a.Name, fmt.Sprintf("muxes %d", a.Muxes))
+	for lane := 0; lane < a.lanes; lane++ {
+		for _, o := range a.ops {
+			switch o.Kind {
+			case OpMix:
+				u := "unit " + unitName(o, lane) + " mixer"
+				if o.Washed {
+					u += " sieve"
+				}
+				src = append(src, u)
+			case OpCapture:
+				src = append(src, "unit "+unitName(o, lane)+" mixer celltrap")
+			case OpIncubate:
+				src = append(src, "unit "+unitName(o, lane)+" chamber")
+			}
+		}
+	}
+	for lane := 0; lane < a.lanes; lane++ {
+		suffix := ""
+		if a.lanes > 1 {
+			suffix = fmt.Sprintf("%d", lane+1)
+		}
+		for _, o := range a.ops {
+			if o.Kind == OpCollect {
+				src = append(src, fmt.Sprintf("connect %s out:%s%s",
+					unitName(a.op(o.Inputs[0]), lane), o.Outlet, suffix))
+				continue
+			}
+			for _, in := range o.Inputs {
+				if f, ok := isFluid(in); ok {
+					src = append(src, fmt.Sprintf("connect in:%s%s %s", f, suffix, unitName(o, lane)))
+				} else {
+					src = append(src, fmt.Sprintf("connect %s %s",
+						unitName(a.op(in), lane), unitName(o, lane)))
+				}
+			}
+		}
+	}
+	if a.share && a.lanes > 1 {
+		// One parallel group per lane would be wrong — the group spans
+		// the corresponding units ACROSS lanes... no: Columba S parallel
+		// groups contain whole chains; all lanes' units form one group.
+		var group []string
+		for lane := 0; lane < a.lanes; lane++ {
+			for _, o := range a.ops {
+				if o.Kind != OpCollect {
+					group = append(group, unitName(o, lane))
+				}
+			}
+		}
+		line := "parallel"
+		for _, g := range group {
+			line += " " + g
+		}
+		src = append(src, line)
+	}
+	text := ""
+	for _, l := range src {
+		text += l + "\n"
+	}
+	n, err := netlist.ParseString(text)
+	if err != nil {
+		return nil, fmt.Errorf("hls: compiled netlist invalid: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("hls: compiled netlist invalid: %w", err)
+	}
+	return n, nil
+}
+
+// Schedule derives the lane's execution protocol: operations in dataflow
+// order with transfers between producing and consuming units.
+func (a *Assay) Schedule(lane int) (*sim.Protocol, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	if lane < 0 || lane >= a.lanes {
+		return nil, fmt.Errorf("hls: lane %d out of range [0,%d)", lane, a.lanes)
+	}
+	p := sim.NewProtocol(fmt.Sprintf("%s-lane%d", a.Name, lane+1))
+	for _, o := range a.ops {
+		if o.Kind == OpCollect {
+			continue
+		}
+		// Fill the unit from its producing units first.
+		for _, in := range o.Inputs {
+			if _, ok := isFluid(in); ok {
+				continue
+			}
+			p.Transfer(unitName(a.op(in), lane), unitName(o, lane))
+		}
+		switch o.Kind {
+		case OpMix:
+			p.Mix(unitName(o, lane), o.Cycles)
+			if o.Washed {
+				p.Wash(unitName(o, lane))
+			}
+		case OpCapture:
+			p.Mix(unitName(o, lane), o.Cycles)
+			p.Capture(unitName(o, lane))
+		case OpIncubate:
+			// Passive: the transfer above filled the chamber.
+		}
+	}
+	return p, nil
+}
+
+// Ops returns the operation count (collects included).
+func (a *Assay) Ops() int { return len(a.ops) }
+
+// Lanes returns the replication factor.
+func (a *Assay) Lanes() int { return a.lanes }

@@ -1,0 +1,201 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/planar"
+	"columbas/internal/sim"
+)
+
+// A single-lane immunoprecipitation-style assay.
+func ipAssay() *Assay {
+	return NewAssay("ip").
+		Mix("bind", 3, Fluid("chromatin"), Fluid("beads")).
+		Wash("bind").
+		Incubate("react", "bind").
+		Collect("react", "product")
+}
+
+func TestCompileSingleLane(t *testing.T) {
+	n, err := ipAssay().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumUnits() != 2 {
+		t.Fatalf("units = %d, want 2 (mixer + chamber)", n.NumUnits())
+	}
+	u := n.Unit("bind_l1")
+	if u == nil || u.Type.String() != "mixer" || u.Opt.String() != "sieve" {
+		t.Fatalf("bind unit = %+v (wash should make it a sieve mixer)", u)
+	}
+	if n.Unit("react_l1") == nil {
+		t.Fatal("chamber missing")
+	}
+	in, out := n.Terminals()
+	if len(in) != 2 || len(out) != 1 {
+		t.Fatalf("terminals = %v / %v", in, out)
+	}
+	if _, err := planar.Planarize(n); err != nil {
+		t.Fatalf("compiled netlist not planarizable: %v", err)
+	}
+}
+
+func TestCompileReplicated(t *testing.T) {
+	a := ipAssay().Replicate(4, true)
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumUnits() != 8 {
+		t.Fatalf("units = %d, want 8", n.NumUnits())
+	}
+	if len(n.Parallel) != 1 || len(n.Parallel[0]) != 8 {
+		t.Fatalf("parallel = %v", n.Parallel)
+	}
+	// Per-lane fluid terminals.
+	in, _ := n.Terminals()
+	if len(in) != 8 { // chromatin1..4 + beads1..4
+		t.Fatalf("inlets = %v", in)
+	}
+}
+
+func TestCompileWithoutSharing(t *testing.T) {
+	n, err := ipAssay().Replicate(3, false).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Parallel) != 0 {
+		t.Fatal("unshared lanes must not form parallel groups")
+	}
+	if n.NumUnits() != 6 {
+		t.Fatalf("units = %d", n.NumUnits())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		a    *Assay
+		want string
+	}{
+		{NewAssay("e").Mix("", 1, Fluid("x")), "needs a name"},
+		{NewAssay("e").Mix("m", 0, Fluid("x")), "at least one cycle"},
+		{NewAssay("e").Mix("m", 1), "needs inputs"},
+		{NewAssay("e").Mix("m", 1, "ghost"), "unknown input"},
+		{NewAssay("e").Mix("m", 1, Fluid("x")).Mix("m", 1, Fluid("y")), "duplicate"},
+		{NewAssay("e").Wash("ghost"), "unknown operation"},
+		{NewAssay("e").Incubate("i", Fluid("x")).Wash("i"), "not a mix"},
+		{NewAssay("e").Collect("ghost", "out"), "unknown operation"},
+		{NewAssay("e").Mix("m", 1, Fluid("x")).Replicate(0, false), "n >= 1"},
+		{NewAssay("e").WithMuxes(3), "muxes must be"},
+		{NewAssay("e").Capture("c", 1), "needs inputs"},
+	}
+	for i, tc := range cases {
+		err := tc.a.Err()
+		if err == nil {
+			if _, err = tc.a.Compile(); err == nil {
+				t.Fatalf("case %d: expected error", i)
+			}
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err = %v, want %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestCompileEmptyAssay(t *testing.T) {
+	if _, err := NewAssay("empty").Compile(); err == nil {
+		t.Fatal("empty assay should not compile")
+	}
+}
+
+func TestScheduleOrder(t *testing.T) {
+	a := ipAssay()
+	p, err := a.Schedule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mix + wash + transfer(bind->react) = 3 high-level ops.
+	if p.Ops() != 3 {
+		t.Fatalf("protocol ops = %d, want 3", p.Ops())
+	}
+	if _, err := a.Schedule(5); err == nil {
+		t.Fatal("out-of-range lane should fail")
+	}
+}
+
+// The full pipeline: assay -> netlist -> chip -> executable schedule.
+func TestAssayToChipToSchedule(t *testing.T) {
+	a := ipAssay().Replicate(2, true)
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 5 * time.Second
+	opt.Layout.StallLimit = 30
+	res, err := core.Synthesize(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DRC.Clean() {
+		t.Fatal("compiled design not DRC-clean")
+	}
+	for lane := 0; lane < a.Lanes(); lane++ {
+		p, err := a.Schedule(lane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl := sim.NewController(res.Design)
+		dur, err := p.Execute(ctl)
+		if err != nil {
+			t.Fatalf("lane %d: %v", lane, err)
+		}
+		if dur <= 0 {
+			t.Fatalf("lane %d: zero duration", lane)
+		}
+	}
+}
+
+func TestCaptureAssay(t *testing.T) {
+	a := NewAssay("cells").
+		Capture("trap", 2, Fluid("cells")).
+		Incubate("lyse", "trap").
+		Collect("lyse", "rna")
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := n.Unit("trap_l1")
+	if u == nil || u.Opt.String() != "celltrap" {
+		t.Fatalf("capture unit = %+v", u)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpMix: "mix", OpIncubate: "incubate", OpCapture: "capture", OpCollect: "collect",
+	} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", want, k.String())
+		}
+	}
+	if OpKind(9).String() != "unknown" {
+		t.Error("unknown OpKind")
+	}
+}
+
+func TestFluidRef(t *testing.T) {
+	if Fluid("x") != "fluid:x" {
+		t.Fatalf("Fluid = %q", Fluid("x"))
+	}
+	name, ok := isFluid("fluid:abc")
+	if !ok || name != "abc" {
+		t.Fatalf("isFluid = %q %v", name, ok)
+	}
+	if _, ok := isFluid("opname"); ok {
+		t.Fatal("op names are not fluids")
+	}
+}

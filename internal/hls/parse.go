@@ -1,0 +1,131 @@
+package hls
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual assay description language — the file-format
+// counterpart of the builder API. The format is line-oriented; '#'
+// starts a comment:
+//
+//	assay ip4
+//	muxes 1
+//	lanes 4 shared          # replicate into 4 lanes, shared control
+//	mix bind cycles=3 fluid:chromatin fluid:beads
+//	wash bind
+//	incubate react bind
+//	capture trap cycles=2 fluid:cells
+//	collect react product   # route react's output to outlet "product"
+//
+// Operation inputs are fluids ("fluid:<name>") or earlier operation names.
+func Parse(r io.Reader) (*Assay, error) {
+	var a *Assay
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("hls: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if a == nil && fields[0] != "assay" {
+			return nil, fail("file must start with an assay directive")
+		}
+		switch fields[0] {
+		case "assay":
+			if len(fields) != 2 {
+				return nil, fail("assay takes exactly one name")
+			}
+			if a != nil {
+				return nil, fail("duplicate assay directive")
+			}
+			a = NewAssay(fields[1])
+		case "muxes":
+			if len(fields) != 2 {
+				return nil, fail("muxes takes exactly one number")
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad mux count %q", fields[1])
+			}
+			a.WithMuxes(v)
+		case "lanes":
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fail("lanes takes a count and an optional 'shared'")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad lane count %q", fields[1])
+			}
+			shared := false
+			if len(fields) == 3 {
+				if fields[2] != "shared" {
+					return nil, fail("unknown lanes option %q", fields[2])
+				}
+				shared = true
+			}
+			a.Replicate(n, shared)
+		case "mix", "capture":
+			if len(fields) < 3 {
+				return nil, fail("%s takes a name and inputs", fields[0])
+			}
+			name := fields[1]
+			cycles := 1
+			inputs := fields[2:]
+			if strings.HasPrefix(inputs[0], "cycles=") {
+				v, err := strconv.Atoi(inputs[0][len("cycles="):])
+				if err != nil {
+					return nil, fail("bad cycles %q", inputs[0])
+				}
+				cycles = v
+				inputs = inputs[1:]
+			}
+			if fields[0] == "mix" {
+				a.Mix(name, cycles, inputs...)
+			} else {
+				a.Capture(name, cycles, inputs...)
+			}
+		case "incubate":
+			if len(fields) != 3 {
+				return nil, fail("incubate takes a name and one input")
+			}
+			a.Incubate(fields[1], fields[2])
+		case "wash":
+			if len(fields) != 2 {
+				return nil, fail("wash takes one target")
+			}
+			a.Wash(fields[1])
+		case "collect":
+			if len(fields) != 3 {
+				return nil, fail("collect takes an input and an outlet name")
+			}
+			a.Collect(fields[1], fields[2])
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+		if err := a.Err(); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("hls: empty assay description")
+	}
+	return a, nil
+}
+
+// ParseString parses an assay description from a string.
+func ParseString(s string) (*Assay, error) { return Parse(strings.NewReader(s)) }

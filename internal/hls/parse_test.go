@@ -1,0 +1,117 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+)
+
+const assaySrc = `
+# 4-lane immunoprecipitation
+assay ip4
+muxes 1
+lanes 4 shared
+mix bind cycles=3 fluid:chromatin fluid:beads
+wash bind
+incubate react bind
+collect react product
+`
+
+func TestParseAssay(t *testing.T) {
+	a, err := ParseString(assaySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "ip4" || a.Lanes() != 4 || a.Ops() != 3 {
+		t.Fatalf("assay = %q lanes=%d ops=%d", a.Name, a.Lanes(), a.Ops())
+	}
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumUnits() != 8 {
+		t.Fatalf("units = %d, want 8", n.NumUnits())
+	}
+	if len(n.Parallel) != 1 {
+		t.Fatal("shared lanes should form a parallel group")
+	}
+	u := n.Unit("bind_l1")
+	if u == nil || u.Opt.String() != "sieve" {
+		t.Fatalf("wash should sieve the bind mixer: %+v", u)
+	}
+}
+
+func TestParseCapture(t *testing.T) {
+	a, err := ParseString(`
+assay cells
+capture trap cycles=2 fluid:cells
+incubate lyse trap
+collect lyse rna
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := n.Unit("trap_l1"); u == nil || u.Opt.String() != "celltrap" {
+		t.Fatalf("trap unit = %+v", u)
+	}
+}
+
+func TestParseDefaultCycles(t *testing.T) {
+	a, err := ParseString("assay a\nmix m fluid:x\ncollect m out\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Schedule(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() != 1 {
+		t.Fatalf("ops = %d", p.Ops())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"mix m fluid:x\n", "must start with an assay"},
+		{"assay a\nassay b\n", "duplicate assay"},
+		{"assay\n", "exactly one name"},
+		{"assay a\nmuxes zz\n", "bad mux count"},
+		{"assay a\nmuxes 5\n", "muxes must be"},
+		{"assay a\nlanes x\n", "bad lane count"},
+		{"assay a\nlanes 2 frob\n", "unknown lanes option"},
+		{"assay a\nmix m cycles=x fluid:y\n", "bad cycles"},
+		{"assay a\nmix m\n", "name and inputs"},
+		{"assay a\nincubate i\n", "name and one input"},
+		{"assay a\nwash\n", "one target"},
+		{"assay a\nwash ghost\n", "unknown operation"},
+		{"assay a\ncollect x\n", "an input and an outlet"},
+		{"assay a\nfrobnicate\n", "unknown directive"},
+		{"", "empty assay"},
+	}
+	for i, tc := range cases {
+		_, err := ParseString(tc.src)
+		if err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("case %d: err = %v, want %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestParseRoundTripThroughFlow(t *testing.T) {
+	a, err := ParseString(assaySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package layout
+
+import (
+	"fmt"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+	"columbas/internal/planar"
+)
+
+// buildBlocks merges parallel functional units into blocks (Figure 6(a))
+// and wraps every remaining unit in a single-unit block. The returned map
+// resolves unit names to their block.
+func buildBlocks(pr *planar.Result) ([]*Block, map[string]*Block, error) {
+	byUnit := map[string]*Block{}
+	var blocks []*Block
+
+	inGroup := map[string]bool{}
+	for _, g := range pr.Parallel {
+		for _, name := range g {
+			inGroup[name] = true
+		}
+	}
+
+	for gi, g := range pr.Parallel {
+		bs, err := buildGroupBlocks(pr, gi, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, b := range bs {
+			blocks = append(blocks, b)
+			for i := range b.Units {
+				byUnit[b.Units[i].Name] = b
+			}
+		}
+	}
+	for i := range pr.Nodes {
+		n := &pr.Nodes[i]
+		if n.Kind != planar.NodeUnit || inGroup[n.Name] {
+			continue
+		}
+		bs, err := buildGroupBlocks(pr, -1, []string{n.Name})
+		if err != nil {
+			return nil, nil, err
+		}
+		b := bs[0]
+		b.Name = n.Name
+		blocks = append(blocks, b)
+		byUnit[n.Name] = b
+	}
+	return blocks, byUnit, nil
+}
+
+// buildGroupBlocks lays the units of one parallel group out as stacked
+// chains: sequentially connected units side by side in a row, parallel
+// rows stacked vertically so their control channels align. Chains of
+// different composition go into separate blocks: a switch connecting two
+// units of one block would make the x-order cyclic under the straight
+// routing discipline, so switch-separated stages merge stage by stage.
+func buildGroupBlocks(pr *planar.Result, gi int, members []string) ([]*Block, error) {
+	name := fmt.Sprintf("g%d", gi)
+	if len(members) == 1 {
+		name = members[0]
+	}
+
+	inSet := map[string]bool{}
+	for _, m := range members {
+		if n := pr.Node(m); n == nil || n.Kind != planar.NodeUnit {
+			return nil, fmt.Errorf("layout: parallel group member %q is not a unit", m)
+		}
+		inSet[m] = true
+	}
+	// Intra-group adjacency from channels with both ends in the group.
+	adj := map[string][]string{}
+	for _, c := range pr.Channels {
+		if c.A.Node != "" && c.B.Node != "" && inSet[c.A.Node] && inSet[c.B.Node] {
+			adj[c.A.Node] = append(adj[c.A.Node], c.B.Node)
+			adj[c.B.Node] = append(adj[c.B.Node], c.A.Node)
+		}
+	}
+	// Chains: walk each connected component from an endpoint, in member
+	// declaration order for determinism.
+	visited := map[string]bool{}
+	var chains [][]string
+	for _, m := range members {
+		if visited[m] {
+			continue
+		}
+		// Find the western end of m's component: a node of degree <= 1.
+		comp := component(m, adj)
+		start := ""
+		for _, u := range comp {
+			if len(adj[u]) <= 1 {
+				start = u
+				break
+			}
+		}
+		if start == "" {
+			return nil, fmt.Errorf("layout: parallel group %s contains a cycle", name)
+		}
+		chain := walkChain(start, adj)
+		for _, u := range chain {
+			if len(adj[u]) > 2 {
+				return nil, fmt.Errorf("layout: unit %s branches inside parallel group %s", u, name)
+			}
+			visited[u] = true
+		}
+		chains = append(chains, chain)
+	}
+
+	// Partition chains by composition signature; one block per partition.
+	sig := func(chain []string) string {
+		s := ""
+		for _, u := range chain {
+			un := pr.Node(u).Unit
+			s += fmt.Sprintf("%v/%v;", un.Type, un.Opt)
+		}
+		return s
+	}
+	var order []string
+	bySig := map[string][][]string{}
+	for _, chain := range chains {
+		k := sig(chain)
+		if _, ok := bySig[k]; !ok {
+			order = append(order, k)
+		}
+		bySig[k] = append(bySig[k], chain)
+	}
+	var blocks []*Block
+	for pi, k := range order {
+		bname := name
+		if len(order) > 1 {
+			bname = fmt.Sprintf("%s.%d", name, pi)
+		}
+		blocks = append(blocks, buildChainBlock(pr, bname, bySig[k]))
+	}
+	return blocks, nil
+}
+
+// buildChainBlock stacks same-composition chains into one block.
+func buildChainBlock(pr *planar.Result, name string, chains [][]string) *Block {
+	b := &Block{Name: name}
+	yCursor := 0.0
+	for row, chain := range chains {
+		// Pin alignment: the row's flow line sits at the maximum pin
+		// offset among its units.
+		pinMax := 0.0
+		for _, uname := range chain {
+			u := pr.Node(uname).Unit
+			if off := module.PinYOffset(*u); off > pinMax {
+				pinMax = off
+			}
+		}
+		x := 0.0
+		rowTop := 0.0
+		for col, uname := range chain {
+			u := pr.Node(uname).Unit
+			w, h := module.Footprint(*u)
+			yOff := pinMax - module.PinYOffset(*u)
+			b.Units = append(b.Units, BlockUnit{
+				Name: uname,
+				Unit: u,
+				Off:  geom.Pt{X: x, Y: yCursor + yOff},
+				Row:  row,
+				Col:  col,
+			})
+			if yOff+h > rowTop {
+				rowTop = yOff + h
+			}
+			x += w
+			if col < len(chain)-1 {
+				x += 2 * module.D // intra-chain channel gap
+			}
+		}
+		if x > b.W {
+			b.W = x
+		}
+		b.RowPinY = append(b.RowPinY, yCursor+pinMax)
+		yCursor += rowTop + 2*module.D
+	}
+	b.H = yCursor - 2*module.D // no margin above the last row
+
+	// Control lines shared across rows: the widest row defines the count.
+	rowLines := map[int]int{}
+	for i := range b.Units {
+		rowLines[b.Units[i].Row] += module.ControlLineCount(*b.Units[i].Unit)
+	}
+	for _, n := range rowLines {
+		if n > b.CtrlLines {
+			b.CtrlLines = n
+		}
+	}
+	return b
+}
+
+func component(start string, adj map[string][]string) []string {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	var out []string
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, u)
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return out
+}
+
+func walkChain(start string, adj map[string][]string) []string {
+	chain := []string{start}
+	prev := ""
+	cur := start
+	for {
+		next := ""
+		for _, v := range adj[cur] {
+			if v != prev {
+				next = v
+				break
+			}
+		}
+		if next == "" {
+			return chain
+		}
+		chain = append(chain, next)
+		prev, cur = cur, next
+	}
+}

@@ -1,0 +1,549 @@
+package layout
+
+import (
+	"math"
+	"sort"
+
+	"columbas/internal/module"
+)
+
+// greedyPlace produces a feasible seed placement using an ascending
+// staircase: placeables are walked in topological west-of order, grouped
+// by connected component, and each block starts east of and above the
+// previous one. This construction respects every constraint family of the
+// generation model by construction:
+//
+//   - attachment equalities hold because x runs with the topological order
+//     and flow rows rise monotonically, so no channel crosses a module;
+//   - control rectangles extend to their MUX boundary through x-spans
+//     that contain no other placeable (x-spans are pairwise disjoint per
+//     lane, and lanes are vertically separated);
+//   - switch spines stretch over all their incident rows (constraint 12).
+//
+// For 2-MUX designs the components are distributed over two lanes (bottom
+// lane controls exit downward, top lane upward), which compresses the x
+// dimension at the cost of height — the trade-off visible in Table 1.
+func (b *builder) greedyPlace() {
+	placeables := b.sortedPlaceables()
+	comps := b.components(placeables)
+
+	nLanes := 1
+	if b.pr.Muxes == 2 {
+		nLanes = 2
+	}
+	// Assign whole components to lanes, balancing estimated width.
+	laneOf := make(map[int]int) // component index -> lane
+	laneWidth := make([]float64, nLanes)
+	for ciIdx, comp := range comps {
+		w := 0.0
+		for _, i := range comp {
+			w += b.rects[i].W + 2*module.D
+		}
+		lane := 0
+		for l := 1; l < nLanes; l++ {
+			if laneWidth[l] < laneWidth[lane] {
+				lane = l
+			}
+		}
+		laneOf[ciIdx] = lane
+		laneWidth[lane] += w
+	}
+
+	// Pass 1: x positions (shared-order cursors per lane; switches reserve
+	// x in every lane) and lane-relative y positions.
+	xCursor := make([]float64, nLanes)
+	yCursor := make([]float64, nLanes)
+	for l := range xCursor {
+		xCursor[l] = 2 * module.D
+	}
+	relY := make(map[int]float64) // placeable -> lane-relative y
+	laneIdx := make(map[int]int)  // placeable -> lane
+	yDone := make(map[int]bool)   // y already bound by a chain edge
+	edges := b.blockEdges()       // placeable edges with pin deltas
+
+	// Switch-to-boundary rects occupy rows above their switch's partners;
+	// reserve that stratum space (plus the d' fluid-port pitch toward the
+	// next stratum's boundary ports) so later blocks in the lane clear
+	// it. The reservation lands when the switch's last partner is placed.
+	eastRes := map[int]float64{}
+	for _, r := range b.rects {
+		if si, _ := b.switchBoundaryRect(r); si >= 0 {
+			eastRes[si] += r.H + 2*module.D
+		}
+	}
+	for si := range eastRes {
+		eastRes[si] += module.DPrime
+	}
+	partnersLeft := map[int]int{}
+	partnerOf := map[int][]int{} // placeable -> switches it unblocks
+	for i, r := range b.rects {
+		if r.Kind != RSwitch {
+			continue
+		}
+		// The switch itself counts as a pseudo-partner so the reservation
+		// can never fire before the switch has a lane.
+		partnersLeft[i] = 1
+		partnerOf[i] = append(partnerOf[i], i)
+		for _, p := range b.switchPartners(i) {
+			partnersLeft[i]++
+			partnerOf[p] = append(partnerOf[p], i)
+		}
+	}
+
+	for ciIdx, comp := range comps {
+		lane := laneOf[ciIdx]
+		for _, i := range comp {
+			r := b.rects[i]
+			laneIdx[i] = lane
+			// x: after this lane's cursor and after every western partner.
+			x := xCursor[lane]
+			for _, e := range edges {
+				if e.east == i && b.rects[e.west].Box.XR > 0 {
+					if v := b.rects[e.west].Box.XR + 2*module.D; v > x {
+						x = v
+					}
+				}
+			}
+			r.Box.XL = x
+			r.Box.XR = x + r.W
+			xCursor[lane] = r.Box.XR + 2*module.D
+			if r.Kind == RSwitch {
+				// Switches may span both lanes vertically; reserve their
+				// x-span everywhere.
+				for l := range xCursor {
+					if xCursor[l] < r.Box.XR+2*module.D {
+						xCursor[l] = r.Box.XR + 2*module.D
+					}
+				}
+			}
+			// Lane-relative y: chain edges bind to the western partner,
+			// otherwise start a new staircase step.
+			if r.Kind == RBlock {
+				bound := false
+				for _, e := range edges {
+					if e.east != i || e.blockBind == bindNone {
+						continue
+					}
+					w := b.rects[e.west]
+					if w.Kind != RBlock || !yDone[e.west] {
+						continue
+					}
+					switch e.blockBind {
+					case bindPins:
+						relY[i] = relY[e.west] + e.pinDelta
+					case bindBottoms:
+						relY[i] = relY[e.west]
+					}
+					bound = true
+					break
+				}
+				if !bound {
+					relY[i] = yCursor[lane]
+				}
+				yDone[i] = true
+				top := relY[i] + r.H
+				if top+2*module.D > yCursor[lane] {
+					yCursor[lane] = top + 2*module.D
+				}
+			}
+			// Reserve the east-going boundary stratum of any switch whose
+			// partner set (including itself) is now fully placed.
+			for _, si := range partnerOf[i] {
+				partnersLeft[si]--
+				if partnersLeft[si] == 0 && eastRes[si] > 0 {
+					yCursor[laneIdx[si]] += eastRes[si] + 2*module.D
+				}
+			}
+		}
+	}
+
+	// Pass 2: absolute y. The bottom lane starts above the control
+	// clearance; the top lane starts above everything in the bottom lane.
+	laneBase := make([]float64, nLanes)
+	laneBase[0] = 4 * module.D
+	if nLanes == 2 {
+		laneBase[1] = laneBase[0] + yCursor[0] + 4*module.D
+	}
+	minRel := make([]float64, nLanes)
+	for i, r := range b.rects {
+		if r.Kind == RBlock {
+			if v := relY[i]; v < minRel[laneIdx[i]] {
+				minRel[laneIdx[i]] = v
+			}
+		}
+	}
+	for i, r := range b.rects {
+		if r.Kind != RBlock {
+			continue
+		}
+		l := laneIdx[i]
+		r.Box.YB = laneBase[l] + relY[i] - minRel[l]
+		r.Box.YT = r.Box.YB + r.H
+	}
+
+	// Pass 3: flow rect y for block-attached rects, then switch spans.
+	b.placeFlowY()
+	b.placeSwitchY(laneBase)
+	// Boundary rects attached to switches need the switch placed first.
+	b.placeSwitchBoundaryFlow()
+
+	// Pass 4: chip extents.
+	xmax := 0.0
+	hasEast := false
+	for _, r := range b.rects {
+		if r.Placeable() && r.Box.XR > xmax {
+			xmax = r.Box.XR
+		}
+		if r.Kind == RFlow && r.B.Rect < 0 {
+			hasEast = true
+		}
+	}
+	if hasEast {
+		xmax += 2 * module.D
+	}
+	// Horizontal extents of flow rects.
+	for _, r := range b.rects {
+		if r.Kind != RFlow {
+			continue
+		}
+		if r.A.Rect < 0 {
+			r.Box.XL = 0
+		} else {
+			r.Box.XL = b.rects[r.A.Rect].Box.XR
+		}
+		if r.B.Rect < 0 {
+			r.Box.XR = xmax
+		} else {
+			r.Box.XR = b.rects[r.B.Rect].Box.XL
+		}
+	}
+	ymax := 0.0
+	for _, r := range b.rects {
+		if r.Kind != RCtrl && r.Box.YT > ymax {
+			ymax = r.Box.YT
+		}
+	}
+	if b.pr.Muxes == 2 {
+		ymax += 4 * module.D
+	}
+	// Pass 5: control rects. With two lanes the lane decides the boundary;
+	// a single-lane 2-MUX design instead balances the channel counts
+	// between both boundaries (safe because placeable x-spans are
+	// pairwise disjoint within one lane, so an upward control rect
+	// crosses no module).
+	singleLane := true
+	for _, l := range laneIdx {
+		if l != 0 {
+			singleLane = false
+			break
+		}
+	}
+	balBottom, balTop := 0, 0
+	for _, r := range b.rects {
+		if r.Kind != RCtrl {
+			continue
+		}
+		o := b.rects[r.Owner]
+		r.Box.XL, r.Box.XR = o.Box.XL, o.Box.XR
+		var top bool
+		if b.pr.Muxes == 2 {
+			if singleLane {
+				top = balTop < balBottom
+			} else {
+				top = laneIdx[r.Owner] == 1
+			}
+		}
+		if top {
+			balTop += r.NumChannels
+		} else {
+			balBottom += r.NumChannels
+		}
+		r.CtrlTop = top
+		if top {
+			r.Box.YB, r.Box.YT = o.Box.YT, ymax
+		} else {
+			r.Box.YB, r.Box.YT = 0, o.Box.YB
+		}
+	}
+	b.seedXMax, b.seedYMax = xmax, ymax
+}
+
+// edge binding kinds between two directly connected blocks.
+type bindKind int
+
+const (
+	bindNone    bindKind = iota
+	bindPins             // single units: align pin rows
+	bindBottoms          // merged blocks: align bottoms
+)
+
+type blockEdge struct {
+	west, east int
+	blockBind  bindKind
+	pinDelta   float64 // y offset from west block's base to east block's base
+}
+
+// blockEdges extracts the placeable-to-placeable edges from the flow rects.
+func (b *builder) blockEdges() []blockEdge {
+	var out []blockEdge
+	for _, r := range b.rects {
+		if r.Kind != RFlow || r.A.Rect < 0 || r.B.Rect < 0 {
+			continue
+		}
+		e := blockEdge{west: r.A.Rect, east: r.B.Rect}
+		ra, rb := b.rects[r.A.Rect], b.rects[r.B.Rect]
+		if ra.Kind == RBlock && rb.Kind == RBlock {
+			if r.ABind == BindFull || r.BBind == BindFull {
+				e.blockBind = bindBottoms
+			} else {
+				e.blockBind = bindPins
+				e.pinDelta = r.APinLo - r.BPinLo
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// placeFlowY computes the vertical extent of flow rects with at least one
+// block attachment.
+func (b *builder) placeFlowY() {
+	for _, r := range b.rects {
+		if r.Kind != RFlow {
+			continue
+		}
+		for _, att := range []struct {
+			a     FlowAttach
+			bind  BindKind
+			pinLo float64
+		}{{r.A, r.ABind, r.APinLo}, {r.B, r.BBind, r.BPinLo}} {
+			if att.a.Rect < 0 || att.bind == BindNone {
+				continue
+			}
+			tr := b.rects[att.a.Rect]
+			if tr.Kind != RBlock {
+				continue
+			}
+			if att.bind == BindFull {
+				r.Box.YB = tr.Box.YB
+			} else {
+				r.Box.YB = tr.Box.YB + att.pinLo - module.D
+			}
+			r.Box.YT = r.Box.YB + r.H
+			break
+		}
+	}
+}
+
+// placeSwitchY stretches each switch over the rows of its incident flow
+// rects, then resolves switch-to-switch rects iteratively.
+func (b *builder) placeSwitchY(laneBase []float64) {
+	span := map[int][2]float64{}
+	expand := func(si int, lo, hi float64) {
+		s, ok := span[si]
+		if !ok {
+			span[si] = [2]float64{lo, hi}
+			return
+		}
+		span[si] = [2]float64{math.Min(s[0], lo), math.Max(s[1], hi)}
+	}
+	// Block-driven rects first.
+	for _, r := range b.rects {
+		if r.Kind != RFlow {
+			continue
+		}
+		blockEnd := (r.A.Rect >= 0 && b.rects[r.A.Rect].Kind == RBlock) ||
+			(r.B.Rect >= 0 && b.rects[r.B.Rect].Kind == RBlock)
+		if !blockEnd {
+			continue
+		}
+		for _, att := range []FlowAttach{r.A, r.B} {
+			if att.Rect >= 0 && b.rects[att.Rect].Kind == RSwitch {
+				expand(att.Rect, r.Box.YB, r.Box.YT)
+			}
+		}
+	}
+	// Switch-to-switch rects: settle iteratively from already-spanned
+	// switches.
+	for iter := 0; iter < len(b.rects); iter++ {
+		progress := false
+		for _, r := range b.rects {
+			if r.Kind != RFlow || r.A.Rect < 0 || r.B.Rect < 0 {
+				continue
+			}
+			ra, rb := b.rects[r.A.Rect], b.rects[r.B.Rect]
+			if ra.Kind != RSwitch || rb.Kind != RSwitch {
+				continue
+			}
+			if r.Box.YT > 0 {
+				continue // already placed
+			}
+			sa, aok := span[r.A.Rect]
+			sb, bok := span[r.B.Rect]
+			var y float64
+			switch {
+			case aok:
+				y = (sa[0] + sa[1]) / 2
+			case bok:
+				y = (sb[0] + sb[1]) / 2
+			default:
+				continue
+			}
+			r.Box.YB, r.Box.YT = y-r.H/2, y+r.H/2
+			expand(r.A.Rect, r.Box.YB, r.Box.YT)
+			expand(r.B.Rect, r.Box.YB, r.Box.YT)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	for si, r := range b.rects {
+		if r.Kind != RSwitch {
+			continue
+		}
+		s, ok := span[si]
+		if !ok {
+			s = [2]float64{laneBase[0], laneBase[0] + 2*module.D}
+		}
+		minH := 2 * module.D * float64(r.SwitchNode.Junctions+1)
+		if s[1]-s[0] < minH {
+			s[1] = s[0] + minH
+		}
+		r.Box.YB, r.Box.YT = s[0], s[1]
+	}
+}
+
+// switchBoundaryRect returns the switch index of a switch-to-boundary
+// flow rect, and whether the rect runs west (to x=0) — or (-1, false).
+func (b *builder) switchBoundaryRect(r *PRect) (int, bool) {
+	if r.Kind != RFlow {
+		return -1, false
+	}
+	if r.A.Rect < 0 && r.B.Rect >= 0 && b.rects[r.B.Rect].Kind == RSwitch {
+		return r.B.Rect, true // west-going: boundary at x=0
+	}
+	if r.B.Rect < 0 && r.A.Rect >= 0 && b.rects[r.A.Rect].Kind == RSwitch {
+		return r.A.Rect, false // east-going: boundary at x=xmax
+	}
+	return -1, false
+}
+
+// switchPartners returns the placeables connected to switch si through
+// flow rects.
+func (b *builder) switchPartners(si int) []int {
+	var out []int
+	for _, r := range b.rects {
+		if r.Kind != RFlow || r.A.Rect < 0 || r.B.Rect < 0 {
+			continue
+		}
+		if r.A.Rect == si {
+			out = append(out, r.B.Rect)
+		}
+		if r.B.Rect == si {
+			out = append(out, r.A.Rect)
+		}
+	}
+	return out
+}
+
+// placeSwitchBoundaryFlow stacks each switch's boundary rects immediately
+// above the switch's covered span and its partners' tops — inside the
+// stratum pass 1 reserved. Stratum-local placement keeps the full-width
+// rect rows clear of every other placeable:
+//
+//   - west-going rects cross only x < switch, which the staircase keeps
+//     at lower strata;
+//   - east-going rects cross x > switch, whose strata start above the
+//     pass-1 reservation.
+func (b *builder) placeSwitchBoundaryFlow() {
+	type item struct {
+		rect *PRect
+		west bool
+	}
+	bySwitch := map[int][]item{}
+	var order []int
+	for _, r := range b.rects {
+		if si, west := b.switchBoundaryRect(r); si >= 0 {
+			if _, ok := bySwitch[si]; !ok {
+				order = append(order, si)
+			}
+			bySwitch[si] = append(bySwitch[si], item{r, west})
+		}
+	}
+	sort.Ints(order)
+	for _, si := range order {
+		sw := b.rects[si]
+		base := sw.Box.YT
+		for _, p := range b.switchPartners(si) {
+			if t := b.rects[p].Box.YT; t > base {
+				base = t
+			}
+		}
+		items := bySwitch[si]
+		// East-going rects first (lowest): their rows must stay within
+		// the reserved stratum below the next lane step.
+		sort.SliceStable(items, func(i, j int) bool {
+			if items[i].west != items[j].west {
+				return !items[i].west
+			}
+			return items[i].rect.Name < items[j].rect.Name
+		})
+		y := base + 2*module.D
+		for _, it := range items {
+			it.rect.Box.YB = y
+			it.rect.Box.YT = y + it.rect.H
+			y = it.rect.Box.YT + 2*module.D
+			if it.rect.Box.YT > sw.Box.YT {
+				sw.Box.YT = it.rect.Box.YT
+			}
+			if it.rect.Box.YB < sw.Box.YB {
+				sw.Box.YB = it.rect.Box.YB
+			}
+		}
+	}
+}
+
+// components groups placeables into weakly connected components, each
+// sorted in topological order, components ordered by first appearance.
+func (b *builder) components(order []int) [][]int {
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, i := range order {
+		parent[i] = i
+	}
+	union := func(a, c int) {
+		ra, rc := find(a), find(c)
+		if ra != rc {
+			parent[rc] = ra
+		}
+	}
+	for _, r := range b.rects {
+		if r.Kind == RFlow && r.A.Rect >= 0 && r.B.Rect >= 0 {
+			union(r.A.Rect, r.B.Rect)
+		}
+	}
+	seen := map[int]bool{}
+	var comps [][]int
+	for _, i := range order {
+		root := find(i)
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		var comp []int
+		for _, j := range order {
+			if find(j) == root {
+				comp = append(comp, j)
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,406 @@
+package layout
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+)
+
+func plan(t *testing.T, src string, opt Options) *Plan {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatalf("planarize: %v", err)
+	}
+	p, err := Generate(pr, opt)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return p
+}
+
+func fastOpts() Options {
+	o := DefaultOptions()
+	o.TimeLimit = 3 * time.Second
+	o.Gap = 0.05
+	o.StallLimit = 60
+	return o
+}
+
+const chainSrc = `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+// checkPlanInvariants verifies the architectural framework on a solved
+// plan: straight routing, non-overlap, boundary attachment, confinement.
+func checkPlanInvariants(t *testing.T, p *Plan) {
+	t.Helper()
+	for _, r := range p.Rects {
+		if !r.Box.Valid() {
+			t.Fatalf("rect %s has invalid box %v", r.Name, r.Box)
+		}
+		if r.Box.XL < -geom.Eps || r.Box.XR > p.XMax+geom.Eps ||
+			r.Box.YB < -geom.Eps || r.Box.YT > p.YMax+geom.Eps {
+			t.Errorf("rect %s %v outside chip [0,%v]x[0,%v]", r.Name, r.Box, p.XMax, p.YMax)
+		}
+		if r.W > 0 && math.Abs(r.Box.W()-r.W) > 1 {
+			t.Errorf("rect %s width %v != fixed %v", r.Name, r.Box.W(), r.W)
+		}
+		if r.H > 0 && math.Abs(r.Box.H()-r.H) > 1 {
+			t.Errorf("rect %s height %v != fixed %v", r.Name, r.Box.H(), r.H)
+		}
+	}
+	// Non-overlap between conflicting rects.
+	for i := 0; i < len(p.Rects); i++ {
+		for j := i + 1; j < len(p.Rects); j++ {
+			ri, rj := p.Rects[i], p.Rects[j]
+			if !conflicting(ri.Kind, rj.Kind) {
+				continue
+			}
+			// Attached flow rects may abut, never overlap inner area.
+			if in, ok := ri.Box.Intersect(rj.Box); ok && in.W() > 1 && in.H() > 1 {
+				t.Errorf("rects %s %v and %s %v overlap: %v", ri.Name, ri.Box, rj.Name, rj.Box, in)
+			}
+		}
+	}
+	// Flow rect attachments.
+	for _, r := range p.Rects {
+		if r.Kind != RFlow {
+			continue
+		}
+		if r.A.Rect < 0 {
+			if math.Abs(r.Box.XL) > 1 {
+				t.Errorf("flow %s west boundary attach broken: xl=%v", r.Name, r.Box.XL)
+			}
+		} else if math.Abs(r.Box.XL-p.Rects[r.A.Rect].Box.XR) > 1 {
+			t.Errorf("flow %s not attached to %s east", r.Name, p.Rects[r.A.Rect].Name)
+		}
+		if r.B.Rect < 0 {
+			if math.Abs(r.Box.XR-p.XMax) > 1 {
+				t.Errorf("flow %s east boundary attach broken: xr=%v xmax=%v", r.Name, r.Box.XR, p.XMax)
+			}
+		} else if math.Abs(r.Box.XR-p.Rects[r.B.Rect].Box.XL) > 1 {
+			t.Errorf("flow %s not attached to %s west", r.Name, p.Rects[r.B.Rect].Name)
+		}
+	}
+	// Control rects glue to owner and reach a MUX boundary.
+	for _, r := range p.Rects {
+		if r.Kind != RCtrl {
+			continue
+		}
+		o := p.Rects[r.Owner]
+		if math.Abs(r.Box.XL-o.Box.XL) > 1 || math.Abs(r.Box.XR-o.Box.XR) > 1 {
+			t.Errorf("ctrl %s not x-glued to owner %s", r.Name, o.Name)
+		}
+		if r.CtrlTop {
+			if p.Muxes != 2 {
+				t.Errorf("ctrl %s exits top in a 1-MUX design", r.Name)
+			}
+			if math.Abs(r.Box.YT-p.YMax) > 1 || math.Abs(r.Box.YB-o.Box.YT) > 1 {
+				t.Errorf("ctrl %s top attach broken: %v (owner %v, ymax %v)", r.Name, r.Box, o.Box, p.YMax)
+			}
+		} else {
+			if math.Abs(r.Box.YB) > 1 || math.Abs(r.Box.YT-o.Box.YB) > 1 {
+				t.Errorf("ctrl %s bottom attach broken: %v (owner %v)", r.Name, r.Box, o.Box)
+			}
+		}
+	}
+	// Switches cover their attached flow rects (constraint 12).
+	for _, r := range p.Rects {
+		if r.Kind != RFlow {
+			continue
+		}
+		for _, att := range []FlowAttach{r.A, r.B} {
+			if att.Rect < 0 {
+				continue
+			}
+			s := p.Rects[att.Rect]
+			if s.Kind != RSwitch {
+				continue
+			}
+			if r.Box.YB < s.Box.YB-1 || r.Box.YT > s.Box.YT+1 {
+				t.Errorf("switch %s %v does not cover flow %s %v", s.Name, s.Box, r.Name, r.Box)
+			}
+		}
+	}
+}
+
+func TestChainPlan(t *testing.T) {
+	p := plan(t, chainSrc, fastOpts())
+	checkPlanInvariants(t, p)
+	if p.Stats.SeedOnly {
+		t.Error("small design should be solved by MILP, not seed-only")
+	}
+	// Two blocks, no switches, 3 flow rects, 2 ctrl rects.
+	var blocks, switches, flows, ctrls int
+	for _, r := range p.Rects {
+		switch r.Kind {
+		case RBlock:
+			blocks++
+		case RSwitch:
+			switches++
+		case RFlow:
+			flows++
+		case RCtrl:
+			ctrls++
+		}
+	}
+	if blocks != 2 || switches != 0 || flows != 3 || ctrls != 2 {
+		t.Fatalf("rect census = %d blocks, %d switches, %d flows, %d ctrls", blocks, switches, flows, ctrls)
+	}
+	if p.FlowLength() <= 0 {
+		t.Error("flow length must be positive")
+	}
+	bottom, top := p.ControlChannelCount()
+	if bottom != 7 || top != 0 { // mixer 5 + chamber 2
+		t.Errorf("control channels = %d/%d, want 7/0", bottom, top)
+	}
+}
+
+func TestChainPinAlignment(t *testing.T) {
+	p := plan(t, chainSrc, fastOpts())
+	m1 := p.Rect("m1")
+	c1 := p.Rect("c1")
+	if m1 == nil || c1 == nil {
+		t.Fatal("blocks missing")
+	}
+	pinM := m1.Box.YB + module.MixerH/2
+	pinC := c1.Box.YB + module.ChamberH/2
+	if math.Abs(pinM-pinC) > 1 {
+		t.Fatalf("pins misaligned: mixer %v vs chamber %v", pinM, pinC)
+	}
+}
+
+func TestParallelMergedBlock(t *testing.T) {
+	p := plan(t, `
+design par
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect in:a m2
+connect m2 c2
+net c1 c2 out:waste
+parallel m1 c1 m2 c2
+`, fastOpts())
+	checkPlanInvariants(t, p)
+	blk := p.Rect("g0")
+	if blk == nil {
+		t.Fatal("merged block g0 missing")
+	}
+	if len(blk.Block.Units) != 4 {
+		t.Fatalf("block units = %d, want 4", len(blk.Block.Units))
+	}
+	if len(blk.Block.RowPinY) != 2 {
+		t.Fatalf("rows = %d, want 2 (two chains)", len(blk.Block.RowPinY))
+	}
+	// The merged block is as wide as one chain: mixer + gap + chamber.
+	wantW := module.MixerW + 2*module.D + module.ChamberW
+	if math.Abs(blk.Block.W-wantW) > 1 {
+		t.Fatalf("block width = %v, want %v", blk.Block.W, wantW)
+	}
+	// Parallel rows share control lines: 5 + 2, not 2*(5+2).
+	if blk.Block.CtrlLines != 7 {
+		t.Fatalf("CtrlLines = %d, want 7", blk.Block.CtrlLines)
+	}
+	// The inlet rect carries both row channels.
+	found := false
+	for _, r := range p.Rects {
+		if r.Kind == RFlow && r.A.Rect < 0 && r.NumChannels == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged 2-channel inlet rect missing")
+	}
+}
+
+func TestSwitchCoverage(t *testing.T) {
+	p := plan(t, `
+design sw
+unit a mixer
+unit b mixer
+unit c mixer
+net a b c out:waste
+connect in:x a
+connect in:y b
+connect in:z c
+`, fastOpts())
+	checkPlanInvariants(t, p)
+	sw := p.Rect("s1")
+	if sw == nil {
+		t.Fatal("switch missing")
+	}
+	if sw.Box.W() != module.SwitchWidth(4) {
+		t.Fatalf("switch width = %v, want %v", sw.Box.W(), module.SwitchWidth(4))
+	}
+}
+
+func TestTwoMuxSplitsControls(t *testing.T) {
+	p := plan(t, `
+design two
+muxes 2
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect c1 out:w1
+connect in:b m2
+connect m2 c2
+connect c2 out:w2
+`, fastOpts())
+	checkPlanInvariants(t, p)
+	bottom, top := p.ControlChannelCount()
+	if bottom == 0 || top == 0 {
+		t.Errorf("2-MUX should use both boundaries: %d/%d", bottom, top)
+	}
+	if bottom+top != 14 {
+		t.Errorf("total control channels = %d, want 14", bottom+top)
+	}
+}
+
+func TestOneMuxForcesBottom(t *testing.T) {
+	p := plan(t, chainSrc, fastOpts())
+	for _, r := range p.Rects {
+		if r.Kind == RCtrl && r.CtrlTop {
+			t.Fatalf("ctrl %s exits top in 1-MUX design", r.Name)
+		}
+	}
+}
+
+func TestSeedOnlyMode(t *testing.T) {
+	o := fastOpts()
+	o.SkipMILP = true
+	p := plan(t, chainSrc, o)
+	checkPlanInvariants(t, p)
+	if !p.Stats.SeedOnly {
+		t.Fatal("SkipMILP must mark the plan seed-only")
+	}
+}
+
+func TestGuidedMatchesFullInvariants(t *testing.T) {
+	o := fastOpts()
+	o.Effort = EffortGuided
+	p := plan(t, chainSrc, o)
+	checkPlanInvariants(t, p)
+}
+
+func TestMILPImprovesOnSeed(t *testing.T) {
+	o := fastOpts()
+	o.SkipMILP = true
+	seed := plan(t, chainSrc, o)
+	full := plan(t, chainSrc, fastOpts())
+	seedArea := seed.XMax * seed.YMax
+	fullArea := full.XMax * full.YMax
+	if fullArea > seedArea*1.001 {
+		t.Errorf("MILP result (%.0f µm²) worse than greedy seed (%.0f µm²)", fullArea, seedArea)
+	}
+}
+
+func TestFlowLengthCountsMultiplicity(t *testing.T) {
+	p := plan(t, `
+design mult
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect in:a m2
+connect m2 c2
+net c1 c2 out:waste
+parallel m1 c1 m2 c2
+`, fastOpts())
+	manual := 0.0
+	for _, r := range p.Rects {
+		if r.Kind == RFlow {
+			manual += float64(r.NumChannels) * r.Box.W()
+		}
+	}
+	if math.Abs(p.FlowLength()-manual) > 1e-6 {
+		t.Fatalf("FlowLength = %v, manual = %v", p.FlowLength(), manual)
+	}
+}
+
+func TestRowEndDetection(t *testing.T) {
+	b := &Block{
+		Units: []BlockUnit{
+			{Name: "a", Row: 0, Col: 0},
+			{Name: "b", Row: 0, Col: 1},
+			{Name: "c", Row: 0, Col: 2},
+			{Name: "d", Row: 1, Col: 0},
+		},
+	}
+	if !b.RowEnd("a", West) || b.RowEnd("a", East) {
+		t.Error("a is the west end only")
+	}
+	if b.RowEnd("b", West) || b.RowEnd("b", East) {
+		t.Error("b is interior")
+	}
+	if !b.RowEnd("c", East) {
+		t.Error("c is the east end")
+	}
+	if !b.RowEnd("d", West) || !b.RowEnd("d", East) {
+		t.Error("singleton row unit is both ends")
+	}
+	if b.RowEnd("zz", West) {
+		t.Error("unknown unit is never a row end")
+	}
+}
+
+func TestKindAndSideStrings(t *testing.T) {
+	if West.String() != "west" || East.String() != "east" {
+		t.Error("side strings")
+	}
+	for k, want := range map[RectKind]string{
+		RBlock: "block", RSwitch: "switch", RCtrl: "ctrl", RFlow: "flow",
+	} {
+		if k.String() != want {
+			t.Errorf("%v string = %q", want, k.String())
+		}
+	}
+	if RectKind(9).String() != "unknown" {
+		t.Error("unknown RectKind")
+	}
+}
+
+func TestConflictMatrix(t *testing.T) {
+	cases := []struct {
+		a, b RectKind
+		want bool
+	}{
+		{RBlock, RBlock, true},
+		{RBlock, RSwitch, true},
+		{RBlock, RCtrl, true},
+		{RBlock, RFlow, true},
+		{RCtrl, RCtrl, true},
+		{RFlow, RFlow, true},
+		{RCtrl, RFlow, false}, // different layers may overlap
+	}
+	for _, tc := range cases {
+		if got := conflicting(tc.a, tc.b); got != tc.want {
+			t.Errorf("conflicting(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := conflicting(tc.b, tc.a); got != tc.want {
+			t.Errorf("conflicting(%v,%v) = %v, want %v", tc.b, tc.a, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package layout
+
+import (
+	"fmt"
+	"time"
+
+	"columbas/internal/geom"
+	"columbas/internal/milp"
+)
+
+// maxSepRounds bounds the lazy non-overlap separation loop.
+const maxSepRounds = 30
+
+// solve runs the greedy seed, then iterates MILP solves with lazy
+// non-overlap separation: disjunctions (3)-(5) are only added for
+// rectangle pairs that actually overlap in a solution. Most pairs are
+// already separated by the attachment chain structure, so the models stay
+// small — the engineering counterpart of the paper's model-reduction
+// theme.
+func (b *builder) solve(opt Options) (*Plan, error) {
+	b.greedyPlace()
+	b.snapshotSeed()
+
+	plan := &Plan{
+		Name:   b.pr.Name,
+		Muxes:  b.pr.Muxes,
+		Rects:  b.rects,
+		Planar: b.pr,
+	}
+
+	if opt.SkipMILP {
+		plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+		plan.Stats = SolveStats{
+			Status:   milp.Feasible,
+			SeedUsed: true,
+			SeedOnly: true,
+		}
+		return plan, nil
+	}
+
+	guided := opt.Effort == EffortGuided ||
+		(opt.GuidedThreshold > 0 && len(b.rects) > opt.GuidedThreshold)
+	tl := opt.TimeLimit
+	if tl == 0 {
+		tl = 30 * time.Second
+	}
+	stall := opt.StallLimit
+	if stall == 0 {
+		stall = 200
+	}
+	deadline := time.Now().Add(tl)
+
+	// Later separation rounds only need to re-settle the fresh pairs, so
+	// their stall budget shrinks: the first round explores, the rest fix.
+	roundStall := func(round int) int {
+		if round <= 1 {
+			return stall
+		}
+		if s := stall / 4; s > 30 {
+			return s
+		}
+		return 30
+	}
+
+	var active [][2]int
+	activeSet := map[[2]int]bool{}
+	if opt.EagerSeparation {
+		n := len(b.rects)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if b.needDisjunction(i, j) {
+					p := [2]int{i, j}
+					active = append(active, p)
+					activeSet[p] = true
+				}
+			}
+		}
+	}
+	var last *milp.Result
+	totalNodes := 0
+	rounds := 0
+	for rounds < maxSepRounds {
+		rounds++
+		b.buildMILP(guided, active)
+		var seed []float64
+		if !opt.NoSeed {
+			seed = b.seedVector()
+		}
+		remaining := time.Until(deadline)
+		if remaining < time.Second {
+			remaining = time.Second
+		}
+		res, err := b.model.Solve(milp.Options{
+			TimeLimit:  remaining,
+			Gap:        opt.Gap,
+			StallLimit: roundStall(rounds),
+			Start:      seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("layout: MILP solve: %w", err)
+		}
+		totalNodes += res.Nodes
+		if res.Status == milp.Infeasible {
+			return nil, fmt.Errorf("layout: generation model infeasible for %s", b.pr.Name)
+		}
+		if res.Status != milp.Optimal && res.Status != milp.Feasible {
+			// Budget exhausted with no incumbent: the greedy seed stands.
+			b.restoreSeed()
+			plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+			plan.Stats = SolveStats{
+				Status: res.Status, Nodes: totalNodes,
+				Vars: b.model.NumVars(), Rows: b.model.NumRows(), Binaries: b.model.NumInt(),
+				SeedOnly: true,
+			}
+			return plan, nil
+		}
+		plan.XMax, plan.YMax = b.applySolution(res)
+		last = res
+		fresh := b.overlappingPairs(activeSet)
+		if len(fresh) == 0 {
+			break
+		}
+		for _, p := range fresh {
+			activeSet[p] = true
+		}
+		active = append(active, fresh...)
+		if time.Now().After(deadline) {
+			// Out of budget with unresolved overlaps: keep the valid seed.
+			b.restoreSeed()
+			plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+			plan.Stats = SolveStats{
+				Status: milp.Feasible, Nodes: totalNodes,
+				Vars: b.model.NumVars(), Rows: b.model.NumRows(), Binaries: b.model.NumInt(),
+				SeedUsed: true, SeedOnly: true,
+			}
+			return plan, nil
+		}
+	}
+	// Separation must have converged to an overlap-free solution;
+	// otherwise fall back to the seed, which is overlap-free by
+	// construction.
+	if len(b.overlappingPairs(activeSet)) > 0 || last == nil {
+		b.restoreSeed()
+		plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+		plan.Stats.Status = milp.Feasible
+		plan.Stats.SeedUsed = true
+		plan.Stats.SeedOnly = true
+		return plan, nil
+	}
+	plan.Stats = SolveStats{
+		Status:   last.Status,
+		Nodes:    totalNodes,
+		Runtime:  last.Runtime,
+		Obj:      last.Obj,
+		Bound:    last.Bound,
+		Vars:     b.model.NumVars(),
+		Rows:     b.model.NumRows(),
+		Binaries: b.model.NumInt(),
+		SeedUsed: true,
+	}
+	plan.Stats.Rounds = rounds
+	return plan, nil
+}
+
+// snapshotSeed preserves the greedy geometry: the separation loop derives
+// warm starts and guided relations from it, and failed runs restore it.
+func (b *builder) snapshotSeed() {
+	b.seedBoxes = make([]geom.Rect, len(b.rects))
+	b.seedTops = make([]bool, len(b.rects))
+	for i, r := range b.rects {
+		b.seedBoxes[i] = r.Box
+		b.seedTops[i] = r.CtrlTop
+	}
+}
+
+func (b *builder) restoreSeed() {
+	for i, r := range b.rects {
+		r.Box = b.seedBoxes[i]
+		r.CtrlTop = b.seedTops[i]
+	}
+}

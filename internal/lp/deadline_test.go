@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDeadlineInterruptsLargeSolve builds an LP big enough that the
+// simplex cannot finish instantly and verifies an already-expired
+// deadline aborts it with IterLimit instead of running to completion.
+func TestDeadlineInterruptsLargeSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewProblem()
+	const n = 220
+	for i := 0; i < n; i++ {
+		p.AddVar(0, 50, rng.Float64()*4-2)
+	}
+	for r := 0; r < n; r++ {
+		var terms []Term
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				terms = append(terms, Term{v, rng.Float64()*6 - 3})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddConstraint(terms, LE, 20+rng.Float64()*30)
+	}
+	p.SetDeadline(time.Now().Add(-time.Second))
+	start := time.Now()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit under expired deadline", s.Status)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("deadline ignored: solve took %v", time.Since(start))
+	}
+	// Clearing the deadline lets the same problem solve normally.
+	p.SetDeadline(time.Time{})
+	s, err = p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == IterLimit {
+		t.Fatalf("status = %v after clearing deadline", s.Status)
+	}
+}
+
+// A generous deadline must not perturb results.
+func TestDeadlineGenerous(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, -1)
+	p.AddConstraint([]Term{{x, 2}}, LE, 10)
+	p.SetDeadline(time.Now().Add(time.Hour))
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Obj != -5 {
+		t.Fatalf("solution = %+v", s)
+	}
+}

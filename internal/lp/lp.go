@@ -1,0 +1,595 @@
+// Package lp implements a linear-programming solver: a dense,
+// bounded-variable, two-phase primal simplex method.
+//
+// Columba S solves its physical-synthesis models with a commercial MILP
+// solver (Gurobi). This reproduction has no solver dependency, so lp —
+// together with the branch-and-bound driver in internal/milp — stands in
+// for it. The solver handles the model class the paper needs: minimisation
+// of a linear objective over continuous variables with individual bounds
+// (possibly infinite) and ≤ / ≥ / = row constraints, including the big-M
+// disjunctions of constraints (3)–(11).
+//
+// The implementation is a textbook revised simplex with an explicitly
+// maintained basis inverse, bound-flip ratio tests, Dantzig pricing with a
+// Bland's-rule fallback for anti-cycling, and a phase-1 artificial-variable
+// start. It is dense and intended for the model sizes Columba S produces
+// (tens of rectangles, hundreds to a few thousand rows), not for
+// general-purpose large-scale LP.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Inf is the bound value representing "unbounded" in either direction.
+var Inf = math.Inf(1)
+
+// Sense is the relational operator of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ aᵢxᵢ ≤ b
+	GE              // Σ aᵢxᵢ ≥ b
+	EQ              // Σ aᵢxᵢ = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Problem is a linear program under construction. Variables and
+// constraints are added incrementally; bounds and costs may be changed
+// between Solve calls (branch-and-bound relies on this).
+type Problem struct {
+	cost     []float64
+	lo       []float64
+	hi       []float64
+	rows     []rowDef
+	deadline time.Time
+}
+
+// SetDeadline makes Solve abort with IterLimit once the wall clock passes
+// t (checked periodically inside the simplex loop). The zero time means
+// no deadline. Branch and bound uses this so a single oversized LP cannot
+// blow through the search budget.
+func (p *Problem) SetDeadline(t time.Time) { p.deadline = t }
+
+type rowDef struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// NewProblem returns an empty LP.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.cost) }
+
+// NumRows returns the number of constraint rows added so far.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// cost, returning its index. Use -Inf / Inf for free directions.
+func (p *Problem) AddVar(lo, hi, cost float64) int {
+	p.cost = append(p.cost, cost)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	return len(p.cost) - 1
+}
+
+// SetCost replaces the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) { p.cost[v] = cost }
+
+// Cost returns the current objective coefficient of variable v.
+func (p *Problem) Cost(v int) float64 { return p.cost[v] }
+
+// SetBounds replaces the bounds of variable v.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// Bounds returns the current bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lo[v], p.hi[v] }
+
+// AddConstraint adds the row Σ terms (sense) rhs. Terms referring to the
+// same variable are accumulated. Returns the row index.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
+	merged := mergeTerms(terms)
+	for _, t := range merged {
+		if t.Var < 0 || t.Var >= len(p.cost) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+	}
+	p.rows = append(p.rows, rowDef{terms: merged, sense: sense, rhs: rhs})
+	return len(p.rows) - 1
+}
+
+func mergeTerms(terms []Term) []Term {
+	out := make([]Term, 0, len(terms))
+	idx := make(map[int]int, len(terms))
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		if k, ok := idx[t.Var]; ok {
+			out[k].Coef += t.Coef
+		} else {
+			idx[t.Var] = len(out)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RowsSatisfied reports whether x (length NumVars) satisfies every
+// constraint row within tol. Variable bounds are not checked.
+func (p *Problem) RowsSatisfied(x []float64, tol float64) bool {
+	for _, r := range p.rows {
+		lhs := 0.0
+		for _, t := range r.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+tol {
+				return false
+			}
+		case GE:
+			if lhs < r.rhs-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status Status
+	X      []float64 // values of the problem variables (length NumVars)
+	Obj    float64   // objective value at X (minimisation)
+	Iters  int       // simplex iterations across both phases
+}
+
+const (
+	tol     = 1e-7
+	pivTol  = 1e-9
+	stall   = 200 // degenerate iterations before switching to Bland's rule
+	refresh = 120 // iterations between basic-value refreshes
+)
+
+// nonbasic variable states
+const (
+	atLo int8 = iota
+	atUp
+	basic
+)
+
+// tableau is the working state of one simplex run over the equality form
+// A·x = b with bounded variables (structurals, slacks, artificials).
+type tableau struct {
+	m, n  int       // rows, total columns
+	nStru int       // structural variable count
+	nArt  int       // first artificial column index (= nStru + m slacks)
+	cols  [][]Term  // column-sparse A (Term.Var is the row index here)
+	b     []float64 // right-hand sides
+	lo    []float64
+	hi    []float64
+	cost  []float64 // phase-2 costs
+
+	basis    []int // basis[i] = variable basic in row i
+	state    []int8
+	x        []float64
+	binv     [][]float64
+	iters    int
+	maxIter  int
+	deadline time.Time
+}
+
+// Solve optimises the problem with the current bounds and costs.
+func (p *Problem) Solve() (*Solution, error) {
+	for v := range p.cost {
+		if p.lo[v] > p.hi[v]+tol {
+			// Conflicting bounds make the whole problem trivially infeasible;
+			// branch-and-bound produces such nodes routinely.
+			return &Solution{Status: Infeasible, X: make([]float64, len(p.cost))}, nil
+		}
+	}
+	if ps := p.presolve(); ps != nil {
+		if ps.infeas {
+			return &Solution{Status: Infeasible, X: make([]float64, len(p.cost))}, nil
+		}
+		inner, err := ps.prob.Solve()
+		if err != nil {
+			return nil, err
+		}
+		out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost))}
+		if inner.Status == Optimal {
+			out.X = ps.expand(inner.X, len(p.cost))
+			for v, xv := range out.X {
+				out.Obj += p.cost[v] * xv
+			}
+		}
+		return out, nil
+	}
+	t := p.newTableau()
+	if st := t.phase1(); st != Optimal {
+		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}, nil
+	}
+	st := t.phase2()
+	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}
+	copy(sol.X, t.x[:t.nStru])
+	for v, xv := range sol.X {
+		sol.Obj += p.cost[v] * xv
+	}
+	return sol, nil
+}
+
+func (p *Problem) newTableau() *tableau {
+	m := len(p.rows)
+	nStru := len(p.cost)
+	n := nStru + m + m // structurals + slacks + artificials
+	t := &tableau{
+		m: m, n: n, nStru: nStru, nArt: nStru + m,
+		cols:  make([][]Term, n),
+		b:     make([]float64, m),
+		lo:    make([]float64, n),
+		hi:    make([]float64, n),
+		cost:  make([]float64, n),
+		basis: make([]int, m),
+		state: make([]int8, n),
+		x:     make([]float64, n),
+	}
+	t.maxIter = 5000 + 40*(m+nStru)
+	t.deadline = p.deadline
+	for v := 0; v < nStru; v++ {
+		t.lo[v] = p.lo[v]
+		t.hi[v] = p.hi[v]
+		t.cost[v] = p.cost[v]
+	}
+	for i, r := range p.rows {
+		for _, tm := range r.terms {
+			t.cols[tm.Var] = append(t.cols[tm.Var], Term{Var: i, Coef: tm.Coef})
+		}
+		t.b[i] = r.rhs
+		s := nStru + i
+		t.cols[s] = []Term{{Var: i, Coef: 1}}
+		switch r.sense {
+		case LE:
+			t.lo[s], t.hi[s] = 0, Inf
+		case GE:
+			t.lo[s], t.hi[s] = -Inf, 0
+		case EQ:
+			t.lo[s], t.hi[s] = 0, 0
+		}
+	}
+	// Nonbasic start values for structurals and slacks: nearest finite
+	// bound, or zero for free variables.
+	for v := 0; v < t.nArt; v++ {
+		switch {
+		case !math.IsInf(t.lo[v], -1):
+			t.state[v], t.x[v] = atLo, t.lo[v]
+		case !math.IsInf(t.hi[v], 1):
+			t.state[v], t.x[v] = atUp, t.hi[v]
+		default:
+			t.state[v], t.x[v] = atLo, 0 // free variable pinned at 0
+		}
+	}
+	// Artificial basis absorbing the residuals.
+	t.binv = ident(m)
+	resid := make([]float64, m)
+	copy(resid, t.b)
+	for v := 0; v < t.nArt; v++ {
+		if t.x[v] == 0 {
+			continue
+		}
+		for _, tm := range t.cols[v] {
+			resid[tm.Var] -= tm.Coef * t.x[v]
+		}
+	}
+	for i := 0; i < m; i++ {
+		a := t.nArt + i
+		sign := 1.0
+		if resid[i] < 0 {
+			sign = -1
+		}
+		t.cols[a] = []Term{{Var: i, Coef: sign}}
+		t.lo[a], t.hi[a] = 0, Inf
+		t.basis[i] = a
+		t.state[a] = basic
+		t.x[a] = math.Abs(resid[i])
+		t.binv[i][i] = sign // B = diag(±1) for the artificial start basis
+	}
+	return t
+}
+
+func ident(m int) [][]float64 {
+	b := make([][]float64, m)
+	for i := range b {
+		b[i] = make([]float64, m)
+		b[i][i] = 1
+	}
+	return b
+}
+
+// phase1 minimises the sum of artificials; Optimal means a feasible basis
+// was found (artificials driven to zero and fixed).
+func (t *tableau) phase1() Status {
+	c1 := make([]float64, t.n)
+	for a := t.nArt; a < t.n; a++ {
+		c1[a] = 1
+	}
+	st := t.simplex(c1)
+	if st == IterLimit {
+		return IterLimit
+	}
+	sum := 0.0
+	for a := t.nArt; a < t.n; a++ {
+		sum += t.x[a]
+	}
+	if sum > 1e-6 {
+		return Infeasible
+	}
+	// Freeze artificials at zero so phase 2 cannot reuse them.
+	for a := t.nArt; a < t.n; a++ {
+		t.lo[a], t.hi[a] = 0, 0
+		if t.state[a] != basic {
+			t.x[a] = 0
+		}
+	}
+	return Optimal
+}
+
+func (t *tableau) phase2() Status {
+	return t.simplex(t.cost)
+}
+
+// simplex runs the bounded-variable primal simplex with costs c from the
+// current basis until optimality or failure.
+func (t *tableau) simplex(c []float64) Status {
+	m := t.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	degen := 0
+	for ; t.iters < t.maxIter; t.iters++ {
+		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return IterLimit
+		}
+		// Simplex multipliers y = c_B · B⁻¹.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := c[t.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := t.binv[i]
+			for k := 0; k < m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+		// Pricing.
+		enter, dir := t.price(c, y, degen >= stall)
+		if enter < 0 {
+			return Optimal
+		}
+		// Direction w = B⁻¹ A_enter.
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		for _, tm := range t.cols[enter] {
+			for i := 0; i < m; i++ {
+				w[i] += t.binv[i][tm.Var] * tm.Coef
+			}
+		}
+		// Ratio test. Moving x_enter by dir·t changes basics by -dir·t·w.
+		tMax := Inf
+		leave := -1 // index into basis; -1 = bound flip of entering var
+		leaveAt := atLo
+		if gap := t.hi[enter] - t.lo[enter]; !math.IsInf(gap, 1) {
+			tMax = gap
+		}
+		fdir := float64(dir)
+		for i := 0; i < m; i++ {
+			d := fdir * w[i]
+			bv := t.basis[i]
+			var lim float64
+			var hitState int8
+			switch {
+			case d > pivTol: // basic value decreases toward lower bound
+				if math.IsInf(t.lo[bv], -1) {
+					continue
+				}
+				lim = (t.x[bv] - t.lo[bv]) / d
+				hitState = atLo
+			case d < -pivTol: // basic value increases toward upper bound
+				if math.IsInf(t.hi[bv], 1) {
+					continue
+				}
+				lim = (t.x[bv] - t.hi[bv]) / d
+				hitState = atUp
+			default:
+				continue
+			}
+			if lim < -tol {
+				lim = 0
+			}
+			if lim < tMax-tol || (lim < tMax+tol && leave >= 0 && math.Abs(w[i]) > math.Abs(w[leave])) {
+				tMax = lim
+				leave = i
+				leaveAt = hitState
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return Unbounded
+		}
+		if tMax < tol {
+			degen++
+		} else {
+			degen = 0
+		}
+		// Apply the step.
+		t.x[enter] += float64(dir) * tMax
+		for i := 0; i < m; i++ {
+			if w[i] != 0 {
+				t.x[t.basis[i]] -= float64(dir) * tMax * w[i]
+			}
+		}
+		if leave < 0 {
+			// Bound flip: entering variable moved to its other bound.
+			if dir > 0 {
+				t.state[enter] = atUp
+				t.x[enter] = t.hi[enter]
+			} else {
+				t.state[enter] = atLo
+				t.x[enter] = t.lo[enter]
+			}
+			continue
+		}
+		// Pivot enter into the basis replacing basis[leave].
+		out := t.basis[leave]
+		t.state[out] = leaveAt
+		if leaveAt == atLo {
+			t.x[out] = t.lo[out]
+		} else {
+			t.x[out] = t.hi[out]
+		}
+		t.basis[leave] = enter
+		t.state[enter] = basic
+		piv := w[leave]
+		brow := t.binv[leave]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			brow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave || w[i] == 0 {
+				continue
+			}
+			f := w[i]
+			row := t.binv[i]
+			for k := 0; k < m; k++ {
+				row[k] -= f * brow[k]
+			}
+		}
+		if t.iters%refresh == refresh-1 {
+			t.refreshBasics()
+		}
+	}
+	return IterLimit
+}
+
+// price selects an entering variable. dir = +1 to increase, -1 to
+// decrease. Returns (-1, 0) at optimality.
+func (t *tableau) price(c, y []float64, bland bool) (enter, dir int) {
+	best := -1
+	bestDir := 0
+	bestScore := tol
+	for v := 0; v < t.n; v++ {
+		if t.state[v] == basic {
+			continue
+		}
+		if t.hi[v]-t.lo[v] < tol && !math.IsInf(t.hi[v], 1) {
+			continue // fixed variable can never move
+		}
+		rc := c[v]
+		for _, tm := range t.cols[v] {
+			rc -= y[tm.Var] * tm.Coef
+		}
+		free := math.IsInf(t.lo[v], -1) && math.IsInf(t.hi[v], 1)
+		var d int
+		switch {
+		case (t.state[v] == atLo || free) && rc < -tol:
+			d = +1
+		case (t.state[v] == atUp || free) && rc > tol:
+			d = -1
+		default:
+			continue
+		}
+		if bland {
+			return v, d
+		}
+		if math.Abs(rc) > bestScore {
+			bestScore = math.Abs(rc)
+			best, bestDir = v, d
+		}
+	}
+	return best, bestDir
+}
+
+// refreshBasics recomputes basic variable values from scratch to flush
+// accumulated floating-point drift.
+func (t *tableau) refreshBasics() {
+	m := t.m
+	r := make([]float64, m)
+	copy(r, t.b)
+	for v := 0; v < t.n; v++ {
+		if t.state[v] == basic || t.x[v] == 0 {
+			continue
+		}
+		for _, tm := range t.cols[v] {
+			r[tm.Var] -= tm.Coef * t.x[v]
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := t.binv[i]
+		for k := 0; k < m; k++ {
+			sum += row[k] * r[k]
+		}
+		t.x[t.basis[i]] = sum
+	}
+}
+
+// ErrBadModel reports structurally invalid model input.
+var ErrBadModel = errors.New("lp: invalid model")

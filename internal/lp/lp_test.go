@@ -1,0 +1,370 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve error: %v", err)
+	}
+	return s
+}
+
+func wantObj(t *testing.T, s *Solution, obj float64) {
+	t.Helper()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if math.Abs(s.Obj-obj) > 1e-5 {
+		t.Fatalf("obj = %v, want %v", s.Obj, obj)
+	}
+}
+
+func TestTrivialBounds(t *testing.T) {
+	// min x subject to 2 <= x <= 5 --> x = 2
+	p := NewProblem()
+	x := p.AddVar(2, 5, 1)
+	s := solveOK(t, p)
+	wantObj(t, s, 2)
+	if math.Abs(s.X[x]-2) > 1e-6 {
+		t.Fatalf("x = %v", s.X[x])
+	}
+}
+
+func TestMaximizeViaNegation(t *testing.T) {
+	// max x+y st x+y <= 4, x <= 3, y <= 2  --> 4
+	p := NewProblem()
+	x := p.AddVar(0, 3, -1)
+	y := p.AddVar(0, 2, -1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	s := solveOK(t, p)
+	wantObj(t, s, -4)
+}
+
+func TestClassicDiet(t *testing.T) {
+	// min 0.6a + 0.35b
+	// st 5a + 7b >= 8 ; 4a + 2b >= 15 ; 2a + b >= 3
+	p := NewProblem()
+	a := p.AddVar(0, Inf, 0.6)
+	b := p.AddVar(0, Inf, 0.35)
+	p.AddConstraint([]Term{{a, 5}, {b, 7}}, GE, 8)
+	p.AddConstraint([]Term{{a, 4}, {b, 2}}, GE, 15)
+	p.AddConstraint([]Term{{a, 2}, {b, 1}}, GE, 3)
+	s := solveOK(t, p)
+	// optimum at a = 3.75, b = 0: 2.25
+	wantObj(t, s, 2.25)
+}
+
+func TestEqualityRows(t *testing.T) {
+	// min x+y st x + y = 10, x - y = 4  --> x=7, y=3
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	y := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, EQ, 4)
+	s := solveOK(t, p)
+	wantObj(t, s, 10)
+	if math.Abs(s.X[x]-7) > 1e-6 || math.Abs(s.X[y]-3) > 1e-6 {
+		t.Fatalf("x,y = %v,%v", s.X[x], s.X[y])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 10)
+	p.AddConstraint([]Term{{x, 1}}, LE, 5)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(5, 2, 1) // lo > hi
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1)
+	y := p.AddVar(0, Inf, 0)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 3)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x st x >= -7 via constraint (x itself is free)
+	p := NewProblem()
+	x := p.AddVar(-Inf, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, -7)
+	s := solveOK(t, p)
+	wantObj(t, s, -7)
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x + y, -5 <= x <= 5, -3 <= y <= 3, x + y >= -6
+	p := NewProblem()
+	x := p.AddVar(-5, 5, 1)
+	y := p.AddVar(-3, 3, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, -6)
+	s := solveOK(t, p)
+	wantObj(t, s, -6)
+}
+
+func TestBoundFlipPath(t *testing.T) {
+	// max 2x + y with x,y in [0,1] and x + y <= 1.5: solution x=1, y=0.5.
+	p := NewProblem()
+	x := p.AddVar(0, 1, -2)
+	y := p.AddVar(0, 1, -1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1.5)
+	s := solveOK(t, p)
+	wantObj(t, s, -2.5)
+	if math.Abs(s.X[x]-1) > 1e-6 {
+		t.Fatalf("x = %v, want 1", s.X[x])
+	}
+}
+
+func TestDegenerateVertex(t *testing.T) {
+	// A classic degenerate LP; must not cycle.
+	// min -0.75x4 + 150x5 - 0.02x6 + 6x7 (Beale's example)
+	p := NewProblem()
+	x4 := p.AddVar(0, Inf, -0.75)
+	x5 := p.AddVar(0, Inf, 150)
+	x6 := p.AddVar(0, Inf, -0.02)
+	x7 := p.AddVar(0, Inf, 6)
+	p.AddConstraint([]Term{{x4, 0.25}, {x5, -60}, {x6, -0.04}, {x7, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x4, 0.5}, {x5, -90}, {x6, -0.02}, {x7, 3}}, LE, 0)
+	p.AddConstraint([]Term{{x6, 1}}, LE, 1)
+	s := solveOK(t, p)
+	wantObj(t, s, -0.05)
+}
+
+func TestBigMDisjunction(t *testing.T) {
+	// The paper's non-overlap pattern (3)-(5): with q fixed 0/1 the big-M
+	// rows must behave as active constraint / tautology.
+	const M = 1e4
+	build := func(q1v, q2v float64) *Solution {
+		p := NewProblem()
+		xa := p.AddVar(0, Inf, 1) // left edge of rect A (width 10)
+		xb := p.AddVar(0, Inf, 1) // left edge of rect B (width 10)
+		q1 := p.AddVar(q1v, q1v, 0)
+		q2 := p.AddVar(q2v, q2v, 0)
+		// A right-of B or B right-of A
+		p.AddConstraint([]Term{{xa, 1}, {xb, -1}, {q1, -M}}, LE, -10) // xa+10 <= xb + q1 M
+		p.AddConstraint([]Term{{xb, 1}, {xa, -1}, {q2, -M}}, LE, -10)
+		p.AddConstraint([]Term{{xb, 1}}, GE, 2)
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// q1=0: A left of B. min xa+xb => xa=0, xb=max(2,10)=10
+	s := build(0, 1)
+	wantObj(t, s, 10)
+	// q2=0: B left of A => xb=2, xa=12
+	s = build(1, 0)
+	wantObj(t, s, 14)
+}
+
+func TestRedundantAndDuplicateTerms(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	// x + x - 0.5x = 1.5x >= 3 --> x = 2
+	p.AddConstraint([]Term{{x, 1}, {x, 1}, {x, -0.5}}, GE, 3)
+	s := solveOK(t, p)
+	wantObj(t, s, 2)
+}
+
+func TestSetBoundsReSolve(t *testing.T) {
+	// Branch-and-bound usage pattern: change bounds between solves.
+	p := NewProblem()
+	x := p.AddVar(0, 1, -1)
+	y := p.AddVar(0, 1, -1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 1.2)
+	s := solveOK(t, p)
+	wantObj(t, s, -1.2)
+	p.SetBounds(x, 0, 0)
+	s = solveOK(t, p)
+	wantObj(t, s, -1)
+	p.SetBounds(x, 1, 1)
+	s = solveOK(t, p)
+	wantObj(t, s, -1.2)
+	if math.Abs(s.X[y]-0.2) > 1e-6 {
+		t.Fatalf("y = %v, want 0.2", s.X[y])
+	}
+}
+
+func TestSetCost(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, 1)
+	s := solveOK(t, p)
+	wantObj(t, s, 0)
+	p.SetCost(x, -1)
+	s = solveOK(t, p)
+	wantObj(t, s, -10)
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 plants (supply 20, 30) x 3 markets (demand 10, 25, 15).
+	costs := [2][3]float64{{8, 6, 10}, {9, 12, 13}}
+	p := NewProblem()
+	var v [2][3]int
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = p.AddVar(0, Inf, costs[i][j])
+		}
+	}
+	supply := []float64{20, 30}
+	demand := []float64{10, 25, 15}
+	for i := 0; i < 2; i++ {
+		p.AddConstraint([]Term{{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}, LE, supply[i])
+	}
+	for j := 0; j < 3; j++ {
+		p.AddConstraint([]Term{{v[0][j], 1}, {v[1][j], 1}}, EQ, demand[j])
+	}
+	s := solveOK(t, p)
+	// optimal: plant1 -> m2 (20 @6); plant2 -> m1 (10 @9), m2 (5 @12), m3 (15 @13)
+	wantObj(t, s, 20*6+10*9+5*12+15*13)
+}
+
+// Randomised consistency check: generate feasible-by-construction LPs and
+// verify the solver's solution satisfies all constraints and beats (or ties)
+// the known feasible point used for construction.
+func TestRandomFeasibleLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		p := NewProblem()
+		feas := make([]float64, n)
+		for v := 0; v < n; v++ {
+			feas[v] = rng.Float64() * 10
+			p.AddVar(0, 20, rng.Float64()*4-2)
+		}
+		for r := 0; r < m; r++ {
+			var terms []Term
+			lhs := 0.0
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					c := rng.Float64()*6 - 3
+					terms = append(terms, Term{v, c})
+					lhs += c * feas[v]
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			// Make the row satisfied by the feasible point with slack.
+			if rng.Float64() < 0.5 {
+				p.AddConstraint(terms, LE, lhs+rng.Float64()*5)
+			} else {
+				p.AddConstraint(terms, GE, lhs-rng.Float64()*5)
+			}
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v (feasible point exists)", trial, s.Status)
+		}
+		checkFeasible(t, p, s.X, trial)
+		// Objective must not exceed the constructed feasible point's value.
+		fObj := 0.0
+		for v := 0; v < n; v++ {
+			fObj += p.cost[v] * feas[v]
+		}
+		if s.Obj > fObj+1e-5 {
+			t.Fatalf("trial %d: obj %v worse than known feasible %v", trial, s.Obj, fObj)
+		}
+	}
+}
+
+func checkFeasible(t *testing.T, p *Problem, x []float64, trial int) {
+	t.Helper()
+	const ftol = 1e-5
+	for v := range p.cost {
+		if x[v] < p.lo[v]-ftol || x[v] > p.hi[v]+ftol {
+			t.Fatalf("trial %d: var %d = %v outside [%v,%v]", trial, v, x[v], p.lo[v], p.hi[v])
+		}
+	}
+	for ri, r := range p.rows {
+		lhs := 0.0
+		for _, tm := range r.terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch r.sense {
+		case LE:
+			if lhs > r.rhs+ftol {
+				t.Fatalf("trial %d: row %d violated: %v <= %v", trial, ri, lhs, r.rhs)
+			}
+		case GE:
+			if lhs < r.rhs-ftol {
+				t.Fatalf("trial %d: row %d violated: %v >= %v", trial, ri, lhs, r.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > ftol {
+				t.Fatalf("trial %d: row %d violated: %v = %v", trial, ri, lhs, r.rhs)
+			}
+		}
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("sense strings wrong")
+	}
+	if Sense(99).String() != "?" {
+		t.Error("unknown sense should be ?")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if Status(99).String() != "unknown" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestConstraintUnknownVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown variable")
+		}
+	}()
+	p := NewProblem()
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+}
+
+func TestNumVarsRows(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 0)
+	p.AddConstraint([]Term{{x, 1}}, LE, 1)
+	if p.NumVars() != 1 || p.NumRows() != 1 {
+		t.Fatalf("NumVars/NumRows = %d/%d", p.NumVars(), p.NumRows())
+	}
+	if lo, hi := p.Bounds(x); lo != 0 || hi != 1 {
+		t.Fatalf("Bounds = %v,%v", lo, hi)
+	}
+}

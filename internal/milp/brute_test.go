@@ -1,0 +1,269 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBranchAndBoundMatchesBruteForce cross-checks the solver against
+// exhaustive enumeration on random small binary programs: for every
+// assignment of the binaries, the continuous part is empty, so the
+// optimum is the best feasible assignment.
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		nv := 2 + rng.Intn(8) // up to 10 binaries
+		nr := 1 + rng.Intn(5)
+		m := NewModel()
+		var vars []VarID
+		for i := 0; i < nv; i++ {
+			vars = append(vars, m.Binary("b"))
+		}
+		type row struct {
+			coef []float64
+			rhs  float64
+			ge   bool
+		}
+		var rows []row
+		for r := 0; r < nr; r++ {
+			rw := row{coef: make([]float64, nv)}
+			e := NewExpr()
+			for i := 0; i < nv; i++ {
+				c := float64(rng.Intn(9) - 4)
+				rw.coef[i] = c
+				if c != 0 {
+					e.Add(vars[i], c)
+				}
+			}
+			rw.rhs = float64(rng.Intn(7) - 2)
+			rw.ge = rng.Intn(2) == 0
+			if rw.ge {
+				m.AddGE(e, rw.rhs)
+			} else {
+				m.AddLE(e, rw.rhs)
+			}
+			rows = append(rows, rw)
+		}
+		costs := make([]float64, nv)
+		obj := NewExpr()
+		for i := 0; i < nv; i++ {
+			costs[i] = float64(rng.Intn(11) - 5)
+			obj.Add(vars[i], costs[i])
+		}
+		m.Minimize(obj)
+
+		// Brute force.
+		best := math.Inf(1)
+		feasible := false
+		for mask := 0; mask < 1<<nv; mask++ {
+			ok := true
+			for _, rw := range rows {
+				lhs := 0.0
+				for i := 0; i < nv; i++ {
+					if mask>>i&1 == 1 {
+						lhs += rw.coef[i]
+					}
+				}
+				if rw.ge && lhs < rw.rhs-1e-9 {
+					ok = false
+					break
+				}
+				if !rw.ge && lhs > rw.rhs+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasible = true
+			val := 0.0
+			for i := 0; i < nv; i++ {
+				if mask>>i&1 == 1 {
+					val += costs[i]
+				}
+			}
+			if val < best {
+				best = val
+			}
+		}
+
+		res, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: solver says %v, brute force says infeasible", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (brute force best %v)", trial, res.Status, best)
+		}
+		if math.Abs(res.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: solver obj %v, brute force %v", trial, res.Obj, best)
+		}
+	}
+}
+
+// TestGroupBranchingMatchesPlain verifies the disjunction-aware branching
+// is exact: both branching strategies must agree with each other on models
+// with marked groups.
+func TestGroupBranchingMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		build := func() *Model {
+			rl := rand.New(rand.NewSource(int64(trial)))
+			m := NewModel()
+			// Three intervals on a line, pairwise disjoint, minimise span.
+			n := 3
+			w := make([]float64, n)
+			var xs []VarID
+			span := m.Var("span", 0, 100)
+			for i := 0; i < n; i++ {
+				w[i] = float64(2 + rl.Intn(5))
+				x := m.Var("x", 0, 100)
+				xs = append(xs, x)
+				m.AddLE(NewExpr().Add(x, 1).AddConst(w[i]).Add(span, -1), 0)
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					q1, q2 := m.Binary("q1"), m.Binary("q2")
+					m.AddLE(NewExpr().Add(xs[i], 1).AddConst(w[i]).Add(xs[j], -1).Add(q1, -1000), 0)
+					m.AddLE(NewExpr().Add(xs[j], 1).AddConst(w[j]).Add(xs[i], -1).Add(q2, -1000), 0)
+					m.MarkDisjunction([]VarID{q1, q2})
+				}
+			}
+			m.Minimize(T(span, 1))
+			return m
+		}
+		_ = rng
+		r1, err := build().Solve(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := build().Solve(Options{NoGroupBranching: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Status != Optimal || r2.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v/%v", trial, r1.Status, r2.Status)
+		}
+		if math.Abs(r1.Obj-r2.Obj) > 1e-6 {
+			t.Fatalf("trial %d: group %v vs plain %v", trial, r1.Obj, r2.Obj)
+		}
+	}
+}
+
+// TestMixedIntegerMatchesBruteForce extends the cross-check to models
+// with continuous variables: enumerate every binary assignment, solve the
+// continuous remainder as an LP, and compare against branch and bound.
+func TestMixedIntegerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		nb := 1 + rng.Intn(5) // binaries
+		nc := 1 + rng.Intn(3) // continuous
+		type rowSpec struct {
+			bCoef []float64
+			cCoef []float64
+			rhs   float64
+			ge    bool
+		}
+		nr := 1 + rng.Intn(4)
+		rows := make([]rowSpec, nr)
+		bCost := make([]float64, nb)
+		cCost := make([]float64, nc)
+		for i := range bCost {
+			bCost[i] = float64(rng.Intn(9) - 4)
+		}
+		for i := range cCost {
+			cCost[i] = float64(rng.Intn(5)-2)/2 + 0.5 // keep continuous bounded-relevant
+		}
+		for r := range rows {
+			rows[r].bCoef = make([]float64, nb)
+			rows[r].cCoef = make([]float64, nc)
+			for i := range rows[r].bCoef {
+				rows[r].bCoef[i] = float64(rng.Intn(7) - 3)
+			}
+			for i := range rows[r].cCoef {
+				rows[r].cCoef[i] = float64(rng.Intn(5) - 2)
+			}
+			rows[r].rhs = float64(rng.Intn(9) - 2)
+			rows[r].ge = rng.Intn(2) == 0
+		}
+
+		build := func() (*Model, []VarID, []VarID) {
+			m := NewModel()
+			var bs, cs []VarID
+			for i := 0; i < nb; i++ {
+				bs = append(bs, m.Binary("b"))
+			}
+			for i := 0; i < nc; i++ {
+				cs = append(cs, m.Var("x", 0, 5))
+			}
+			for _, r := range rows {
+				e := NewExpr()
+				for i, c := range r.bCoef {
+					e.Add(bs[i], c)
+				}
+				for i, c := range r.cCoef {
+					e.Add(cs[i], c)
+				}
+				if r.ge {
+					m.AddGE(e, r.rhs)
+				} else {
+					m.AddLE(e, r.rhs)
+				}
+			}
+			obj := NewExpr()
+			for i := range bs {
+				obj.Add(bs[i], bCost[i])
+			}
+			for i := range cs {
+				obj.Add(cs[i], cCost[i])
+			}
+			m.Minimize(obj)
+			return m, bs, cs
+		}
+
+		// Brute force: fix each binary assignment, LP-solve the rest.
+		best := math.Inf(1)
+		feasible := false
+		for mask := 0; mask < 1<<nb; mask++ {
+			m, bs, _ := build()
+			for i := 0; i < nb; i++ {
+				m.Fix(bs[i], float64(mask>>i&1))
+			}
+			r, err := m.Solve(Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status == Optimal {
+				feasible = true
+				if r.Obj < best {
+					best = r.Obj
+				}
+			}
+		}
+
+		m, _, _ := build()
+		res, err := m.Solve(Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if res.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, brute force infeasible", trial, res.Status)
+			}
+			continue
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (best %v)", trial, res.Status, best)
+		}
+		if math.Abs(res.Obj-best) > 1e-5 {
+			t.Fatalf("trial %d: obj %v vs brute %v", trial, res.Obj, best)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package milp_test
+
+import (
+	"fmt"
+
+	"columbas/internal/milp"
+)
+
+// A small binary knapsack: the branch-and-bound driver on top of the
+// bounded simplex.
+func Example() {
+	m := milp.NewModel()
+	a := m.Binary("a") // value 9, weight 6
+	b := m.Binary("b") // value 7, weight 5
+	c := m.Binary("c") // value 5, weight 4
+	m.AddLE(milp.NewExpr().Add(a, 6).Add(b, 5).Add(c, 4), 10)
+	m.Minimize(milp.NewExpr().Add(a, -9).Add(b, -7).Add(c, -5))
+
+	res, err := m.Solve(milp.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("status=%v value=%v\n", res.Status, -res.Obj)
+	fmt.Printf("take a=%v b=%v c=%v\n", res.Value(a) > 0.5, res.Value(b) > 0.5, res.Value(c) > 0.5)
+	// Output:
+	// status=optimal value=14
+	// take a=true b=false c=true
+}

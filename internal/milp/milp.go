@@ -1,0 +1,644 @@
+// Package milp provides a mixed-integer linear-programming solver built on
+// the bounded-variable simplex in internal/lp. Together they replace the
+// commercial MILP solver (Gurobi) the Columba S paper uses for its
+// physical-synthesis models.
+//
+// The solver is a branch-and-bound search over LP relaxations with:
+//
+//   - best-bound node selection with depth tie-breaking (so the search
+//     dives for early incumbents but still proves bounds),
+//   - most-fractional variable branching,
+//   - disjunction-aware branching: the paper's relative-position
+//     constraints (3)–(5) introduce groups of four binaries of which
+//     exactly one must be 0. Branching on the whole group (k children,
+//     each fixing a different member to 0) resolves a placement decision
+//     in one level instead of four,
+//   - warm incumbents: callers may seed a feasible solution (Columba S
+//     seeds a greedy placement) which prunes most of the tree,
+//   - a node/time budget that degrades gracefully to the best incumbent.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"columbas/internal/lp"
+)
+
+// VarID identifies a model variable.
+type VarID int
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: proven optimal integer solution.
+	Optimal Status = iota
+	// Feasible: integer solution found but optimality not proven before a
+	// node or time budget expired.
+	Feasible
+	// Infeasible: no integer-feasible point exists.
+	Infeasible
+	// Unbounded: the relaxation is unbounded below.
+	Unbounded
+	// Limit: budget exhausted with no integer solution found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Expr is a linear expression Σ coefᵢ·varᵢ + Const, built incrementally.
+type Expr struct {
+	Terms []lp.Term
+	Const float64
+}
+
+// NewExpr returns an empty expression.
+func NewExpr() *Expr { return &Expr{} }
+
+// Add appends coef·v to the expression and returns it for chaining.
+func (e *Expr) Add(v VarID, coef float64) *Expr {
+	e.Terms = append(e.Terms, lp.Term{Var: int(v), Coef: coef})
+	return e
+}
+
+// AddConst adds a constant offset to the expression.
+func (e *Expr) AddConst(c float64) *Expr {
+	e.Const += c
+	return e
+}
+
+// AddExpr appends all terms of f (including its constant).
+func (e *Expr) AddExpr(f *Expr) *Expr {
+	e.Terms = append(e.Terms, f.Terms...)
+	e.Const += f.Const
+	return e
+}
+
+// Sum builds an expression Σ 1·vᵢ.
+func Sum(vs ...VarID) *Expr {
+	e := NewExpr()
+	for _, v := range vs {
+		e.Add(v, 1)
+	}
+	return e
+}
+
+// T builds a single-term expression coef·v.
+func T(v VarID, coef float64) *Expr { return NewExpr().Add(v, coef) }
+
+// Model is a MILP under construction.
+type Model struct {
+	prob   *lp.Problem
+	names  []string
+	isInt  []bool
+	groups [][]VarID // disjunction groups: exactly one member is 0
+	objSet bool
+	objC   float64 // constant part of the objective
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{prob: lp.NewProblem()} }
+
+// NumVars returns the number of variables declared so far.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumRows returns the number of constraints added so far.
+func (m *Model) NumRows() int { return m.prob.NumRows() }
+
+// NumInt returns the number of integer (incl. binary) variables.
+func (m *Model) NumInt() int {
+	n := 0
+	for _, b := range m.isInt {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Var declares a continuous variable with bounds [lo, hi].
+func (m *Model) Var(name string, lo, hi float64) VarID {
+	return m.addVar(name, lo, hi, false)
+}
+
+// Binary declares a {0,1} variable.
+func (m *Model) Binary(name string) VarID {
+	return m.addVar(name, 0, 1, true)
+}
+
+// Int declares an integer variable with bounds [lo, hi].
+func (m *Model) Int(name string, lo, hi float64) VarID {
+	return m.addVar(name, lo, hi, true)
+}
+
+func (m *Model) addVar(name string, lo, hi float64, isInt bool) VarID {
+	id := m.prob.AddVar(lo, hi, 0)
+	m.names = append(m.names, name)
+	m.isInt = append(m.isInt, isInt)
+	return VarID(id)
+}
+
+// Name returns the declared name of v.
+func (m *Model) Name(v VarID) string { return m.names[v] }
+
+// Bounds returns the current bounds of v.
+func (m *Model) Bounds(v VarID) (lo, hi float64) { return m.prob.Bounds(int(v)) }
+
+// SetBounds tightens or replaces the bounds of v.
+func (m *Model) SetBounds(v VarID, lo, hi float64) { m.prob.SetBounds(int(v), lo, hi) }
+
+// Fix pins v to a single value.
+func (m *Model) Fix(v VarID, val float64) { m.prob.SetBounds(int(v), val, val) }
+
+// AddLE adds the constraint e ≤ rhs.
+func (m *Model) AddLE(e *Expr, rhs float64) { m.prob.AddConstraint(e.Terms, lp.LE, rhs-e.Const) }
+
+// AddGE adds the constraint e ≥ rhs.
+func (m *Model) AddGE(e *Expr, rhs float64) { m.prob.AddConstraint(e.Terms, lp.GE, rhs-e.Const) }
+
+// AddEQ adds the constraint e = rhs.
+func (m *Model) AddEQ(e *Expr, rhs float64) { m.prob.AddConstraint(e.Terms, lp.EQ, rhs-e.Const) }
+
+// Minimize sets the objective to e (minimisation).
+func (m *Model) Minimize(e *Expr) {
+	costs := make(map[int]float64)
+	for _, t := range e.Terms {
+		costs[t.Var] += t.Coef
+	}
+	for v := 0; v < m.prob.NumVars(); v++ {
+		m.prob.SetCost(v, costs[v])
+	}
+	m.objC = e.Const
+	m.objSet = true
+}
+
+// MarkDisjunction registers a group of binaries of which exactly one must
+// be 0 (the paper's q₁+q₂+q₃+q₄ = 3 pattern, constraint (5)). The sum
+// constraint itself is added here. Branch-and-bound branches on the whole
+// group at once.
+func (m *Model) MarkDisjunction(vars []VarID) {
+	for _, v := range vars {
+		if !m.isInt[v] {
+			panic(fmt.Sprintf("milp: disjunction member %s is not integer", m.names[v]))
+		}
+	}
+	m.AddEQ(Sum(vars...), float64(len(vars)-1))
+	g := make([]VarID, len(vars))
+	copy(g, vars)
+	m.groups = append(m.groups, g)
+}
+
+// Options controls the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds wall-clock search time; 0 means no limit.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of explored nodes; 0 means no limit.
+	NodeLimit int
+	// Start, if non-nil, is a caller-provided integer-feasible assignment
+	// (length NumVars) used as the initial incumbent after validation.
+	Start []float64
+	// Gap is the relative optimality gap at which search stops early
+	// (e.g. 0.01 for 1%). 0 means prove optimality.
+	Gap float64
+	// StallLimit, when positive, stops the search after this many nodes
+	// without an incumbent improvement (once an incumbent exists). Big-M
+	// placement models have weak relaxations whose gap rarely closes;
+	// stalling out with a good incumbent is the practical termination.
+	StallLimit int
+	// NoGroupBranching disables the k-way disjunction branching and falls
+	// back to plain binary branching (ablation).
+	NoGroupBranching bool
+}
+
+// Result is the outcome of a Solve.
+type Result struct {
+	Status  Status
+	X       []float64
+	Obj     float64 // objective of X (meaningful for Optimal/Feasible)
+	Bound   float64 // best proven lower bound
+	Nodes   int
+	Runtime time.Duration
+}
+
+// Value returns the solution value of v.
+func (r *Result) Value(v VarID) float64 { return r.X[v] }
+
+const intTol = 1e-6
+
+type node struct {
+	bound   float64 // parent LP objective (lower bound for the subtree)
+	depth   int
+	changes []boundChange
+	parent  *node
+	seq     int // insertion order for deterministic tie-breaking
+}
+
+type boundChange struct {
+	v      int
+	lo, hi float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth // deeper first: dive toward incumbents
+	}
+	return h[i].seq > h[j].seq // LIFO among equals
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound and returns the best solution found.
+func (m *Model) Solve(opt Options) (*Result, error) {
+	if !m.objSet {
+		m.Minimize(NewExpr()) // pure feasibility problem
+	}
+	start := time.Now()
+	nv := m.prob.NumVars()
+	if opt.TimeLimit > 0 {
+		// Propagate the budget into the LP so one oversized relaxation
+		// cannot overshoot it.
+		m.prob.SetDeadline(start.Add(opt.TimeLimit))
+		defer m.prob.SetDeadline(time.Time{})
+	}
+
+	// Preserve base bounds so Solve leaves the model reusable.
+	baseLo := make([]float64, nv)
+	baseHi := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		baseLo[v], baseHi[v] = m.prob.Bounds(v)
+	}
+	defer func() {
+		for v := 0; v < nv; v++ {
+			m.prob.SetBounds(v, baseLo[v], baseHi[v])
+		}
+	}()
+
+	res := &Result{Status: Limit, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	var incumbent []float64
+	incObj := math.Inf(1)
+
+	if opt.Start != nil {
+		if ok, obj := m.checkFeasible(opt.Start); ok {
+			incumbent = append([]float64(nil), opt.Start...)
+			incObj = obj
+		}
+	}
+
+	apply := func(n *node) {
+		// Walk root→leaf so later (deeper) changes win.
+		var chain []*node
+		for cur := n; cur != nil; cur = cur.parent {
+			chain = append(chain, cur)
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			for _, bc := range chain[i].changes {
+				m.prob.SetBounds(bc.v, bc.lo, bc.hi)
+			}
+		}
+	}
+	reset := func() {
+		for v := 0; v < nv; v++ {
+			m.prob.SetBounds(v, baseLo[v], baseHi[v])
+		}
+	}
+
+	h := &nodeHeap{{bound: math.Inf(-1)}}
+	seq := 0
+	sinceImprove := 0
+	for h.Len() > 0 {
+		if opt.NodeLimit > 0 && res.Nodes >= opt.NodeLimit {
+			break
+		}
+		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			break
+		}
+		if opt.StallLimit > 0 && incumbent != nil && sinceImprove >= opt.StallLimit {
+			break
+		}
+		sinceImprove++
+		n := heap.Pop(h).(*node)
+		if n.bound >= incObj-1e-9 {
+			continue // already dominated
+		}
+		// Best-first order makes the popped bound the global lower bound;
+		// stop once the incumbent is within the requested gap.
+		if opt.Gap > 0 && !math.IsInf(incObj, 1) &&
+			incObj-n.bound <= opt.Gap*math.Max(1, math.Abs(incObj)) {
+			heap.Push(h, n)
+			break
+		}
+		res.Nodes++
+		reset()
+		apply(n)
+		sol, err := m.prob.Solve()
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			if n.parent == nil {
+				res.Status = Unbounded
+				res.Runtime = time.Since(start)
+				return res, nil
+			}
+			continue
+		case lp.IterLimit:
+			continue // treat as unexplorable; bound stays with siblings
+		}
+		obj := sol.Obj + m.objC
+		if n.parent == nil {
+			res.Bound = obj
+		}
+		if obj >= incObj-1e-9 {
+			continue
+		}
+		// Rounding heuristic while no incumbent exists: fix the integer
+		// part of the relaxation (group-aware) and re-solve for the
+		// continuous part. Cheap, and it often rescues cold starts.
+		if incumbent == nil && res.Nodes%16 == 1 {
+			if cand, obj, ok := m.tryRounding(sol.X); ok && obj < incObj-1e-9 {
+				incumbent = cand
+				incObj = obj
+				sinceImprove = 0
+			}
+		}
+		branchVar, branchGroup := m.pickBranch(sol.X)
+		if opt.NoGroupBranching && branchGroup >= 0 {
+			// Ablation mode: resolve the group with binary branching on
+			// its most fractional member instead.
+			branchGroup = -1
+			branchVar = -1
+			bestFrac := intTol
+			for _, g := range m.groups {
+				for _, v := range g {
+					if f := frac(sol.X[v]); f > bestFrac {
+						bestFrac = f
+						branchVar = int(v)
+					}
+				}
+			}
+			if branchVar < 0 {
+				bv, _ := m.pickBranchVarOnly(sol.X)
+				branchVar = bv
+			}
+		}
+		if branchVar < 0 && branchGroup < 0 {
+			// Integer feasible: new incumbent. Only a significant
+			// improvement resets the stall counter — a trickle of
+			// marginal gains should not keep a budgeted search alive.
+			if obj < incObj-math.Max(1e-6, 0.002*math.Abs(incObj)) {
+				sinceImprove = 0
+			}
+			incumbent = append([]float64(nil), sol.X...)
+			incObj = obj
+			continue
+		}
+		if branchGroup >= 0 {
+			// k-way branch: each child fixes a different member to 0 and
+			// the rest to 1.
+			g := m.groups[branchGroup]
+			for _, zero := range g {
+				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq}
+				seq++
+				for _, v := range g {
+					if v == zero {
+						ch.changes = append(ch.changes, boundChange{int(v), 0, 0})
+					} else {
+						ch.changes = append(ch.changes, boundChange{int(v), 1, 1})
+					}
+				}
+				if obj < incObj-1e-9 {
+					heap.Push(h, ch)
+				}
+			}
+			continue
+		}
+		// Standard two-way branch on a fractional integer variable.
+		x := sol.X[branchVar]
+		lo, hi := m.prob.Bounds(branchVar)
+		fl := math.Floor(x)
+		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq,
+			changes: []boundChange{{branchVar, lo, fl}}}
+		seq++
+		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq,
+			changes: []boundChange{{branchVar, fl + 1, hi}}}
+		seq++
+		heap.Push(h, down)
+		heap.Push(h, up)
+	}
+	reset()
+
+	res.Runtime = time.Since(start)
+	if incumbent != nil {
+		res.X = incumbent
+		res.Obj = incObj
+		if h.Len() == 0 {
+			res.Status = Optimal
+			res.Bound = incObj
+		} else {
+			res.Status = Feasible
+			// Bound is the best outstanding node bound.
+			best := incObj
+			for _, n := range *h {
+				if n.bound < best {
+					best = n.bound
+				}
+			}
+			res.Bound = best
+		}
+		return res, nil
+	}
+	if h.Len() == 0 {
+		res.Status = Infeasible
+	}
+	return res, nil
+}
+
+// pickBranch selects a branching target given the relaxation solution.
+// It prefers disjunction groups whose members are fractional; otherwise it
+// returns the most fractional integer variable. Returns (-1, -1) when the
+// solution is integer feasible.
+func (m *Model) pickBranch(x []float64) (branchVar, branchGroup int) {
+	// Disjunction groups first: a group is unresolved if no member is
+	// (near-)zero while all are in bounds, or members are fractional.
+	bestGroup, bestGroupScore := -1, 0.0
+	for gi, g := range m.groups {
+		score := 0.0
+		resolved := false
+		for _, v := range g {
+			xv := x[v]
+			if xv < intTol {
+				resolved = true
+				break
+			}
+			if f := frac(xv); f > intTol {
+				score += f
+			}
+		}
+		if !resolved && score > bestGroupScore {
+			bestGroupScore = score
+			bestGroup = gi
+		}
+	}
+	if bestGroup >= 0 {
+		return -1, bestGroup
+	}
+	return m.pickBranchVarOnly(x)
+}
+
+// pickBranchVarOnly returns the most fractional integer variable.
+func (m *Model) pickBranchVarOnly(x []float64) (branchVar, branchGroup int) {
+	bestVar, bestFrac := -1, intTol
+	for v := 0; v < len(m.isInt); v++ {
+		if !m.isInt[v] {
+			continue
+		}
+		if f := frac(x[v]); f > bestFrac {
+			// Most-fractional: prefer values near .5.
+			d := math.Abs(f - 0.5)
+			bd := math.Abs(bestFrac - 0.5)
+			if bestVar < 0 || d < bd {
+				bestVar = v
+				bestFrac = f
+			}
+		}
+	}
+	return bestVar, -1
+}
+
+func frac(x float64) float64 {
+	_, f := math.Modf(math.Abs(x))
+	return math.Min(f, 1-f)
+}
+
+// tryRounding fixes every integer variable to a rounded value — within
+// each disjunction group the member with the smallest relaxation value
+// goes to 0 and the rest to 1 — re-solves the LP for the continuous
+// variables, and returns the resulting point when integer feasible.
+// Bounds are restored before returning.
+func (m *Model) tryRounding(x []float64) ([]float64, float64, bool) {
+	nv := m.prob.NumVars()
+	saveLo := make([]float64, nv)
+	saveHi := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		saveLo[v], saveHi[v] = m.prob.Bounds(v)
+	}
+	defer func() {
+		for v := 0; v < nv; v++ {
+			m.prob.SetBounds(v, saveLo[v], saveHi[v])
+		}
+	}()
+	inGroup := map[int]bool{}
+	for _, g := range m.groups {
+		zero := g[0]
+		for _, v := range g {
+			inGroup[int(v)] = true
+			if x[v] < x[zero] {
+				zero = v
+			}
+		}
+		for _, v := range g {
+			val := 1.0
+			if v == zero {
+				val = 0.0
+			}
+			lo, hi := saveLo[v], saveHi[v]
+			if val < lo || val > hi {
+				return nil, 0, false // branching already excluded this choice
+			}
+			m.prob.SetBounds(int(v), val, val)
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if !m.isInt[v] || inGroup[v] {
+			continue
+		}
+		val := math.Round(x[v])
+		val = math.Max(val, saveLo[v])
+		val = math.Min(val, saveHi[v])
+		m.prob.SetBounds(v, val, val)
+	}
+	sol, err := m.prob.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	cand := append([]float64(nil), sol.X...)
+	// Validate against the ORIGINAL bounds (restore first via defer order:
+	// verify manually here with the saved bounds).
+	const ftol = 1e-5
+	for v := 0; v < nv; v++ {
+		if cand[v] < saveLo[v]-ftol || cand[v] > saveHi[v]+ftol {
+			return nil, 0, false
+		}
+		if m.isInt[v] && frac(cand[v]) > intTol {
+			return nil, 0, false
+		}
+	}
+	if !m.prob.RowsSatisfied(cand, ftol) {
+		return nil, 0, false
+	}
+	obj := m.objC
+	for v := 0; v < nv; v++ {
+		obj += m.prob.Cost(v) * cand[v]
+	}
+	return cand, obj, true
+}
+
+// checkFeasible verifies a candidate assignment against all constraints,
+// bounds and integrality, returning its objective when feasible.
+func (m *Model) checkFeasible(x []float64) (bool, float64) {
+	if len(x) != m.prob.NumVars() {
+		return false, 0
+	}
+	const ftol = 1e-5
+	for v := 0; v < m.prob.NumVars(); v++ {
+		lo, hi := m.prob.Bounds(v)
+		if x[v] < lo-ftol || x[v] > hi+ftol {
+			return false, 0
+		}
+		if m.isInt[v] && frac(x[v]) > intTol {
+			return false, 0
+		}
+	}
+	if !m.prob.RowsSatisfied(x, ftol) {
+		return false, 0
+	}
+	obj := m.objC
+	for v := 0; v < m.prob.NumVars(); v++ {
+		obj += m.prob.Cost(v) * x[v]
+	}
+	return true, obj
+}

@@ -1,0 +1,333 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func solve(t *testing.T, m *Model, opt Options) *Result {
+	t.Helper()
+	r, err := m.Solve(opt)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return r
+}
+
+func wantOpt(t *testing.T, r *Result, obj float64) {
+	t.Helper()
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (obj=%v bound=%v nodes=%d)", r.Status, r.Obj, r.Bound, r.Nodes)
+	}
+	if math.Abs(r.Obj-obj) > 1e-5 {
+		t.Fatalf("obj = %v, want %v", r.Obj, obj)
+	}
+}
+
+func TestPureLP(t *testing.T) {
+	// No integer vars: a single LP solve.
+	m := NewModel()
+	x := m.Var("x", 0, 10)
+	y := m.Var("y", 0, 10)
+	m.AddLE(Sum(x, y), 12)
+	m.Minimize(NewExpr().Add(x, -1).Add(y, -2))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -22) // y=10, x=2
+	if r.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1", r.Nodes)
+	}
+}
+
+func TestSimpleKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c st 1a+1b+1c <= 2 (binary) -> a,b chosen: 16
+	m := NewModel()
+	a, b, c := m.Binary("a"), m.Binary("b"), m.Binary("c")
+	m.AddLE(Sum(a, b, c), 2)
+	m.Minimize(NewExpr().Add(a, -10).Add(b, -6).Add(c, -4))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -16)
+	if r.Value(a) < 0.5 || r.Value(b) < 0.5 || r.Value(c) > 0.5 {
+		t.Fatalf("selection = %v %v %v", r.Value(a), r.Value(b), r.Value(c))
+	}
+}
+
+func TestFractionalKnapsackNeedsBranching(t *testing.T) {
+	// Weights force a fractional LP relaxation.
+	// max 9x1 + 7x2 + 5x3, 6x1 + 5x2 + 4x3 <= 10, binary.
+	m := NewModel()
+	x1, x2, x3 := m.Binary("x1"), m.Binary("x2"), m.Binary("x3")
+	m.AddLE(NewExpr().Add(x1, 6).Add(x2, 5).Add(x3, 4), 10)
+	m.Minimize(NewExpr().Add(x1, -9).Add(x2, -7).Add(x3, -5))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -14) // x1 + x3 = 9 + 5
+	if r.Nodes < 2 {
+		t.Errorf("expected branching, nodes = %d", r.Nodes)
+	}
+}
+
+func TestIntegerVariable(t *testing.T) {
+	// min -x st 3x <= 10, x integer in [0, 10] -> x = 3
+	m := NewModel()
+	x := m.Int("x", 0, 10)
+	m.AddLE(T(x, 3), 10)
+	m.Minimize(T(x, -1))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -3)
+}
+
+func TestObjectiveConstant(t *testing.T) {
+	m := NewModel()
+	x := m.Int("x", 0, 5)
+	m.AddGE(T(x, 1), 2)
+	m.Minimize(NewExpr().Add(x, 1).AddConst(100))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, 102)
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 2x = 3 has no integer solution.
+	m := NewModel()
+	x := m.Int("x", 0, 10)
+	m.AddEQ(T(x, 2), 3)
+	r := solve(t, m, Options{})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnboundedRelaxation(t *testing.T) {
+	m := NewModel()
+	x := m.Var("x", 0, math.Inf(1))
+	m.Minimize(T(x, -1))
+	r := solve(t, m, Options{})
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestDisjunctionBranching(t *testing.T) {
+	// Two 10-wide intervals on a line of length 25 must not overlap:
+	// xa + 10 <= xb + q1*M  or  xb + 10 <= xa + q2*M, exactly one active.
+	const M = 1000
+	m := NewModel()
+	xa := m.Var("xa", 0, 15)
+	xb := m.Var("xb", 0, 15)
+	q1 := m.Binary("q1")
+	q2 := m.Binary("q2")
+	m.AddLE(NewExpr().Add(xa, 1).Add(xb, -1).Add(q1, -M), -10)
+	m.AddLE(NewExpr().Add(xb, 1).Add(xa, -1).Add(q2, -M), -10)
+	m.MarkDisjunction([]VarID{q1, q2})
+	// Prefer both as far left as possible.
+	m.Minimize(Sum(xa, xb))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, 10) // one at 0, other at 10
+	sep := math.Abs(r.Value(xa) - r.Value(xb))
+	if sep < 10-1e-6 {
+		t.Fatalf("intervals overlap: xa=%v xb=%v", r.Value(xa), r.Value(xb))
+	}
+}
+
+func TestFourWayDisjunction(t *testing.T) {
+	// The paper's full 2D non-overlap: two 10x10 squares in a 20x11 box.
+	// Only horizontal separation fits, so q3/q4 (vertical options) must
+	// lose. Minimise total extent.
+	const M = 1000
+	m := NewModel()
+	ax := m.Var("ax", 0, 10) // left edges; squares are 10 wide
+	bx := m.Var("bx", 0, 10)
+	ay := m.Var("ay", 0, 1) // box height 11 -> y in [0,1]
+	by := m.Var("by", 0, 1)
+	q1, q2 := m.Binary("q1"), m.Binary("q2")
+	q3, q4 := m.Binary("q3"), m.Binary("q4")
+	m.AddLE(NewExpr().Add(ax, 1).Add(bx, -1).Add(q1, -M), -10)
+	m.AddLE(NewExpr().Add(bx, 1).Add(ax, -1).Add(q2, -M), -10)
+	m.AddLE(NewExpr().Add(ay, 1).Add(by, -1).Add(q3, -M), -10)
+	m.AddLE(NewExpr().Add(by, 1).Add(ay, -1).Add(q4, -M), -10)
+	m.MarkDisjunction([]VarID{q1, q2, q3, q4})
+	m.Minimize(Sum(ax, bx, ay, by))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, 10)
+	if r.Value(q3) < 0.5 || r.Value(q4) < 0.5 {
+		t.Fatal("vertical separation should be inactive (tautology)")
+	}
+}
+
+func TestStartIncumbentAccepted(t *testing.T) {
+	m := NewModel()
+	a, b := m.Binary("a"), m.Binary("b")
+	m.AddLE(Sum(a, b), 1)
+	m.Minimize(NewExpr().Add(a, -3).Add(b, -2))
+	// Seed the optimal solution; search should confirm it.
+	start := []float64{1, 0}
+	r := solve(t, m, Options{Start: start})
+	wantOpt(t, r, -3)
+}
+
+func TestStartIncumbentRejectedIfInfeasible(t *testing.T) {
+	m := NewModel()
+	a, b := m.Binary("a"), m.Binary("b")
+	m.AddLE(Sum(a, b), 1)
+	m.Minimize(NewExpr().Add(a, -3).Add(b, -2))
+	// Infeasible seed (violates the row) must be ignored, not crash.
+	r := solve(t, m, Options{Start: []float64{1, 1}})
+	wantOpt(t, r, -3)
+}
+
+func TestNodeLimitReturnsIncumbent(t *testing.T) {
+	m := NewModel()
+	a, b := m.Binary("a"), m.Binary("b")
+	m.AddLE(Sum(a, b), 1)
+	m.Minimize(NewExpr().Add(a, -3).Add(b, -2))
+	r := solve(t, m, Options{Start: []float64{0, 1}, NodeLimit: 1})
+	// With a 1-node budget and a seeded incumbent, we get Feasible (or
+	// Optimal if the single node already proved it).
+	if r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Obj > -2+1e-9 {
+		t.Fatalf("obj = %v, incumbent lost", r.Obj)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// A big symmetric knapsack that cannot finish in ~0 time.
+	m := NewModel()
+	var vars []VarID
+	cap := NewExpr()
+	obj := NewExpr()
+	for i := 0; i < 40; i++ {
+		v := m.Binary("v")
+		vars = append(vars, v)
+		cap.Add(v, float64(3+i%7))
+		obj.Add(v, -float64(5+i%11))
+	}
+	m.AddLE(cap, 50)
+	m.Minimize(obj)
+	r := solve(t, m, Options{TimeLimit: time.Millisecond})
+	if r.Status == Optimal {
+		t.Skip("machine fast enough to prove optimality within 1ms")
+	}
+	if r.Status != Feasible && r.Status != Limit {
+		t.Fatalf("status = %v", r.Status)
+	}
+	_ = vars
+}
+
+func TestBoundsRestoredAfterSolve(t *testing.T) {
+	m := NewModel()
+	x := m.Int("x", 0, 10)
+	m.AddLE(T(x, 3), 10)
+	m.Minimize(T(x, -1))
+	if _, err := m.Solve(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Bounds(x)
+	if lo != 0 || hi != 10 {
+		t.Fatalf("bounds after solve = [%v,%v], want [0,10]", lo, hi)
+	}
+	// Second solve must reproduce the result.
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -3)
+}
+
+func TestFixVariable(t *testing.T) {
+	m := NewModel()
+	x := m.Int("x", 0, 10)
+	y := m.Int("y", 0, 10)
+	m.AddLE(Sum(x, y), 10)
+	m.Fix(x, 4)
+	m.Minimize(NewExpr().Add(x, -1).Add(y, -1))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, -10)
+	if math.Abs(r.Value(x)-4) > 1e-6 {
+		t.Fatalf("x = %v, want 4", r.Value(x))
+	}
+}
+
+func TestExprHelpers(t *testing.T) {
+	e := NewExpr().Add(VarID(0), 2).AddConst(5)
+	f := T(VarID(1), 3)
+	e.AddExpr(f)
+	if len(e.Terms) != 2 || e.Const != 5 {
+		t.Fatalf("expr = %+v", e)
+	}
+	s := Sum(VarID(0), VarID(1), VarID(2))
+	if len(s.Terms) != 3 {
+		t.Fatalf("sum = %+v", s)
+	}
+}
+
+func TestNames(t *testing.T) {
+	m := NewModel()
+	x := m.Var("width", 0, 1)
+	if m.Name(x) != "width" {
+		t.Fatalf("Name = %q", m.Name(x))
+	}
+	if m.NumVars() != 1 || m.NumInt() != 0 {
+		t.Fatal("counts wrong")
+	}
+	m.Binary("q")
+	if m.NumInt() != 1 {
+		t.Fatal("NumInt wrong")
+	}
+}
+
+func TestMarkDisjunctionPanicsOnContinuous(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModel()
+	x := m.Var("x", 0, 1)
+	m.MarkDisjunction([]VarID{x})
+}
+
+func TestGapTermination(t *testing.T) {
+	// With Gap = 1.0 (100%) any incumbent stops the search immediately.
+	m := NewModel()
+	var obj, cap *Expr = NewExpr(), NewExpr()
+	for i := 0; i < 12; i++ {
+		v := m.Binary("v")
+		cap.Add(v, float64(2+i%3))
+		obj.Add(v, -float64(3+i%5))
+	}
+	m.AddLE(cap, 9)
+	m.Minimize(obj)
+	r := solve(t, m, Options{Gap: 1.0})
+	if r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.X == nil {
+		t.Fatal("no solution returned")
+	}
+}
+
+// A placement-flavoured integration test: pack three rectangles of widths
+// 4, 5, 6 on a strip of height 10 (all height 10) minimising total width.
+// The optimum is abutting them: width 15.
+func TestStripPacking(t *testing.T) {
+	const M = 100
+	widths := []float64{4, 5, 6}
+	m := NewModel()
+	var xs []VarID
+	W := m.Var("W", 0, 100)
+	for i, w := range widths {
+		x := m.Var("x", 0, 100)
+		xs = append(xs, x)
+		m.AddLE(NewExpr().Add(x, 1).AddConst(w).Add(W, -1), 0)
+		_ = i
+	}
+	for i := range widths {
+		for j := i + 1; j < len(widths); j++ {
+			q1, q2 := m.Binary("q1"), m.Binary("q2")
+			m.AddLE(NewExpr().Add(xs[i], 1).AddConst(widths[i]).Add(xs[j], -1).Add(q1, -M), 0)
+			m.AddLE(NewExpr().Add(xs[j], 1).AddConst(widths[j]).Add(xs[i], -1).Add(q2, -M), 0)
+			m.MarkDisjunction([]VarID{q1, q2})
+		}
+	}
+	m.Minimize(T(W, 1))
+	r := solve(t, m, Options{})
+	wantOpt(t, r, 15)
+}

@@ -1,0 +1,505 @@
+// Package module implements the Columba S module model library
+// (Section 2.1, Figure 3): parameterised geometry templates for rotary
+// mixers, reaction chambers and switches.
+//
+// A module is a rectangular box defining the physical layout inside and
+// around a microfluidic component. Flow channels access every module
+// horizontally through pins on the left and right boundaries; valves are
+// accessed vertically through control channels leaving the top and/or
+// bottom boundaries. Module rotation is prohibited (the straight
+// channel-routing discipline depends on it), so templates have a fixed
+// orientation.
+package module
+
+import (
+	"fmt"
+	"math"
+
+	"columbas/internal/geom"
+	"columbas/internal/netlist"
+)
+
+// Physical constants of the Columba S design rules, in µm.
+const (
+	// D is the minimum channel spacing distance d (Figure 3(a)).
+	D = 100.0
+	// DPrime is d', the pitch that prevents fluid inlets from overlapping
+	// in the flow boundaries (Figure 3(e)).
+	DPrime = 750.0
+	// ChannelW is the physical width of an etched channel.
+	ChannelW = 100.0
+	// PumpPitch is the enlarged spacing between pumping valves that
+	// resolves the manufacturing concern mentioned in Section 2.1.
+	PumpPitch = 400.0
+	// ValveSize is the side length of a (square) valve footprint.
+	ValveSize = 200.0
+)
+
+// Default module footprints, in µm.
+const (
+	MixerW   = 3000.0
+	MixerH   = 3000.0
+	ChamberW = 2000.0
+	ChamberH = 1200.0
+)
+
+// Kind distinguishes the three module types of the library.
+type Kind int
+
+// Module kinds.
+const (
+	KindMixer Kind = iota
+	KindChamber
+	KindSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMixer:
+		return "mixer"
+	case KindChamber:
+		return "chamber"
+	case KindSwitch:
+		return "switch"
+	}
+	return "unknown"
+}
+
+// CtrlAccess selects which vertical boundary a module's control channels
+// leave through (Figure 3(b)-(e)).
+type CtrlAccess int
+
+// Control access directions.
+const (
+	FromBottom CtrlAccess = iota
+	FromTop
+	FromBoth // valves split between both boundaries (Figure 3(d))
+)
+
+func (a CtrlAccess) String() string {
+	switch a {
+	case FromBottom:
+		return "bottom"
+	case FromTop:
+		return "top"
+	case FromBoth:
+		return "both"
+	}
+	return "unknown"
+}
+
+// ValveKind classifies valves for rendering and control semantics.
+type ValveKind int
+
+// Valve kinds. Pump valves drive peristalsis; sieve valves permit washing
+// (Figure 3(c)); separation valves support cell capture (Figure 3(d));
+// Mux valves live in multiplexers and are driven by MUX-flow channels.
+const (
+	ValveRegular ValveKind = iota
+	ValvePump
+	ValveSieve
+	ValveSeparation
+	ValveMux
+)
+
+func (v ValveKind) String() string {
+	switch v {
+	case ValveRegular:
+		return "regular"
+	case ValvePump:
+		return "pump"
+	case ValveSieve:
+		return "sieve"
+	case ValveSeparation:
+		return "separation"
+	case ValveMux:
+		return "mux"
+	}
+	return "unknown"
+}
+
+// Valve is a placed valve.
+type Valve struct {
+	At   geom.Pt
+	Kind ValveKind
+}
+
+// CtrlLine is one independent control channel of a module: a vertical line
+// at a fixed x that actuates one or more valves simultaneously.
+type CtrlLine struct {
+	Name   string
+	X      float64 // absolute x of the vertical control channel
+	Valves []Valve
+	Access CtrlAccess // FromBottom or FromTop after resolution
+}
+
+// Junction is one managed flow-channel junction of a switch: a horizontal
+// channel entering the spine, guarded by a valve.
+type Junction struct {
+	Y     float64 // absolute y of the junction channel
+	Left  bool    // true: enters from the left boundary, false: right
+	Valve Valve
+}
+
+// Instance is a placed module with concrete geometry.
+type Instance struct {
+	Name string
+	Kind Kind
+	Opt  netlist.MixerOpt // mixers only
+	Box  geom.Rect
+
+	// PinLeft/PinRight are the flow access points on the module boundary.
+	PinLeft  geom.Pt
+	PinRight geom.Pt
+
+	Lines []CtrlLine // control channels, in increasing x
+	Flow  []geom.Seg // internal flow geometry for rendering/DRC
+
+	// Switch-specific state.
+	SpineX    float64
+	Junctions []Junction
+}
+
+// Footprint returns the module box size for a functional unit, honouring
+// per-unit overrides from the netlist.
+func Footprint(u netlist.Unit) (w, h float64) {
+	switch u.Type {
+	case netlist.Mixer:
+		w, h = MixerW, MixerH
+	case netlist.Chamber:
+		w, h = ChamberW, ChamberH
+	}
+	if u.W > 0 {
+		w = u.W
+	}
+	if u.H > 0 {
+		h = u.H
+	}
+	return w, h
+}
+
+// ControlLineCount returns the number of independent control channels a
+// unit's module requires. Parallel units share these lines, so the count
+// feeds directly into multiplexer sizing.
+func ControlLineCount(u netlist.Unit) int {
+	switch u.Type {
+	case netlist.Chamber:
+		return 2 // inlet valve + outlet valve
+	case netlist.Mixer:
+		n := 5 // three pump valves + in valve + out valve
+		if u.Opt == netlist.Sieve || u.Opt == netlist.CellTrap {
+			n += 2 // two pairwise-actuated sieve/separation valve pairs
+		}
+		return n
+	}
+	return 0
+}
+
+// SwitchWidth returns the x-extent of a switch with c flow-channel
+// junctions: w = 4d + c·2d (Section 3.2).
+func SwitchWidth(c int) float64 { return 4*D + float64(c)*2*D }
+
+// PinYOffset returns the y offset of the flow pins within a unit's module
+// box. Flow channels run through the vertical middle.
+func PinYOffset(u netlist.Unit) float64 {
+	_, h := Footprint(u)
+	return h / 2
+}
+
+// Instantiate places the module of a functional unit with its bottom-left
+// corner at 'at', resolving the control access direction.
+func Instantiate(name string, u netlist.Unit, at geom.Pt, access CtrlAccess) (*Instance, error) {
+	switch u.Type {
+	case netlist.Mixer:
+		return newMixer(name, u, at, access), nil
+	case netlist.Chamber:
+		return newChamber(name, u, at, access), nil
+	default:
+		return nil, fmt.Errorf("module: unit %q has unknown type %v", name, u.Type)
+	}
+}
+
+func newMixer(name string, u netlist.Unit, at geom.Pt, access CtrlAccess) *Instance {
+	w, h := Footprint(u)
+	box := geom.RectWH(at.X, at.Y, w, h)
+	pinY := at.Y + h/2
+	in := &Instance{
+		Name: name, Kind: KindMixer, Opt: u.Opt, Box: box,
+		PinLeft:  geom.Pt{X: box.XL, Y: pinY},
+		PinRight: geom.Pt{X: box.XR, Y: pinY},
+	}
+	// Ring geometry: a rectangular rotary ring centred in the module with
+	// the flow-through channel splitting around it.
+	ringL := at.X + 0.25*w
+	ringR := at.X + 0.75*w
+	ringB := at.Y + 0.30*h
+	ringT := at.Y + 0.80*h
+	in.Flow = []geom.Seg{
+		{A: geom.Pt{X: box.XL, Y: pinY}, B: geom.Pt{X: ringL, Y: pinY}}, // left stub
+		{A: geom.Pt{X: ringR, Y: pinY}, B: geom.Pt{X: box.XR, Y: pinY}}, // right stub
+		{A: geom.Pt{X: ringL, Y: ringB}, B: geom.Pt{X: ringR, Y: ringB}},
+		{A: geom.Pt{X: ringL, Y: ringT}, B: geom.Pt{X: ringR, Y: ringT}},
+		{A: geom.Pt{X: ringL, Y: ringB}, B: geom.Pt{X: ringL, Y: ringT}},
+		{A: geom.Pt{X: ringR, Y: ringB}, B: geom.Pt{X: ringR, Y: ringT}},
+	}
+	cx := box.Center().X
+	// Three pumping valves across the top ring segment, PumpPitch apart.
+	for i := -1; i <= 1; i++ {
+		x := cx + float64(i)*PumpPitch
+		in.Lines = append(in.Lines, CtrlLine{
+			Name:   fmt.Sprintf("%s.pump%d", name, i+2),
+			X:      x,
+			Valves: []Valve{{At: geom.Pt{X: x, Y: ringT}, Kind: ValvePump}},
+		})
+	}
+	// In/out valves on the flow-through stubs.
+	inX := at.X + 0.125*w
+	outX := at.X + 0.875*w
+	in.Lines = append(in.Lines,
+		CtrlLine{Name: name + ".in", X: inX,
+			Valves: []Valve{{At: geom.Pt{X: inX, Y: pinY}, Kind: ValveRegular}}},
+		CtrlLine{Name: name + ".out", X: outX,
+			Valves: []Valve{{At: geom.Pt{X: outX, Y: pinY}, Kind: ValveRegular}}},
+	)
+	switch u.Opt {
+	case netlist.Sieve:
+		// Two sieve pairs on the vertical ring segments (Figure 3(c)).
+		for side, x := range map[string]float64{"A": ringL, "B": ringR} {
+			in.Lines = append(in.Lines, CtrlLine{
+				Name: name + ".sieve" + side,
+				X:    x,
+				Valves: []Valve{
+					{At: geom.Pt{X: x, Y: at.Y + 0.45*h}, Kind: ValveSieve},
+					{At: geom.Pt{X: x, Y: at.Y + 0.65*h}, Kind: ValveSieve},
+				},
+			})
+		}
+	case netlist.CellTrap:
+		// Two separation-valve pairs on the vertical ring segments
+		// (Figure 3(d)); placed on the ring corners to keep d spacing
+		// from the pump lines.
+		for side, x := range map[string]float64{"A": cx - 0.25*w, "B": cx + 0.25*w} {
+			in.Lines = append(in.Lines, CtrlLine{
+				Name: name + ".sep" + side,
+				X:    x,
+				Valves: []Valve{
+					{At: geom.Pt{X: x, Y: ringB}, Kind: ValveSeparation},
+					{At: geom.Pt{X: x, Y: ringT}, Kind: ValveSeparation},
+				},
+			})
+		}
+	}
+	resolveAccess(in, access)
+	sortLines(in)
+	return in
+}
+
+func newChamber(name string, u netlist.Unit, at geom.Pt, access CtrlAccess) *Instance {
+	w, h := Footprint(u)
+	box := geom.RectWH(at.X, at.Y, w, h)
+	pinY := at.Y + h/2
+	in := &Instance{
+		Name: name, Kind: KindChamber, Box: box,
+		PinLeft:  geom.Pt{X: box.XL, Y: pinY},
+		PinRight: geom.Pt{X: box.XR, Y: pinY},
+		Flow: []geom.Seg{
+			{A: geom.Pt{X: box.XL, Y: pinY}, B: geom.Pt{X: box.XR, Y: pinY}},
+		},
+	}
+	inX := at.X + 0.15*w
+	outX := at.X + 0.85*w
+	in.Lines = []CtrlLine{
+		{Name: name + ".in", X: inX,
+			Valves: []Valve{{At: geom.Pt{X: inX, Y: pinY}, Kind: ValveRegular}}},
+		{Name: name + ".out", X: outX,
+			Valves: []Valve{{At: geom.Pt{X: outX, Y: pinY}, Kind: ValveRegular}}},
+	}
+	resolveAccess(in, access)
+	sortLines(in)
+	return in
+}
+
+// InstantiateSwitch places a switch module with c junctions whose spine
+// spans [at.Y, at.Y+h]. Junction y positions are provisional (evenly
+// spaced); layout validation moves them onto the incident channel rows via
+// SetJunctionY.
+func InstantiateSwitch(name string, c int, at geom.Pt, h float64, access CtrlAccess) (*Instance, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("module: switch %q needs at least one junction", name)
+	}
+	w := SwitchWidth(c)
+	minH := 2 * D * float64(c+1)
+	if h < minH {
+		h = minH
+	}
+	box := geom.RectWH(at.X, at.Y, w, h)
+	in := &Instance{
+		Name: name, Kind: KindSwitch, Box: box,
+		PinLeft:  geom.Pt{X: box.XL, Y: at.Y + h/2},
+		PinRight: geom.Pt{X: box.XR, Y: at.Y + h/2},
+	}
+	for i := 0; i < c; i++ {
+		y := at.Y + float64(i+1)*h/float64(c+1)
+		jn := Junction{
+			Y:     y,
+			Left:  i%2 == 0,
+			Valve: Valve{At: geom.Pt{Y: y}, Kind: ValveRegular},
+		}
+		in.Junctions = append(in.Junctions, jn)
+		in.Lines = append(in.Lines, CtrlLine{
+			Name:   fmt.Sprintf("%s.j%d", name, i),
+			Valves: []Valve{jn.Valve},
+		})
+	}
+	resolveAccess(in, access)
+	in.layoutJunctions()
+	return in, nil
+}
+
+// layoutJunctions places the spine and the junction valves from the
+// current side assignment. The spine divides the switch width
+// proportionally to the junction counts so every junction valve gets a
+// distinct x slot at 2d pitch on its own side (the w = 4d + c·2d formula
+// provides exactly c slots plus margins).
+func (in *Instance) layoutJunctions() {
+	nLeft := 0
+	for _, j := range in.Junctions {
+		if j.Left {
+			nLeft++
+		}
+	}
+	in.SpineX = in.Box.XL + 2*D + float64(nLeft)*2*D
+	lk, rk := 0, 0
+	for i := range in.Junctions {
+		j := &in.Junctions[i]
+		var x float64
+		if j.Left {
+			x = in.Box.XL + 2*D + float64(lk)*2*D
+			lk++
+		} else {
+			x = in.SpineX + 2*D + float64(rk)*2*D
+			rk++
+		}
+		j.Valve.At.X = x
+		in.Lines[i].X = x
+		in.Lines[i].Valves[0] = j.Valve
+	}
+	in.rebuildSwitchFlow()
+}
+
+// SetJunctionY moves junction i onto the row of its incident flow channel
+// and reports whether the junction exists. The spine and the module box
+// stretch to cover all junctions (the paper allows the spine to extend
+// vertically, constraint (12)).
+func (in *Instance) SetJunctionY(i int, y float64) bool {
+	if in.Kind != KindSwitch || i < 0 || i >= len(in.Junctions) {
+		return false
+	}
+	j := &in.Junctions[i]
+	j.Y = y
+	j.Valve.At.Y = y
+	in.Lines[i].Valves[0].At.Y = y
+	if y-D < in.Box.YB {
+		in.Box.YB = y - D
+	}
+	if y+D > in.Box.YT {
+		in.Box.YT = y + D
+	}
+	in.rebuildSwitchFlow()
+	return true
+}
+
+// SetJunctionSide sets which boundary junction i enters from and relays
+// the valve slots (the spine moves with the side balance).
+func (in *Instance) SetJunctionSide(i int, left bool) bool {
+	if in.Kind != KindSwitch || i < 0 || i >= len(in.Junctions) {
+		return false
+	}
+	in.Junctions[i].Left = left
+	in.layoutJunctions()
+	return true
+}
+
+func (in *Instance) rebuildSwitchFlow() {
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, j := range in.Junctions {
+		ymin = math.Min(ymin, j.Y)
+		ymax = math.Max(ymax, j.Y)
+	}
+	in.Flow = in.Flow[:0]
+	// Spine covers all junction rows.
+	in.Flow = append(in.Flow, geom.Seg{
+		A: geom.Pt{X: in.SpineX, Y: ymin},
+		B: geom.Pt{X: in.SpineX, Y: ymax},
+	})
+	for _, j := range in.Junctions {
+		if j.Left {
+			in.Flow = append(in.Flow, geom.Seg{
+				A: geom.Pt{X: in.Box.XL, Y: j.Y},
+				B: geom.Pt{X: in.SpineX, Y: j.Y},
+			})
+		} else {
+			in.Flow = append(in.Flow, geom.Seg{
+				A: geom.Pt{X: in.SpineX, Y: j.Y},
+				B: geom.Pt{X: in.Box.XR, Y: j.Y},
+			})
+		}
+	}
+}
+
+// resolveAccess assigns each control line its boundary. FromBoth splits
+// lines alternately between bottom and top, mirroring Figure 3(d).
+func resolveAccess(in *Instance, access CtrlAccess) {
+	for i := range in.Lines {
+		switch access {
+		case FromBottom, FromTop:
+			in.Lines[i].Access = access
+		case FromBoth:
+			if i%2 == 0 {
+				in.Lines[i].Access = FromBottom
+			} else {
+				in.Lines[i].Access = FromTop
+			}
+		}
+	}
+}
+
+func sortLines(in *Instance) {
+	// Control lines ordered by x for deterministic downstream processing.
+	for i := 1; i < len(in.Lines); i++ {
+		for j := i; j > 0 && in.Lines[j].X < in.Lines[j-1].X; j-- {
+			in.Lines[j], in.Lines[j-1] = in.Lines[j-1], in.Lines[j]
+		}
+	}
+}
+
+// Valves returns every valve of the instance.
+func (in *Instance) Valves() []Valve {
+	var out []Valve
+	for _, l := range in.Lines {
+		out = append(out, l.Valves...)
+	}
+	return out
+}
+
+// Translate moves the whole instance by (dx, dy).
+func (in *Instance) Translate(dx, dy float64) {
+	in.Box = in.Box.Translate(dx, dy)
+	in.PinLeft = in.PinLeft.Add(dx, dy)
+	in.PinRight = in.PinRight.Add(dx, dy)
+	in.SpineX += dx
+	for i := range in.Lines {
+		in.Lines[i].X += dx
+		for k := range in.Lines[i].Valves {
+			in.Lines[i].Valves[k].At = in.Lines[i].Valves[k].At.Add(dx, dy)
+		}
+	}
+	for i := range in.Flow {
+		in.Flow[i].A = in.Flow[i].A.Add(dx, dy)
+		in.Flow[i].B = in.Flow[i].B.Add(dx, dy)
+	}
+	for i := range in.Junctions {
+		in.Junctions[i].Y += dy
+		in.Junctions[i].Valve.At = in.Junctions[i].Valve.At.Add(dx, dy)
+	}
+}

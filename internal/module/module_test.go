@@ -1,0 +1,380 @@
+package module
+
+import (
+	"math"
+	"testing"
+
+	"columbas/internal/geom"
+	"columbas/internal/netlist"
+)
+
+func mixerUnit(opt netlist.MixerOpt) netlist.Unit {
+	return netlist.Unit{Name: "m", Type: netlist.Mixer, Opt: opt}
+}
+
+func chamberUnit() netlist.Unit {
+	return netlist.Unit{Name: "c", Type: netlist.Chamber}
+}
+
+func TestFootprintDefaults(t *testing.T) {
+	w, h := Footprint(mixerUnit(netlist.Plain))
+	if w != MixerW || h != MixerH {
+		t.Fatalf("mixer footprint = %v x %v", w, h)
+	}
+	w, h = Footprint(chamberUnit())
+	if w != ChamberW || h != ChamberH {
+		t.Fatalf("chamber footprint = %v x %v", w, h)
+	}
+}
+
+func TestFootprintOverride(t *testing.T) {
+	u := netlist.Unit{Name: "c", Type: netlist.Chamber, W: 4000, H: 900}
+	w, h := Footprint(u)
+	if w != 4000 || h != 900 {
+		t.Fatalf("override footprint = %v x %v", w, h)
+	}
+}
+
+func TestControlLineCount(t *testing.T) {
+	cases := []struct {
+		u    netlist.Unit
+		want int
+	}{
+		{mixerUnit(netlist.Plain), 5},
+		{mixerUnit(netlist.Sieve), 7},
+		{mixerUnit(netlist.CellTrap), 7},
+		{chamberUnit(), 2},
+	}
+	for _, tc := range cases {
+		if got := ControlLineCount(tc.u); got != tc.want {
+			t.Errorf("ControlLineCount(%v/%v) = %d, want %d", tc.u.Type, tc.u.Opt, got, tc.want)
+		}
+	}
+}
+
+func TestSwitchWidthFormula(t *testing.T) {
+	// w = 4d + c*2d (Section 3.2)
+	for c := 1; c <= 8; c++ {
+		want := 4*D + float64(c)*2*D
+		if got := SwitchWidth(c); got != want {
+			t.Errorf("SwitchWidth(%d) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestInstantiateMixer(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.Plain), geom.Pt{X: 100, Y: 200}, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindMixer {
+		t.Fatalf("Kind = %v", in.Kind)
+	}
+	wantBox := geom.RectWH(100, 200, MixerW, MixerH)
+	if in.Box != wantBox {
+		t.Fatalf("Box = %v, want %v", in.Box, wantBox)
+	}
+	// Pins on the left/right boundaries at mid height.
+	if !in.PinLeft.Eq(geom.Pt{X: 100, Y: 200 + MixerH/2}) {
+		t.Fatalf("PinLeft = %v", in.PinLeft)
+	}
+	if !in.PinRight.Eq(geom.Pt{X: 100 + MixerW, Y: 200 + MixerH/2}) {
+		t.Fatalf("PinRight = %v", in.PinRight)
+	}
+	if len(in.Lines) != 5 {
+		t.Fatalf("lines = %d, want 5", len(in.Lines))
+	}
+	// All control lines inside the box, all valves on their line.
+	for _, l := range in.Lines {
+		if l.X < in.Box.XL || l.X > in.Box.XR {
+			t.Errorf("line %s at x=%v outside box", l.Name, l.X)
+		}
+		if l.Access != FromBottom {
+			t.Errorf("line %s access = %v", l.Name, l.Access)
+		}
+		for _, v := range l.Valves {
+			if math.Abs(v.At.X-l.X) > geom.Eps {
+				t.Errorf("valve of %s off its control line", l.Name)
+			}
+			if !in.Box.Contains(v.At) {
+				t.Errorf("valve of %s outside module box", l.Name)
+			}
+		}
+	}
+	// Pump valves exist and respect the enlarged pitch.
+	var pumpXs []float64
+	for _, l := range in.Lines {
+		for _, v := range l.Valves {
+			if v.Kind == ValvePump {
+				pumpXs = append(pumpXs, v.At.X)
+			}
+		}
+	}
+	if len(pumpXs) != 3 {
+		t.Fatalf("pump valves = %d, want 3", len(pumpXs))
+	}
+	for i := 1; i < len(pumpXs); i++ {
+		if gap := math.Abs(pumpXs[i] - pumpXs[i-1]); gap < PumpPitch-geom.Eps {
+			t.Errorf("pump pitch %v < %v", gap, PumpPitch)
+		}
+	}
+}
+
+func TestMixerLinesSorted(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.Sieve), geom.Pt{}, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(in.Lines); i++ {
+		if in.Lines[i].X < in.Lines[i-1].X {
+			t.Fatalf("lines not sorted by x: %v then %v", in.Lines[i-1].X, in.Lines[i].X)
+		}
+	}
+}
+
+func TestMixerSieveValves(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.Sieve), geom.Pt{}, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Lines) != 7 {
+		t.Fatalf("lines = %d, want 7", len(in.Lines))
+	}
+	sieve := 0
+	for _, v := range in.Valves() {
+		if v.Kind == ValveSieve {
+			sieve++
+		}
+	}
+	if sieve != 4 {
+		t.Fatalf("sieve valves = %d, want 4 (Figure 3(c))", sieve)
+	}
+}
+
+func TestMixerCellTrapValves(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.CellTrap), geom.Pt{}, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep := 0
+	for _, v := range in.Valves() {
+		if v.Kind == ValveSeparation {
+			sep++
+		}
+	}
+	if sep != 4 {
+		t.Fatalf("separation valves = %d, want 4 (Figure 3(d))", sep)
+	}
+}
+
+func TestCtrlAccessBoth(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.Plain), geom.Pt{}, FromBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom, top := 0, 0
+	for _, l := range in.Lines {
+		switch l.Access {
+		case FromBottom:
+			bottom++
+		case FromTop:
+			top++
+		default:
+			t.Fatalf("line %s unresolved access", l.Name)
+		}
+	}
+	if bottom == 0 || top == 0 {
+		t.Fatalf("FromBoth should split lines: bottom=%d top=%d", bottom, top)
+	}
+}
+
+func TestInstantiateChamber(t *testing.T) {
+	in, err := Instantiate("c1", chamberUnit(), geom.Pt{X: 50, Y: 60}, FromTop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Kind != KindChamber || len(in.Lines) != 2 {
+		t.Fatalf("chamber = %+v", in)
+	}
+	for _, l := range in.Lines {
+		if l.Access != FromTop {
+			t.Errorf("access = %v", l.Access)
+		}
+	}
+	// Chamber flow is a single straight horizontal channel through the box.
+	if len(in.Flow) != 1 || !in.Flow[0].Horizontal() {
+		t.Fatalf("chamber flow = %+v", in.Flow)
+	}
+}
+
+func TestInstantiateUnknownType(t *testing.T) {
+	_, err := Instantiate("x", netlist.Unit{Name: "x", Type: netlist.UnitType(99)}, geom.Pt{}, FromBottom)
+	if err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestInstantiateSwitch(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 4, geom.Pt{X: 0, Y: 0}, 2000, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Kind != KindSwitch {
+		t.Fatalf("Kind = %v", sw.Kind)
+	}
+	if got, want := sw.Box.W(), SwitchWidth(4); got != want {
+		t.Fatalf("width = %v, want %v", got, want)
+	}
+	if len(sw.Junctions) != 4 || len(sw.Lines) != 4 {
+		t.Fatalf("junctions/lines = %d/%d", len(sw.Junctions), len(sw.Lines))
+	}
+	// Distinct control-channel x positions (one per junction valve).
+	seen := map[float64]bool{}
+	for _, l := range sw.Lines {
+		if seen[l.X] {
+			t.Fatalf("duplicate control x %v", l.X)
+		}
+		seen[l.X] = true
+	}
+}
+
+func TestSwitchMinHeight(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 5, geom.Pt{}, 10, FromBottom) // too small
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Box.H() < 2*D*6 {
+		t.Fatalf("height %v below minimum", sw.Box.H())
+	}
+}
+
+func TestSwitchBadJunctionCount(t *testing.T) {
+	if _, err := InstantiateSwitch("s1", 0, geom.Pt{}, 100, FromBottom); err == nil {
+		t.Fatal("expected error for zero junctions")
+	}
+}
+
+func TestSetJunctionY(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 3, geom.Pt{X: 0, Y: 0}, 1000, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.SetJunctionY(1, 5000) { // far above the original box
+		t.Fatal("SetJunctionY returned false")
+	}
+	if sw.Junctions[1].Y != 5000 {
+		t.Fatalf("junction y = %v", sw.Junctions[1].Y)
+	}
+	// The spine (and box) must stretch to cover the junction (paper's
+	// vertically extensible spine, constraint (12)).
+	if sw.Box.YT < 5000 {
+		t.Fatalf("box did not stretch: %v", sw.Box)
+	}
+	spine := sw.Flow[0]
+	top := math.Max(spine.A.Y, spine.B.Y)
+	if top < 5000-geom.Eps {
+		t.Fatalf("spine top = %v, want >= 5000", top)
+	}
+	if sw.SetJunctionY(9, 0) {
+		t.Fatal("out-of-range junction should return false")
+	}
+}
+
+func TestSetJunctionSide(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 2, geom.Pt{}, 1000, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.SetJunctionSide(0, false) {
+		t.Fatal("SetJunctionSide returned false")
+	}
+	if sw.Junctions[0].Left {
+		t.Fatal("junction side not updated")
+	}
+	// Valve moves to the right half of the spine.
+	if sw.Junctions[0].Valve.At.X <= sw.SpineX {
+		t.Fatalf("valve x = %v, spine = %v", sw.Junctions[0].Valve.At.X, sw.SpineX)
+	}
+}
+
+func TestSwitchFlowGeometry(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 3, geom.Pt{X: 100, Y: 100}, 1200, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Flow) != 4 { // spine + 3 junction channels
+		t.Fatalf("flow segments = %d, want 4", len(sw.Flow))
+	}
+	if !sw.Flow[0].Vertical() {
+		t.Fatal("spine must be vertical")
+	}
+	for _, s := range sw.Flow[1:] {
+		if !s.Horizontal() {
+			t.Fatalf("junction channel not horizontal: %v", s)
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	in, err := Instantiate("m1", mixerUnit(netlist.Sieve), geom.Pt{}, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := in.Valves()
+	in.Translate(100, 200)
+	if in.Box.XL != 100 || in.Box.YB != 200 {
+		t.Fatalf("box = %v", in.Box)
+	}
+	after := in.Valves()
+	for i := range before {
+		want := before[i].At.Add(100, 200)
+		if !after[i].At.Eq(want) {
+			t.Fatalf("valve %d = %v, want %v", i, after[i].At, want)
+		}
+	}
+	if !in.PinLeft.Eq(geom.Pt{X: 100, Y: 200 + MixerH/2}) {
+		t.Fatalf("PinLeft = %v", in.PinLeft)
+	}
+}
+
+func TestTranslateSwitch(t *testing.T) {
+	sw, err := InstantiateSwitch("s1", 2, geom.Pt{}, 800, FromBottom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spineBefore := sw.SpineX
+	jyBefore := sw.Junctions[0].Y
+	sw.Translate(10, 20)
+	if sw.SpineX != spineBefore+10 {
+		t.Fatalf("spine = %v", sw.SpineX)
+	}
+	if sw.Junctions[0].Y != jyBefore+20 {
+		t.Fatalf("junction y = %v", sw.Junctions[0].Y)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindMixer.String() != "mixer" || KindChamber.String() != "chamber" || KindSwitch.String() != "switch" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Error("unknown Kind string")
+	}
+	if FromBottom.String() != "bottom" || FromTop.String() != "top" || FromBoth.String() != "both" {
+		t.Error("CtrlAccess strings wrong")
+	}
+	if CtrlAccess(9).String() != "unknown" {
+		t.Error("unknown CtrlAccess string")
+	}
+	for k, want := range map[ValveKind]string{
+		ValveRegular: "regular", ValvePump: "pump", ValveSieve: "sieve",
+		ValveSeparation: "separation", ValveMux: "mux",
+	} {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", want, k.String())
+		}
+	}
+	if ValveKind(9).String() != "unknown" {
+		t.Error("unknown ValveKind string")
+	}
+}

@@ -1,0 +1,44 @@
+package mux_test
+
+import (
+	"fmt"
+
+	"columbas/internal/module"
+	"columbas/internal/mux"
+)
+
+// The paper's Figure 4: fifteen control channels addressed with four
+// MUX-flow channel pairs; selecting channel 9 (binary 1001) leaves exactly
+// that channel open.
+func Example() {
+	xs := make([]float64, 15)
+	for i := range xs {
+		xs[i] = float64(i) * 2 * module.D
+	}
+	m, err := mux.Build(xs, true, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("channels=%d bits=%d inlets=%d\n", m.N, m.Bits, m.Inlets())
+
+	sel, err := m.Select(9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pair configuration: %s\n", m.PairString(sel))
+	fmt.Printf("open channels: %v\n", m.Open(sel))
+	// Output:
+	// channels=15 bits=4 inlets=9
+	// pair configuration: XO OX OX XO
+	// open channels: [9]
+}
+
+func ExampleInletsFor() {
+	for _, n := range []int{15, 63, 143} {
+		fmt.Printf("%d channels need %d inlets\n", n, mux.InletsFor(n))
+	}
+	// Output:
+	// 15 channels need 9 inlets
+	// 63 channels need 13 inlets
+	// 143 channels need 17 inlets
+}

@@ -1,0 +1,28 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"columbas/internal/netlist"
+)
+
+func ExampleParseString() {
+	n, err := netlist.ParseString(`
+design demo
+muxes 1
+unit mix1 mixer sieve
+unit inc1 chamber
+connect in:sample mix1
+connect mix1 inc1
+connect inc1 out:waste
+`)
+	if err != nil {
+		panic(err)
+	}
+	in, out := n.Terminals()
+	fmt.Printf("%s: %d units, inlets %v, outlets %v\n", n.Name, n.NumUnits(), in, out)
+	fmt.Printf("mix1 degree: %d\n", n.Degree("mix1"))
+	// Output:
+	// demo: 2 units, inlets [sample], outlets [waste]
+	// mix1 degree: 2
+}

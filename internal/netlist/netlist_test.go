@@ -1,0 +1,243 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# ChIP-style application
+design chip4
+muxes 2
+
+unit m1 mixer sieve
+unit m2 mixer sieve
+unit c1 chamber
+unit c2 chamber w=2000 h=1500
+unit col mixer
+
+connect in:beads m1
+connect m1 c1
+connect m2 c2
+net c1 c2 col out:waste
+parallel m1 m2
+parallel c1 c2
+`
+
+func parseSample(t *testing.T) *Netlist {
+	t.Helper()
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return n
+}
+
+func TestParseBasics(t *testing.T) {
+	n := parseSample(t)
+	if n.Name != "chip4" {
+		t.Errorf("Name = %q", n.Name)
+	}
+	if n.Muxes != 2 {
+		t.Errorf("Muxes = %d", n.Muxes)
+	}
+	if n.NumUnits() != 5 {
+		t.Errorf("NumUnits = %d", n.NumUnits())
+	}
+	if len(n.Nets) != 4 {
+		t.Errorf("Nets = %d", len(n.Nets))
+	}
+	if len(n.Parallel) != 2 {
+		t.Errorf("Parallel = %d", len(n.Parallel))
+	}
+}
+
+func TestParseUnitOptions(t *testing.T) {
+	n := parseSample(t)
+	m1 := n.Unit("m1")
+	if m1 == nil || m1.Type != Mixer || m1.Opt != Sieve {
+		t.Fatalf("m1 = %+v", m1)
+	}
+	c2 := n.Unit("c2")
+	if c2 == nil || c2.Type != Chamber || c2.W != 2000 || c2.H != 1500 {
+		t.Fatalf("c2 = %+v", c2)
+	}
+	col := n.Unit("col")
+	if col == nil || col.Opt != Plain {
+		t.Fatalf("col = %+v", col)
+	}
+	if n.Unit("nope") != nil {
+		t.Error("Unit(nope) should be nil")
+	}
+}
+
+func TestDefaultMuxes(t *testing.T) {
+	n, err := ParseString("design d\nunit a mixer\nconnect in:x a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Muxes != 1 {
+		t.Errorf("default Muxes = %d, want 1", n.Muxes)
+	}
+}
+
+func TestTerminals(t *testing.T) {
+	n := parseSample(t)
+	in, out := n.Terminals()
+	if len(in) != 1 || in[0] != "beads" {
+		t.Errorf("inlets = %v", in)
+	}
+	if len(out) != 1 || out[0] != "waste" {
+		t.Errorf("outlets = %v", out)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	n := parseSample(t)
+	if d := n.Degree("m1"); d != 2 {
+		t.Errorf("Degree(m1) = %d, want 2", d)
+	}
+	if d := n.Degree("col"); d != 1 {
+		t.Errorf("Degree(col) = %d, want 1", d)
+	}
+}
+
+func TestParallelGroup(t *testing.T) {
+	n := parseSample(t)
+	if g := n.ParallelGroup("m2"); g != 0 {
+		t.Errorf("ParallelGroup(m2) = %d", g)
+	}
+	if g := n.ParallelGroup("c1"); g != 1 {
+		t.Errorf("ParallelGroup(c1) = %d", g)
+	}
+	if g := n.ParallelGroup("col"); g != -1 {
+		t.Errorf("ParallelGroup(col) = %d", g)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := parseSample(t)
+	n2, err := ParseString(n.Format())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, n.Format())
+	}
+	if n2.Format() != n.Format() {
+		t.Fatalf("round-trip mismatch:\n%s\nvs\n%s", n.Format(), n2.Format())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	n := parseSample(t)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateDisconnectedUnit(t *testing.T) {
+	n, err := ParseString("design d\nunit a mixer\nunit b mixer\nconnect in:x a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "no connections") {
+		t.Fatalf("Validate = %v, want disconnected-unit error", err)
+	}
+}
+
+func TestValidateTerminalOnlyNet(t *testing.T) {
+	n, err := ParseString("design d\nunit a mixer\nconnect in:x a\nconnect in:y out:z\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "only terminals") {
+		t.Fatalf("Validate = %v, want terminal-only error", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown directive", "design d\nfrobnicate x\n", "unknown directive"},
+		{"bad muxes", "design d\nmuxes 3\n", "muxes must be 1 or 2"},
+		{"muxes arity", "design d\nmuxes\n", "exactly one number"},
+		{"dup unit", "design d\nunit a mixer\nunit a chamber\n", "duplicate unit"},
+		{"bad type", "design d\nunit a pump\n", "unknown unit type"},
+		{"sieve chamber", "design d\nunit a chamber sieve\n", "only applies to mixers"},
+		{"bad width", "design d\nunit a mixer w=-5\n", "bad width"},
+		{"bad height", "design d\nunit a mixer h=zero\n", "bad height"},
+		{"unknown option", "design d\nunit a mixer frob\n", "unknown unit option"},
+		{"connect arity", "design d\nunit a mixer\nconnect a\n", "exactly two endpoints"},
+		{"unknown unit in connect", "design d\nunit a mixer\nconnect a b\n", "unknown unit"},
+		{"net arity", "design d\nunit a mixer\nnet a\n", "at least two"},
+		{"empty inlet", "design d\nunit a mixer\nconnect in: a\n", "empty inlet"},
+		{"empty outlet", "design d\nunit a mixer\nconnect out: a\n", "empty outlet"},
+		{"parallel unknown", "design d\nunit a mixer\nparallel a b\n", "unknown unit"},
+		{"parallel dup", "design d\nunit a mixer\nunit b mixer\nparallel a b\nparallel b a\n", "already in a parallel group"},
+		{"parallel arity", "design d\nunit a mixer\nparallel a\n", "at least two"},
+		{"no design", "unit a mixer\n", "missing design"},
+		{"no units", "design d\n", "no units"},
+		{"unit arity", "design d\nunit a\n", "a name and a type"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := ParseString("design d\n# comment\nunit a pump\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("Line = %d, want 3", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	n, err := ParseString("design d # trailing comment\n\n   \nunit a mixer # another\nconnect in:x a\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "d" || n.NumUnits() != 1 {
+		t.Fatalf("parsed = %+v", n)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Mixer.String() != "mixer" || Chamber.String() != "chamber" {
+		t.Error("UnitType strings wrong")
+	}
+	if UnitType(9).String() != "unknown" {
+		t.Error("unknown UnitType string")
+	}
+	if Plain.String() != "plain" || Sieve.String() != "sieve" || CellTrap.String() != "celltrap" {
+		t.Error("MixerOpt strings wrong")
+	}
+	if MixerOpt(9).String() != "unknown" {
+		t.Error("unknown MixerOpt string")
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	e := Endpoint{Terminal: "buf", Inlet: true}
+	if e.String() != "in:buf" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = Endpoint{Terminal: "waste"}
+	if e.String() != "out:waste" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = Endpoint{Unit: "m1"}
+	if e.String() != "m1" || e.IsTerminal() {
+		t.Errorf("unit endpoint wrong: %q", e.String())
+	}
+}

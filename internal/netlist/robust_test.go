@@ -1,0 +1,85 @@
+package netlist
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser pseudo-random token soup built
+// from the grammar's vocabulary: every input must either parse or return
+// an error — never panic.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"design", "muxes", "unit", "connect", "net", "parallel",
+		"mixer", "chamber", "sieve", "celltrap",
+		"a", "b", "c", "in:x", "out:y", "in:", "out:",
+		"1", "2", "3", "-5", "w=100", "h=-1", "w=", "#", "\n",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		tokens := rng.Intn(40)
+		for i := 0; i < tokens; i++ {
+			b.WriteString(vocab[rng.Intn(len(vocab))])
+			if rng.Intn(4) == 0 {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", b.String(), r)
+				}
+			}()
+			n, err := ParseString(b.String())
+			if err == nil && n != nil {
+				// Parsed inputs must survive Format/re-parse.
+				if _, err2 := ParseString(n.Format()); err2 != nil {
+					t.Fatalf("round-trip failed for %q: %v", n.Format(), err2)
+				}
+			}
+		}()
+	}
+}
+
+// Deeply nested / long inputs stay linear.
+func TestParserLargeInput(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("design big\n")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("unit u")
+		b.WriteString(itoa(i))
+		b.WriteString(" chamber\n")
+	}
+	for i := 0; i < 2000; i++ {
+		b.WriteString("connect in:x")
+		b.WriteString(itoa(i))
+		b.WriteString(" u")
+		b.WriteString(itoa(i))
+		b.WriteString("\n")
+	}
+	n, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumUnits() != 2000 {
+		t.Fatalf("units = %d", n.NumUnits())
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

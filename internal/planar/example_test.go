@@ -1,0 +1,38 @@
+package planar_test
+
+import (
+	"fmt"
+
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+)
+
+// A shared interconnect among three mixers cannot be routed with straight
+// channels alone; planarization inserts a switch with one junction per
+// endpoint (Figure 3(f)).
+func ExamplePlanarize() {
+	n, err := netlist.ParseString(`
+design star
+unit a mixer
+unit b mixer
+unit c mixer
+connect in:x a
+connect in:y b
+connect in:z c
+net a b c out:waste
+`)
+	if err != nil {
+		panic(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		panic(err)
+	}
+	st := pr.Stats()
+	fmt.Printf("units=%d switches=%d junctions=%d channels=%d\n",
+		st.Units, st.Switches, st.Junctions, st.Channels)
+	fmt.Printf("switch needs boundary access: %v\n", pr.SwitchNeedsInlets("s1"))
+	// Output:
+	// units=3 switches=1 junctions=4 channels=7
+	// switch needs boundary access: true
+}

@@ -1,0 +1,305 @@
+// Package planar implements netlist planarization (Section 3.1): the
+// preparation step that turns a primitive application netlist into a
+// planar one by adding switches and refining the logic connections,
+// following the approach of Columba 2.0.
+//
+// Under the Columba S routing discipline every flow channel is a straight
+// horizontal segment between two access pins, and every module offers
+// exactly one flow pin per vertical boundary (left, right). Planarization
+// therefore has to resolve two situations:
+//
+//  1. multi-terminal nets ("net a b c ..."): all endpoints must be mutually
+//     reachable, which a direct channel cannot provide — a switch with one
+//     flow-channel junction per endpoint is inserted (Figure 3(f));
+//  2. pin overflow: a unit referenced by more than two nets exceeds its
+//     two flow pins — a switch is inserted and the excess connections are
+//     rerouted through it.
+package planar
+
+import (
+	"fmt"
+
+	"columbas/internal/netlist"
+)
+
+// NodeKind distinguishes planar graph nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeUnit NodeKind = iota
+	NodeSwitch
+)
+
+func (k NodeKind) String() string {
+	if k == NodeUnit {
+		return "unit"
+	}
+	return "switch"
+}
+
+// Node is a placeable object of the planarized netlist: a functional unit
+// or an inserted switch.
+type Node struct {
+	Name      string
+	Kind      NodeKind
+	Unit      *netlist.Unit // nil for switches
+	Junctions int           // switch junction count c (switches only)
+}
+
+// End is one endpoint of a planar channel.
+type End struct {
+	Node     string // node name; "" for a boundary terminal
+	Junction int    // junction index for switch endpoints; -1 otherwise
+	Terminal string // fluid name for boundary terminals; "" otherwise
+	Inlet    bool   // terminal direction
+}
+
+// IsTerminal reports whether the endpoint is a boundary terminal.
+func (e End) IsTerminal() bool { return e.Terminal != "" }
+
+func (e End) String() string {
+	if e.IsTerminal() {
+		dir := "out"
+		if e.Inlet {
+			dir = "in"
+		}
+		return fmt.Sprintf("%s:%s", dir, e.Terminal)
+	}
+	if e.Junction >= 0 {
+		return fmt.Sprintf("%s.j%d", e.Node, e.Junction)
+	}
+	return e.Node
+}
+
+// Channel is a planar flow channel requirement: a straight horizontal
+// channel between two endpoints.
+type Channel struct {
+	A, B End
+}
+
+// Result is a planarized netlist: the input to physical synthesis.
+type Result struct {
+	Name     string
+	Muxes    int
+	Nodes    []Node
+	Channels []Channel
+	Parallel [][]string
+	// SwitchCount is the number of switches planarization added.
+	SwitchCount int
+}
+
+// Node returns the named node, or nil.
+func (r *Result) Node(name string) *Node {
+	for i := range r.Nodes {
+		if r.Nodes[i].Name == name {
+			return &r.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Degree returns the number of channel endpoints referencing the node.
+func (r *Result) Degree(name string) int {
+	d := 0
+	for _, c := range r.Channels {
+		if c.A.Node == name {
+			d++
+		}
+		if c.B.Node == name {
+			d++
+		}
+	}
+	return d
+}
+
+// SwitchNeedsInlets reports whether the named switch connects to boundary
+// terminals (and therefore needs the n·d' boundary rectangle of merge
+// rule 3 in Section 3.2.1).
+func (r *Result) SwitchNeedsInlets(name string) bool {
+	if n := r.Node(name); n == nil || n.Kind != NodeSwitch {
+		return false
+	}
+	for _, c := range r.Channels {
+		if c.A.Node == name && c.B.IsTerminal() {
+			return true
+		}
+		if c.B.Node == name && c.A.IsTerminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// Planarize transforms a validated netlist into a planar one.
+func Planarize(n *netlist.Netlist) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:  n.Name,
+		Muxes: n.Muxes,
+	}
+	for gi := range n.Parallel {
+		g := make([]string, len(n.Parallel[gi]))
+		copy(g, n.Parallel[gi])
+		r.Parallel = append(r.Parallel, g)
+	}
+	for i := range n.Units {
+		r.Nodes = append(r.Nodes, Node{
+			Name:      n.Units[i].Name,
+			Kind:      NodeUnit,
+			Unit:      &n.Units[i],
+			Junctions: -1,
+		})
+	}
+
+	// Working copy of the nets; pin-overflow rewriting mutates endpoints.
+	type wnet struct{ eps []netlist.Endpoint }
+	nets := make([]wnet, len(n.Nets))
+	for i, net := range n.Nets {
+		nets[i].eps = append([]netlist.Endpoint(nil), net.Endpoints...)
+	}
+
+	// Pass 1: resolve pin overflow. A unit has two flow pins; a unit
+	// referenced by more than two nets keeps its first two references and
+	// routes the rest through a switch. Units of one parallel group share
+	// a single overflow switch: their lanes actuate in lockstep (that is
+	// what the parallel group means), and private per-lane switches
+	// between two merged blocks cannot be ordered under the straight
+	// routing discipline once there are more than two of them.
+	newSwitch := func() string {
+		r.SwitchCount++
+		name := fmt.Sprintf("s%d", r.SwitchCount)
+		r.Nodes = append(r.Nodes, Node{Name: name, Kind: NodeSwitch})
+		return name
+	}
+	type ref struct{ net, ep int }
+	refs := map[string][]ref{}
+	for ni := range nets {
+		for ei, ep := range nets[ni].eps {
+			if ep.Unit != "" {
+				refs[ep.Unit] = append(refs[ep.Unit], ref{ni, ei})
+			}
+		}
+	}
+	groupSwitch := map[int]string{}
+	// Deterministic iteration: walk units in declaration order.
+	for _, u := range n.Units {
+		rs := refs[u.Name]
+		if len(rs) <= 2 {
+			continue
+		}
+		var swName string
+		if gi := n.ParallelGroup(u.Name); gi >= 0 {
+			var ok bool
+			if swName, ok = groupSwitch[gi]; !ok {
+				swName = newSwitch()
+				groupSwitch[gi] = swName
+			}
+		} else {
+			swName = newSwitch()
+		}
+		// The switch absorbs the excess references; the unit keeps its
+		// first reference and gains one channel to the switch.
+		for _, rf := range rs[1:] {
+			nets[rf.net].eps[rf.ep] = netlist.Endpoint{Unit: swName}
+		}
+		nets = append(nets, wnet{eps: []netlist.Endpoint{
+			{Unit: u.Name}, {Unit: swName},
+		}})
+	}
+
+	// Pass 2: realise nets. Two-endpoint nets become direct channels;
+	// larger nets get a switch with one junction per endpoint.
+	junctionsUsed := map[string]int{}
+	endFor := func(ep netlist.Endpoint) End {
+		if ep.Terminal != "" {
+			return End{Terminal: ep.Terminal, Inlet: ep.Inlet, Junction: -1}
+		}
+		node := r.Node(ep.Unit)
+		if node.Kind == NodeSwitch {
+			j := junctionsUsed[ep.Unit]
+			junctionsUsed[ep.Unit]++
+			return End{Node: ep.Unit, Junction: j}
+		}
+		return End{Node: ep.Unit, Junction: -1}
+	}
+	for _, net := range nets {
+		if len(net.eps) == 2 {
+			r.Channels = append(r.Channels, Channel{A: endFor(net.eps[0]), B: endFor(net.eps[1])})
+			continue
+		}
+		swName := newSwitch()
+		for _, ep := range net.eps {
+			j := junctionsUsed[swName]
+			junctionsUsed[swName]++
+			r.Channels = append(r.Channels, Channel{
+				A: endFor(ep),
+				B: End{Node: swName, Junction: j},
+			})
+		}
+	}
+	for i := range r.Nodes {
+		if r.Nodes[i].Kind == NodeSwitch {
+			r.Nodes[i].Junctions = junctionsUsed[r.Nodes[i].Name]
+			if r.Nodes[i].Junctions == 0 {
+				return nil, fmt.Errorf("planar: switch %s has no junctions", r.Nodes[i].Name)
+			}
+		}
+	}
+	if err := r.check(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// check verifies the planarity invariants the layout phase relies on.
+func (r *Result) check() error {
+	deg := map[string]int{}
+	for _, c := range r.Channels {
+		for _, e := range []End{c.A, c.B} {
+			if e.IsTerminal() {
+				continue
+			}
+			n := r.Node(e.Node)
+			if n == nil {
+				return fmt.Errorf("planar: channel references unknown node %q", e.Node)
+			}
+			deg[e.Node]++
+		}
+	}
+	for _, n := range r.Nodes {
+		switch n.Kind {
+		case NodeUnit:
+			if deg[n.Name] > 2 {
+				return fmt.Errorf("planar: unit %s still has %d channel endpoints (max 2)", n.Name, deg[n.Name])
+			}
+		case NodeSwitch:
+			if deg[n.Name] != n.Junctions {
+				return fmt.Errorf("planar: switch %s degree %d != junctions %d", n.Name, deg[n.Name], n.Junctions)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a planarization result for reporting.
+type Stats struct {
+	Units, Switches, Channels, Junctions int
+}
+
+// Stats returns summary counts.
+func (r *Result) Stats() Stats {
+	s := Stats{Channels: len(r.Channels)}
+	for _, n := range r.Nodes {
+		switch n.Kind {
+		case NodeUnit:
+			s.Units++
+		case NodeSwitch:
+			s.Switches++
+			s.Junctions += n.Junctions
+		}
+	}
+	return s
+}

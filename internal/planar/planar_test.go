@@ -1,0 +1,238 @@
+package planar
+
+import (
+	"strings"
+	"testing"
+
+	"columbas/internal/netlist"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Netlist {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return n
+}
+
+func planarize(t *testing.T, src string) *Result {
+	t.Helper()
+	r, err := Planarize(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("Planarize: %v", err)
+	}
+	return r
+}
+
+func TestSimpleChainNoSwitches(t *testing.T) {
+	r := planarize(t, `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`)
+	if r.SwitchCount != 0 {
+		t.Fatalf("SwitchCount = %d, want 0", r.SwitchCount)
+	}
+	if len(r.Channels) != 3 {
+		t.Fatalf("channels = %d, want 3", len(r.Channels))
+	}
+	s := r.Stats()
+	if s.Units != 2 || s.Switches != 0 || s.Junctions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMultiNetGetsSwitch(t *testing.T) {
+	// Figure 3(f): pairwise connection of several modules via one switch.
+	r := planarize(t, `
+design star
+unit a mixer
+unit b mixer
+unit c mixer
+unit d mixer
+net a b c d out:waste
+`)
+	if r.SwitchCount != 1 {
+		t.Fatalf("SwitchCount = %d, want 1", r.SwitchCount)
+	}
+	sw := r.Node("s1")
+	if sw == nil || sw.Kind != NodeSwitch {
+		t.Fatal("switch s1 missing")
+	}
+	if sw.Junctions != 5 {
+		t.Fatalf("junctions = %d, want 5 (one per endpoint)", sw.Junctions)
+	}
+	// Every original endpoint now has a dedicated channel to the switch.
+	if len(r.Channels) != 5 {
+		t.Fatalf("channels = %d, want 5", len(r.Channels))
+	}
+	if !r.SwitchNeedsInlets("s1") {
+		t.Fatal("switch carries a terminal, must need boundary access")
+	}
+}
+
+func TestPinOverflowInsertsSwitch(t *testing.T) {
+	// Unit m feeds three chambers: degree 4 > 2 pins.
+	r := planarize(t, `
+design fanout
+unit m mixer
+unit c1 chamber
+unit c2 chamber
+unit c3 chamber
+connect in:x m
+connect m c1
+connect m c2
+connect m c3
+connect c1 out:w1
+connect c2 out:w2
+connect c3 out:w3
+`)
+	if r.SwitchCount != 1 {
+		t.Fatalf("SwitchCount = %d, want 1", r.SwitchCount)
+	}
+	// m keeps its inlet and one channel to the switch.
+	if d := r.Degree("m"); d != 2 {
+		t.Fatalf("Degree(m) = %d, want 2", d)
+	}
+	// Planarity invariant holds for every unit.
+	for _, node := range r.Nodes {
+		if node.Kind == NodeUnit && r.Degree(node.Name) > 2 {
+			t.Fatalf("unit %s overflows pins", node.Name)
+		}
+	}
+	sw := r.Node("s1")
+	// Switch absorbed 3 rerouted nets + the new m channel = 4 junctions.
+	if sw.Junctions != 4 {
+		t.Fatalf("junctions = %d, want 4", sw.Junctions)
+	}
+}
+
+func TestSwitchJunctionEndpointsDistinct(t *testing.T) {
+	r := planarize(t, `
+design j
+unit a mixer
+unit b mixer
+unit c mixer
+net a b c
+`)
+	seen := map[int]bool{}
+	for _, ch := range r.Channels {
+		for _, e := range []End{ch.A, ch.B} {
+			if e.Node == "s1" {
+				if seen[e.Junction] {
+					t.Fatalf("junction %d used twice", e.Junction)
+				}
+				seen[e.Junction] = true
+			}
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("junctions used = %d, want 3", len(seen))
+	}
+}
+
+func TestParallelGroupsPropagated(t *testing.T) {
+	r := planarize(t, `
+design p
+unit m1 mixer
+unit m2 mixer
+connect in:a m1
+connect in:b m2
+parallel m1 m2
+`)
+	if len(r.Parallel) != 1 || len(r.Parallel[0]) != 2 {
+		t.Fatalf("parallel = %v", r.Parallel)
+	}
+}
+
+func TestInvalidNetlistRejected(t *testing.T) {
+	n := mustParse(t, "design d\nunit a mixer\nunit b mixer\nconnect in:x a\n")
+	if _, err := Planarize(n); err == nil || !strings.Contains(err.Error(), "no connections") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEndString(t *testing.T) {
+	e := End{Terminal: "buf", Inlet: true, Junction: -1}
+	if e.String() != "in:buf" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = End{Terminal: "w", Junction: -1}
+	if e.String() != "out:w" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = End{Node: "s1", Junction: 2}
+	if e.String() != "s1.j2" {
+		t.Errorf("String = %q", e.String())
+	}
+	e = End{Node: "m1", Junction: -1}
+	if e.String() != "m1" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if NodeUnit.String() != "unit" || NodeSwitch.String() != "switch" {
+		t.Error("NodeKind strings wrong")
+	}
+}
+
+func TestDegreeAndNodeLookup(t *testing.T) {
+	r := planarize(t, `
+design d
+unit a mixer
+unit b chamber
+connect in:x a
+connect a b
+connect b out:y
+`)
+	if r.Node("a") == nil || r.Node("zz") != nil {
+		t.Fatal("Node lookup wrong")
+	}
+	if d := r.Degree("a"); d != 2 {
+		t.Fatalf("Degree(a) = %d", d)
+	}
+	if r.SwitchNeedsInlets("a") {
+		t.Fatal("unit is not an inlet-needing switch")
+	}
+}
+
+func TestMuxCountPropagated(t *testing.T) {
+	r := planarize(t, "design d\nmuxes 2\nunit a mixer\nconnect in:x a\n")
+	if r.Muxes != 2 {
+		t.Fatalf("Muxes = %d", r.Muxes)
+	}
+}
+
+// Property-style test: for a family of generated fan-out netlists, the
+// planarity invariant (unit degree <= 2, switch degree == junctions) holds.
+func TestPlanarityInvariantFamily(t *testing.T) {
+	for fan := 1; fan <= 9; fan++ {
+		var b strings.Builder
+		b.WriteString("design fam\nunit hub mixer\n")
+		b.WriteString("connect in:src hub\n")
+		for i := 0; i < fan; i++ {
+			name := string(rune('a' + i))
+			b.WriteString("unit " + name + " chamber\n")
+			b.WriteString("connect hub " + name + "\n")
+			b.WriteString("connect " + name + " out:w" + name + "\n")
+		}
+		r := planarize(t, b.String())
+		for _, n := range r.Nodes {
+			switch n.Kind {
+			case NodeUnit:
+				if d := r.Degree(n.Name); d > 2 {
+					t.Fatalf("fan=%d: unit %s degree %d", fan, n.Name, d)
+				}
+			case NodeSwitch:
+				if d := r.Degree(n.Name); d != n.Junctions {
+					t.Fatalf("fan=%d: switch %s degree %d != %d", fan, n.Name, d, n.Junctions)
+				}
+			}
+		}
+	}
+}

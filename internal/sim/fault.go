@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"columbas/internal/geom"
+	"columbas/internal/module"
+)
+
+// Fault models for mLSI valves, following the fault taxonomy of Hu et al.
+// (paper reference [19]: testing of flow-based microfluidic biochips).
+// A stuck-closed valve blocks its flow channel permanently; a stuck-open
+// valve never blocks it.
+type FaultKind int
+
+// Valve fault kinds.
+const (
+	StuckClosed FaultKind = iota
+	StuckOpen
+)
+
+func (k FaultKind) String() string {
+	if k == StuckClosed {
+		return "stuck-closed"
+	}
+	return "stuck-open"
+}
+
+// Fault is a single-valve fault site: the control channel that actuates
+// the valve(s) and the fault kind.
+type Fault struct {
+	Channel string
+	Kind    FaultKind
+}
+
+func (f Fault) String() string { return fmt.Sprintf("%s@%s", f.Kind, f.Channel) }
+
+// TestVector is one observation: with a given set of channels
+// pressurised, probe whether fluid can travel between two ports.
+type TestVector struct {
+	Pressurized []string
+	From, To    string
+}
+
+// FaultReport is the outcome of a fault-coverage analysis.
+type FaultReport struct {
+	Total      int
+	Detected   []Fault
+	Undetected []Fault
+}
+
+// Coverage returns the detected fraction.
+func (r *FaultReport) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(len(r.Detected)) / float64(r.Total)
+}
+
+// faultGraph builds the flow graph under a valve state where the faulted
+// channel's valves behave per the fault kind.
+func (c *Controller) faultGraph(pressurised map[string]bool, fault *Fault) *FlowGraph {
+	closed := map[string]bool{}
+	for name, p := range pressurised {
+		closed[name] = p
+	}
+	if fault != nil {
+		closed[fault.Channel] = fault.Kind == StuckClosed
+	}
+	var closedValves []module.Valve
+	for _, ch := range c.d.Ctrl {
+		if !closed[ch.Name] {
+			continue
+		}
+		for _, m := range c.d.Modules {
+			for _, l := range m.Lines {
+				if absf(l.X-ch.X) < 0.2 {
+					closedValves = append(closedValves, l.Valves...)
+				}
+			}
+		}
+	}
+	g := &FlowGraph{adj: map[flowNode][]flowNode{}}
+	var segs []geom.Seg
+	for _, f := range c.d.Flow {
+		segs = append(segs, f.Seg)
+	}
+	for _, m := range c.d.Modules {
+		segs = append(segs, m.Flow...)
+	}
+	var pts []geom.Pt
+	for _, s := range segs {
+		pts = append(pts, s.A, s.B)
+	}
+	for _, s := range segs {
+		g.addSeg(s, pts, closedValves)
+	}
+	return g
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RunFaultAnalysis simulates every single-valve fault of the design under
+// the given test vectors and reports which faults at least one vector
+// detects (the fault-free and faulty observations differ).
+func (c *Controller) RunFaultAnalysis(vectors []TestVector) (*FaultReport, error) {
+	var faults []Fault
+	for _, ch := range c.d.Ctrl {
+		faults = append(faults, Fault{Channel: ch.Name, Kind: StuckClosed})
+		faults = append(faults, Fault{Channel: ch.Name, Kind: StuckOpen})
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Channel != faults[j].Channel {
+			return faults[i].Channel < faults[j].Channel
+		}
+		return faults[i].Kind < faults[j].Kind
+	})
+
+	type obs struct {
+		from, to geom.Pt
+		press    map[string]bool
+	}
+	var observations []obs
+	for vi, v := range vectors {
+		from, err := InletPoint(c.d, v.From)
+		if err != nil {
+			return nil, fmt.Errorf("sim: vector %d: %w", vi, err)
+		}
+		to, err := InletPoint(c.d, v.To)
+		if err != nil {
+			return nil, fmt.Errorf("sim: vector %d: %w", vi, err)
+		}
+		press := map[string]bool{}
+		for _, name := range v.Pressurized {
+			found := false
+			for _, ch := range c.d.Ctrl {
+				if ch.Name == name {
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sim: vector %d pressurises unknown channel %q", vi, name)
+			}
+			press[name] = true
+		}
+		observations = append(observations, obs{from, to, press})
+	}
+
+	rep := &FaultReport{Total: len(faults)}
+	for _, f := range faults {
+		detected := false
+		for _, o := range observations {
+			clean := c.faultGraph(o.press, nil).Reachable(o.from, o.to)
+			faulty := c.faultGraph(o.press, &f).Reachable(o.from, o.to)
+			if clean != faulty {
+				detected = true
+				break
+			}
+		}
+		if detected {
+			rep.Detected = append(rep.Detected, f)
+		} else {
+			rep.Undetected = append(rep.Undetected, f)
+		}
+	}
+	return rep, nil
+}
+
+// DefaultVectors derives a simple structural test set: for every pair of
+// fluid ports that are connected in the fault-free open state, one
+// open-path probe, plus one probe per control channel with only that
+// channel pressurised.
+func DefaultVectors(c *Controller) []TestVector {
+	var ports []string
+	for _, in := range c.d.Inlets {
+		ports = append(ports, in.Name)
+	}
+	sort.Strings(ports)
+	open := c.faultGraph(nil, nil)
+	var base []TestVector
+	for i := 0; i < len(ports); i++ {
+		for j := i + 1; j < len(ports); j++ {
+			a, errA := InletPoint(c.d, ports[i])
+			b, errB := InletPoint(c.d, ports[j])
+			if errA != nil || errB != nil {
+				continue
+			}
+			if open.Reachable(a, b) {
+				base = append(base, TestVector{From: ports[i], To: ports[j]})
+			}
+		}
+	}
+	var out []TestVector
+	out = append(out, base...)
+	for _, ch := range c.d.Ctrl {
+		for _, bv := range base {
+			out = append(out, TestVector{
+				Pressurized: []string{ch.Name},
+				From:        bv.From, To: bv.To,
+			})
+		}
+	}
+	return out
+}

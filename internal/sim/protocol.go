@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"columbas/internal/module"
+	"columbas/internal/netlist"
+	"columbas/internal/validate"
+)
+
+// Protocol is a high-level application schedule: a sequence of fluidic
+// operations compiled down to valve actuations. Because Columba S controls
+// every independent valve individually through its multiplexers, the same
+// design executes any protocol — the reconfigurability property that
+// distinguishes it from pressure-shared designs (Section 1).
+type Protocol struct {
+	Name string
+	ops  []op
+}
+
+type op struct {
+	kind string
+	unit string
+	peer string
+	n    int
+}
+
+// NewProtocol returns an empty protocol.
+func NewProtocol(name string) *Protocol { return &Protocol{Name: name} }
+
+// Mix runs n peristaltic pump cycles on a rotary mixer: the in/out valves
+// close, then the three pump valves actuate in rotation.
+func (p *Protocol) Mix(unit string, n int) *Protocol {
+	p.ops = append(p.ops, op{kind: "mix", unit: unit, n: n})
+	return p
+}
+
+// Transfer moves fluid from one unit into the next: both transfer valves
+// open, then close again.
+func (p *Protocol) Transfer(from, to string) *Protocol {
+	p.ops = append(p.ops, op{kind: "transfer", unit: from, peer: to})
+	return p
+}
+
+// Wash flushes a sieve mixer: the sieve valve pairs close (retaining the
+// beads), the in/out valves open for the wash flow, then everything
+// reopens (Figure 3(c), citing [20]).
+func (p *Protocol) Wash(unit string) *Protocol {
+	p.ops = append(p.ops, op{kind: "wash", unit: unit})
+	return p
+}
+
+// Capture closes the separation valves of a cell-trap mixer (Figure 3(d),
+// citing [18]).
+func (p *Protocol) Capture(unit string) *Protocol {
+	p.ops = append(p.ops, op{kind: "capture", unit: unit})
+	return p
+}
+
+// Release reopens the separation valves of a cell-trap mixer.
+func (p *Protocol) Release(unit string) *Protocol {
+	p.ops = append(p.ops, op{kind: "release", unit: unit})
+	return p
+}
+
+// Ops returns the number of high-level operations.
+func (p *Protocol) Ops() int { return len(p.ops) }
+
+// Compile lowers the protocol to a valve schedule for a specific design,
+// verifying that every referenced unit exists and supports the operation.
+func (p *Protocol) Compile(d *validate.Design) ([]Step, error) {
+	var steps []Step
+	add := func(name string, pressurized bool) error {
+		// Resolve through the module line: parallel lanes share channels.
+		ch, err := d.ChannelFor(name)
+		if err != nil {
+			return fmt.Errorf("sim: protocol %q: %w", p.Name, err)
+		}
+		steps = append(steps, Step{Channel: ch, Pressurized: pressurized})
+		return nil
+	}
+	mixer := func(u string, opts ...netlist.MixerOpt) (*module.Instance, error) {
+		in := d.Module(u)
+		if in == nil {
+			return nil, fmt.Errorf("sim: protocol %q references unknown unit %q", p.Name, u)
+		}
+		if in.Kind != module.KindMixer {
+			return nil, fmt.Errorf("sim: unit %q is not a mixer", u)
+		}
+		for _, o := range opts {
+			if in.Opt != o {
+				return nil, fmt.Errorf("sim: mixer %q lacks the %v configuration", u, o)
+			}
+		}
+		return in, nil
+	}
+	for _, o := range p.ops {
+		switch o.kind {
+		case "mix":
+			if _, err := mixer(o.unit); err != nil {
+				return nil, err
+			}
+			if err := add(o.unit+".in", true); err != nil {
+				return nil, err
+			}
+			if err := add(o.unit+".out", true); err != nil {
+				return nil, err
+			}
+			for c := 0; c < o.n; c++ {
+				for ph := 1; ph <= 3; ph++ {
+					if err := add(fmt.Sprintf("%s.pump%d", o.unit, ph), true); err != nil {
+						return nil, err
+					}
+					if err := add(fmt.Sprintf("%s.pump%d", o.unit, ph), false); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := add(o.unit+".in", false); err != nil {
+				return nil, err
+			}
+			if err := add(o.unit+".out", false); err != nil {
+				return nil, err
+			}
+		case "transfer":
+			if d.Module(o.unit) == nil || d.Module(o.peer) == nil {
+				return nil, fmt.Errorf("sim: transfer between unknown units %q -> %q", o.unit, o.peer)
+			}
+			// Open both transfer valves (vent), then close again.
+			if err := add(o.unit+".out", false); err != nil {
+				return nil, err
+			}
+			if err := add(o.peer+".in", false); err != nil {
+				return nil, err
+			}
+			if err := add(o.unit+".out", true); err != nil {
+				return nil, err
+			}
+			if err := add(o.peer+".in", true); err != nil {
+				return nil, err
+			}
+		case "wash":
+			if _, err := mixer(o.unit, netlist.Sieve); err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"A", "B"} {
+				if err := add(o.unit+".sieve"+s, true); err != nil {
+					return nil, err
+				}
+			}
+			if err := add(o.unit+".in", false); err != nil {
+				return nil, err
+			}
+			if err := add(o.unit+".out", false); err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"A", "B"} {
+				if err := add(o.unit+".sieve"+s, false); err != nil {
+					return nil, err
+				}
+			}
+		case "capture":
+			if _, err := mixer(o.unit, netlist.CellTrap); err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"A", "B"} {
+				if err := add(o.unit+".sep"+s, true); err != nil {
+					return nil, err
+				}
+			}
+		case "release":
+			if _, err := mixer(o.unit, netlist.CellTrap); err != nil {
+				return nil, err
+			}
+			for _, s := range []string{"A", "B"} {
+				if err := add(o.unit+".sep"+s, false); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown operation %q", o.kind)
+		}
+	}
+	return steps, nil
+}
+
+// Execute compiles and runs the protocol on a controller, returning the
+// simulated execution time.
+func (p *Protocol) Execute(ctl *Controller) (time.Duration, error) {
+	steps, err := p.Compile(ctl.Design())
+	if err != nil {
+		return 0, err
+	}
+	return ctl.RunSchedule(steps)
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const protoSrc = `
+design proto
+unit m1 mixer sieve
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+func TestProtocolMixCompiles(t *testing.T) {
+	d := design(t, protoSrc)
+	p := NewProtocol("mix-only").Mix("m1", 2)
+	steps, err := p.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 close + 2 cycles*3 phases*2 ops + 2 open = 16.
+	if len(steps) != 16 {
+		t.Fatalf("steps = %d, want 16", len(steps))
+	}
+	ctl := NewController(d)
+	dur, err := p.Execute(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur != 16*ActuationTime {
+		t.Fatalf("duration = %v", dur)
+	}
+	// All pumps vented at the end.
+	for _, ch := range []string{"m1.pump1", "m1.pump2", "m1.pump3"} {
+		if ctl.Pressurized(ch) {
+			t.Errorf("%s still pressurised after mix", ch)
+		}
+	}
+}
+
+func TestProtocolTransfer(t *testing.T) {
+	d := design(t, protoSrc)
+	p := NewProtocol("xfer").Transfer("m1", "c1")
+	ctl := NewController(d)
+	if _, err := p.Execute(ctl); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer ends closed.
+	if !ctl.Pressurized("m1.out") || !ctl.Pressurized("c1.in") {
+		t.Fatal("transfer valves should end closed")
+	}
+}
+
+func TestProtocolWashRequiresSieve(t *testing.T) {
+	d := design(t, protoSrc)
+	// m1 is a sieve mixer: wash works.
+	if _, err := NewProtocol("w").Wash("m1").Compile(d); err != nil {
+		t.Fatalf("wash on sieve mixer: %v", err)
+	}
+	// A plain-mixer design rejects wash.
+	d2 := design(t, `
+design plainmix
+unit m1 mixer
+connect in:a m1
+connect m1 out:b
+`)
+	if _, err := NewProtocol("w").Wash("m1").Compile(d2); err == nil {
+		t.Fatal("wash on plain mixer should fail")
+	}
+}
+
+func TestProtocolCaptureRequiresCellTrap(t *testing.T) {
+	d := design(t, `
+design trap
+unit m1 mixer celltrap
+connect in:cells m1
+connect m1 out:waste
+`)
+	p := NewProtocol("cap").Capture("m1").Release("m1")
+	ctl := NewController(d)
+	if _, err := p.Execute(ctl); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Pressurized("m1.sepA") || ctl.Pressurized("m1.sepB") {
+		t.Fatal("release should vent the separation valves")
+	}
+	// Capture on a sieve mixer fails.
+	d2 := design(t, protoSrc)
+	if _, err := NewProtocol("cap").Capture("m1").Compile(d2); err == nil {
+		t.Fatal("capture on sieve mixer should fail")
+	}
+}
+
+func TestProtocolUnknownUnit(t *testing.T) {
+	d := design(t, protoSrc)
+	if _, err := NewProtocol("x").Mix("ghost", 1).Compile(d); err == nil ||
+		!strings.Contains(err.Error(), "unknown unit") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewProtocol("x").Transfer("m1", "ghost").Compile(d); err == nil {
+		t.Fatal("transfer to unknown unit should fail")
+	}
+}
+
+func TestProtocolOnChamberRejected(t *testing.T) {
+	d := design(t, protoSrc)
+	if _, err := NewProtocol("x").Mix("c1", 1).Compile(d); err == nil ||
+		!strings.Contains(err.Error(), "not a mixer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Reconfigurability: two quite different protocols execute on the very
+// same design without any re-synthesis. A pressure-shared design would
+// hard-wire one of them.
+func TestReconfigurabilityTwoProtocols(t *testing.T) {
+	d := design(t, protoSrc)
+
+	ipProtocol := NewProtocol("immunoprecipitation").
+		Mix("m1", 3).
+		Wash("m1").
+		Transfer("m1", "c1")
+	quickFlush := NewProtocol("flush").
+		Transfer("m1", "c1").
+		Transfer("m1", "c1")
+
+	t1, err := ipProtocol.Execute(NewController(d))
+	if err != nil {
+		t.Fatalf("protocol 1: %v", err)
+	}
+	t2, err := quickFlush.Execute(NewController(d))
+	if err != nil {
+		t.Fatalf("protocol 2: %v", err)
+	}
+	if t1 <= t2 {
+		t.Fatalf("IP protocol (%v) should take longer than the flush (%v)", t1, t2)
+	}
+	if t1 > HoldLimit {
+		t.Fatalf("protocol duration %v exceeds the PDMS hold limit", t1)
+	}
+}
+
+func TestProtocolOps(t *testing.T) {
+	p := NewProtocol("n").Mix("a", 1).Wash("a").Transfer("a", "b")
+	if p.Ops() != 3 {
+		t.Fatalf("Ops = %d", p.Ops())
+	}
+	if p.Name != "n" {
+		t.Fatalf("Name = %q", p.Name)
+	}
+}
+
+func TestProtocolChaining(t *testing.T) {
+	d := design(t, protoSrc)
+	// A long realistic protocol: load, mix, wash twice, elute.
+	p := NewProtocol("chip-ip").
+		Mix("m1", 5).
+		Wash("m1").
+		Wash("m1").
+		Transfer("m1", "c1")
+	ctl := NewController(d)
+	dur, err := p.Execute(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 || dur != time.Duration(ctl.Actuations)*ActuationTime {
+		t.Fatalf("accounting broken: %v vs %d actuations", dur, ctl.Actuations)
+	}
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"columbas/internal/geom"
+	"columbas/internal/layout"
+	"columbas/internal/module"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+	"columbas/internal/validate"
+)
+
+func design(t *testing.T, src string) *validate.Design {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := layout.DefaultOptions()
+	o.TimeLimit = 2 * time.Second
+	o.StallLimit = 30
+	o.Gap = 0.1
+	p, err := layout.Generate(pr, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := validate.Validate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+const chainSrc = `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+func TestSetLatchesPressure(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	name := d.Ctrl[0].Name
+	if c.Pressurized(name) {
+		t.Fatal("channels must start vented")
+	}
+	if err := c.Set(name, true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Pressurized(name) {
+		t.Fatal("pressure did not latch")
+	}
+	if err := c.Set(name, false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pressurized(name) {
+		t.Fatal("vent did not latch")
+	}
+	if c.Actuations != 2 {
+		t.Fatalf("actuations = %d, want 2", c.Actuations)
+	}
+	if c.Elapsed != 2*ActuationTime {
+		t.Fatalf("elapsed = %v", c.Elapsed)
+	}
+}
+
+func TestSetUnknownChannel(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	if err := c.Set("nope", true); err == nil {
+		t.Fatal("expected error for unknown channel")
+	}
+}
+
+// The Figure 8 experiment: select one control channel through the
+// multiplexer; the addressing must isolate exactly that channel, and the
+// actuated valve must block fluid flow through its channel while other
+// paths stay open.
+func TestFigure8ValveBlocksFlow(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+
+	in, err := InletPoint(d, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := InletPoint(d, "waste")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All valves open: the full path is reachable.
+	g := c.BuildFlowGraph()
+	if !g.Reachable(in, out) {
+		t.Fatal("fluid path sample->waste must exist with open valves")
+	}
+	// Close m1's inlet valve: the path breaks.
+	if err := c.Set("m1.in", true); err != nil {
+		t.Fatal(err)
+	}
+	g = c.BuildFlowGraph()
+	if g.Reachable(in, out) {
+		t.Fatal("closed inlet valve must block the path")
+	}
+	// Reopen: path restored.
+	if err := c.Set("m1.in", false); err != nil {
+		t.Fatal(err)
+	}
+	g = c.BuildFlowGraph()
+	if !g.Reachable(in, out) {
+		t.Fatal("vented valve must restore the path")
+	}
+}
+
+func TestEveryChannelAddressable(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	for _, ch := range d.Ctrl {
+		if err := c.Set(ch.Name, true); err != nil {
+			t.Fatalf("channel %s not addressable: %v", ch.Name, err)
+		}
+	}
+	if c.PressurizedCount() != len(d.Ctrl) {
+		t.Fatalf("latched = %d, want %d", c.PressurizedCount(), len(d.Ctrl))
+	}
+}
+
+func TestClosedValvesTrackState(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	if len(c.ClosedValves()) != 0 {
+		t.Fatal("no valves should be closed initially")
+	}
+	if err := c.Set("m1.pump2", true); err != nil {
+		t.Fatal(err)
+	}
+	vs := c.ClosedValves()
+	if len(vs) == 0 {
+		t.Fatal("pump valve should be closed")
+	}
+	for _, v := range vs {
+		if v.Kind != module.ValvePump {
+			t.Fatalf("unexpected closed valve kind %v", v.Kind)
+		}
+	}
+}
+
+// Reconfigurability (Section 1): the same design runs different
+// scheduling protocols without redesign.
+func TestRunScheduleReconfigurable(t *testing.T) {
+	d := design(t, chainSrc)
+
+	mixProtocol := []Step{
+		{"m1.in", true}, {"m1.out", true},
+		{"m1.pump1", true}, {"m1.pump1", false},
+		{"m1.pump2", true}, {"m1.pump2", false},
+		{"m1.pump3", true}, {"m1.pump3", false},
+		{"m1.in", false}, {"m1.out", false},
+	}
+	flushProtocol := []Step{
+		{"c1.in", true}, {"c1.in", false},
+		{"c1.out", true}, {"c1.out", false},
+	}
+	c1 := NewController(d)
+	t1, err := c1.RunSchedule(mixProtocol)
+	if err != nil {
+		t.Fatalf("mix protocol: %v", err)
+	}
+	if t1 != time.Duration(len(mixProtocol))*ActuationTime {
+		t.Fatalf("mix time = %v", t1)
+	}
+	c2 := NewController(d)
+	if _, err := c2.RunSchedule(flushProtocol); err != nil {
+		t.Fatalf("flush protocol: %v", err)
+	}
+}
+
+func TestRunScheduleBadStep(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	if _, err := c.RunSchedule([]Step{{"bogus", true}}); err == nil {
+		t.Fatal("expected error for unknown channel in schedule")
+	}
+}
+
+func TestFlowGraphSwitchRouting(t *testing.T) {
+	d := design(t, `
+design sw
+unit a mixer
+unit b mixer
+connect in:x a
+connect in:y b
+net a b out:waste
+`)
+	c := NewController(d)
+	inA, err := InletPoint(d, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := InletPoint(d, "waste")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.BuildFlowGraph()
+	if !g.Reachable(inA, out) {
+		t.Fatal("switch spine must connect a's inlet to waste")
+	}
+	// Closing a's switch junction valve isolates it from the spine.
+	sw := d.Module("s1")
+	if sw == nil {
+		t.Fatal("switch missing")
+	}
+	// Find the junction on a's pin row and its control channel name.
+	aPin := d.Module("a").PinRight.Y
+	jIdx := -1
+	for i, j := range sw.Junctions {
+		if abs(j.Y-aPin) < 1 {
+			jIdx = i
+		}
+	}
+	if jIdx < 0 {
+		t.Fatal("no junction on a's row")
+	}
+	chName := sw.Lines[jIdx].Name
+	if err := c.Set(chName, true); err != nil {
+		t.Fatal(err)
+	}
+	g = c.BuildFlowGraph()
+	if g.Reachable(inA, out) {
+		t.Fatal("closed junction valve must isolate a from the spine")
+	}
+	// b remains connected.
+	inB, err := InletPoint(d, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Reachable(inB, out) {
+		t.Fatal("b's path must stay open")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestInletPointUnknown(t *testing.T) {
+	d := design(t, chainSrc)
+	if _, err := InletPoint(d, "zz"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReachableTrivial(t *testing.T) {
+	g := &FlowGraph{adj: map[flowNode][]flowNode{}}
+	p := geom.Pt{X: 5, Y: 5}
+	if !g.Reachable(p, p) {
+		t.Fatal("a point reaches itself")
+	}
+	if g.Reachable(p, geom.Pt{X: 500, Y: 500}) {
+		t.Fatal("disconnected points must not be reachable")
+	}
+}
+
+func TestHoldViolationTracking(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	if err := c.Set("m1.in", true); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.HoldViolations()) != 0 {
+		t.Fatal("fresh latch should not violate the hold limit")
+	}
+	// An incubation longer than the PDMS hold limit ages the latch out.
+	c.Wait(HoldLimit + time.Minute)
+	vs := c.HoldViolations()
+	if len(vs) != 1 || vs[0].Channel != "m1.in" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Held <= HoldLimit {
+		t.Fatalf("held = %v", vs[0].Held)
+	}
+	// Refreshing the channel resets its hold clock.
+	if err := c.Refresh("m1.in"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.HoldViolations()) != 0 {
+		t.Fatal("refresh should clear the violation")
+	}
+	// Venting clears tracking entirely.
+	if err := c.Set("m1.in", false); err != nil {
+		t.Fatal(err)
+	}
+	c.Wait(2 * HoldLimit)
+	if len(c.HoldViolations()) != 0 {
+		t.Fatal("vented channels cannot violate")
+	}
+}
+
+func TestRefreshRequiresLatch(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	if err := c.Refresh("m1.in"); err == nil {
+		t.Fatal("refreshing a vented channel should fail")
+	}
+}
+
+func TestWaitIgnoresNegative(t *testing.T) {
+	d := design(t, chainSrc)
+	c := NewController(d)
+	c.Wait(-time.Hour)
+	if c.Elapsed != 0 {
+		t.Fatalf("Elapsed = %v", c.Elapsed)
+	}
+}

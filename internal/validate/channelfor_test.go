@@ -1,0 +1,55 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChannelForResolvesOwnLines(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, want := range []string{"m1.in", "m1.pump2", "c1.out"} {
+		ch, err := d.ChannelFor(want)
+		if err != nil {
+			t.Fatalf("ChannelFor(%s): %v", want, err)
+		}
+		if ch != want {
+			t.Fatalf("ChannelFor(%s) = %s (no sharing in this design)", want, ch)
+		}
+	}
+}
+
+func TestChannelForSharesAcrossLanes(t *testing.T) {
+	d := design(t, `
+design shared
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect in:a m2
+connect m2 c2
+net c1 c2 out:waste
+parallel m1 c1 m2 c2
+`)
+	// Lane 2's line resolves to the shared channel (named after lane 1).
+	ch1, err := d.ChannelFor("m1.in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := d.ChannelFor("m2.in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch1 != ch2 {
+		t.Fatalf("parallel lanes must share: %s vs %s", ch1, ch2)
+	}
+}
+
+func TestChannelForUnknownLine(t *testing.T) {
+	d := design(t, chainSrc)
+	if _, err := d.ChannelFor("ghost.in"); err == nil ||
+		!strings.Contains(err.Error(), "no control line") {
+		t.Fatalf("err = %v", err)
+	}
+}

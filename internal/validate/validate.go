@@ -1,0 +1,462 @@
+// Package validate implements the layout validation phase of Columba S
+// (Section 3.2.2): it takes the rectangle plan of the generation phase and
+// completes the design with explicit module placement, channel routing and
+// chip boundary restoration, then synthesizes the multiplexers along the
+// MUX boundaries.
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"columbas/internal/geom"
+	"columbas/internal/layout"
+	"columbas/internal/module"
+	"columbas/internal/mux"
+	"columbas/internal/planar"
+)
+
+// FlowChannel is one routed inter-module flow channel (straight,
+// horizontal per the routing discipline).
+type FlowChannel struct {
+	Name  string
+	Seg   geom.Seg
+	Width float64
+}
+
+// CtrlChannel is one independent vertical control channel.
+type CtrlChannel struct {
+	Name string
+	// Owner is the placeable rect (block or switch) the channel serves.
+	Owner string
+	X     float64
+	// YValve is the channel's module-side extent (the farthest valve).
+	YValve float64
+	// Top reports whether the channel exits through the top MUX boundary.
+	Top bool
+	// MuxIndex is the channel's address within its multiplexer.
+	MuxIndex int
+}
+
+// Inlet is a fluid port on a flow boundary.
+type Inlet struct {
+	Name  string
+	At    geom.Pt
+	Inlet bool // true: fluid inlet, false: outlet
+}
+
+// Design is a complete, manufacturing-ready Columba S design.
+type Design struct {
+	Name  string
+	Muxes int
+	Plan  *layout.Plan
+
+	Modules []*module.Instance
+	Flow    []FlowChannel
+	Ctrl    []CtrlChannel
+	Inlets  []Inlet
+
+	MuxBottom *mux.Mux // nil when no channel exits bottom
+	MuxTop    *mux.Mux // nil unless a 2-MUX design routes channels up
+
+	// FuncRegion is the functional region box (origin at (0,0)).
+	FuncRegion geom.Rect
+	// Chip is the full chip extent including MUX regions and boundary
+	// margins.
+	Chip geom.Rect
+}
+
+// Module returns the named module instance, or nil.
+func (d *Design) Module(name string) *module.Instance {
+	for _, m := range d.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ChannelFor resolves a module control line (e.g. "m1.pump2") to the
+// control channel that actuates it. Lines of parallel units share one
+// vertical channel, so the returned channel may carry a sibling lane's
+// name — actuating it drives all lanes at once (the point of parallel
+// merging).
+func (d *Design) ChannelFor(lineName string) (string, error) {
+	for _, m := range d.Modules {
+		for _, l := range m.Lines {
+			if l.Name != lineName {
+				continue
+			}
+			top := l.Access == module.FromTop
+			for i := range d.Ctrl {
+				if d.Ctrl[i].Top == top && math.Abs(d.Ctrl[i].X-l.X) < 0.2 {
+					return d.Ctrl[i].Name, nil
+				}
+			}
+			return "", fmt.Errorf("validate: line %q has no control channel at x=%.0f", lineName, l.X)
+		}
+	}
+	return "", fmt.Errorf("validate: no control line named %q", lineName)
+}
+
+// ControlInlets returns #c_in of Table 1: the total pressure inlets of all
+// multiplexers.
+func (d *Design) ControlInlets() int {
+	n := 0
+	if d.MuxBottom != nil {
+		n += d.MuxBottom.Inlets()
+	}
+	if d.MuxTop != nil {
+		n += d.MuxTop.Inlets()
+	}
+	return n
+}
+
+// FlowLength returns the functional-region flow channel length in µm
+// (inter-module channels; MUX-flow channels excluded per Section 4).
+func (d *Design) FlowLength() float64 {
+	total := 0.0
+	for _, f := range d.Flow {
+		total += f.Seg.Len()
+	}
+	return total
+}
+
+// Dimensions returns the full chip width and height in µm.
+func (d *Design) Dimensions() (w, h float64) { return d.Chip.W(), d.Chip.H() }
+
+// Validate restores a generation-phase plan into a complete design.
+func Validate(p *layout.Plan) (*Design, error) {
+	d := &Design{
+		Name:       p.Name,
+		Muxes:      p.Muxes,
+		Plan:       p,
+		FuncRegion: geom.Rect{XL: 0, XR: p.XMax, YB: 0, YT: p.YMax},
+	}
+	instances := map[string]*module.Instance{}
+	ctrlTop := map[string]bool{}
+	for _, r := range p.Rects {
+		if r.Kind == layout.RCtrl {
+			ctrlTop[p.Rects[r.Owner].Name] = r.CtrlTop
+		}
+	}
+	access := func(owner string) module.CtrlAccess {
+		if ctrlTop[owner] {
+			return module.FromTop
+		}
+		return module.FromBottom
+	}
+
+	// 1. Explicit module placement.
+	for _, r := range p.Rects {
+		switch r.Kind {
+		case layout.RBlock:
+			for i := range r.Block.Units {
+				bu := &r.Block.Units[i]
+				at := geom.Pt{X: r.Box.XL + bu.Off.X, Y: r.Box.YB + bu.Off.Y}
+				in, err := module.Instantiate(bu.Name, *bu.Unit, at, access(r.Name))
+				if err != nil {
+					return nil, err
+				}
+				instances[bu.Name] = in
+				d.Modules = append(d.Modules, in)
+			}
+		case layout.RSwitch:
+			in, err := module.InstantiateSwitch(r.Name, r.SwitchNode.Junctions,
+				geom.Pt{X: r.Box.XL, Y: r.Box.YB}, r.Box.H(), access(r.Name))
+			if err != nil {
+				return nil, err
+			}
+			instances[r.Name] = in
+			d.Modules = append(d.Modules, in)
+		}
+	}
+
+	// 2. Intra-block chain channels.
+	for _, r := range p.Rects {
+		if r.Kind != layout.RBlock {
+			continue
+		}
+		b := r.Block
+		byRow := map[int][]*layout.BlockUnit{}
+		for i := range b.Units {
+			byRow[b.Units[i].Row] = append(byRow[b.Units[i].Row], &b.Units[i])
+		}
+		for row, us := range byRow {
+			sort.Slice(us, func(i, j int) bool { return us[i].Col < us[j].Col })
+			for k := 0; k+1 < len(us); k++ {
+				a := instances[us[k].Name]
+				c := instances[us[k+1].Name]
+				d.Flow = append(d.Flow, FlowChannel{
+					Name:  fmt.Sprintf("%s.r%d.%d", b.Name, row, k),
+					Seg:   geom.Seg{A: a.PinRight, B: c.PinLeft},
+					Width: module.ChannelW,
+				})
+			}
+		}
+	}
+
+	// 3. Expand merged flow rects into explicit channels.
+	if err := d.expandFlowRects(p, instances); err != nil {
+		return nil, err
+	}
+
+	// 4. Control channels from module control lines.
+	d.collectCtrlChannels(p, instances)
+
+	// 5. Multiplexer synthesis along the MUX boundaries.
+	if err := d.buildMuxes(p); err != nil {
+		return nil, err
+	}
+
+	// 6. Chip boundary restoration.
+	chip := d.FuncRegion
+	if d.MuxBottom != nil {
+		chip = chip.Union(d.MuxBottom.Box)
+	}
+	if d.MuxTop != nil {
+		chip = chip.Union(d.MuxTop.Box)
+	}
+	// Flow boundary strips for the fluid inlets.
+	chip.XL -= 4 * module.D
+	chip.XR += 4 * module.D
+	chip.YB -= 2 * module.D
+	chip.YT += 2 * module.D
+	d.Chip = chip
+	return d, nil
+}
+
+// expandFlowRects turns each merged rectangle back into its individual
+// channels, placing switch junctions onto the channel rows (the paper lets
+// junctions pick their position along the spine during validation).
+func (d *Design) expandFlowRects(p *layout.Plan, instances map[string]*module.Instance) error {
+	for _, r := range p.Rects {
+		if r.Kind != layout.RFlow {
+			continue
+		}
+		for k, cref := range r.Channels {
+			ch := cref.Planar
+			y, err := d.channelRowY(p, r, k, ch, instances)
+			if err != nil {
+				return err
+			}
+			xw, xe := r.Box.XL, r.Box.XR
+			// Attach switch junctions and determine terminal inlets.
+			for _, endAtt := range []struct {
+				att  layout.FlowAttach
+				end  planar.End
+				west bool
+			}{{r.A, pickEnd(ch, p, r.A), true}, {r.B, pickEnd(ch, p, r.B), false}} {
+				if endAtt.att.Rect < 0 {
+					// Chip flow boundary: fluid terminal.
+					x := 0.0
+					if !endAtt.west {
+						x = p.XMax
+					}
+					term := terminalOf(ch)
+					if term != nil {
+						d.Inlets = append(d.Inlets, Inlet{
+							Name:  term.Terminal,
+							At:    geom.Pt{X: x, Y: y},
+							Inlet: term.Inlet,
+						})
+					}
+					continue
+				}
+				tr := p.Rects[endAtt.att.Rect]
+				if tr.Kind == layout.RSwitch {
+					in := instances[tr.Name]
+					j := junctionOf(ch, tr.Name)
+					if j < 0 {
+						return fmt.Errorf("validate: channel %v has no junction on %s", ch, tr.Name)
+					}
+					in.SetJunctionY(j, y)
+					// The channel enters the switch from the side facing
+					// the rect: rect west of switch -> junction on the
+					// switch's west boundary.
+					in.SetJunctionSide(j, !endAtt.west)
+				}
+			}
+			d.Flow = append(d.Flow, FlowChannel{
+				Name:  fmt.Sprintf("%s.%d", r.Name, k),
+				Seg:   geom.Seg{A: geom.Pt{X: xw, Y: y}, B: geom.Pt{X: xe, Y: y}},
+				Width: module.ChannelW,
+			})
+		}
+	}
+	return nil
+}
+
+// channelRowY picks the row of one expanded channel: the attached unit's
+// pin row when a unit is involved, a d'-pitch stack for switch-to-boundary
+// rects, a 2d-pitch stack for switch-to-switch rects.
+func (d *Design) channelRowY(p *layout.Plan, r *layout.PRect, k int, ch planar.Channel, instances map[string]*module.Instance) (float64, error) {
+	for _, e := range []planar.End{ch.A, ch.B} {
+		if e.IsTerminal() || e.Node == "" {
+			continue
+		}
+		if in, ok := instances[e.Node]; ok && in.Kind != module.KindSwitch {
+			return in.PinLeft.Y, nil
+		}
+	}
+	// No unit end: switch-to-switch or switch-to-boundary.
+	aSwitch := r.A.Rect >= 0 && p.Rects[r.A.Rect].Kind == layout.RSwitch
+	bSwitch := r.B.Rect >= 0 && p.Rects[r.B.Rect].Kind == layout.RSwitch
+	switch {
+	case aSwitch && bSwitch:
+		return r.Box.YB + module.D + float64(k)*2*module.D, nil
+	case aSwitch || bSwitch:
+		return r.Box.YB + module.DPrime*(float64(k)+0.5), nil
+	}
+	return 0, fmt.Errorf("validate: channel %v of rect %s has no row anchor", ch, r.Name)
+}
+
+// pickEnd returns the planar endpoint of ch that corresponds to the given
+// rect attachment (unit/switch name match, or the terminal end).
+func pickEnd(ch planar.Channel, p *layout.Plan, att layout.FlowAttach) planar.End {
+	if att.Rect < 0 {
+		if ch.A.IsTerminal() {
+			return ch.A
+		}
+		return ch.B
+	}
+	name := p.Rects[att.Rect].Name
+	if ch.A.Node == name {
+		return ch.A
+	}
+	if ch.B.Node == name {
+		return ch.B
+	}
+	// Unit ends belong to a block whose name differs from the unit name;
+	// fall back to the non-terminal end.
+	if ch.A.IsTerminal() {
+		return ch.B
+	}
+	return ch.A
+}
+
+func terminalOf(ch planar.Channel) *planar.End {
+	if ch.A.IsTerminal() {
+		return &ch.A
+	}
+	if ch.B.IsTerminal() {
+		return &ch.B
+	}
+	return nil
+}
+
+func junctionOf(ch planar.Channel, sw string) int {
+	if ch.A.Node == sw {
+		return ch.A.Junction
+	}
+	if ch.B.Node == sw {
+		return ch.B.Junction
+	}
+	return -1
+}
+
+// collectCtrlChannels derives the independent vertical control channels.
+// Within a block, lines of parallel rows at the same x are shared (the
+// whole point of parallel merging), so channels are grouped by x.
+func (d *Design) collectCtrlChannels(p *layout.Plan, instances map[string]*module.Instance) {
+	for _, r := range p.Rects {
+		if !r.Placeable() {
+			continue
+		}
+		top := false
+		for _, c := range p.Rects {
+			if c.Kind == layout.RCtrl && p.Rects[c.Owner].Name == r.Name {
+				top = c.CtrlTop
+			}
+		}
+		type group struct {
+			name   string
+			yValve float64
+		}
+		groups := map[int]*group{} // key: x rounded to 0.1 µm
+		var order []int
+		addLine := func(in *module.Instance, l module.CtrlLine) {
+			key := int(math.Round(l.X * 10))
+			g, ok := groups[key]
+			if !ok {
+				g = &group{name: l.Name, yValve: math.Inf(-1)}
+				if top {
+					g.yValve = math.Inf(1)
+				}
+				groups[key] = g
+				order = append(order, key)
+			}
+			for _, v := range l.Valves {
+				if top {
+					// Channel runs from its lowest valve up to the top.
+					g.yValve = math.Min(g.yValve, v.At.Y)
+				} else {
+					g.yValve = math.Max(g.yValve, v.At.Y)
+				}
+			}
+		}
+		switch r.Kind {
+		case layout.RBlock:
+			for i := range r.Block.Units {
+				in := instances[r.Block.Units[i].Name]
+				for _, l := range in.Lines {
+					addLine(in, l)
+				}
+			}
+		case layout.RSwitch:
+			in := instances[r.Name]
+			for _, l := range in.Lines {
+				addLine(in, l)
+			}
+		}
+		sort.Ints(order)
+		for _, key := range order {
+			g := groups[key]
+			d.Ctrl = append(d.Ctrl, CtrlChannel{
+				Name:     g.name,
+				Owner:    r.Name,
+				X:        float64(key) / 10,
+				YValve:   g.yValve,
+				Top:      top,
+				MuxIndex: -1,
+			})
+		}
+	}
+}
+
+// buildMuxes synthesizes the bottom (and top) multiplexers and assigns
+// every control channel its address.
+func (d *Design) buildMuxes(p *layout.Plan) error {
+	var bottomIdx, topIdx []int
+	for i := range d.Ctrl {
+		if d.Ctrl[i].Top {
+			topIdx = append(topIdx, i)
+		} else {
+			bottomIdx = append(bottomIdx, i)
+		}
+	}
+	build := func(idx []int, bottom bool, boundaryY float64) (*mux.Mux, error) {
+		if len(idx) == 0 {
+			return nil, nil
+		}
+		sort.Slice(idx, func(a, b int) bool { return d.Ctrl[idx[a]].X < d.Ctrl[idx[b]].X })
+		xs := make([]float64, len(idx))
+		for k, i := range idx {
+			xs[k] = d.Ctrl[i].X
+			d.Ctrl[i].MuxIndex = k
+		}
+		return mux.Build(xs, bottom, boundaryY)
+	}
+	var err error
+	if d.MuxBottom, err = build(bottomIdx, true, 0); err != nil {
+		return err
+	}
+	if d.MuxTop, err = build(topIdx, false, p.YMax); err != nil {
+		return err
+	}
+	if p.Muxes == 1 && d.MuxTop != nil {
+		return fmt.Errorf("validate: 1-MUX design routed control channels to the top boundary")
+	}
+	return nil
+}

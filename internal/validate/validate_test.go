@@ -1,0 +1,365 @@
+package validate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"columbas/internal/geom"
+	"columbas/internal/layout"
+	"columbas/internal/module"
+	"columbas/internal/netlist"
+	"columbas/internal/planar"
+)
+
+func design(t *testing.T, src string) *Design {
+	t.Helper()
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		t.Fatalf("planarize: %v", err)
+	}
+	o := layout.DefaultOptions()
+	o.TimeLimit = 3 * time.Second
+	o.StallLimit = 40
+	o.Gap = 0.1
+	p, err := layout.Generate(pr, o)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	d, err := Validate(p)
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return d
+}
+
+const chainSrc = `
+design chain
+unit m1 mixer
+unit c1 chamber
+connect in:sample m1
+connect m1 c1
+connect c1 out:waste
+`
+
+func TestChainDesign(t *testing.T) {
+	d := design(t, chainSrc)
+	if len(d.Modules) != 2 {
+		t.Fatalf("modules = %d, want 2", len(d.Modules))
+	}
+	if d.Module("m1") == nil || d.Module("c1") == nil {
+		t.Fatal("module lookup failed")
+	}
+	if d.Module("nope") != nil {
+		t.Fatal("unknown module should be nil")
+	}
+	// 3 expanded channels (inlet, inter, outlet), no intra-block ones.
+	if len(d.Flow) != 3 {
+		t.Fatalf("flow channels = %d, want 3", len(d.Flow))
+	}
+	// 7 control channels (mixer 5 + chamber 2), all to the bottom MUX.
+	if len(d.Ctrl) != 7 {
+		t.Fatalf("ctrl channels = %d, want 7", len(d.Ctrl))
+	}
+	if d.MuxBottom == nil || d.MuxTop != nil {
+		t.Fatal("1-MUX design must have exactly the bottom MUX")
+	}
+	if d.MuxBottom.N != 7 {
+		t.Fatalf("bottom MUX controls %d channels, want 7", d.MuxBottom.N)
+	}
+	// #c_in per the formula: 2*ceil(log2 7)+1 = 7.
+	if d.ControlInlets() != 7 {
+		t.Fatalf("ControlInlets = %d, want 7", d.ControlInlets())
+	}
+	// Two fluid terminals.
+	if len(d.Inlets) != 2 {
+		t.Fatalf("fluid terminals = %d, want 2", len(d.Inlets))
+	}
+}
+
+func TestAllFlowChannelsHorizontal(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, f := range d.Flow {
+		if !f.Seg.Horizontal() {
+			t.Errorf("flow channel %s is not horizontal: %v", f.Name, f.Seg)
+		}
+	}
+}
+
+func TestChannelsConnectPins(t *testing.T) {
+	d := design(t, chainSrc)
+	m1 := d.Module("m1")
+	c1 := d.Module("c1")
+	// Some flow channel must run between m1's right pin row and c1's left
+	// pin row (they are aligned).
+	if math.Abs(m1.PinRight.Y-c1.PinLeft.Y) > 1 {
+		t.Fatalf("pins misaligned: %v vs %v", m1.PinRight.Y, c1.PinLeft.Y)
+	}
+	found := false
+	for _, f := range d.Flow {
+		if math.Abs(f.Seg.A.Y-m1.PinRight.Y) < 1 && f.Seg.A.X >= m1.Box.XR-1 && f.Seg.B.X <= c1.Box.XL+1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no channel connecting m1 to c1 at the pin row")
+	}
+}
+
+func TestCtrlChannelsReachMux(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, c := range d.Ctrl {
+		if c.Top {
+			t.Errorf("ctrl %s routed top in 1-MUX design", c.Name)
+		}
+		if c.MuxIndex < 0 || c.MuxIndex >= d.MuxBottom.N {
+			t.Errorf("ctrl %s has bad MUX index %d", c.Name, c.MuxIndex)
+		}
+		if math.Abs(d.MuxBottom.ChannelX[c.MuxIndex]-c.X) > 0.2 {
+			t.Errorf("ctrl %s x mismatch with MUX channel", c.Name)
+		}
+	}
+	// Addresses are unique.
+	seen := map[int]bool{}
+	for _, c := range d.Ctrl {
+		if seen[c.MuxIndex] {
+			t.Fatalf("duplicate MUX index %d", c.MuxIndex)
+		}
+		seen[c.MuxIndex] = true
+	}
+}
+
+func TestParallelSharesCtrlChannels(t *testing.T) {
+	d := design(t, `
+design par
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect in:a m2
+connect m2 c2
+net c1 c2 out:waste
+parallel m1 c1 m2 c2
+`)
+	// 4 units but only one row's worth of control channels for the block:
+	// mixer 5 + chamber 2 = 7, plus the switch's junction channels.
+	blockCtrl := 0
+	for _, c := range d.Ctrl {
+		if c.Owner == "g0" {
+			blockCtrl++
+		}
+	}
+	if blockCtrl != 7 {
+		t.Fatalf("merged block ctrl channels = %d, want 7 (shared rows)", blockCtrl)
+	}
+	// Intra-block channels exist: m1-c1 and m2-c2.
+	intra := 0
+	for _, f := range d.Flow {
+		if len(f.Name) > 3 && f.Name[:3] == "g0." {
+			intra++
+		}
+	}
+	if intra != 2 {
+		t.Fatalf("intra-block channels = %d, want 2", intra)
+	}
+}
+
+func TestSwitchJunctionsOnChannelRows(t *testing.T) {
+	d := design(t, `
+design sw
+unit a mixer
+unit b mixer
+unit c mixer
+connect in:x a
+connect in:y b
+connect in:z c
+net a b c out:waste
+`)
+	sw := d.Module("s1")
+	if sw == nil {
+		t.Fatal("switch instance missing")
+	}
+	if len(sw.Junctions) != 4 {
+		t.Fatalf("junctions = %d, want 4", len(sw.Junctions))
+	}
+	// Each unit's pin row must host one junction.
+	for _, name := range []string{"a", "b", "c"} {
+		u := d.Module(name)
+		found := false
+		for _, j := range sw.Junctions {
+			if math.Abs(j.Y-u.PinRight.Y) < 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no junction on %s's pin row %v", name, u.PinRight.Y)
+		}
+	}
+	// Junctions stay inside the switch box.
+	for i, j := range sw.Junctions {
+		if j.Y < sw.Box.YB-1 || j.Y > sw.Box.YT+1 {
+			t.Errorf("junction %d at y=%v outside box %v", i, j.Y, sw.Box)
+		}
+	}
+}
+
+func TestTwoMuxDesign(t *testing.T) {
+	d := design(t, `
+design two
+muxes 2
+unit m1 mixer
+unit c1 chamber
+unit m2 mixer
+unit c2 chamber
+connect in:a m1
+connect m1 c1
+connect c1 out:w1
+connect in:b m2
+connect m2 c2
+connect c2 out:w2
+`)
+	if d.MuxBottom == nil || d.MuxTop == nil {
+		t.Fatalf("2-MUX design should populate both MUXes (bottom=%v top=%v)",
+			d.MuxBottom != nil, d.MuxTop != nil)
+	}
+	total := d.MuxBottom.N + d.MuxTop.N
+	if total != 14 {
+		t.Fatalf("total channels = %d, want 14", total)
+	}
+	// Inlets follow the per-MUX formula.
+	want := 0
+	for _, m := range []*int{&d.MuxBottom.N, &d.MuxTop.N} {
+		want += 2*ceilLog2(*m) + 1
+	}
+	if d.ControlInlets() != want {
+		t.Fatalf("ControlInlets = %d, want %d", d.ControlInlets(), want)
+	}
+	// The top MUX sits above the functional region, bottom below.
+	if d.MuxTop.Box.YB < d.FuncRegion.YT-1 {
+		t.Error("top MUX overlaps functional region")
+	}
+	if d.MuxBottom.Box.YT > d.FuncRegion.YB+1 {
+		t.Error("bottom MUX overlaps functional region")
+	}
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+func TestChipContainsEverything(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, m := range d.Modules {
+		if !d.Chip.ContainsRect(m.Box) {
+			t.Errorf("module %s outside chip", m.Name)
+		}
+	}
+	for _, f := range d.Flow {
+		if !d.Chip.Contains(f.Seg.A) || !d.Chip.Contains(f.Seg.B) {
+			t.Errorf("flow %s outside chip", f.Name)
+		}
+	}
+	if d.MuxBottom != nil && !d.Chip.ContainsRect(d.MuxBottom.Box) {
+		t.Error("bottom MUX outside chip")
+	}
+	w, h := d.Dimensions()
+	if w <= 0 || h <= 0 {
+		t.Fatalf("dimensions = %v x %v", w, h)
+	}
+}
+
+func TestInletsOnBoundaries(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, in := range d.Inlets {
+		onWest := math.Abs(in.At.X) < 1
+		onEast := math.Abs(in.At.X-d.FuncRegion.XR) < 1
+		if !onWest && !onEast {
+			t.Errorf("terminal %s at %v not on a flow boundary", in.Name, in.At)
+		}
+	}
+	names := map[string]bool{}
+	for _, in := range d.Inlets {
+		names[in.Name] = true
+	}
+	if !names["sample"] || !names["waste"] {
+		t.Fatalf("terminals missing: %v", names)
+	}
+}
+
+func TestFlowLengthPositiveAndFinite(t *testing.T) {
+	d := design(t, chainSrc)
+	l := d.FlowLength()
+	if l <= 0 || math.IsInf(l, 0) || math.IsNaN(l) {
+		t.Fatalf("FlowLength = %v", l)
+	}
+	// Plan-level and design-level lengths agree within the intra-module
+	// stubs (design counts intra-block chain channels too).
+	if l < d.Plan.FlowLength()-1 {
+		t.Fatalf("design flow length %v below plan estimate %v", l, d.Plan.FlowLength())
+	}
+}
+
+func TestCtrlAccessMatchesMuxSide(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, m := range d.Modules {
+		for _, l := range m.Lines {
+			if l.Access != module.FromBottom {
+				t.Errorf("line %s access %v, want bottom (1-MUX)", l.Name, l.Access)
+			}
+		}
+	}
+}
+
+func TestValveYExtents(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, c := range d.Ctrl {
+		if math.IsInf(c.YValve, 0) {
+			t.Errorf("ctrl %s has unset valve extent", c.Name)
+		}
+		if c.YValve <= 0 {
+			t.Errorf("ctrl %s valve extent %v not above the MUX boundary", c.Name, c.YValve)
+		}
+	}
+}
+
+func TestMuxChannelOrderIsByX(t *testing.T) {
+	d := design(t, chainSrc)
+	xs := d.MuxBottom.ChannelX
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("MUX channels not sorted by x: %v", xs)
+		}
+	}
+}
+
+func TestDegenerateSingleUnit(t *testing.T) {
+	d := design(t, "design one\nunit a mixer\nconnect in:x a\nconnect a out:y\n")
+	if len(d.Modules) != 1 || len(d.Flow) != 2 {
+		t.Fatalf("modules=%d flow=%d", len(d.Modules), len(d.Flow))
+	}
+	if d.MuxBottom.N != 5 {
+		t.Fatalf("channels = %d, want 5", d.MuxBottom.N)
+	}
+}
+
+func TestGeomSanity(t *testing.T) {
+	d := design(t, chainSrc)
+	// No two modules overlap.
+	for i := 0; i < len(d.Modules); i++ {
+		for j := i + 1; j < len(d.Modules); j++ {
+			if in, ok := d.Modules[i].Box.Intersect(d.Modules[j].Box); ok && in.W() > 1 && in.H() > 1 {
+				t.Errorf("modules %s and %s overlap", d.Modules[i].Name, d.Modules[j].Name)
+			}
+		}
+	}
+	_ = geom.Pt{}
+}

@@ -1,0 +1,155 @@
+// System-level integration suite: every Table 1 case, both multiplexer
+// variants, synthesized end-to-end and checked against the invariants the
+// paper's design rules promise. This is the acceptance test of the whole
+// reproduction.
+package columbas
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/drc"
+	"columbas/internal/mux"
+	"columbas/internal/sim"
+)
+
+func systemOpts(big bool) core.Options {
+	o := core.DefaultOptions()
+	o.Layout.TimeLimit = 10 * time.Second
+	o.Layout.StallLimit = 40
+	o.Layout.Gap = 0.1
+	if big {
+		o.Layout.TimeLimit = 60 * time.Second
+	}
+	return o
+}
+
+func TestSystemCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system corpus skipped in -short mode")
+	}
+	for _, c := range cases.Table1() {
+		for _, muxes := range []int{1, 2} {
+			c, muxes := c, muxes
+			t.Run(fmt.Sprintf("%s_%dmux", c.ID, muxes), func(t *testing.T) {
+				n, err := c.WithMuxes(muxes).Netlist()
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Synthesize(n, systemOpts(c.Units > 100))
+				if err != nil {
+					t.Fatal(err)
+				}
+				d := res.Design
+				m := res.Metrics()
+
+				// 1. DRC clean.
+				if !res.DRC.Clean() {
+					for _, v := range res.DRC.Violations {
+						t.Errorf("violation: %v", v)
+					}
+					t.Fatal("design not DRC-clean")
+				}
+				// 2. The inlet formula holds per multiplexer.
+				want := 0
+				if d.MuxBottom != nil {
+					want += mux.InletsFor(d.MuxBottom.N)
+				}
+				if d.MuxTop != nil {
+					want += mux.InletsFor(d.MuxTop.N)
+				}
+				if m.CtrlInlets != want {
+					t.Errorf("CtrlInlets = %d, formula says %d", m.CtrlInlets, want)
+				}
+				// 3. Every control channel is addressable and isolated.
+				ctl := sim.NewController(d)
+				for _, ch := range d.Ctrl {
+					if err := ctl.Set(ch.Name, true); err != nil {
+						t.Fatalf("channel %s: %v", ch.Name, err)
+					}
+				}
+				// 4. Unit count and fluid ports survived the flow.
+				if m.Units != c.Units {
+					t.Errorf("units = %d, want %d", m.Units, c.Units)
+				}
+				in, out := n.Terminals()
+				if len(d.Inlets) == 0 || len(d.Inlets) > (len(in)+len(out))*c.Units {
+					t.Errorf("fluid ports = %d (terminals %d/%d)", len(d.Inlets), len(in), len(out))
+				}
+				// 5. An independent re-check agrees with the stored report.
+				if rep := drc.Check(d); rep.Clean() != res.DRC.Clean() {
+					t.Error("DRC report mismatch on re-check")
+				}
+			})
+		}
+	}
+}
+
+// The two MUX variants of one design control the same channel set, split
+// differently: total channels must match and the 1-MUX inlet count never
+// exceeds the 2-MUX one.
+func TestSystemMuxVariantConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	for _, id := range []string{"nap6", "chip9", "mrna8"} {
+		c, err := cases.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var channels [3]int
+		var inlets [3]int
+		for _, muxes := range []int{1, 2} {
+			n, err := c.WithMuxes(muxes).Netlist()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Synthesize(n, systemOpts(false))
+			if err != nil {
+				t.Fatalf("%s %d-mux: %v", id, muxes, err)
+			}
+			total := 0
+			if res.Design.MuxBottom != nil {
+				total += res.Design.MuxBottom.N
+			}
+			if res.Design.MuxTop != nil {
+				total += res.Design.MuxTop.N
+			}
+			channels[muxes] = total
+			inlets[muxes] = res.Metrics().CtrlInlets
+		}
+		if channels[1] != channels[2] {
+			t.Errorf("%s: channel census differs: %d vs %d", id, channels[1], channels[2])
+		}
+		if inlets[1] > inlets[2] {
+			t.Errorf("%s: 1-MUX inlets %d exceed 2-MUX %d", id, inlets[1], inlets[2])
+		}
+	}
+}
+
+// Determinism: the same input synthesizes to the same metrics twice.
+func TestSystemDeterminism(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [2]core.Metrics
+	for i := 0; i < 2; i++ {
+		n, err := c.Netlist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Synthesize(n, systemOpts(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[i] = res.Metrics()
+	}
+	if got[0].WidthMM != got[1].WidthMM || got[0].HeightMM != got[1].HeightMM ||
+		got[0].FlowMM != got[1].FlowMM || got[0].CtrlInlets != got[1].CtrlInlets {
+		t.Fatalf("nondeterministic synthesis:\n%+v\n%+v", got[0], got[1])
+	}
+}
