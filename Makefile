@@ -1,0 +1,38 @@
+# Standard verify loop for the Columba S reproduction.
+#
+#   make test         tier-1: build everything, run every test
+#   make race         the race detector across the whole module
+#   make race-solver  quick race pass over the solver stack only
+#   make fuzz-smoke   short parallel-vs-sequential solver fuzz run
+#   make verify       vet + race + fuzz smoke (CI gate)
+#   make bench-solver the sequential-vs-parallel solver benchmark pair
+
+GO ?= go
+
+.PHONY: build test vet race race-solver fuzz-smoke verify bench-solver bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+race-solver:
+	$(GO) test -race -count=1 ./internal/milp/... ./internal/lp/...
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMILPParallel -fuzztime 15s .
+
+verify: vet race fuzz-smoke
+
+bench-solver:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .
+
+bench:
+	$(GO) test -bench . -benchmem .

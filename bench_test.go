@@ -12,6 +12,7 @@ package columbas
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"columbas/internal/core"
 	"columbas/internal/geom"
 	"columbas/internal/layout"
+	"columbas/internal/milp"
 	"columbas/internal/module"
 	"columbas/internal/mux"
 	"columbas/internal/netlist"
@@ -322,6 +324,34 @@ func BenchmarkFigure8_MuxOnChip(b *testing.B) {
 		}
 	}
 }
+
+// ── Solver parallelism: sequential vs worker-pool branch and bound ────
+// The same Table-1-scale placement model (constraints (1)-(5), five
+// merged rectangles, ten four-way disjunction groups) solved to proven
+// optimality with one worker and with GOMAXPROCS workers. EXPERIMENTS.md
+// records the measured pair; on a single-core host the two are expected
+// to sit within noise of each other.
+
+func benchSolveWorkers(b *testing.B, workers int) {
+	const wantObj = 2600 // proven optimum of PlacementModel(5, 11)
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		m := bench.PlacementModel(5, 11)
+		r, err := m.Solve(milp.Options{Workers: workers, TimeLimit: 5 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Status != milp.Optimal || r.Obj < wantObj-1e-6 || r.Obj > wantObj+1e-6 {
+			b.Fatalf("status=%v obj=%v, want optimal %v", r.Status, r.Obj, wantObj)
+		}
+		nodes = r.Nodes
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "maxprocs")
+}
+
+func BenchmarkSolveSequential(b *testing.B) { benchSolveWorkers(b, 1) }
+func BenchmarkSolveParallel(b *testing.B)   { benchSolveWorkers(b, -1) }
 
 // Guard: the baseline really is unsolvable at scale with the same solver.
 func TestBaselineFrontier(t *testing.T) {

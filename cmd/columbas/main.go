@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,7 +42,8 @@ func run() error {
 		format = flag.String("format", "", "output format override: svg, scr or json")
 		muxes  = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
 		tl     = flag.Duration("time", 30*time.Second, "layout generation time budget")
-		effort = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
+		effort  = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential)")
 		noDRC  = flag.Bool("nodrc", false, "skip the design-rule check")
 		stats  = flag.Bool("stats", false, "print solver statistics")
 		plan   = flag.String("plan", "", "also write the generation-phase rectangle plan (Figure 6(b)) as SVG to this file")
@@ -84,6 +86,7 @@ func run() error {
 
 	opt := core.DefaultOptions()
 	opt.Layout.TimeLimit = *tl
+	opt.Layout.Workers = *workers
 	opt.RunDRC = !*noDRC
 	switch *effort {
 	case "full":

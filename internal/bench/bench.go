@@ -30,6 +30,9 @@ type Config struct {
 	SkipBaseline bool
 	// DRC verifies every S design.
 	DRC bool
+	// Workers is the branch-and-bound worker count for the Columba S
+	// layout solves (0 or 1: sequential; negative: GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig mirrors the evaluation setup: generous budget for the
@@ -76,6 +79,7 @@ func RunS(c cases.Case, muxes int, cfg Config) (*SRun, error) {
 	}
 	opt := core.DefaultOptions()
 	opt.Layout.TimeLimit = cfg.STime
+	opt.Layout.Workers = cfg.Workers
 	if cfg.StallLimit > 0 {
 		opt.Layout.StallLimit = cfg.StallLimit
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"columbas/internal/cases"
+	"columbas/internal/milp"
 )
 
 func quickCfg() Config {
@@ -167,5 +168,50 @@ func TestFormatCSVErrorAndTooLarge(t *testing.T) {
 	out := FormatCSV(rows)
 	if !strings.Contains(out, "error") || !strings.Contains(out, "unsolvable") {
 		t.Fatalf("CSV missing markers:\n%s", out)
+	}
+}
+
+// TestPlacementModelSolverAgreement: the benchmark workload itself obeys
+// the solver-equivalence contract — sequential and worker-pool solves
+// prove the same optimum on the placement MILP.
+func TestPlacementModelSolverAgreement(t *testing.T) {
+	seq, err := PlacementModel(3, 7).Solve(milp.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := PlacementModel(3, 7).Solve(milp.Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Status != milp.Optimal || par.Status != milp.Optimal {
+		t.Fatalf("statuses: sequential %v, parallel %v", seq.Status, par.Status)
+	}
+	if d := seq.Obj - par.Obj; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("objective diverged: sequential %v, parallel %v", seq.Obj, par.Obj)
+	}
+	m := PlacementModel(3, 7)
+	if m.NumInt() != 12 || m.NumRows() < 18 {
+		t.Fatalf("unexpected model shape: %d binaries, %d rows", m.NumInt(), m.NumRows())
+	}
+}
+
+// TestConfigWorkersPlumbed: the harness hands its worker count to the
+// layout solver without disturbing the metrics contract.
+func TestConfigWorkersPlumbed(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Workers = 2
+	run, err := RunS(c, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.DRCOK {
+		t.Error("design not DRC-clean with parallel solver")
+	}
+	if m := run.Metrics; m.Units != 8 || m.WidthMM <= 0 {
+		t.Fatalf("metrics = %+v", m)
 	}
 }

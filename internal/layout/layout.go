@@ -231,6 +231,13 @@ type Options struct {
 	// of lazily separating violated pairs (ablation: measures the value
 	// of lazy separation).
 	EagerSeparation bool
+	// Workers is the number of parallel branch-and-bound workers handed
+	// to the MILP solver (milp.Options.Workers): 0 or 1 runs the exact
+	// sequential search, a negative value uses runtime.GOMAXPROCS(0).
+	// Parallel runs keep the same optimal objective but may pick a
+	// different tie-equivalent placement; the columbas CLI defaults to
+	// all cores via -workers.
+	Workers int
 }
 
 // DefaultOptions returns the options used by the Columba S flow.

@@ -95,6 +95,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			Gap:        opt.Gap,
 			StallLimit: roundStall(rounds),
 			Start:      seed,
+			Workers:    opt.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("layout: MILP solve: %w", err)

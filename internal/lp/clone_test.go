@@ -1,0 +1,95 @@
+package lp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// small LP: min -x - 2y  st  x + y <= 12, x,y in [0,10]  ->  obj -22.
+func cloneFixture() *Problem {
+	p := NewProblem()
+	x := p.AddVar(0, 10, -1)
+	y := p.AddVar(0, 10, -2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 12)
+	return p
+}
+
+func TestCloneIndependentBounds(t *testing.T) {
+	p := cloneFixture()
+	q := p.Clone()
+	q.SetBounds(0, 5, 5)
+	q.SetCost(1, 7)
+	q.SetDeadline(time.Now().Add(time.Hour))
+	if lo, hi := p.Bounds(0); lo != 0 || hi != 10 {
+		t.Fatalf("original bounds mutated via clone: [%v,%v]", lo, hi)
+	}
+	if p.Cost(1) != -2 {
+		t.Fatalf("original cost mutated via clone: %v", p.Cost(1))
+	}
+	if !p.deadline.IsZero() {
+		t.Fatal("original deadline mutated via clone")
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Obj != -22 {
+		t.Fatalf("original solve after clone edits = %+v", s)
+	}
+}
+
+func TestCloneRowAppendDoesNotAlias(t *testing.T) {
+	p := cloneFixture()
+	q := p.Clone()
+	// Appending a row to the clone must not leak into the original's row
+	// storage (the clone caps its shared slice).
+	q.AddConstraint([]Term{{1, 1}}, LE, 8)
+	if p.NumRows() != 1 {
+		t.Fatalf("original rows = %d after clone append, want 1", p.NumRows())
+	}
+	if q.NumRows() != 2 {
+		t.Fatalf("clone rows = %d, want 2", q.NumRows())
+	}
+	s, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Obj != -20 { // y=8, x=4
+		t.Fatalf("clone solve = %+v", s)
+	}
+}
+
+// TestConcurrentCloneSolves is the lp-level race check: many clones of
+// one problem solving concurrently with different bounds, sharing only
+// the immutable row storage.
+func TestConcurrentCloneSolves(t *testing.T) {
+	p := cloneFixture()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := p.Clone()
+			q.SetBounds(0, 0, float64(g))
+			s, err := q.Solve()
+			if err != nil {
+				t.Errorf("clone %d: %v", g, err)
+				return
+			}
+			want := -20 - float64(min(g, 2)) // y=10; x = min(g, 2) under x+y<=12
+			if s.Status != Optimal || s.Obj != want {
+				t.Errorf("clone %d: %+v, want obj %v", g, s, want)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The shared original must still solve to its own optimum.
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Obj != -22 {
+		t.Fatalf("original after concurrent clone solves = %+v", s)
+	}
+}

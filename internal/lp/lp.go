@@ -121,6 +121,22 @@ func (p *Problem) AddVar(lo, hi, cost float64) int {
 	return len(p.cost) - 1
 }
 
+// Clone returns an independent copy of the problem. Bounds, costs and the
+// deadline of the clone may be changed freely without affecting the
+// original — branch-and-bound workers rely on this to explore different
+// subtrees concurrently. The constraint rows themselves are shared
+// (Solve never mutates them); neither problem may gain rows while the
+// other is solving.
+func (p *Problem) Clone() *Problem {
+	return &Problem{
+		cost:     append([]float64(nil), p.cost...),
+		lo:       append([]float64(nil), p.lo...),
+		hi:       append([]float64(nil), p.hi...),
+		rows:     p.rows[:len(p.rows):len(p.rows)],
+		deadline: p.deadline,
+	}
+}
+
 // SetCost replaces the objective coefficient of variable v.
 func (p *Problem) SetCost(v int, cost float64) { p.cost[v] = cost }
 

@@ -19,7 +19,6 @@
 package milp
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -226,6 +225,17 @@ type Options struct {
 	// NoGroupBranching disables the k-way disjunction branching and falls
 	// back to plain binary branching (ablation).
 	NoGroupBranching bool
+	// Workers is the number of branch-and-bound workers solving LP
+	// relaxations concurrently. Each worker explores nodes from the
+	// shared best-first frontier on a private copy of the problem and
+	// prunes against the freshest incumbent bound. 0 or 1 runs the exact
+	// sequential algorithm; a negative value uses runtime.GOMAXPROCS(0).
+	//
+	// Parallel runs are deterministic by objective: status and optimal
+	// objective match the sequential solver (within tolerance), but the
+	// returned variable assignment may differ on ties, and budget-limited
+	// (Feasible/Limit) outcomes may vary with scheduling.
+	Workers int
 }
 
 // Result is the outcome of a Solve.
@@ -278,213 +288,16 @@ func (h *nodeHeap) Pop() any {
 	return it
 }
 
-// Solve runs branch and bound and returns the best solution found.
+// Solve runs branch and bound and returns the best solution found. The
+// search runs on opt.Workers concurrent workers (see Options.Workers);
+// the model itself is never mutated, so concurrent Solve calls on one
+// Model are safe as long as no variables, rows or bounds are added or
+// changed while any solve is in flight.
 func (m *Model) Solve(opt Options) (*Result, error) {
 	if !m.objSet {
 		m.Minimize(NewExpr()) // pure feasibility problem
 	}
-	start := time.Now()
-	nv := m.prob.NumVars()
-	if opt.TimeLimit > 0 {
-		// Propagate the budget into the LP so one oversized relaxation
-		// cannot overshoot it.
-		m.prob.SetDeadline(start.Add(opt.TimeLimit))
-		defer m.prob.SetDeadline(time.Time{})
-	}
-
-	// Preserve base bounds so Solve leaves the model reusable.
-	baseLo := make([]float64, nv)
-	baseHi := make([]float64, nv)
-	for v := 0; v < nv; v++ {
-		baseLo[v], baseHi[v] = m.prob.Bounds(v)
-	}
-	defer func() {
-		for v := 0; v < nv; v++ {
-			m.prob.SetBounds(v, baseLo[v], baseHi[v])
-		}
-	}()
-
-	res := &Result{Status: Limit, Obj: math.Inf(1), Bound: math.Inf(-1)}
-	var incumbent []float64
-	incObj := math.Inf(1)
-
-	if opt.Start != nil {
-		if ok, obj := m.checkFeasible(opt.Start); ok {
-			incumbent = append([]float64(nil), opt.Start...)
-			incObj = obj
-		}
-	}
-
-	apply := func(n *node) {
-		// Walk root→leaf so later (deeper) changes win.
-		var chain []*node
-		for cur := n; cur != nil; cur = cur.parent {
-			chain = append(chain, cur)
-		}
-		for i := len(chain) - 1; i >= 0; i-- {
-			for _, bc := range chain[i].changes {
-				m.prob.SetBounds(bc.v, bc.lo, bc.hi)
-			}
-		}
-	}
-	reset := func() {
-		for v := 0; v < nv; v++ {
-			m.prob.SetBounds(v, baseLo[v], baseHi[v])
-		}
-	}
-
-	h := &nodeHeap{{bound: math.Inf(-1)}}
-	seq := 0
-	sinceImprove := 0
-	for h.Len() > 0 {
-		if opt.NodeLimit > 0 && res.Nodes >= opt.NodeLimit {
-			break
-		}
-		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
-			break
-		}
-		if opt.StallLimit > 0 && incumbent != nil && sinceImprove >= opt.StallLimit {
-			break
-		}
-		sinceImprove++
-		n := heap.Pop(h).(*node)
-		if n.bound >= incObj-1e-9 {
-			continue // already dominated
-		}
-		// Best-first order makes the popped bound the global lower bound;
-		// stop once the incumbent is within the requested gap.
-		if opt.Gap > 0 && !math.IsInf(incObj, 1) &&
-			incObj-n.bound <= opt.Gap*math.Max(1, math.Abs(incObj)) {
-			heap.Push(h, n)
-			break
-		}
-		res.Nodes++
-		reset()
-		apply(n)
-		sol, err := m.prob.Solve()
-		if err != nil {
-			return nil, err
-		}
-		switch sol.Status {
-		case lp.Infeasible:
-			continue
-		case lp.Unbounded:
-			if n.parent == nil {
-				res.Status = Unbounded
-				res.Runtime = time.Since(start)
-				return res, nil
-			}
-			continue
-		case lp.IterLimit:
-			continue // treat as unexplorable; bound stays with siblings
-		}
-		obj := sol.Obj + m.objC
-		if n.parent == nil {
-			res.Bound = obj
-		}
-		if obj >= incObj-1e-9 {
-			continue
-		}
-		// Rounding heuristic while no incumbent exists: fix the integer
-		// part of the relaxation (group-aware) and re-solve for the
-		// continuous part. Cheap, and it often rescues cold starts.
-		if incumbent == nil && res.Nodes%16 == 1 {
-			if cand, obj, ok := m.tryRounding(sol.X); ok && obj < incObj-1e-9 {
-				incumbent = cand
-				incObj = obj
-				sinceImprove = 0
-			}
-		}
-		branchVar, branchGroup := m.pickBranch(sol.X)
-		if opt.NoGroupBranching && branchGroup >= 0 {
-			// Ablation mode: resolve the group with binary branching on
-			// its most fractional member instead.
-			branchGroup = -1
-			branchVar = -1
-			bestFrac := intTol
-			for _, g := range m.groups {
-				for _, v := range g {
-					if f := frac(sol.X[v]); f > bestFrac {
-						bestFrac = f
-						branchVar = int(v)
-					}
-				}
-			}
-			if branchVar < 0 {
-				bv, _ := m.pickBranchVarOnly(sol.X)
-				branchVar = bv
-			}
-		}
-		if branchVar < 0 && branchGroup < 0 {
-			// Integer feasible: new incumbent. Only a significant
-			// improvement resets the stall counter — a trickle of
-			// marginal gains should not keep a budgeted search alive.
-			if obj < incObj-math.Max(1e-6, 0.002*math.Abs(incObj)) {
-				sinceImprove = 0
-			}
-			incumbent = append([]float64(nil), sol.X...)
-			incObj = obj
-			continue
-		}
-		if branchGroup >= 0 {
-			// k-way branch: each child fixes a different member to 0 and
-			// the rest to 1.
-			g := m.groups[branchGroup]
-			for _, zero := range g {
-				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq}
-				seq++
-				for _, v := range g {
-					if v == zero {
-						ch.changes = append(ch.changes, boundChange{int(v), 0, 0})
-					} else {
-						ch.changes = append(ch.changes, boundChange{int(v), 1, 1})
-					}
-				}
-				if obj < incObj-1e-9 {
-					heap.Push(h, ch)
-				}
-			}
-			continue
-		}
-		// Standard two-way branch on a fractional integer variable.
-		x := sol.X[branchVar]
-		lo, hi := m.prob.Bounds(branchVar)
-		fl := math.Floor(x)
-		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq,
-			changes: []boundChange{{branchVar, lo, fl}}}
-		seq++
-		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: seq,
-			changes: []boundChange{{branchVar, fl + 1, hi}}}
-		seq++
-		heap.Push(h, down)
-		heap.Push(h, up)
-	}
-	reset()
-
-	res.Runtime = time.Since(start)
-	if incumbent != nil {
-		res.X = incumbent
-		res.Obj = incObj
-		if h.Len() == 0 {
-			res.Status = Optimal
-			res.Bound = incObj
-		} else {
-			res.Status = Feasible
-			// Bound is the best outstanding node bound.
-			best := incObj
-			for _, n := range *h {
-				if n.bound < best {
-					best = n.bound
-				}
-			}
-			res.Bound = best
-		}
-		return res, nil
-	}
-	if h.Len() == 0 {
-		res.Status = Infeasible
-	}
-	return res, nil
+	return newSearch(m, opt).run()
 }
 
 // pickBranch selects a branching target given the relaxation solution.
@@ -544,21 +357,23 @@ func frac(x float64) float64 {
 	return math.Min(f, 1-f)
 }
 
-// tryRounding fixes every integer variable to a rounded value — within
+// tryRoundingOn fixes every integer variable to a rounded value — within
 // each disjunction group the member with the smallest relaxation value
 // goes to 0 and the rest to 1 — re-solves the LP for the continuous
 // variables, and returns the resulting point when integer feasible.
-// Bounds are restored before returning.
-func (m *Model) tryRounding(x []float64) ([]float64, float64, bool) {
-	nv := m.prob.NumVars()
+// It operates on prob, a worker-private clone of the model's problem
+// currently carrying the node bounds; those bounds are restored before
+// returning.
+func (m *Model) tryRoundingOn(prob *lp.Problem, x []float64) ([]float64, float64, bool) {
+	nv := prob.NumVars()
 	saveLo := make([]float64, nv)
 	saveHi := make([]float64, nv)
 	for v := 0; v < nv; v++ {
-		saveLo[v], saveHi[v] = m.prob.Bounds(v)
+		saveLo[v], saveHi[v] = prob.Bounds(v)
 	}
 	defer func() {
 		for v := 0; v < nv; v++ {
-			m.prob.SetBounds(v, saveLo[v], saveHi[v])
+			prob.SetBounds(v, saveLo[v], saveHi[v])
 		}
 	}()
 	inGroup := map[int]bool{}
@@ -579,7 +394,7 @@ func (m *Model) tryRounding(x []float64) ([]float64, float64, bool) {
 			if val < lo || val > hi {
 				return nil, 0, false // branching already excluded this choice
 			}
-			m.prob.SetBounds(int(v), val, val)
+			prob.SetBounds(int(v), val, val)
 		}
 	}
 	for v := 0; v < nv; v++ {
@@ -589,9 +404,9 @@ func (m *Model) tryRounding(x []float64) ([]float64, float64, bool) {
 		val := math.Round(x[v])
 		val = math.Max(val, saveLo[v])
 		val = math.Min(val, saveHi[v])
-		m.prob.SetBounds(v, val, val)
+		prob.SetBounds(v, val, val)
 	}
-	sol, err := m.prob.Solve()
+	sol, err := prob.Solve()
 	if err != nil || sol.Status != lp.Optimal {
 		return nil, 0, false
 	}
@@ -607,12 +422,12 @@ func (m *Model) tryRounding(x []float64) ([]float64, float64, bool) {
 			return nil, 0, false
 		}
 	}
-	if !m.prob.RowsSatisfied(cand, ftol) {
+	if !prob.RowsSatisfied(cand, ftol) {
 		return nil, 0, false
 	}
 	obj := m.objC
 	for v := 0; v < nv; v++ {
-		obj += m.prob.Cost(v) * cand[v]
+		obj += prob.Cost(v) * cand[v]
 	}
 	return cand, obj, true
 }

@@ -1,0 +1,182 @@
+package milp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hardKnapsack builds a symmetric knapsack large enough that branch and
+// bound cannot finish within a few milliseconds.
+func hardKnapsack(n int) *Model {
+	m := NewModel()
+	cap := NewExpr()
+	obj := NewExpr()
+	for i := 0; i < n; i++ {
+		v := m.Binary("v")
+		cap.Add(v, float64(3+i%7))
+		obj.Add(v, -float64(5+i%11))
+	}
+	m.AddLE(cap, float64(n)*5/4)
+	m.Minimize(obj)
+	return m
+}
+
+// TestConcurrentSolveSharedModel runs many parallel Solve calls against
+// ONE shared Model. Solve must not mutate the model (each worker explores
+// on a private clone), so under -race this is the shared-state proof for
+// the whole solver stack.
+func TestConcurrentSolveSharedModel(t *testing.T) {
+	m := NewModel()
+	a, b, c := m.Binary("a"), m.Binary("b"), m.Binary("c")
+	x := m.Var("x", 0, 4)
+	m.AddLE(NewExpr().Add(a, 6).Add(b, 5).Add(c, 4).Add(x, 1), 12)
+	m.Minimize(NewExpr().Add(a, -9).Add(b, -7).Add(c, -5).Add(x, -1))
+
+	const goroutines = 8
+	objs := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r, err := m.Solve(Options{Workers: 1 + g%3})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if r.Status != Optimal {
+				t.Errorf("goroutine %d: status %v", g, r.Status)
+			}
+			objs[g] = r.Obj
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		if math.Abs(objs[g]-objs[0]) > 1e-6 {
+			t.Fatalf("objective diverged across concurrent solves: %v", objs)
+		}
+	}
+	// The model's bounds must be untouched afterwards.
+	for _, v := range []VarID{a, b, c} {
+		if lo, hi := m.Bounds(v); lo != 0 || hi != 1 {
+			t.Fatalf("binary bounds mutated: [%v,%v]", lo, hi)
+		}
+	}
+	if lo, hi := m.Bounds(x); lo != 0 || hi != 4 {
+		t.Fatalf("continuous bounds mutated: [%v,%v]", lo, hi)
+	}
+}
+
+// TestParallelDeadlineStopsWorkers proves cancellation: a parallel solve
+// under a short time limit must return promptly AND leave no worker
+// goroutines behind.
+func TestParallelDeadlineStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := hardKnapsack(48)
+	start := time.Now()
+	r, err := m.Solve(Options{Workers: 8, TimeLimit: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// The LP deadline fires on a 64-iteration cadence inside the simplex,
+	// so allow generous slack over the nominal 100ms — but nothing close
+	// to what an unbounded search would take.
+	if elapsed > 10*time.Second {
+		t.Fatalf("deadline ignored: solve took %v", elapsed)
+	}
+	if r.Status == Optimal && elapsed > time.Second {
+		t.Fatalf("optimal after %v on a model meant to exceed the budget", elapsed)
+	}
+	// Solve joins its workers before returning, so the goroutine count
+	// must settle back to the baseline (poll briefly: the runtime may lag
+	// reclaiming exited goroutines).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelNodeLimitKeepsIncumbent mirrors the sequential node-limit
+// contract with a worker pool: a seeded incumbent must survive.
+func TestParallelNodeLimitKeepsIncumbent(t *testing.T) {
+	m := NewModel()
+	a, b := m.Binary("a"), m.Binary("b")
+	m.AddLE(Sum(a, b), 1)
+	m.Minimize(NewExpr().Add(a, -3).Add(b, -2))
+	r, err := m.Solve(Options{Workers: 4, Start: []float64{0, 1}, NodeLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Obj > -2+1e-9 {
+		t.Fatalf("obj = %v, incumbent lost", r.Obj)
+	}
+}
+
+// TestParallelStallLimit terminates a budgeted parallel search by stall,
+// the termination mode the layout flow actually uses.
+func TestParallelStallLimit(t *testing.T) {
+	m := hardKnapsack(36)
+	r, err := m.Solve(Options{Workers: 4, StallLimit: 50, TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X == nil {
+		t.Fatalf("stall-limited search returned no incumbent (status %v)", r.Status)
+	}
+	if r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+}
+
+// TestParallelUnbounded: the unbounded-relaxation escape hatch must work
+// from a worker pool too.
+func TestParallelUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.Var("x", 0, math.Inf(1))
+	m.Minimize(T(x, -1))
+	r, err := m.Solve(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+// TestWorkersDefaulting: 0 means sequential, negative means GOMAXPROCS;
+// both must solve correctly.
+func TestWorkersDefaulting(t *testing.T) {
+	for _, workers := range []int{0, -1} {
+		m := NewModel()
+		a, b := m.Binary("a"), m.Binary("b")
+		m.AddLE(Sum(a, b), 1)
+		m.Minimize(NewExpr().Add(a, -3).Add(b, -2))
+		r, err := m.Solve(Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal || math.Abs(r.Obj+3) > 1e-6 {
+			t.Fatalf("workers=%d: status=%v obj=%v", workers, r.Status, r.Obj)
+		}
+	}
+}

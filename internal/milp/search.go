@@ -1,0 +1,418 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"columbas/internal/lp"
+)
+
+// This file holds the branch-and-bound engine behind Model.Solve: a pool
+// of workers pulling nodes from a shared best-first frontier. The same
+// loop serves both configurations — with one worker it executes the
+// sequential algorithm node for node (pop best, expand, push children);
+// with several, workers expand different subtrees concurrently, each on a
+// private clone of the LP, and prune against the freshest incumbent bound
+// published through an atomic.
+//
+// Invariants that keep the parallel search exact:
+//
+//   - a popped node is either discarded as dominated (its bound is no
+//     better than the incumbent, which only improves) or fully expanded:
+//     its children are pushed under the same lock that removes it from
+//     the in-flight set, so no subtree is ever lost;
+//   - the search terminates via the frontier only when the frontier is
+//     empty AND no worker is mid-expansion — an empty heap alone is not
+//     proof of optimality while a worker may still push children;
+//   - the global lower bound used for gap termination is the minimum of
+//     the best frontier bound and every in-flight node's bound.
+
+// search is the shared state of one Solve call.
+type search struct {
+	m       *Model
+	opt     Options
+	workers int
+
+	start    time.Time
+	deadline time.Time // zero: no time limit
+
+	// Base bounds of the model; worker problems are reset to these before
+	// a node's own bound changes are applied.
+	baseLo, baseHi []float64
+
+	// incBits publishes math.Float64bits of the incumbent objective
+	// (+Inf while none exists) so workers mid-expansion can prune without
+	// taking the lock. The authoritative value is incObj under mu.
+	incBits atomic.Uint64
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	frontier     nodeHeap
+	inflight     map[int]float64 // worker id -> bound of node being expanded
+	nodes        int             // expanded node count
+	seq          int             // child insertion order (heap tie-break)
+	sinceImprove int
+	incumbent    []float64
+	incObj       float64
+	rootObj      float64 // root relaxation objective (global lower bound)
+	rootSolved   bool
+	unbounded    bool
+	stopped      bool // a budget, gap or error ended the search early
+	err          error
+}
+
+func newSearch(m *Model, opt Options) *search {
+	s := &search{
+		m:       m,
+		opt:     opt,
+		workers: opt.Workers,
+		start:   time.Now(),
+		incObj:  math.Inf(1),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	switch {
+	case s.workers == 0:
+		s.workers = 1
+	case s.workers < 0:
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.TimeLimit > 0 {
+		s.deadline = s.start.Add(opt.TimeLimit)
+	}
+	nv := m.prob.NumVars()
+	s.baseLo = make([]float64, nv)
+	s.baseHi = make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		s.baseLo[v], s.baseHi[v] = m.prob.Bounds(v)
+	}
+	s.incBits.Store(math.Float64bits(math.Inf(1)))
+	s.frontier = nodeHeap{{bound: math.Inf(-1)}}
+	s.inflight = make(map[int]float64, s.workers)
+	return s
+}
+
+// run executes the search and assembles the Result.
+func (s *search) run() (*Result, error) {
+	if s.opt.Start != nil {
+		if ok, obj := s.m.checkFeasible(s.opt.Start); ok {
+			s.incumbent = append([]float64(nil), s.opt.Start...)
+			s.incObj = obj
+			s.incBits.Store(math.Float64bits(obj))
+		}
+	}
+	newProb := func() *lp.Problem {
+		p := s.m.prob.Clone()
+		// Propagate the budget into the LP so one oversized relaxation
+		// cannot overshoot it.
+		p.SetDeadline(s.deadline)
+		return p
+	}
+	if s.workers == 1 {
+		s.worker(0, newProb())
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < s.workers; w++ {
+			wg.Add(1)
+			go func(id int, prob *lp.Problem) {
+				defer wg.Done()
+				s.worker(id, prob)
+			}(w, newProb())
+		}
+		wg.Wait()
+	}
+	return s.result()
+}
+
+func (s *search) worker(id int, prob *lp.Problem) {
+	for {
+		n, idx, ok := s.next(id)
+		if !ok {
+			return
+		}
+		s.expand(id, idx, n, prob)
+	}
+}
+
+// loadInc reads the published incumbent objective without locking.
+func (s *search) loadInc() float64 { return math.Float64frombits(s.incBits.Load()) }
+
+// haltLocked ends the search early; callers hold mu.
+func (s *search) haltLocked() {
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// next hands the calling worker its next node (and that node's 1-based
+// expansion index), blocking while the frontier is empty but another
+// worker may still push children. ok is false when the search is over:
+// tree exhausted, a budget or gap limit hit, or an error recorded.
+func (s *search) next(id int) (n *node, idx int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.err != nil || s.unbounded {
+			return nil, 0, false
+		}
+		if s.opt.NodeLimit > 0 && s.nodes >= s.opt.NodeLimit {
+			s.haltLocked()
+			return nil, 0, false
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.haltLocked()
+			return nil, 0, false
+		}
+		if s.opt.StallLimit > 0 && s.incumbent != nil && s.sinceImprove >= s.opt.StallLimit {
+			s.haltLocked()
+			return nil, 0, false
+		}
+		if len(s.frontier) == 0 {
+			if len(s.inflight) == 0 {
+				// Tree exhausted: wake any other waiters so they exit too.
+				s.cond.Broadcast()
+				return nil, 0, false
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.sinceImprove++
+		n := heap.Pop(&s.frontier).(*node)
+		if n.bound >= s.incObj-1e-9 {
+			continue // already dominated
+		}
+		// Gap termination: the global lower bound is the minimum over the
+		// best frontier node (n, by heap order) and every in-flight node.
+		if s.opt.Gap > 0 && !math.IsInf(s.incObj, 1) {
+			lb := n.bound
+			for _, b := range s.inflight {
+				if b < lb {
+					lb = b
+				}
+			}
+			if s.incObj-lb <= s.opt.Gap*math.Max(1, math.Abs(s.incObj)) {
+				heap.Push(&s.frontier, n)
+				s.haltLocked()
+				return nil, 0, false
+			}
+		}
+		s.nodes++
+		s.inflight[id] = n.bound
+		return n, s.nodes, true
+	}
+}
+
+// done removes the worker's node from the in-flight set. Extra work to be
+// performed under the same critical section (pushing children, updating
+// the incumbent) is passed as fn; the removal and the push must be atomic
+// so an empty frontier is never observed while children are pending.
+func (s *search) done(id int, fn func()) {
+	s.mu.Lock()
+	if fn != nil {
+		fn()
+	}
+	delete(s.inflight, id)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// setIncumbentLocked installs a new incumbent; callers hold mu.
+func (s *search) setIncumbentLocked(x []float64, obj float64, resetStall bool) {
+	if resetStall {
+		s.sinceImprove = 0
+	}
+	s.incumbent = append([]float64(nil), x...)
+	s.incObj = obj
+	s.incBits.Store(math.Float64bits(obj))
+}
+
+// expand solves the node's LP relaxation on the worker's private problem
+// and either records an incumbent or branches.
+func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
+	// Reset to base bounds, then walk the chain root→leaf so deeper
+	// changes win.
+	for v := range s.baseLo {
+		prob.SetBounds(v, s.baseLo[v], s.baseHi[v])
+	}
+	var chain []*node
+	for cur := n; cur != nil; cur = cur.parent {
+		chain = append(chain, cur)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		for _, bc := range chain[i].changes {
+			prob.SetBounds(bc.v, bc.lo, bc.hi)
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		s.done(id, func() {
+			if s.err == nil {
+				s.err = err
+			}
+			s.haltLocked()
+		})
+		return
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		s.done(id, nil)
+		return
+	case lp.Unbounded:
+		s.done(id, func() {
+			if n.parent == nil {
+				s.unbounded = true
+				s.haltLocked()
+			}
+			// Non-root unbounded: unexplorable, bound stays with siblings.
+		})
+		return
+	case lp.IterLimit:
+		s.done(id, nil) // treat as unexplorable
+		return
+	}
+	obj := sol.Obj + s.m.objC
+
+	// Prune against the freshest published incumbent before any further
+	// work; the authoritative re-check happens under the lock below.
+	if n.parent != nil && obj >= s.loadInc()-1e-9 {
+		s.done(id, nil)
+		return
+	}
+
+	// Rounding heuristic while no incumbent exists: fix the integer part
+	// of the relaxation (group-aware) and re-solve for the continuous
+	// part. Cheap, and it often rescues cold starts.
+	var roundX []float64
+	var roundObj float64
+	haveRound := false
+	if math.IsInf(s.loadInc(), 1) && idx%16 == 1 {
+		roundX, roundObj, haveRound = s.m.tryRoundingOn(prob, sol.X)
+	}
+
+	branchVar, branchGroup := s.m.pickBranch(sol.X)
+	if s.opt.NoGroupBranching && branchGroup >= 0 {
+		// Ablation mode: resolve the group with binary branching on its
+		// most fractional member instead.
+		branchGroup = -1
+		branchVar = -1
+		bestFrac := intTol
+		for _, g := range s.m.groups {
+			for _, v := range g {
+				if f := frac(sol.X[v]); f > bestFrac {
+					bestFrac = f
+					branchVar = int(v)
+				}
+			}
+		}
+		if branchVar < 0 {
+			bv, _ := s.m.pickBranchVarOnly(sol.X)
+			branchVar = bv
+		}
+	}
+
+	// Child bound changes are prepared outside the lock; prob still holds
+	// the node's bounds, so Bounds(branchVar) sees the node-local range.
+	var downCh, upCh []boundChange
+	if branchGroup < 0 && branchVar >= 0 {
+		x := sol.X[branchVar]
+		lo, hi := prob.Bounds(branchVar)
+		fl := math.Floor(x)
+		downCh = []boundChange{{branchVar, lo, fl}}
+		upCh = []boundChange{{branchVar, fl + 1, hi}}
+	}
+
+	s.done(id, func() {
+		if n.parent == nil {
+			s.rootObj, s.rootSolved = obj, true
+		}
+		if haveRound && roundObj < s.incObj-1e-9 {
+			s.setIncumbentLocked(roundX, roundObj, true)
+		}
+		if obj >= s.incObj-1e-9 {
+			return // dominated by an incumbent found meanwhile
+		}
+		if branchVar < 0 && branchGroup < 0 {
+			// Integer feasible: new incumbent. Only a significant
+			// improvement resets the stall counter — a trickle of
+			// marginal gains should not keep a budgeted search alive.
+			reset := obj < s.incObj-math.Max(1e-6, 0.002*math.Abs(s.incObj))
+			s.setIncumbentLocked(sol.X, obj, reset)
+			return
+		}
+		if branchGroup >= 0 {
+			// k-way branch: each child fixes a different member to 0 and
+			// the rest to 1.
+			g := s.m.groups[branchGroup]
+			for _, zero := range g {
+				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq}
+				s.seq++
+				for _, v := range g {
+					if v == zero {
+						ch.changes = append(ch.changes, boundChange{int(v), 0, 0})
+					} else {
+						ch.changes = append(ch.changes, boundChange{int(v), 1, 1})
+					}
+				}
+				heap.Push(&s.frontier, ch)
+			}
+			return
+		}
+		// Standard two-way branch on a fractional integer variable.
+		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: downCh}
+		s.seq++
+		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: upCh}
+		s.seq++
+		heap.Push(&s.frontier, down)
+		heap.Push(&s.frontier, up)
+	})
+}
+
+// result assembles the Result after all workers have exited.
+func (s *search) result() (*Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	res := &Result{
+		Status:  Limit,
+		Obj:     math.Inf(1),
+		Bound:   math.Inf(-1),
+		Nodes:   s.nodes,
+		Runtime: time.Since(s.start),
+	}
+	if s.unbounded {
+		res.Status = Unbounded
+		return res, nil
+	}
+	if s.rootSolved {
+		res.Bound = s.rootObj
+	}
+	if s.incumbent != nil {
+		res.X = s.incumbent
+		res.Obj = s.incObj
+		// An empty frontier proves optimality even when a budget fired on
+		// the final nodes: halted workers never abandon popped nodes, so
+		// an empty heap with all workers drained means the whole tree was
+		// expanded or dominated.
+		if len(s.frontier) == 0 {
+			res.Status = Optimal
+			res.Bound = s.incObj
+		} else {
+			res.Status = Feasible
+			// Bound is the best outstanding node bound.
+			best := s.incObj
+			for _, n := range s.frontier {
+				if n.bound < best {
+					best = n.bound
+				}
+			}
+			res.Bound = best
+		}
+		return res, nil
+	}
+	if len(s.frontier) == 0 {
+		res.Status = Infeasible
+	}
+	return res, nil
+}
