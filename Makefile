@@ -4,12 +4,13 @@
 #   make race         the race detector across the whole module
 #   make race-solver  quick race pass over the solver stack only
 #   make fuzz-smoke   short parallel-vs-sequential solver fuzz run
-#   make verify       vet + race + fuzz smoke (CI gate)
+#   make docs-check   every internal package documents itself in a doc.go
+#   make verify       vet + race + fuzz smoke + docs check (CI gate)
 #   make bench-solver the sequential-vs-parallel solver benchmark pair
 
 GO ?= go
 
-.PHONY: build test vet race race-solver fuzz-smoke verify bench-solver bench
+.PHONY: build test vet race race-solver fuzz-smoke docs-check verify bench-solver bench
 
 build:
 	$(GO) build ./...
@@ -29,7 +30,28 @@ race-solver:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMILPParallel -fuzztime 15s .
 
-verify: vet race fuzz-smoke
+# Every internal package must carry its documentation in a doc.go whose
+# comment opens with the canonical "Package <name>" sentence, and no other
+# file may duplicate the package comment.
+docs-check:
+	@fail=0; \
+	for d in internal/*/; do \
+		p=$$(basename $$d); \
+		if [ ! -f $$d/doc.go ]; then \
+			echo "docs-check: $$d is missing doc.go"; fail=1; continue; \
+		fi; \
+		if ! grep -q "^// Package $$p " $$d/doc.go; then \
+			echo "docs-check: $$d/doc.go lacks a '// Package $$p' comment"; fail=1; \
+		fi; \
+		dup=$$(grep -l "^// Package $$p " $$d*.go | grep -v doc.go || true); \
+		if [ -n "$$dup" ]; then \
+			echo "docs-check: package comment duplicated in $$dup"; fail=1; \
+		fi; \
+	done; \
+	if [ ! -f docs/metrics.md ]; then echo "docs-check: docs/metrics.md missing"; fail=1; fi; \
+	exit $$fail
+
+verify: vet race fuzz-smoke docs-check
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .

@@ -15,6 +15,12 @@
 //	benchtab -cases nap6,chip9   # subset
 //	benchtab -fig1               # the Figure 1 comparison only
 //	benchtab -stime 10s -btime 10s -quick
+//	benchtab -json BENCH_run.json -pprof-cpu cpu.out
+//
+// -json writes the columbas-bench/v1 report (docs/metrics.md): the Table 1
+// metrics plus, for every Columba S run, the per-phase trace with the
+// milp_* solver counters — the stable artifact future performance PRs
+// diff against.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 
 	"columbas/internal/bench"
 	"columbas/internal/cases"
+	"columbas/internal/obs"
 )
 
 func main() {
@@ -44,13 +51,33 @@ func run() error {
 		noBase   = flag.Bool("skip-baseline", false, "skip the Columba 2.0 runs")
 		fig1     = flag.Bool("fig1", false, "run the Figure 1 kinase comparison only")
 		csvPath  = flag.String("csv", "", "also write the results as CSV to this file")
+		jsonPath = flag.String("json", "", "also write the columbas-bench/v1 JSON report (per-phase breakdown) to this file")
+		workers  = flag.Int("workers", 0, "branch-and-bound workers per Columba S solve (0/1: sequential, -1: all cores)")
+		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
+		pprofMem = flag.String("pprof-mem", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *pprofCPU != "" {
+		stop, err := obs.StartCPUProfile(*pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *pprofMem != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*pprofMem); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.STime = *stime
 	cfg.BTime = *btime
 	cfg.SkipBaseline = *noBase
+	cfg.Workers = *workers
 	if *quick {
 		cfg.StallLimit = 40
 	}
@@ -87,6 +114,16 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		doc, err := bench.FormatJSON(rows)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"columbas/internal/core"
 	"columbas/internal/netlist"
+	"columbas/internal/obs"
 	"columbas/internal/sim"
 )
 
@@ -30,9 +31,11 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("i", "", "input netlist description (default: stdin)")
-		tl      = flag.Duration("time", 30*time.Second, "synthesis time budget")
-		verbose = flag.Bool("v", false, "list every fault verdict")
+		in        = flag.String("i", "", "input netlist description (default: stdin)")
+		tl        = flag.Duration("time", 30*time.Second, "synthesis time budget")
+		verbose   = flag.Bool("v", false, "list every fault verdict")
+		stats     = flag.Bool("stats", false, "print the per-phase statistics table to stderr")
+		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
 	)
 	flag.Parse()
 
@@ -45,19 +48,40 @@ func run() error {
 		defer f.Close()
 		src = f
 	}
+	tr := obs.New("columbafault")
+	defer func() {
+		tr.Finish()
+		fmt.Fprintln(os.Stderr, tr.Summary())
+		if *stats {
+			tr.WriteTable(os.Stderr)
+		}
+		if *traceJSON != "" {
+			if f, err := os.Create(*traceJSON); err == nil {
+				tr.WriteJSON(f)
+				f.Close()
+			}
+		}
+	}()
+	parseSp := tr.Phase("parse")
 	n, err := netlist.Parse(src)
+	parseSp.End()
 	if err != nil {
 		return err
 	}
+	tr.SetName(n.Name)
 	opt := core.DefaultOptions()
 	opt.Layout.TimeLimit = *tl
+	opt.Trace = tr
 	res, err := core.Synthesize(n, opt)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("design %s: %d control channel(s), %d fluid port(s)\n",
-		res.Design.Name, len(res.Design.Ctrl), len(res.Design.Inlets))
+	fmt.Printf("design %s: %d control channel(s), %d fluid port(s), synthesized in %s\n",
+		res.Design.Name, len(res.Design.Ctrl), len(res.Design.Inlets),
+		obs.FormatDuration(res.Runtime))
 
+	faultSp := tr.Phase("fault analysis")
+	defer faultSp.End()
 	ctl := sim.NewController(res.Design)
 	vectors := sim.DefaultVectors(ctl)
 	fmt.Printf("test set: %d structural vector(s) (open-path probes + one-hot pressurised probes)\n", len(vectors))
@@ -66,6 +90,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	faultSp.SetInt("vectors", int64(len(vectors)))
+	faultSp.SetInt("faults", int64(rep.Total))
+	faultSp.SetInt("detected", int64(len(rep.Detected)))
 	fmt.Printf("fault universe: %d single-valve fault(s) (stuck-open + stuck-closed)\n", rep.Total)
 	fmt.Printf("coverage: %.1f%% (%d detected, %d undetected)\n",
 		rep.Coverage()*100, len(rep.Detected), len(rep.Undetected))

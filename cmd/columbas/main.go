@@ -7,10 +7,13 @@
 //
 //	columbas -i app.netlist -o design.svg
 //	columbas -i app.netlist -o design.scr -muxes 2 -time 60s
-//	columbas -i app.netlist -format json -stats
+//	columbas -i app.netlist -stats -trace-json trace.json
+//	columbas -i app.netlist -pprof-cpu cpu.out -pprof-mem mem.out
 //
 // The output format follows the -o extension (.svg, .scr, .json) unless
 // -format overrides it. With no -o the design summary goes to stdout.
+// -stats prints the per-phase observability table (docs/metrics.md) to
+// stderr; -trace-json writes the same data machine-readably.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"columbas/internal/hls"
 	"columbas/internal/layout"
 	"columbas/internal/netlist"
+	"columbas/internal/obs"
 )
 
 func main() {
@@ -37,19 +41,46 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("i", "", "input netlist description (default: stdin)")
-		out    = flag.String("o", "", "output file (.svg/.scr/.json); default: summary to stdout")
-		format = flag.String("format", "", "output format override: svg, scr or json")
-		muxes  = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
-		tl     = flag.Duration("time", 30*time.Second, "layout generation time budget")
-		effort  = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential)")
-		noDRC  = flag.Bool("nodrc", false, "skip the design-rule check")
-		stats  = flag.Bool("stats", false, "print solver statistics")
-		plan   = flag.String("plan", "", "also write the generation-phase rectangle plan (Figure 6(b)) as SVG to this file")
-		assay  = flag.Bool("assay", false, "input is an assay description (high-level synthesis front end)")
+		in        = flag.String("i", "", "input netlist description (default: stdin)")
+		out       = flag.String("o", "", "output file (.svg/.scr/.json); default: summary to stdout")
+		format    = flag.String("format", "", "output format override: svg, scr or json")
+		muxes     = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
+		tl        = flag.Duration("time", 30*time.Second, "layout generation time budget")
+		effort    = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential)")
+		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
+		stats     = flag.Bool("stats", false, "print the per-phase statistics table (docs/metrics.md) to stderr")
+		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
+		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
+		pprofMem  = flag.String("pprof-mem", "", "write a heap profile at exit to this file")
+		plan      = flag.String("plan", "", "also write the generation-phase rectangle plan (Figure 6(b)) as SVG to this file")
+		assay     = flag.Bool("assay", false, "input is an assay description (high-level synthesis front end)")
 	)
 	flag.Parse()
+
+	if *pprofCPU != "" {
+		stop, err := obs.StartCPUProfile(*pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	if *pprofMem != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*pprofMem); err != nil {
+				fmt.Fprintln(os.Stderr, "columbas:", err)
+			}
+		}()
+	}
+
+	var tr *obs.Trace // nil unless requested: tracing stays off by default
+	if *stats || *traceJSON != "" {
+		name := "stdin"
+		if *in != "" {
+			name = filepath.Base(*in)
+		}
+		tr = obs.New(name)
+	}
 
 	var src *os.File
 	if *in == "" {
@@ -62,21 +93,28 @@ func run() error {
 		defer f.Close()
 		src = f
 	}
+	parseSp := tr.Phase("parse")
 	var n *netlist.Netlist
 	var err error
 	if *assay {
 		a, aerr := hls.Parse(src)
 		if aerr != nil {
+			parseSp.End()
 			return aerr
 		}
 		if n, err = a.Compile(); err != nil {
+			parseSp.End()
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "assay %s: %d operation(s), %d lane(s) -> %d unit(s)\n",
 			a.Name, a.Ops(), a.Lanes(), n.NumUnits())
 	} else if n, err = netlist.Parse(src); err != nil {
+		parseSp.End()
 		return err
 	}
+	parseSp.SetInt("units", int64(n.NumUnits()))
+	parseSp.End()
+	tr.SetName(n.Name)
 	if *muxes != 0 {
 		if *muxes != 1 && *muxes != 2 {
 			return fmt.Errorf("-muxes must be 1 or 2")
@@ -88,6 +126,7 @@ func run() error {
 	opt.Layout.TimeLimit = *tl
 	opt.Layout.Workers = *workers
 	opt.RunDRC = !*noDRC
+	opt.Trace = tr
 	switch *effort {
 	case "full":
 		opt.Layout.Effort = layout.EffortFull
@@ -106,13 +145,9 @@ func run() error {
 		return err
 	}
 	m := res.Metrics()
-	fmt.Fprintf(os.Stderr, "%s: %d unit(s), %d-MUX — %.2f x %.2f mm, L_f %.2f mm, %d control inlet(s), %v\n",
-		m.Name, m.Units, m.Muxes, m.WidthMM, m.HeightMM, m.FlowMM, m.CtrlInlets, m.Runtime.Round(time.Millisecond))
-	if *stats {
-		s := res.Plan.Stats
-		fmt.Fprintf(os.Stderr, "solver: status=%v nodes=%d vars=%d rows=%d binaries=%d seed-only=%v\n",
-			s.Status, s.Nodes, s.Vars, s.Rows, s.Binaries, s.SeedOnly)
-	}
+	fmt.Fprintf(os.Stderr, "%s: %d unit(s), %d-MUX — %.2f x %.2f mm, L_f %.2f mm, %d control inlet(s), %s\n",
+		m.Name, m.Units, m.Muxes, m.WidthMM, m.HeightMM, m.FlowMM, m.CtrlInlets,
+		obs.FormatDuration(m.Runtime))
 	if res.DRC != nil {
 		fmt.Fprintf(os.Stderr, "drc: %d rule(s) checked, %d violation(s)\n",
 			res.DRC.Checked, len(res.DRC.Violations))
@@ -129,23 +164,56 @@ func run() error {
 		pf.Close()
 	}
 
-	f := *format
-	if f == "" && *out != "" {
-		f = strings.TrimPrefix(filepath.Ext(*out), ".")
+	if err := writeOutput(res, tr, *out, *format); err != nil {
+		return err
+	}
+	tr.Finish()
+	if *stats {
+		if err := tr.WriteTable(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceJSON)
+	}
+	return nil
+}
+
+// writeOutput renders the result in the requested format, recording the
+// work as the trace's "export" phase.
+func writeOutput(res *core.Result, tr *obs.Trace, out, format string) error {
+	f := format
+	if f == "" && out != "" {
+		f = strings.TrimPrefix(filepath.Ext(out), ".")
 	}
 	var w *os.File
-	if *out == "" {
+	if out == "" {
 		w = os.Stdout
 		if f == "" {
 			f = "json"
 		}
 	} else {
-		w, err = os.Create(*out)
+		var err error
+		w, err = os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer w.Close()
 	}
+	sp := tr.Phase("export")
+	sp.Label("format", f)
+	defer sp.End()
 	switch f {
 	case "svg":
 		return res.WriteSVG(w)

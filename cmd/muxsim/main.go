@@ -18,6 +18,7 @@ import (
 
 	"columbas/internal/module"
 	"columbas/internal/mux"
+	"columbas/internal/obs"
 )
 
 func main() {
@@ -29,23 +30,45 @@ func main() {
 
 func run() error {
 	var (
-		n     = flag.Int("n", 15, "number of control channels")
-		sel   = flag.Int("select", 9, "channel to select")
-		all   = flag.Bool("all", false, "exercise every address")
-		table = flag.Bool("table", false, "print the full addressing table")
+		n         = flag.Int("n", 15, "number of control channels")
+		sel       = flag.Int("select", 9, "channel to select")
+		all       = flag.Bool("all", false, "exercise every address")
+		table     = flag.Bool("table", false, "print the full addressing table")
+		stats     = flag.Bool("stats", false, "print the per-phase statistics table to stderr")
+		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
 	)
 	flag.Parse()
 	if *n < 1 {
 		return fmt.Errorf("-n must be positive")
 	}
+	tr := obs.New(fmt.Sprintf("muxsim-n%d", *n))
+	defer func() {
+		tr.Finish()
+		fmt.Fprintln(os.Stderr, tr.Summary())
+		if *stats {
+			tr.WriteTable(os.Stderr)
+		}
+		if *traceJSON != "" {
+			if f, err := os.Create(*traceJSON); err == nil {
+				tr.WriteJSON(f)
+				f.Close()
+			}
+		}
+	}()
+	sp := tr.Phase("build")
 	xs := make([]float64, *n)
 	for i := range xs {
 		xs[i] = float64(i) * 2 * module.D
 	}
 	m, err := mux.Build(xs, true, 0)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	sp.SetInt("channels", int64(m.N))
+	sp.SetInt("address_bits", int64(m.Bits))
+	sp.SetInt("valves", int64(len(m.Valves)))
+	sp.End()
 	fmt.Printf("multiplexer: %d control channel(s), %d address bit(s), %d pressure inlet(s) (2*ceil(log2 n)+1)\n",
 		m.N, m.Bits, m.Inlets())
 	fmt.Printf("MUX-flow lines: %d addressing + 1 pressure main, %d valve(s)\n\n", 2*m.Bits, len(m.Valves))
@@ -55,8 +78,11 @@ func run() error {
 		fmt.Print(m.AddressTable())
 		return nil
 	}
+	sim := tr.Phase("simulate")
+	defer sim.End()
 
 	show := func(c int) error {
+		sim.Add("addresses", 1)
 		s, err := m.Select(c)
 		if err != nil {
 			return err

@@ -1,8 +1,3 @@
-// Package bench is the evaluation harness that regenerates the paper's
-// Table 1 and the Figure 1 comparison: for each test case it synthesizes
-// the Columba 2.0 baseline design and the Columba S 1-MUX and 2-MUX
-// designs, and formats the same columns the paper reports (dimension,
-// flow-channel length L_f, control inlets #c_in, program run time).
 package bench
 
 import (
@@ -15,6 +10,7 @@ import (
 	"columbas/internal/columba2"
 	"columbas/internal/core"
 	"columbas/internal/milp"
+	"columbas/internal/obs"
 	"columbas/internal/planar"
 )
 
@@ -50,6 +46,12 @@ func DefaultConfig() Config {
 type SRun struct {
 	Metrics core.Metrics
 	DRCOK   bool
+	// Trace is the run's per-phase breakdown (docs/metrics.md schema):
+	// wall time and counters for parse, planarize, layout (with the
+	// milp_* solver counters), validate and drc. FormatJSON embeds it so
+	// benchmark artifacts carry the full cost structure, not just the
+	// end-to-end runtime.
+	Trace *obs.TraceJSON
 }
 
 // BRun is the outcome of one baseline synthesis.
@@ -84,11 +86,14 @@ func RunS(c cases.Case, muxes int, cfg Config) (*SRun, error) {
 		opt.Layout.StallLimit = cfg.StallLimit
 	}
 	opt.RunDRC = cfg.DRC
+	tr := obs.New(fmt.Sprintf("%s-%dmux", c.ID, muxes))
+	opt.Trace = tr
 	res, err := core.Synthesize(n, opt)
 	if err != nil {
 		return nil, err
 	}
-	run := &SRun{Metrics: res.Metrics()}
+	tr.Finish()
+	run := &SRun{Metrics: res.Metrics(), Trace: tr.Snapshot()}
 	run.DRCOK = res.DRC == nil || res.DRC.Clean()
 	return run, nil
 }

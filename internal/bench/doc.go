@@ -1,0 +1,11 @@
+// Package bench is the evaluation harness that regenerates the paper's
+// Table 1 and the Figure 1 comparison: for each test case it synthesizes
+// the Columba 2.0 baseline design and the Columba S 1-MUX and 2-MUX
+// designs, and formats the same columns the paper reports (dimension,
+// flow-channel length L_f, control inlets #c_in, program run time).
+//
+// Key types: Config selects budgets and solver workers; RunCase produces a
+// Row (baseline BRun plus 1-MUX/2-MUX SRun, each with its obs trace), and
+// FormatTable, FormatCSV and FormatJSON render rows as the console table,
+// the CSV and the columbas-bench/v1 report.
+package bench

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"encoding/json"
+
+	"columbas/internal/obs"
+)
+
+// ReportSchemaVersion identifies the benchtab -json document layout
+// (see docs/metrics.md). BENCH_*.json artifacts carry it so downstream
+// tooling can detect incompatible changes.
+const ReportSchemaVersion = "columbas-bench/v1"
+
+// Report is the machine-readable form of one evaluation run — the
+// document `benchtab -json` writes. Unlike the CSV, each Columba S run
+// embeds its full per-phase trace, so the artifact records not just how
+// long a case took but where the time went and how hard the solver
+// worked.
+type Report struct {
+	Schema string       `json:"schema"`
+	Cases  []CaseReport `json:"cases"`
+}
+
+// CaseReport is one Table 1 row.
+type CaseReport struct {
+	ID    string `json:"id"`
+	Units int    `json:"units"`
+	Error string `json:"error,omitempty"`
+	// Baseline is the Columba 2.0 run; absent when skipped.
+	Baseline *BaselineReport `json:"baseline,omitempty"`
+	// S1 and S2 are the Columba S 1-MUX and 2-MUX runs.
+	S1 *SReport `json:"s1,omitempty"`
+	S2 *SReport `json:"s2,omitempty"`
+}
+
+// BaselineReport is the Columba 2.0 side of a row.
+type BaselineReport struct {
+	WidthMM    float64 `json:"width_mm"`
+	HeightMM   float64 `json:"height_mm"`
+	FlowMM     float64 `json:"flow_mm"`
+	CtrlInlets int     `json:"ctrl_inlets"`
+	RuntimeS   float64 `json:"runtime_s"`
+	Status     string  `json:"status,omitempty"`
+	TooLarge   bool    `json:"too_large,omitempty"`
+}
+
+// SReport is one Columba S run with its per-phase breakdown.
+type SReport struct {
+	WidthMM    float64 `json:"width_mm"`
+	HeightMM   float64 `json:"height_mm"`
+	FlowMM     float64 `json:"flow_mm"`
+	CtrlInlets int     `json:"ctrl_inlets"`
+	FluidPorts int     `json:"fluid_ports"`
+	RuntimeS   float64 `json:"runtime_s"`
+	Status     string  `json:"solver_status"`
+	DRCOK      bool    `json:"drc_ok"`
+	// Phases is the run's trace (schema columbas-trace/v1): per-phase
+	// wall time plus the milp_* solver counters on the layout phase.
+	Phases *obs.TraceJSON `json:"phases,omitempty"`
+}
+
+func sReport(r *SRun) *SReport {
+	if r == nil {
+		return nil
+	}
+	m := r.Metrics
+	return &SReport{
+		WidthMM:    m.WidthMM,
+		HeightMM:   m.HeightMM,
+		FlowMM:     m.FlowMM,
+		CtrlInlets: m.CtrlInlets,
+		FluidPorts: m.FluidPorts,
+		RuntimeS:   m.Runtime.Seconds(),
+		Status:     m.SolverStatus.String(),
+		DRCOK:      r.DRCOK,
+		Phases:     r.Trace,
+	}
+}
+
+// BuildReport assembles the schema form of an evaluation run.
+func BuildReport(rows []*Row) *Report {
+	rep := &Report{Schema: ReportSchemaVersion}
+	for _, r := range rows {
+		c := CaseReport{ID: r.Case.ID, Units: r.Case.Units}
+		if r.Err != nil {
+			c.Error = r.Err.Error()
+			rep.Cases = append(rep.Cases, c)
+			continue
+		}
+		if b := r.Baseline; b != nil {
+			c.Baseline = &BaselineReport{
+				WidthMM:    b.WidthMM,
+				HeightMM:   b.HeightMM,
+				FlowMM:     b.FlowMM,
+				CtrlInlets: b.CtrlInlets,
+				RuntimeS:   b.Runtime.Seconds(),
+				TooLarge:   b.TooLarge,
+			}
+			if !b.TooLarge {
+				c.Baseline.Status = b.Status.String()
+			}
+		}
+		c.S1 = sReport(r.S1)
+		c.S2 = sReport(r.S2)
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep
+}
+
+// FormatJSON renders rows as the indented columbas-bench/v1 document.
+func FormatJSON(rows []*Row) ([]byte, error) {
+	out, err := json.MarshalIndent(BuildReport(rows), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

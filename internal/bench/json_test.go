@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"columbas/internal/cases"
+)
+
+// TestFormatJSONRoundTrip runs one real case, renders the columbas-bench/v1
+// report and re-parses it through the schema structs: the artifact benchtab
+// -json writes must survive an encoding/json round trip unchanged, and the
+// embedded trace must carry the per-phase breakdown with the milp_* solver
+// counters on the layout phase.
+func TestFormatJSONRoundTrip(t *testing.T) {
+	c, err := cases.Get("mrna8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := RunCase(c, quickCfg())
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	doc, err := FormatJSON([]*Row{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("report does not parse back into bench.Report: %v", err)
+	}
+	if rep.Schema != ReportSchemaVersion {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ReportSchemaVersion)
+	}
+	if len(rep.Cases) != 1 || rep.Cases[0].ID != "mrna8" {
+		t.Fatalf("cases = %+v", rep.Cases)
+	}
+	s1 := rep.Cases[0].S1
+	if s1 == nil || s1.Phases == nil {
+		t.Fatal("S1 run missing its embedded trace")
+	}
+	phases := map[string]bool{}
+	var layoutCounters map[string]float64
+	for _, sp := range s1.Phases.Spans {
+		phases[sp.Name] = true
+		if sp.Name == "layout" {
+			layoutCounters = sp.Counters
+		}
+	}
+	for _, want := range []string{"planarize", "layout", "validate", "drc"} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %q (have %v)", want, phases)
+		}
+	}
+	for _, k := range []string{"milp_nodes", "milp_lp_solves", "milp_simplex_pivots"} {
+		if _, ok := layoutCounters[k]; !ok {
+			t.Errorf("layout phase missing counter %q (have %v)", k, layoutCounters)
+		}
+	}
+
+	// Re-marshalling the parsed report must reproduce the document
+	// byte-for-byte: no information lives outside the schema structs.
+	again, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(append(again, '\n')) != string(doc) {
+		t.Error("report is not a fixed point of the schema round trip")
+	}
+}

@@ -1,0 +1,10 @@
+// Package cases provides the reconstructed application netlists behind
+// the paper's evaluation (Table 1). The original netlists are not
+// published; these reconstructions match the paper's unit counts (#u),
+// unit types and connection-topology classes, which is what the Table 1
+// metrics depend on. See DESIGN.md §4 for the reconstruction rationale.
+//
+// Key types: Case carries a netlist source plus the paper's identity
+// (#u, reference); Get and Table1 retrieve the six evaluation designs,
+// and ChIPScale generates the scalability series of Figure 9.
+package cases

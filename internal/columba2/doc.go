@@ -1,0 +1,27 @@
+// Package columba2 reimplements the Columba 2.0 model family [12] as the
+// comparison baseline of Table 1. The original tool is closed source; this
+// baseline reproduces the published modelling ingredients that Columba S
+// removed, because those ingredients are exactly what the paper's
+// comparison measures:
+//
+//   - no parallel-unit merging: every functional unit is its own
+//     rectangle, every rectangle pair gets a non-overlap disjunction;
+//   - module rotation: a binary per unit swaps its width and height;
+//   - channel detours: every flow channel routes as a
+//     horizontal–vertical–horizontal three-segment path with continuity
+//     constraints, instead of a single straight run;
+//   - per-unit control routing to the nearest chip boundary with
+//     *pressure sharing*: control lines that are actuated identically
+//     under the application protocol (pumps and sieve pairs at the same
+//     chain position, transfer-valve pairs across a channel) share one
+//     pressure inlet. Sharing is hard-wired to the protocol, which is why
+//     2.0 designs do not adapt to re-scheduling (Section 1).
+//
+// Both the baseline and Columba S run on the same MILP solver
+// (internal/milp), so Table 1's runtime comparison measures model size —
+// the paper's actual claim — rather than solver differences.
+//
+// Key types: Options bounds the solve; Synthesize runs the baseline flow
+// on a planarized netlist and returns a Result (placed units, routed
+// channels, inlet count after PressureSharedInlets-style sharing).
+package columba2

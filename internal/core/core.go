@@ -1,12 +1,9 @@
-// Package core orchestrates the complete Columba S design flow
-// (Figure 5): netlist parsing, netlist planarization, layout generation,
-// layout validation, multiplexer synthesis and result interpretation.
-// It is the library's primary entry point.
 package core
 
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"columbas/internal/drc"
@@ -15,6 +12,7 @@ import (
 	"columbas/internal/layout"
 	"columbas/internal/milp"
 	"columbas/internal/netlist"
+	"columbas/internal/obs"
 	"columbas/internal/planar"
 	"columbas/internal/validate"
 )
@@ -27,6 +25,10 @@ type Options struct {
 	// RunDRC verifies the completed design against the design rules and
 	// fails synthesis on violations.
 	RunDRC bool
+	// Trace, when non-nil, records the run as hierarchical phase spans
+	// (parse → planarize → layout → validate → drc) with the counters
+	// documented in docs/metrics.md. A nil trace disables all recording.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the standard flow configuration.
@@ -92,24 +94,52 @@ func (r *Result) Metrics() Metrics {
 // Synthesize runs the full Columba S flow on a parsed netlist.
 func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 	start := time.Now()
+	tr := opt.Trace
+	tr.SetName(n.Name)
 	if opt.Layout == (layout.Options{}) {
 		opt.Layout = layout.DefaultOptions()
 	}
+
+	sp := tr.Phase("planarize")
 	pr, err := planar.Planarize(n)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: planarization: %w", err)
 	}
+	sp.SetInt("nodes", int64(len(pr.Nodes)))
+	sp.SetInt("channels", int64(len(pr.Channels)))
+	sp.SetInt("switches_added", int64(pr.SwitchCount))
+	sp.End()
+
+	sp = tr.Phase("layout")
+	opt.Layout.Obs = sp
 	plan, err := layout.Generate(pr, opt.Layout)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: layout generation: %w", err)
 	}
-	d, err := validate.Validate(plan)
+	recordLayout(sp, plan)
+	sp.End()
+
+	sp = tr.Phase("validate")
+	d, err := validate.ValidateObs(plan, sp)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: layout validation: %w", err)
 	}
+	sp.SetInt("modules", int64(len(d.Modules)))
+	sp.SetInt("flow_channels", int64(len(d.Flow)))
+	sp.SetInt("ctrl_channels", int64(len(d.Ctrl)))
+	sp.SetInt("fluid_ports", int64(len(d.Inlets)))
+	sp.End()
+
 	res := &Result{Design: d, Plan: plan}
 	if opt.RunDRC {
+		sp = tr.Phase("drc")
 		res.DRC = drc.Check(d)
+		sp.SetInt("rules_checked", int64(res.DRC.Checked))
+		sp.SetInt("violations", int64(len(res.DRC.Violations)))
+		sp.End()
 		if !res.DRC.Clean() {
 			res.Runtime = time.Since(start)
 			return res, fmt.Errorf("core: design-rule check failed with %d violation(s); first: %v",
@@ -120,9 +150,48 @@ func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// recordLayout attaches the generation phase's model shape and aggregated
+// branch-and-bound counters (the milp_* family of docs/metrics.md) to the
+// layout span. No-op on a nil span.
+func recordLayout(sp *obs.Span, plan *layout.Plan) {
+	if sp == nil {
+		return
+	}
+	st := plan.Stats
+	sp.Label("status", st.Status.String())
+	sp.SetInt("vars", int64(st.Vars))
+	sp.SetInt("rows", int64(st.Rows))
+	sp.SetInt("binaries", int64(st.Binaries))
+	sp.SetInt("sep_rounds", int64(st.Rounds))
+	if st.SeedOnly {
+		sp.Label("seed_only", "true")
+	}
+	se := st.Search
+	sp.SetInt("milp_workers", int64(se.Workers))
+	sp.SetInt("milp_nodes", se.NodesExplored)
+	sp.SetInt("milp_nodes_pruned", se.NodesPruned)
+	sp.SetInt("milp_nodes_cutoff", se.NodesCutoff)
+	sp.SetInt("milp_inflight_high_water", int64(se.InFlightHighWater))
+	sp.SetInt("milp_lp_solves", se.LPSolves)
+	sp.SetInt("milp_simplex_pivots", se.SimplexPivots)
+	sp.SetInt("milp_incumbent_updates", se.IncumbentUpdates)
+	sp.SetInt("milp_rounding_attempts", se.RoundingAttempts)
+	sp.SetInt("milp_rounding_hits", se.RoundingHits)
+	for i, w := range se.PerWorker {
+		if se.Workers <= 1 {
+			break
+		}
+		sp.SetInt(fmt.Sprintf("milp_worker%d_nodes", i), w.Nodes)
+		sp.Set(fmt.Sprintf("milp_worker%d_utilization", i),
+			math.Round(w.Utilization(se.Wall)*1000)/1000)
+	}
+}
+
 // SynthesizeSource parses a netlist description and synthesizes it.
 func SynthesizeSource(src string, opt Options) (*Result, error) {
+	sp := opt.Trace.Phase("parse")
 	n, err := netlist.ParseString(src)
+	recordParse(sp, n, err)
 	if err != nil {
 		return nil, err
 	}
@@ -131,11 +200,25 @@ func SynthesizeSource(src string, opt Options) (*Result, error) {
 
 // SynthesizeReader parses a netlist description from r and synthesizes it.
 func SynthesizeReader(r io.Reader, opt Options) (*Result, error) {
+	sp := opt.Trace.Phase("parse")
 	n, err := netlist.Parse(r)
+	recordParse(sp, n, err)
 	if err != nil {
 		return nil, err
 	}
 	return Synthesize(n, opt)
+}
+
+// recordParse seals the parse span with the netlist's headline counts.
+func recordParse(sp *obs.Span, n *netlist.Netlist, err error) {
+	if sp == nil {
+		return
+	}
+	if err == nil {
+		sp.SetInt("units", int64(n.NumUnits()))
+		sp.SetInt("muxes", int64(n.Muxes))
+	}
+	sp.End()
 }
 
 // WriteSCR exports the result as an AutoCAD script (Section 3.3).

@@ -1,0 +1,10 @@
+// Package core orchestrates the complete Columba S design flow
+// (Figure 5): netlist parsing, netlist planarization, layout generation,
+// layout validation, multiplexer synthesis and result interpretation.
+// It is the library's primary entry point.
+//
+// Key types: Options configures every phase (including layout.Options and
+// an optional obs.Trace for per-phase timing); Synthesize and its Source/
+// Reader variants run the flow and return a Result whose Metrics mirror
+// the Table 1 columns.
+package core

@@ -1,0 +1,12 @@
+// Package drc is the design-rule checker for completed Columba S designs.
+// It verifies the geometric guarantees the paper's synthesis flow promises:
+// the straight channel-routing discipline, minimum channel spacing d,
+// module separation, control-layer exclusivity, fluid-inlet pitch d', and
+// chip confinement. The checker is independent of the synthesis code
+// paths, so a passing report is meaningful evidence of design validity —
+// the reproduction's substitute for fabricating the chip.
+//
+// Key types: Check runs every Rule against a validate.Design and returns
+// a Report listing Violations; Report.OK is the pass/fail verdict the
+// pipeline's drc phase reports.
+package drc

@@ -1,10 +1,3 @@
-// Package drc is the design-rule checker for completed Columba S designs.
-// It verifies the geometric guarantees the paper's synthesis flow promises:
-// the straight channel-routing discipline, minimum channel spacing d,
-// module separation, control-layer exclusivity, fluid-inlet pitch d', and
-// chip confinement. The checker is independent of the synthesis code
-// paths, so a passing report is meaningful evidence of design validity —
-// the reproduction's substitute for fabricating the chip.
 package drc
 
 import (

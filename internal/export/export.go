@@ -1,8 +1,3 @@
-// Package export renders completed designs for inspection and
-// fabrication. Columba S outputs an AutoCAD script file that can be
-// directly exported for mask fabrication (Section 3.3); this package
-// writes that script, plus an SVG rendering (the reproduction's analogue
-// of the paper's design figures) and a JSON dump for downstream tooling.
 package export
 
 import (

@@ -1,0 +1,13 @@
+// Package geom provides the planar geometry kernel used throughout the
+// Columba S reproduction: points, rectangles and interval arithmetic on a
+// micrometre-denominated coordinate plane.
+//
+// All coordinates are float64 micrometres. The chip origin (0,0) is the
+// bottom-left corner of the functional region; x grows to the right and y
+// grows upward, matching the coordinate conventions of the paper's
+// physical-synthesis models (Section 3.2).
+//
+// Key types: Pt, Seg and Rect (with interval helpers such as SpanOverlap
+// and BoundingBox); MM and UM convert between the µm model space and the
+// mm units the paper reports.
+package geom

@@ -1,11 +1,3 @@
-// Package geom provides the planar geometry kernel used throughout the
-// Columba S reproduction: points, rectangles and interval arithmetic on a
-// micrometre-denominated coordinate plane.
-//
-// All coordinates are float64 micrometres. The chip origin (0,0) is the
-// bottom-left corner of the functional region; x grows to the right and y
-// grows upward, matching the coordinate conventions of the paper's
-// physical-synthesis models (Section 3.2).
 package geom
 
 import (

@@ -1,16 +1,3 @@
-// Package hls is a small component-oriented high-level synthesis front
-// end for Columba S, in the spirit of the hybrid-scheduling HLS flow the
-// paper builds on (reference [18]): a biological assay is described as a
-// dataflow of fluidic operations, which compiles into
-//
-//   - a netlist description (the input of the Columba S physical flow):
-//     mixers, chambers, terminals, connections and parallel groups, and
-//   - per-lane scheduling protocols (executable on the synthesized chip
-//     through internal/sim).
-//
-// Because Columba S designs are reconfigurable, the schedule is not baked
-// into the chip: the same compiled netlist runs any protocol whose
-// operations the instantiated units support.
 package hls
 
 import (

@@ -1,0 +1,27 @@
+// Package layout implements the layout generation phase of Columba S
+// (Section 3.2.1): the integer-linear-programming model that decides the
+// location of all modules and channels in the functional region.
+//
+// The model works on *merged rectangles* to keep the problem space small —
+// this merging is the key scalability idea of the paper:
+//
+//   - parallel functional units are merged into one block rectangle
+//     (Figure 6(a));
+//   - control channels attached to one valve-containing rectangle are
+//     merged into a single control rectangle of the same width;
+//   - flow channels attached to the same boundary of a multi-unit
+//     rectangle are merged into a single flow rectangle of the same
+//     height; switch-to-boundary channels merge with height n·d'.
+//
+// Under the straight-routing discipline every module offers one flow pin
+// per vertical boundary, so the side at which a channel leaves a block is
+// derivable from the chain structure; the remaining discrete decisions —
+// relative placement of unconnected rectangles (constraints (3)–(5)) and
+// the control boundary choice for 2-MUX designs (constraints (9)–(11)) —
+// are left to branch and bound.
+//
+// Key types: Generate turns a planar.Result into a Plan of placed PRects;
+// Options selects effort, time budget, solver workers and an optional
+// obs.Span for per-round tracing; SolveStats carries the model size and
+// the aggregated milp.SearchStats.
+package layout

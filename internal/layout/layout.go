@@ -1,24 +1,3 @@
-// Package layout implements the layout generation phase of Columba S
-// (Section 3.2.1): the integer-linear-programming model that decides the
-// location of all modules and channels in the functional region.
-//
-// The model works on *merged rectangles* to keep the problem space small —
-// this merging is the key scalability idea of the paper:
-//
-//   - parallel functional units are merged into one block rectangle
-//     (Figure 6(a));
-//   - control channels attached to one valve-containing rectangle are
-//     merged into a single control rectangle of the same width;
-//   - flow channels attached to the same boundary of a multi-unit
-//     rectangle are merged into a single flow rectangle of the same
-//     height; switch-to-boundary channels merge with height n·d'.
-//
-// Under the straight-routing discipline every module offers one flow pin
-// per vertical boundary, so the side at which a channel leaves a block is
-// derivable from the chain structure; the remaining discrete decisions —
-// relative placement of unconnected rectangles (constraints (3)–(5)) and
-// the control boundary choice for 2-MUX designs (constraints (9)–(11)) —
-// are left to branch and bound.
 package layout
 
 import (
@@ -28,6 +7,7 @@ import (
 	"columbas/internal/geom"
 	"columbas/internal/milp"
 	"columbas/internal/netlist"
+	"columbas/internal/obs"
 	"columbas/internal/planar"
 )
 
@@ -238,6 +218,11 @@ type Options struct {
 	// different tie-equivalent placement; the columbas CLI defaults to
 	// all cores via -workers.
 	Workers int
+	// Obs, when non-nil, is the parent trace span (the pipeline's "layout"
+	// phase) under which generation records its sub-phases: the greedy
+	// seed and each lazy-separation MILP round with that round's solver
+	// counters. A nil span disables the recording at no cost.
+	Obs *obs.Span
 }
 
 // DefaultOptions returns the options used by the Columba S flow.
@@ -266,6 +251,10 @@ type SolveStats struct {
 	Rounds   int
 	SeedUsed bool // greedy seed accepted as incumbent
 	SeedOnly bool // result is the raw greedy seed (SkipMILP or MILP failure)
+	// Search aggregates the branch-and-bound counters across every
+	// separation round (milp.SearchStats.Merge); Search.NodesExplored
+	// equals Nodes above.
+	Search milp.SearchStats
 }
 
 // Plan is the output of the layout generation phase: positioned merged

@@ -6,6 +6,7 @@ import (
 
 	"columbas/internal/geom"
 	"columbas/internal/milp"
+	"columbas/internal/obs"
 )
 
 // maxSepRounds bounds the lazy non-overlap separation loop.
@@ -18,8 +19,11 @@ const maxSepRounds = 30
 // small — the engineering counterpart of the paper's model-reduction
 // theme.
 func (b *builder) solve(opt Options) (*Plan, error) {
+	seedSp := opt.Obs.Child("greedy seed")
 	b.greedyPlace()
 	b.snapshotSeed()
+	seedSp.SetInt("rects", int64(len(b.rects)))
+	seedSp.End()
 
 	plan := &Plan{
 		Name:   b.pr.Name,
@@ -77,6 +81,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		}
 	}
 	var last *milp.Result
+	var agg milp.SearchStats
 	totalNodes := 0
 	rounds := 0
 	for rounds < maxSepRounds {
@@ -90,6 +95,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		if remaining < time.Second {
 			remaining = time.Second
 		}
+		roundSp := opt.Obs.Child(fmt.Sprintf("milp round %d", rounds))
 		res, err := b.model.Solve(milp.Options{
 			TimeLimit:  remaining,
 			Gap:        opt.Gap,
@@ -98,8 +104,11 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			Workers:    opt.Workers,
 		})
 		if err != nil {
+			roundSp.End()
 			return nil, fmt.Errorf("layout: MILP solve: %w", err)
 		}
+		agg.Merge(res.Stats)
+		recordRound(roundSp, b, res, len(active))
 		totalNodes += res.Nodes
 		if res.Status == milp.Infeasible {
 			return nil, fmt.Errorf("layout: generation model infeasible for %s", b.pr.Name)
@@ -112,6 +121,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 				Status: res.Status, Nodes: totalNodes,
 				Vars: b.model.NumVars(), Rows: b.model.NumRows(), Binaries: b.model.NumInt(),
 				SeedOnly: true,
+				Search:   agg,
 			}
 			return plan, nil
 		}
@@ -133,6 +143,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 				Status: milp.Feasible, Nodes: totalNodes,
 				Vars: b.model.NumVars(), Rows: b.model.NumRows(), Binaries: b.model.NumInt(),
 				SeedUsed: true, SeedOnly: true,
+				Search: agg,
 			}
 			return plan, nil
 		}
@@ -146,6 +157,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		plan.Stats.Status = milp.Feasible
 		plan.Stats.SeedUsed = true
 		plan.Stats.SeedOnly = true
+		plan.Stats.Search = agg
 		return plan, nil
 	}
 	plan.Stats = SolveStats{
@@ -158,9 +170,31 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		Rows:     b.model.NumRows(),
 		Binaries: b.model.NumInt(),
 		SeedUsed: true,
+		Search:   agg,
 	}
 	plan.Stats.Rounds = rounds
 	return plan, nil
+}
+
+// recordRound attaches one separation round's model shape and solver
+// counters to its trace span. No-op on a nil span.
+func recordRound(sp *obs.Span, b *builder, res *milp.Result, activePairs int) {
+	if sp == nil {
+		return
+	}
+	sp.Label("status", res.Status.String())
+	sp.SetInt("vars", int64(b.model.NumVars()))
+	sp.SetInt("rows", int64(b.model.NumRows()))
+	sp.SetInt("binaries", int64(b.model.NumInt()))
+	sp.SetInt("active_pairs", int64(activePairs))
+	st := res.Stats
+	sp.SetInt("nodes", st.NodesExplored)
+	sp.SetInt("nodes_pruned", st.NodesPruned)
+	sp.SetInt("nodes_cutoff", st.NodesCutoff)
+	sp.SetInt("lp_solves", st.LPSolves)
+	sp.SetInt("simplex_pivots", st.SimplexPivots)
+	sp.SetInt("incumbent_updates", st.IncumbentUpdates)
+	sp.End()
 }
 
 // snapshotSeed preserves the greedy geometry: the separation loop derives

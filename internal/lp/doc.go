@@ -1,0 +1,23 @@
+// Package lp implements a linear-programming solver: a dense,
+// bounded-variable, two-phase primal simplex method.
+//
+// Columba S solves its physical-synthesis models with a commercial MILP
+// solver (Gurobi). This reproduction has no solver dependency, so lp —
+// together with the branch-and-bound driver in internal/milp — stands in
+// for it. The solver handles the model class the paper needs: minimisation
+// of a linear objective over continuous variables with individual bounds
+// (possibly infinite) and ≤ / ≥ / = row constraints, including the big-M
+// disjunctions of constraints (3)–(11).
+//
+// The implementation is a textbook revised simplex with an explicitly
+// maintained basis inverse, bound-flip ratio tests, Dantzig pricing with a
+// Bland's-rule fallback for anti-cycling, and a phase-1 artificial-variable
+// start. It is dense and intended for the model sizes Columba S produces
+// (tens of rectangles, hundreds to a few thousand rows), not for
+// general-purpose large-scale LP.
+//
+// Key types: Problem accumulates variables and rows and Solve returns a
+// Solution with Status; Clone supports the concurrent branch-and-bound
+// workers, and SolveCount/PivotCount expose the effort counters behind
+// the milp.SearchStats LP totals.
+package lp

@@ -1,20 +1,3 @@
-// Package lp implements a linear-programming solver: a dense,
-// bounded-variable, two-phase primal simplex method.
-//
-// Columba S solves its physical-synthesis models with a commercial MILP
-// solver (Gurobi). This reproduction has no solver dependency, so lp —
-// together with the branch-and-bound driver in internal/milp — stands in
-// for it. The solver handles the model class the paper needs: minimisation
-// of a linear objective over continuous variables with individual bounds
-// (possibly infinite) and ≤ / ≥ / = row constraints, including the big-M
-// disjunctions of constraints (3)–(11).
-//
-// The implementation is a textbook revised simplex with an explicitly
-// maintained basis inverse, bound-flip ratio tests, Dantzig pricing with a
-// Bland's-rule fallback for anti-cycling, and a phase-1 artificial-variable
-// start. It is dense and intended for the model sizes Columba S produces
-// (tens of rectangles, hundreds to a few thousand rows), not for
-// general-purpose large-scale LP.
 package lp
 
 import (
@@ -89,6 +72,11 @@ type Problem struct {
 	hi       []float64
 	rows     []rowDef
 	deadline time.Time
+
+	// Cumulative observability counters (see SolveCount / PivotCount).
+	// Not copied by Clone: each clone reports its own work.
+	solves int64
+	pivots int64
 }
 
 // SetDeadline makes Solve abort with IterLimit once the wall clock passes
@@ -253,6 +241,25 @@ type tableau struct {
 
 // Solve optimises the problem with the current bounds and costs.
 func (p *Problem) Solve() (*Solution, error) {
+	sol, err := p.solve()
+	if sol != nil {
+		p.solves++
+		p.pivots += int64(sol.Iters)
+	}
+	return sol, err
+}
+
+// SolveCount returns the number of completed Solve calls on this problem
+// since creation (clones start at zero). Branch-and-bound workers read it
+// to report LP-solve totals without any shared-counter traffic on the hot
+// path: each worker owns its clone, so the counter has a single writer.
+func (p *Problem) SolveCount() int64 { return p.solves }
+
+// PivotCount returns the cumulative simplex iterations (phase 1 + phase 2
+// pivots) across all Solve calls on this problem.
+func (p *Problem) PivotCount() int64 { return p.pivots }
+
+func (p *Problem) solve() (*Solution, error) {
 	for v := range p.cost {
 		if p.lo[v] > p.hi[v]+tol {
 			// Conflicting bounds make the whole problem trivially infeasible;

@@ -1,0 +1,24 @@
+// Package milp provides a mixed-integer linear-programming solver built on
+// the bounded-variable simplex in internal/lp. Together they replace the
+// commercial MILP solver (Gurobi) the Columba S paper uses for its
+// physical-synthesis models.
+//
+// The solver is a branch-and-bound search over LP relaxations with:
+//
+//   - best-bound node selection with depth tie-breaking (so the search
+//     dives for early incumbents but still proves bounds),
+//   - most-fractional variable branching,
+//   - disjunction-aware branching: the paper's relative-position
+//     constraints (3)–(5) introduce groups of four binaries of which
+//     exactly one must be 0. Branching on the whole group (k children,
+//     each fixing a different member to 0) resolves a placement decision
+//     in one level instead of four,
+//   - warm incumbents: callers may seed a feasible solution (Columba S
+//     seeds a greedy placement) which prunes most of the tree,
+//   - a node/time budget that degrades gracefully to the best incumbent.
+//
+// Key types: Model assembles variables, constraints and binary groups;
+// Options selects budgets and Workers; Solve returns a Result carrying
+// the incumbent, the bound, and the SearchStats effort counters
+// (documented in docs/metrics.md).
+package milp

@@ -63,6 +63,19 @@ type search struct {
 	unbounded    bool
 	stopped      bool // a budget, gap or error ended the search early
 	err          error
+
+	// Observability counters assembled into Result.Stats (SearchStats).
+	// Fields written only under mu are plain; the two written outside the
+	// lock on the expansion hot path are atomic adds; wstats entries have
+	// a single writer each (their worker) and are read after the join.
+	pruned        int64        // under mu: popped nodes dominated pre-LP
+	cutoffPre     atomic.Int64 // expand: dominated post-LP, lock-free check
+	cutoffPost    int64        // under mu: dominated post-LP, authoritative check
+	incUpdates    int64        // under mu: installed incumbents
+	roundAttempts atomic.Int64 // rounding-heuristic LP re-solves
+	roundHits     int64        // under mu: rounding incumbents installed
+	inflightHW    int          // under mu: max concurrent expansions
+	wstats        []WorkerStats
 }
 
 func newSearch(m *Model, opt Options) *search {
@@ -92,6 +105,7 @@ func newSearch(m *Model, opt Options) *search {
 	s.incBits.Store(math.Float64bits(math.Inf(1)))
 	s.frontier = nodeHeap{{bound: math.Inf(-1)}}
 	s.inflight = make(map[int]float64, s.workers)
+	s.wstats = make([]WorkerStats, s.workers)
 	return s
 }
 
@@ -128,13 +142,21 @@ func (s *search) run() (*Result, error) {
 }
 
 func (s *search) worker(id int, prob *lp.Problem) {
+	w := &s.wstats[id]
 	for {
 		n, idx, ok := s.next(id)
 		if !ok {
-			return
+			break
 		}
+		t0 := time.Now()
 		s.expand(id, idx, n, prob)
+		w.Busy += time.Since(t0)
+		w.Nodes++
 	}
+	// The worker's private problem accumulated its LP work; fold it into
+	// the worker's stats slot now that no more solves can happen.
+	w.LPSolves = prob.SolveCount()
+	w.Pivots = prob.PivotCount()
 }
 
 // loadInc reads the published incumbent objective without locking.
@@ -181,6 +203,7 @@ func (s *search) next(id int) (n *node, idx int, ok bool) {
 		s.sinceImprove++
 		n := heap.Pop(&s.frontier).(*node)
 		if n.bound >= s.incObj-1e-9 {
+			s.pruned++
 			continue // already dominated
 		}
 		// Gap termination: the global lower bound is the minimum over the
@@ -200,6 +223,9 @@ func (s *search) next(id int) (n *node, idx int, ok bool) {
 		}
 		s.nodes++
 		s.inflight[id] = n.bound
+		if len(s.inflight) > s.inflightHW {
+			s.inflightHW = len(s.inflight)
+		}
 		return n, s.nodes, true
 	}
 }
@@ -223,6 +249,7 @@ func (s *search) setIncumbentLocked(x []float64, obj float64, resetStall bool) {
 	if resetStall {
 		s.sinceImprove = 0
 	}
+	s.incUpdates++
 	s.incumbent = append([]float64(nil), x...)
 	s.incObj = obj
 	s.incBits.Store(math.Float64bits(obj))
@@ -277,6 +304,7 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	// Prune against the freshest published incumbent before any further
 	// work; the authoritative re-check happens under the lock below.
 	if n.parent != nil && obj >= s.loadInc()-1e-9 {
+		s.cutoffPre.Add(1)
 		s.done(id, nil)
 		return
 	}
@@ -288,6 +316,7 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	var roundObj float64
 	haveRound := false
 	if math.IsInf(s.loadInc(), 1) && idx%16 == 1 {
+		s.roundAttempts.Add(1)
 		roundX, roundObj, haveRound = s.m.tryRoundingOn(prob, sol.X)
 	}
 
@@ -328,9 +357,11 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			s.rootObj, s.rootSolved = obj, true
 		}
 		if haveRound && roundObj < s.incObj-1e-9 {
+			s.roundHits++
 			s.setIncumbentLocked(roundX, roundObj, true)
 		}
 		if obj >= s.incObj-1e-9 {
+			s.cutoffPost++
 			return // dominated by an incumbent found meanwhile
 		}
 		if branchVar < 0 && branchGroup < 0 {
@@ -369,6 +400,27 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	})
 }
 
+// statsSnapshot assembles the SearchStats after all workers have joined;
+// no further writes can race with it.
+func (s *search) statsSnapshot() SearchStats {
+	st := SearchStats{
+		Workers:           s.workers,
+		NodesExplored:     int64(s.nodes),
+		NodesPruned:       s.pruned,
+		NodesCutoff:       s.cutoffPre.Load() + s.cutoffPost,
+		InFlightHighWater: s.inflightHW,
+		IncumbentUpdates:  s.incUpdates,
+		RoundingAttempts:  s.roundAttempts.Load(),
+		RoundingHits:      s.roundHits,
+		PerWorker:         s.wstats,
+	}
+	for _, w := range s.wstats {
+		st.LPSolves += w.LPSolves
+		st.SimplexPivots += w.Pivots
+	}
+	return st
+}
+
 // result assembles the Result after all workers have exited.
 func (s *search) result() (*Result, error) {
 	if s.err != nil {
@@ -380,7 +432,9 @@ func (s *search) result() (*Result, error) {
 		Bound:   math.Inf(-1),
 		Nodes:   s.nodes,
 		Runtime: time.Since(s.start),
+		Stats:   s.statsSnapshot(),
 	}
+	res.Stats.Wall = res.Runtime
 	if s.unbounded {
 		res.Status = Unbounded
 		return res, nil

@@ -1,0 +1,102 @@
+package milp
+
+import "time"
+
+// SearchStats is the per-solve counter set of the branch-and-bound worker
+// pool, returned in Result.Stats and documented counter by counter in
+// docs/metrics.md. Counters with a single writer (per-worker work totals)
+// are plain fields aggregated after the pool joins; the few shared ones
+// are maintained with atomic adds or under the frontier mutex, so
+// collection adds no measurable overhead to the search hot path.
+type SearchStats struct {
+	// Workers is the pool size the solve actually ran with.
+	Workers int
+	// NodesExplored counts nodes popped from the frontier and handed to a
+	// worker for expansion (each costs exactly one LP relaxation solve).
+	NodesExplored int64
+	// NodesPruned counts nodes popped but discarded before their LP was
+	// solved because their bound was already dominated by the incumbent.
+	NodesPruned int64
+	// NodesCutoff counts nodes whose LP relaxation was solved and then
+	// discarded because the relaxation objective was dominated by the
+	// incumbent (work the pruning could not avoid).
+	NodesCutoff int64
+	// InFlightHighWater is the maximum number of nodes that were being
+	// expanded concurrently — ≤ Workers; below it, the frontier starved.
+	InFlightHighWater int
+	// LPSolves counts LP relaxation solves across all workers, including
+	// rounding-heuristic re-solves: LPSolves = NodesExplored +
+	// RoundingAttempts (the conservation identity TestSearchStatsConservation
+	// pins for both sequential and parallel runs).
+	LPSolves int64
+	// SimplexPivots is the total simplex iterations (phase 1 + 2) behind
+	// LPSolves — the solver's innermost unit of work.
+	SimplexPivots int64
+	// IncumbentUpdates counts installed incumbents (seed acceptance
+	// excluded; rounding hits and integer-feasible nodes included).
+	IncumbentUpdates int64
+	// RoundingAttempts / RoundingHits count the cold-start rounding
+	// heuristic's re-solves and how many produced an improving incumbent.
+	RoundingAttempts int64
+	RoundingHits     int64
+	// Wall is the solve's wall-clock time (same value as Result.Runtime).
+	Wall time.Duration
+	// PerWorker holds one entry per pool worker, indexed by worker id.
+	PerWorker []WorkerStats
+}
+
+// WorkerStats is one worker's share of the search.
+type WorkerStats struct {
+	// Nodes is the number of nodes this worker expanded.
+	Nodes int64
+	// LPSolves and Pivots are the worker's private-LP work totals.
+	LPSolves int64
+	Pivots   int64
+	// Busy is the wall-clock time the worker spent expanding nodes (LP
+	// solves included); Busy/Wall is the worker's utilization.
+	Busy time.Duration
+}
+
+// Utilization returns the fraction of wall this worker spent expanding
+// nodes (0 when wall is 0).
+func (w WorkerStats) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	u := float64(w.Busy) / float64(wall)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Merge accumulates other into st: counters add, high-water marks take
+// the maximum, and per-worker entries add index-wise (padding when the
+// worker counts differ). layout's lazy-separation loop uses it to report
+// one SearchStats across all separation rounds.
+func (st *SearchStats) Merge(other SearchStats) {
+	if other.Workers > st.Workers {
+		st.Workers = other.Workers
+	}
+	st.NodesExplored += other.NodesExplored
+	st.NodesPruned += other.NodesPruned
+	st.NodesCutoff += other.NodesCutoff
+	if other.InFlightHighWater > st.InFlightHighWater {
+		st.InFlightHighWater = other.InFlightHighWater
+	}
+	st.LPSolves += other.LPSolves
+	st.SimplexPivots += other.SimplexPivots
+	st.IncumbentUpdates += other.IncumbentUpdates
+	st.RoundingAttempts += other.RoundingAttempts
+	st.RoundingHits += other.RoundingHits
+	st.Wall += other.Wall
+	for len(st.PerWorker) < len(other.PerWorker) {
+		st.PerWorker = append(st.PerWorker, WorkerStats{})
+	}
+	for i, w := range other.PerWorker {
+		st.PerWorker[i].Nodes += w.Nodes
+		st.PerWorker[i].LPSolves += w.LPSolves
+		st.PerWorker[i].Pivots += w.Pivots
+		st.PerWorker[i].Busy += w.Busy
+	}
+}

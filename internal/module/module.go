@@ -1,14 +1,3 @@
-// Package module implements the Columba S module model library
-// (Section 2.1, Figure 3): parameterised geometry templates for rotary
-// mixers, reaction chambers and switches.
-//
-// A module is a rectangular box defining the physical layout inside and
-// around a microfluidic component. Flow channels access every module
-// horizontally through pins on the left and right boundaries; valves are
-// accessed vertically through control channels leaving the top and/or
-// bottom boundaries. Module rotation is prohibited (the straight
-// channel-routing discipline depends on it), so templates have a fixed
-// orientation.
 package module
 
 import (

@@ -1,0 +1,18 @@
+// Package mux synthesizes the binary multiplexers of Columba S
+// (Section 2.2, Figure 4) and implements their addressing function.
+//
+// A multiplexer controls n independent control channels with
+// 2·ceil(log2 n)+1 pressure inlets: each control channel is indexed with a
+// ceil(log2 n)-bit binary number, and each bit is realised by a
+// complementary pair of pressurised MUX-flow channels. Where a MUX-flow
+// channel overlaps a control channel, a valve may be placed; pressurising
+// the flow channel inflates its valves and blocks the crossed control
+// channels. Pressurising, for every bit, the line carrying valves on the
+// channels with the *opposite* bit value leaves exactly one control
+// channel open. One additional inlet feeds the shared pressure main that
+// the selected channel transmits.
+//
+// Key types: Build lays a Mux over the control-channel x-positions;
+// Select computes the Selection for one address, Open the resulting open
+// channels, and InletsFor the 2·ceil(log2 n)+1 inlet formula.
+package mux

@@ -1,0 +1,23 @@
+// Package netlist defines the plain-text application description that is
+// the input of Columba S (Section 3, Figure 7(a)): the number, type and
+// logic connection of the required functional units, plus chip-level
+// directives such as the number of multiplexers.
+//
+// # File format
+//
+// The format is line-oriented; '#' starts a comment. Directives:
+//
+//	design <name>
+//	muxes <1|2>
+//	unit <id> mixer [sieve|celltrap]
+//	unit <id> chamber [w=<µm>] [h=<µm>]
+//	connect <a> <b>            # dedicated flow channel between two endpoints
+//	net <a> <b> <c> ...        # shared interconnect (>=3 endpoints -> switch)
+//	parallel <id> <id> ...     # units driven by common control channels
+//
+// Endpoints are unit ids, or terminals "in:<fluid>" / "out:<fluid>" naming
+// a fluid inlet or outlet on a flow boundary.
+//
+// Key types: Parse and ParseString return a Netlist of Units and Nets
+// (with Endpoint terminals); errors carry line numbers via ParseError.
+package netlist

@@ -1,0 +1,30 @@
+// Package obs is the zero-dependency observability layer of the Columba S
+// reproduction: hierarchical phase tracing, per-phase counters, and pprof
+// profile helpers, shared by the whole synthesis pipeline and all four
+// command-line tools.
+//
+// The paper (Section 4, Table 1) reports synthesis cost as a single
+// "program run time" number; this package breaks that number down so the
+// scalability claim is inspectable — where does a solve spend its time
+// (planarize, layout MILP, validation, multiplexer synthesis), and did
+// the branch-and-bound worker pool actually prune.
+//
+// Key types:
+//
+//   - Trace — one run as a tree of phase spans; New starts one,
+//     Trace.Phase / Span.Child open spans, Span.Set/Add/Label attach
+//     counters. A nil *Trace disables everything at the cost of a nil
+//     check, so the pipeline is instrumented unconditionally.
+//   - TraceJSON / SpanJSON — the machine-readable snapshot schema
+//     (SchemaVersion "columbas-trace/v1", documented in docs/metrics.md)
+//     written by `columbas -trace-json` and embedded in benchtab -json
+//     reports.
+//   - Trace.WriteTable — the human per-phase table behind
+//     `columbas -stats`.
+//   - StartCPUProfile / WriteHeapProfile — the -pprof-cpu / -pprof-mem
+//     flag implementations.
+//
+// The solver-side counters this package surfaces (nodes, prunes, LP
+// solves, pivots, worker utilization) are collected by internal/milp as a
+// SearchStats value; obs only renders them.
+package obs

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	sp := tr.Phase("anything")
+	if sp != nil {
+		t.Fatal("nil trace must hand out nil spans")
+	}
+	// Every span method must be a no-op on nil.
+	sp.Set("x", 1)
+	sp.SetInt("y", 2)
+	sp.Add("x", 3)
+	sp.Label("status", "ok")
+	sp.Child("nested").End()
+	sp.End()
+	if d := sp.Elapsed(); d != 0 {
+		t.Fatalf("nil span elapsed = %v", d)
+	}
+	if v, ok := sp.Counter("x"); ok || v != 0 {
+		t.Fatalf("nil span counter = %v, %v", v, ok)
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace must snapshot to nil")
+	}
+	if tr.Name() != "" || tr.Wall() != 0 {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteTable(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteTable wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestSpanHierarchyAndCounters(t *testing.T) {
+	tr := New("demo")
+	p1 := tr.Phase("parse")
+	p1.SetInt("units", 9)
+	p1.End()
+	p2 := tr.Phase("layout")
+	c := p2.Child("milp round 1")
+	c.Add("nodes", 10)
+	c.Add("nodes", 5)
+	c.Label("status", "optimal")
+	c.End()
+	p2.End()
+	tr.Finish()
+
+	doc := tr.Snapshot()
+	if doc.Schema != SchemaVersion {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.Name != "demo" {
+		t.Fatalf("name = %q", doc.Name)
+	}
+	if len(doc.Spans) != 2 || doc.Spans[0].Name != "parse" || doc.Spans[1].Name != "layout" {
+		t.Fatalf("top-level spans = %+v", doc.Spans)
+	}
+	if doc.Spans[0].Counters["units"] != 9 {
+		t.Fatalf("parse counters = %v", doc.Spans[0].Counters)
+	}
+	inner := doc.Spans[1].Spans
+	if len(inner) != 1 || inner[0].Name != "milp round 1" {
+		t.Fatalf("nested spans = %+v", inner)
+	}
+	if inner[0].Counters["nodes"] != 15 {
+		t.Fatalf("Add should accumulate: %v", inner[0].Counters)
+	}
+	if inner[0].Labels["status"] != "optimal" {
+		t.Fatalf("labels = %v", inner[0].Labels)
+	}
+}
+
+func TestElapsedSealedByEnd(t *testing.T) {
+	tr := New("t")
+	sp := tr.Phase("p")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	d := sp.Elapsed()
+	if d < time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 1ms", d)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if sp.Elapsed() != d {
+		t.Fatal("End must seal the interval")
+	}
+}
+
+// TestTraceJSONGoldenRoundTrip pins the documented schema: a literal
+// trace document (the shape docs/metrics.md specifies) unmarshals into
+// TraceJSON without loss and re-marshals to the identical canonical form.
+func TestTraceJSONGoldenRoundTrip(t *testing.T) {
+	const golden = `{
+  "schema": "columbas-trace/v1",
+  "name": "chip9",
+  "wall_ms": 412.53,
+  "spans": [
+    {
+      "name": "parse",
+      "wall_ms": 0.21,
+      "counters": {
+        "units": 9
+      }
+    },
+    {
+      "name": "layout",
+      "wall_ms": 398.77,
+      "counters": {
+        "milp_lp_solves": 837,
+        "milp_nodes": 512,
+        "milp_nodes_pruned": 123
+      },
+      "labels": {
+        "status": "optimal"
+      },
+      "spans": [
+        {
+          "name": "milp round 1",
+          "wall_ms": 395.01
+        }
+      ]
+    }
+  ]
+}`
+	var doc TraceJSON
+	if err := json.Unmarshal([]byte(golden), &doc); err != nil {
+		t.Fatalf("golden document does not match schema struct: %v", err)
+	}
+	if doc.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", doc.Schema, SchemaVersion)
+	}
+	if doc.Spans[1].Counters["milp_nodes"] != 512 {
+		t.Fatalf("counters lost in round trip: %+v", doc.Spans[1].Counters)
+	}
+	out, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != golden {
+		t.Fatalf("round trip not lossless:\n--- golden ---\n%s\n--- re-marshalled ---\n%s", golden, out)
+	}
+}
+
+// TestLiveTraceRoundTrips checks the writer side: a trace produced by the
+// API marshals to a document that unmarshals back into the schema struct
+// equal to the original snapshot.
+func TestLiveTraceRoundTrips(t *testing.T) {
+	tr := New("rt")
+	sp := tr.Phase("solve")
+	sp.SetInt("nodes", 42)
+	sp.Set("gap", 0.015)
+	sp.Label("status", "feasible")
+	sp.Child("round 1").End()
+	sp.End()
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("WriteJSON output does not match schema: %v", err)
+	}
+	want := tr.Snapshot()
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(&got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("round trip drifted:\n%s\n%s", a, b)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tr := New("tbl")
+	sp := tr.Phase("layout")
+	sp.SetInt("nodes", 7)
+	sp.Label("status", "optimal")
+	sp.Child("milp round 1").End()
+	sp.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase", "layout", "  milp round 1", "status=optimal", "nodes=7", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{250 * time.Microsecond, "250µs"},
+		{3500 * time.Microsecond, "3.50ms"},
+		{1500 * time.Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestFormatCounter(t *testing.T) {
+	if got := formatCounter(512); got != "512" {
+		t.Errorf("formatCounter(512) = %q", got)
+	}
+	if got := formatCounter(0.015); got != "0.015" {
+		t.Errorf("formatCounter(0.015) = %q", got)
+	}
+}

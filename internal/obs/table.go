@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// FormatDuration renders a wall-clock duration at the resolution this
+// package uses everywhere a human reads one: sub-millisecond phases keep
+// microseconds, sub-second phases keep two decimals of milliseconds, and
+// anything longer rounds to milliseconds of seconds. All four commands
+// route their timing output through this so reports line up.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// formatCounter renders counter values compactly: integral values without
+// a fraction, everything else with three significant digits.
+func formatCounter(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// WriteTable renders the trace as a human-readable per-phase table:
+//
+//	phase                       wall      %  detail
+//	planarize                  210µs    0.1
+//	layout                   402.1ms   97.2  status=optimal nodes=512 ...
+//	  milp round 1           398.2ms   96.3  lp_solves=837 ...
+//
+// The %% column is each phase's share of the trace's total wall time;
+// nested spans indent under their parent and overlap with it, so the
+// column does not sum to 100. A nil trace writes nothing.
+func (t *Trace) WriteTable(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := t.wallLocked()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %6s  %s\n", "phase", "wall", "%", "detail")
+	for _, s := range t.spans {
+		s.writeRowsLocked(&b, 0, total)
+	}
+	fmt.Fprintf(&b, "%-28s %10s %6s\n", "total", FormatDuration(total), "100.0")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary renders the top-level phases as one line — "parse 82µs ·
+// layout 447µs · total 948µs" — for commands where the full table is
+// overkill but timing output should still come from the shared phase
+// recording. Empty on a nil trace.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parts := make([]string, 0, len(t.spans)+1)
+	for _, s := range t.spans {
+		wall := s.end.Sub(s.start)
+		if s.end.IsZero() {
+			wall = time.Since(s.start)
+		}
+		parts = append(parts, s.name+" "+FormatDuration(wall))
+	}
+	parts = append(parts, "total "+FormatDuration(t.wallLocked()))
+	return strings.Join(parts, " · ")
+}
+
+func (s *Span) writeRowsLocked(b *strings.Builder, depth int, total time.Duration) {
+	wall := s.end.Sub(s.start)
+	if s.end.IsZero() {
+		wall = time.Since(s.start)
+	}
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(wall) / float64(total)
+	}
+	var detail []string
+	for _, k := range s.labelKeysLocked() {
+		detail = append(detail, k+"="+s.labels[k])
+	}
+	for _, k := range s.counterKeysLocked() {
+		detail = append(detail, k+"="+formatCounter(s.counters[k]))
+	}
+	name := strings.Repeat("  ", depth) + s.name
+	fmt.Fprintf(b, "%-28s %10s %6.1f  %s\n", name, FormatDuration(wall), pct, strings.Join(detail, " "))
+	for _, c := range s.children {
+		c.writeRowsLocked(b, depth+1, total)
+	}
+}

@@ -1,0 +1,21 @@
+// Package planar implements netlist planarization (Section 3.1): the
+// preparation step that turns a primitive application netlist into a
+// planar one by adding switches and refining the logic connections,
+// following the approach of Columba 2.0.
+//
+// Under the Columba S routing discipline every flow channel is a straight
+// horizontal segment between two access pins, and every module offers
+// exactly one flow pin per vertical boundary (left, right). Planarization
+// therefore has to resolve two situations:
+//
+//  1. multi-terminal nets ("net a b c ..."): all endpoints must be mutually
+//     reachable, which a direct channel cannot provide — a switch with one
+//     flow-channel junction per endpoint is inserted (Figure 3(f));
+//  2. pin overflow: a unit referenced by more than two nets exceeds its
+//     two flow pins — a switch is inserted and the excess connections are
+//     rerouted through it.
+//
+// Key types: Planarize maps a netlist.Netlist to a Result of Nodes
+// (units, switches, terminals) and two-ended Channels; Stats counts the
+// inserted switches.
+package planar

@@ -1,14 +1,3 @@
-// Package sim simulates the control behaviour of a Columba S design: the
-// multiplexer addressing of control channels, the resulting valve states,
-// and fluid reachability through the flow layer.
-//
-// This is the reproduction's stand-in for the paper's fabricated-chip
-// demonstrations (Figures 1, 7(c), 8): instead of dye photographs we
-// verify mechanically that selecting a control channel through the
-// multiplexer pressurises exactly that channel, that the corresponding
-// valve blocks its flow channel, and that the same design executes
-// different scheduling protocols (the reconfigurability claim of
-// Section 1).
 package sim
 
 import (

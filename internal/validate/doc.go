@@ -1,0 +1,10 @@
+// Package validate implements the layout validation phase of Columba S
+// (Section 3.2.2): it takes the rectangle plan of the generation phase and
+// completes the design with explicit module placement, channel routing and
+// chip boundary restoration, then synthesizes the multiplexers along the
+// MUX boundaries.
+//
+// Key types: Validate (or ValidateObs, which reports the mux-synthesis
+// sub-phase to an obs.Span) turns a layout.Plan into a Design of
+// FlowChannels, CtrlChannels, Inlets and the per-boundary multiplexers.
+package validate

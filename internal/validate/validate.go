@@ -1,8 +1,3 @@
-// Package validate implements the layout validation phase of Columba S
-// (Section 3.2.2): it takes the rectangle plan of the generation phase and
-// completes the design with explicit module placement, channel routing and
-// chip boundary restoration, then synthesizes the multiplexers along the
-// MUX boundaries.
 package validate
 
 import (
@@ -14,6 +9,7 @@ import (
 	"columbas/internal/layout"
 	"columbas/internal/module"
 	"columbas/internal/mux"
+	"columbas/internal/obs"
 	"columbas/internal/planar"
 )
 
@@ -127,7 +123,12 @@ func (d *Design) FlowLength() float64 {
 func (d *Design) Dimensions() (w, h float64) { return d.Chip.W(), d.Chip.H() }
 
 // Validate restores a generation-phase plan into a complete design.
-func Validate(p *layout.Plan) (*Design, error) {
+func Validate(p *layout.Plan) (*Design, error) { return ValidateObs(p, nil) }
+
+// ValidateObs is Validate with phase tracing: sp (may be nil) is the
+// pipeline's "validate" span, under which multiplexer synthesis records
+// its own sub-span and counters.
+func ValidateObs(p *layout.Plan, sp *obs.Span) (*Design, error) {
 	d := &Design{
 		Name:       p.Name,
 		Muxes:      p.Muxes,
@@ -206,9 +207,12 @@ func Validate(p *layout.Plan) (*Design, error) {
 	d.collectCtrlChannels(p, instances)
 
 	// 5. Multiplexer synthesis along the MUX boundaries.
+	muxSp := sp.Child("mux synthesis")
 	if err := d.buildMuxes(p); err != nil {
+		muxSp.End()
 		return nil, err
 	}
+	recordMuxes(muxSp, d)
 
 	// 6. Chip boundary restoration.
 	chip := d.FuncRegion
@@ -423,6 +427,31 @@ func (d *Design) collectCtrlChannels(p *layout.Plan, instances map[string]*modul
 			})
 		}
 	}
+}
+
+// recordMuxes attaches the synthesized multiplexers' dimensions to the
+// mux-synthesis trace span. No-op on a nil span.
+func recordMuxes(sp *obs.Span, d *Design) {
+	if sp == nil {
+		return
+	}
+	channels, bits, valves, inlets := 0, 0, 0, 0
+	count := func(m *mux.Mux) {
+		if m == nil {
+			return
+		}
+		channels += m.N
+		bits += m.Bits
+		valves += len(m.Valves)
+		inlets += m.Inlets()
+	}
+	count(d.MuxBottom)
+	count(d.MuxTop)
+	sp.SetInt("channels", int64(channels))
+	sp.SetInt("address_bits", int64(bits))
+	sp.SetInt("valves", int64(valves))
+	sp.SetInt("pressure_inlets", int64(inlets))
+	sp.End()
 }
 
 // buildMuxes synthesizes the bottom (and top) multiplexers and assigns

@@ -1,0 +1,104 @@
+// System-level checks of the observability layer: the example netlist on
+// disk stays in sync with the cases corpus, and a real end-to-end
+// synthesis produces a trace whose JSON form round-trips through the
+// columbas-trace/v1 schema structs (docs/metrics.md).
+package columbas
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/obs"
+)
+
+// TestExampleNetlistMatchesCorpus pins examples/chip/chip.netlist (the
+// file the README's worked example feeds to columbas -stats) to the
+// chip9 case source, so README instructions and tests exercise the same
+// design.
+func TestExampleNetlistMatchesCorpus(t *testing.T) {
+	c, err := cases.Get("chip9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile("examples/chip/chip.netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(disk) != c.Source {
+		t.Error("examples/chip/chip.netlist has drifted from the chip9 case source; regenerate it from internal/cases")
+	}
+}
+
+// TestSystemTraceRoundTrip synthesizes the running example with tracing
+// on, serializes the trace and parses it back through the schema structs:
+// the pipeline phases the paper's Figure 5 names must all appear, the
+// layout phase must carry the milp_* solver counters, and the document
+// must be a fixed point of the schema round trip.
+func TestSystemTraceRoundTrip(t *testing.T) {
+	c, err := cases.Get("chip9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New("system")
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 10 * time.Second
+	opt.Layout.StallLimit = 40
+	opt.Trace = tr
+	if _, err := core.SynthesizeSource(c.Source, opt); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace does not parse back into obs.TraceJSON: %v", err)
+	}
+	if doc.Schema != obs.SchemaVersion {
+		t.Fatalf("schema = %q, want %q", doc.Schema, obs.SchemaVersion)
+	}
+	if doc.Name != "chip9" {
+		t.Errorf("trace name = %q, want the design name", doc.Name)
+	}
+
+	byName := map[string]obs.SpanJSON{}
+	for _, sp := range doc.Spans {
+		byName[sp.Name] = sp
+	}
+	for _, phase := range []string{"parse", "planarize", "layout", "validate", "drc"} {
+		if _, ok := byName[phase]; !ok {
+			t.Errorf("trace missing pipeline phase %q", phase)
+		}
+	}
+	layout := byName["layout"]
+	for _, k := range []string{"milp_nodes", "milp_lp_solves", "milp_simplex_pivots", "milp_workers"} {
+		if _, ok := layout.Counters[k]; !ok {
+			t.Errorf("layout phase missing counter %q (have %v)", k, layout.Counters)
+		}
+	}
+	var muxChild bool
+	for _, sp := range byName["validate"].Spans {
+		if sp.Name == "mux synthesis" {
+			muxChild = true
+		}
+	}
+	if !muxChild {
+		t.Error("validate phase missing the mux synthesis sub-span")
+	}
+
+	again, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(append(again, '\n'), buf.Bytes()) {
+		t.Error("trace is not a fixed point of the schema round trip")
+	}
+}
