@@ -5,12 +5,13 @@
 #   make race-solver  quick race pass over the solver stack only
 #   make fuzz-smoke   short parallel-vs-sequential solver fuzz run
 #   make docs-check   every internal package documents itself in a doc.go
-#   make verify       vet + race + fuzz smoke + docs check (CI gate)
+#   make serve-check  build the daemon + httptest smoke of the HTTP API under -race
+#   make verify       vet + race + fuzz smoke + docs check + serve check (CI gate)
 #   make bench-solver the sequential-vs-parallel solver benchmark pair
 
 GO ?= go
 
-.PHONY: build test vet race race-solver fuzz-smoke docs-check verify bench-solver bench
+.PHONY: build test vet race race-solver fuzz-smoke docs-check serve-check verify bench-solver bench
 
 build:
 	$(GO) build ./...
@@ -51,7 +52,14 @@ docs-check:
 	if [ ! -f docs/metrics.md ]; then echo "docs-check: docs/metrics.md missing"; fail=1; fi; \
 	exit $$fail
 
-verify: vet race fuzz-smoke docs-check
+# The synthesis-service gate: both binaries must build and the httptest
+# suite (pool fan-in, mid-solve cancellation, cache hits, drain) must
+# pass with the race detector on.
+serve-check:
+	$(GO) build ./cmd/columbasd ./cmd/columbas
+	$(GO) test -race -count=1 ./internal/server/...
+
+verify: vet race fuzz-smoke docs-check serve-check
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"columbas/internal/core"
+	"columbas/internal/export"
 	"columbas/internal/hls"
 	"columbas/internal/layout"
 	"columbas/internal/netlist"
@@ -43,7 +44,7 @@ func run() error {
 	var (
 		in        = flag.String("i", "", "input netlist description (default: stdin)")
 		out       = flag.String("o", "", "output file (.svg/.scr/.json); default: summary to stdout")
-		format    = flag.String("format", "", "output format override: svg, scr or json")
+		format    = flag.String("format", "", "output format override: "+strings.Join(export.Names(), ", "))
 		muxes     = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
 		tl        = flag.Duration("time", 30*time.Second, "layout generation time budget")
 		effort    = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
@@ -211,23 +212,13 @@ func writeOutput(res *core.Result, tr *obs.Trace, out, format string) error {
 		}
 		defer w.Close()
 	}
-	sp := tr.Phase("export")
-	sp.Label("format", f)
-	defer sp.End()
-	switch f {
-	case "svg":
-		return res.WriteSVG(w)
-	case "scr":
-		return res.WriteSCR(w)
-	case "dxf":
-		return res.WriteDXF(w)
-	case "json":
-		return res.WriteJSON(w)
-	case "txt", "ascii":
-		return res.WriteASCII(w, 120)
-	case "md", "report":
-		return res.WriteReport(w)
-	default:
-		return fmt.Errorf("unknown output format %q (want svg, scr, dxf, json, txt or md)", f)
+	fm, ok := export.Lookup(f)
+	if !ok {
+		return fmt.Errorf("unknown output format %q (want one of %s)",
+			f, strings.Join(export.Names(), ", "))
 	}
+	sp := tr.Phase("export")
+	sp.Label("format", fm.Name)
+	defer sp.End()
+	return fm.Write(w, res.Design, res.Plan)
 }

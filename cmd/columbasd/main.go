@@ -1,0 +1,106 @@
+// Command columbasd serves the Columba S synthesis flow over HTTP: a
+// bounded pool of synthesis jobs behind POST /v1/synthesize, with
+// per-request deadlines that cancel in-flight MILP solves, a
+// content-addressed result cache, and graceful shutdown that drains
+// running solves. See docs/api.md for the endpoint contract.
+//
+// Usage:
+//
+//	columbasd -addr :8080
+//	columbasd -addr :8080 -jobs 4 -workers 2 -cache 256
+//	columbasd -addr :8080 -trace-log traces.jsonl
+//
+// Operational endpoints: GET /healthz (200 while serving, 503 while
+// draining), GET /v1/stats (pool, request and cache counters), GET
+// /v1/formats (the export format registry). SIGINT/SIGTERM starts a
+// graceful drain bounded by -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"columbas/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "columbasd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent synthesis jobs")
+		workers  = flag.Int("workers", 1, "MILP branch-and-bound workers per job (-1: all cores)")
+		cacheN   = flag.Int("cache", 128, "result cache capacity in designs (-1: disable)")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-request synthesis deadline (-1s: none)")
+		maxTime  = flag.Duration("max-time", 5*time.Minute, "cap on the per-request ?time= MILP budget")
+		maxBody  = flag.Int64("max-body", 1<<20, "max netlist source size in bytes")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
+		traceLog = flag.String("trace-log", "", "append one columbas-trace/v1 JSON line per request to this file")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Jobs:           *jobs,
+		Workers:        *workers,
+		CacheEntries:   *cacheN,
+		DefaultTimeout: *timeout,
+		MaxLayoutTime:  *maxTime,
+		MaxBodyBytes:   *maxBody,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceSink = f
+	}
+	srv := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "columbasd: listening on %s (%d job(s) x %d worker(s), cache %d)\n",
+			*addr, *jobs, *workers, *cacheN)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // ListenAndServe failed outright (e.g. bind error)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "columbasd: draining in-flight solves...")
+	srv.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "columbasd: drained, bye")
+	return nil
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"time"
 
 	"columbas/internal/drc"
@@ -91,13 +93,39 @@ func (r *Result) Metrics() Metrics {
 	}
 }
 
-// Synthesize runs the full Columba S flow on a parsed netlist.
+// Synthesize runs the full Columba S flow on a parsed netlist. It is
+// SynthesizeContext under context.Background().
 func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), n, opt)
+}
+
+// SynthesizeContext runs the full Columba S flow on a parsed netlist
+// under a context. This is the primary entry point; Synthesize,
+// SynthesizeSource and SynthesizeReader are thin wrappers over the same
+// implementation.
+//
+// The context's deadline and cancellation are threaded through
+// layout.Options into the branch-and-bound workers: a canceled or
+// expired context genuinely stops the in-flight MILP solve (observable
+// as Plan.Stats.Search.Interrupted) and SynthesizeContext returns an
+// error wrapping ctx.Err(). Contrast with Options.Layout.TimeLimit,
+// which is a solver budget — exceeding it degrades to the greedy seed
+// rather than failing the run.
+//
+// opt is never mutated: the same Options value can be reused (and
+// fingerprinted, e.g. for result caching) across concurrent calls.
+func SynthesizeContext(ctx context.Context, n *netlist.Netlist, opt Options) (*Result, error) {
 	start := time.Now()
 	tr := opt.Trace
 	tr.SetName(n.Name)
-	if opt.Layout == (layout.Options{}) {
-		opt.Layout = layout.DefaultOptions()
+	// Work on a private copy of the layout options: the pipeline treats
+	// the caller's Options as immutable.
+	lopt := opt.Layout
+	if lopt == (layout.Options{}) {
+		lopt = layout.DefaultOptions()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: synthesis canceled: %w", err)
 	}
 
 	sp := tr.Phase("planarize")
@@ -112,8 +140,8 @@ func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 	sp.End()
 
 	sp = tr.Phase("layout")
-	opt.Layout.Obs = sp
-	plan, err := layout.Generate(pr, opt.Layout)
+	lopt.Obs = sp
+	plan, err := layout.GenerateContext(ctx, pr, lopt)
 	if err != nil {
 		sp.End()
 		return nil, fmt.Errorf("core: layout generation: %w", err)
@@ -121,6 +149,9 @@ func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 	recordLayout(sp, plan)
 	sp.End()
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: synthesis canceled: %w", err)
+	}
 	sp = tr.Phase("validate")
 	d, err := validate.ValidateObs(plan, sp)
 	if err != nil {
@@ -154,7 +185,7 @@ func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 // branch-and-bound counters (the milp_* family of docs/metrics.md) to the
 // layout span. No-op on a nil span.
 func recordLayout(sp *obs.Span, plan *layout.Plan) {
-	if sp == nil {
+	if sp == nil || plan == nil {
 		return
 	}
 	st := plan.Stats
@@ -167,6 +198,9 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 		sp.Label("seed_only", "true")
 	}
 	se := st.Search
+	if se.Interrupted {
+		sp.Label("milp_interrupted", "true")
+	}
 	sp.SetInt("milp_workers", int64(se.Workers))
 	sp.SetInt("milp_nodes", se.NodesExplored)
 	sp.SetInt("milp_nodes_pruned", se.NodesPruned)
@@ -189,24 +223,37 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 
 // SynthesizeSource parses a netlist description and synthesizes it.
 func SynthesizeSource(src string, opt Options) (*Result, error) {
+	return SynthesizeSourceContext(context.Background(), src, opt)
+}
+
+// SynthesizeSourceContext parses a netlist description and synthesizes
+// it under a context (see SynthesizeContext for the cancellation
+// semantics).
+func SynthesizeSourceContext(ctx context.Context, src string, opt Options) (*Result, error) {
 	sp := opt.Trace.Phase("parse")
 	n, err := netlist.ParseString(src)
 	recordParse(sp, n, err)
 	if err != nil {
 		return nil, err
 	}
-	return Synthesize(n, opt)
+	return SynthesizeContext(ctx, n, opt)
 }
 
 // SynthesizeReader parses a netlist description from r and synthesizes it.
 func SynthesizeReader(r io.Reader, opt Options) (*Result, error) {
+	return SynthesizeReaderContext(context.Background(), r, opt)
+}
+
+// SynthesizeReaderContext parses a netlist description from r and
+// synthesizes it under a context (see SynthesizeContext).
+func SynthesizeReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
 	sp := opt.Trace.Phase("parse")
 	n, err := netlist.Parse(r)
 	recordParse(sp, n, err)
 	if err != nil {
 		return nil, err
 	}
-	return Synthesize(n, opt)
+	return SynthesizeContext(ctx, n, opt)
 }
 
 // recordParse seals the parse span with the netlist's headline counts.
@@ -244,3 +291,16 @@ func (r *Result) WriteASCII(w io.Writer, cols int) error {
 // WriteReport writes the markdown datasheet (metrics, module inventory,
 // multiplexer addressing tables, fluid ports).
 func (r *Result) WriteReport(w io.Writer) error { return export.WriteReport(w, r.Design) }
+
+// Export renders the result in the named format from the export.Formats
+// registry (canonical name or alias). The CLI's -format flag and the
+// columbasd content negotiation both resolve through the same registry,
+// so the accepted names are identical everywhere.
+func (r *Result) Export(w io.Writer, format string) error {
+	f, ok := export.Lookup(format)
+	if !ok {
+		return fmt.Errorf("core: unknown export format %q (want one of %s)",
+			format, strings.Join(export.Names(), ", "))
+	}
+	return f.Write(w, r.Design, r.Plan)
+}

@@ -1,0 +1,157 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"columbas/internal/layout"
+	"columbas/internal/validate"
+)
+
+// Format describes one registered result export format: its canonical
+// name (the value accepted by the columbas -format flag and the
+// columbasd ?format= parameter), any aliases, the MIME type the server
+// negotiates on and stamps into Content-Type, and the writer itself.
+type Format struct {
+	// Name is the canonical format name, which doubles as the
+	// conventional file extension.
+	Name string
+	// Aliases are accepted alternative names.
+	Aliases []string
+	// MIME is the media type (with parameters) of the rendered output.
+	MIME string
+	// Write renders the design. p is the generation-phase rectangle plan;
+	// only the "plan" format consumes it, but every writer receives it so
+	// the registry has one uniform signature.
+	Write func(w io.Writer, d *validate.Design, p *layout.Plan) error
+}
+
+// formats is the registry, in negotiation priority order: when a client
+// Accept header matches several entries at equal preference, the earlier
+// one wins.
+var formats = []Format{
+	{
+		Name: "svg", MIME: "image/svg+xml",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteSVG(w, d)
+		},
+	},
+	{
+		Name: "json", MIME: "application/json",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteJSON(w, d)
+		},
+	},
+	{
+		Name: "scr", MIME: "application/vnd.autocad-script",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteSCR(w, d)
+		},
+	},
+	{
+		Name: "dxf", MIME: "image/vnd.dxf",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteDXF(w, d)
+		},
+	},
+	{
+		Name: "txt", Aliases: []string{"ascii"}, MIME: "text/plain; charset=utf-8",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteASCII(w, d, 120)
+		},
+	},
+	{
+		Name: "md", Aliases: []string{"report"}, MIME: "text/markdown; charset=utf-8",
+		Write: func(w io.Writer, d *validate.Design, _ *layout.Plan) error {
+			return WriteReport(w, d)
+		},
+	},
+	{
+		Name: "plan", MIME: "image/svg+xml",
+		Write: func(w io.Writer, _ *validate.Design, p *layout.Plan) error {
+			if p == nil {
+				return fmt.Errorf("export: plan format requires the generation-phase plan")
+			}
+			return WritePlanSVG(w, p)
+		},
+	},
+}
+
+// Formats returns the registered export formats in negotiation priority
+// order. The returned slice is a copy; mutating it does not affect the
+// registry.
+func Formats() []Format {
+	out := make([]Format, len(formats))
+	copy(out, formats)
+	return out
+}
+
+// Names returns the canonical format names in registry order.
+func Names() []string {
+	out := make([]string, len(formats))
+	for i, f := range formats {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Lookup resolves a format by canonical name or alias
+// (case-insensitively). ok is false for unknown names.
+func Lookup(name string) (Format, bool) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	for _, f := range formats {
+		if f.Name == name {
+			return f, true
+		}
+		for _, a := range f.Aliases {
+			if a == name {
+				return f, true
+			}
+		}
+	}
+	return Format{}, false
+}
+
+// Negotiate resolves an HTTP Accept header value against the registry:
+// the first registered format acceptable to the client wins, honouring
+// media ranges ("image/*", "*/*") but not q-weights — clients that care
+// about order should list preferred types first. An empty header accepts
+// anything and yields the first registry entry; ok is false when nothing
+// matches.
+func Negotiate(accept string) (Format, bool) {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return formats[0], true
+	}
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 { // drop q= and params
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == "" {
+			continue
+		}
+		for _, f := range formats {
+			if mimeMatch(mt, f.MIME) {
+				return f, true
+			}
+		}
+	}
+	return Format{}, false
+}
+
+// mimeMatch reports whether the media range pattern (possibly "type/*"
+// or "*/*") accepts the concrete media type (parameters ignored).
+func mimeMatch(pattern, mime string) bool {
+	if i := strings.IndexByte(mime, ';'); i >= 0 {
+		mime = strings.TrimSpace(mime[:i])
+	}
+	if pattern == "*/*" || pattern == mime {
+		return true
+	}
+	if major, ok := strings.CutSuffix(pattern, "/*"); ok {
+		return strings.HasPrefix(mime, major+"/")
+	}
+	return false
+}

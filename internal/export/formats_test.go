@@ -1,0 +1,100 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFormatsRegistryShape(t *testing.T) {
+	fs := Formats()
+	if len(fs) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if f.Name == "" || f.MIME == "" || f.Write == nil {
+			t.Fatalf("incomplete format entry %+v", f)
+		}
+		for _, name := range append([]string{f.Name}, f.Aliases...) {
+			if seen[name] {
+				t.Fatalf("duplicate format name %q", name)
+			}
+			if name != strings.ToLower(name) {
+				t.Fatalf("format name %q is not lowercase", name)
+			}
+			seen[name] = true
+		}
+	}
+	for _, want := range []string{"svg", "json", "scr", "dxf", "txt", "md", "plan"} {
+		if !seen[want] {
+			t.Errorf("registry is missing %q", want)
+		}
+	}
+}
+
+func TestLookupNamesAndAliases(t *testing.T) {
+	for name, canonical := range map[string]string{
+		"svg": "svg", "SVG": "svg", " json ": "json",
+		"ascii": "txt", "report": "md", "md": "md",
+	} {
+		f, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if f.Name != canonical {
+			t.Fatalf("Lookup(%q) = %q, want %q", name, f.Name, canonical)
+		}
+	}
+	if _, ok := Lookup("pdf"); ok {
+		t.Fatal("Lookup(pdf) should fail")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	for accept, want := range map[string]string{
+		"":                               "svg", // wildcard default: first entry
+		"*/*":                            "svg",
+		"image/svg+xml":                  "svg",
+		"application/json":               "json",
+		"application/json; q=0.9":        "json",
+		"text/html, application/json":    "json",
+		"image/*":                        "svg",
+		"text/*":                         "txt",
+		"image/vnd.dxf, image/svg+xml":   "dxf",
+		"text/markdown; charset=utf-8":   "md",
+		"application/vnd.autocad-script": "scr",
+	} {
+		f, ok := Negotiate(accept)
+		if !ok {
+			t.Fatalf("Negotiate(%q) failed", accept)
+		}
+		if f.Name != want {
+			t.Fatalf("Negotiate(%q) = %q, want %q", accept, f.Name, want)
+		}
+	}
+	if _, ok := Negotiate("text/html"); ok {
+		t.Fatal("Negotiate(text/html) should fail")
+	}
+}
+
+// TestFormatWritersRender runs every registry writer against a real
+// design and checks each produces non-empty output through the uniform
+// signature (the plan format exercising its plan argument).
+func TestFormatWritersRender(t *testing.T) {
+	d := design(t, chainSrc)
+	for _, f := range Formats() {
+		var buf bytes.Buffer
+		if err := f.Write(&buf, d, d.Plan); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty output", f.Name)
+		}
+	}
+	// The plan writer must fail cleanly without a plan rather than panic.
+	pf, _ := Lookup("plan")
+	if err := pf.Write(&bytes.Buffer{}, d, nil); err == nil {
+		t.Fatal("plan format with nil plan should error")
+	}
+}

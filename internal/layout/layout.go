@@ -1,6 +1,7 @@
 package layout
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -218,6 +219,18 @@ type Options struct {
 	// different tie-equivalent placement; the columbas CLI defaults to
 	// all cores via -workers.
 	Workers int
+	// Deadline, when non-zero, is an absolute wall-clock bound on
+	// generation; the earlier of Deadline and now+TimeLimit wins. Like a
+	// TimeLimit expiry, hitting it falls back to the greedy seed — use
+	// GenerateContext to turn a context deadline into a hard error
+	// instead.
+	Deadline time.Time
+	// Interrupt, when non-nil, cancels generation as soon as the channel
+	// is closed: the in-flight branch and bound halts
+	// (milp.Options.Interrupt) and no further separation rounds start.
+	// Generate still returns the seed-fallback plan; GenerateContext
+	// maps the cancellation to the context's error.
+	Interrupt <-chan struct{}
 	// Obs, when non-nil, is the parent trace span (the pipeline's "layout"
 	// phase) under which generation records its sub-phases: the greedy
 	// seed and each lazy-separation MILP round with that round's solver
@@ -329,6 +342,49 @@ func Generate(pr *planar.Result, opt Options) (*Plan, error) {
 		return nil, err
 	}
 	return b.solve(opt)
+}
+
+// GenerateContext is Generate under a context: the context's deadline
+// tightens opt.Deadline, its Done channel joins opt.Interrupt, and a
+// context that expires or is canceled before generation completes turns
+// the seed-fallback result into ctx.Err() — the solver workers are
+// provably stopped by the time it returns.
+func GenerateContext(ctx context.Context, pr *planar.Result, opt Options) (*Plan, error) {
+	if d, ok := ctx.Deadline(); ok {
+		if opt.Deadline.IsZero() || d.Before(opt.Deadline) {
+			opt.Deadline = d
+		}
+	}
+	if done := ctx.Done(); done != nil {
+		if opt.Interrupt == nil {
+			opt.Interrupt = done
+		} else {
+			opt.Interrupt = mergeInterrupt(opt.Interrupt, done)
+		}
+	}
+	p, err := Generate(pr, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// mergeInterrupt returns a channel closed when either input closes. The
+// forwarding goroutine lives until one of them fires; with a context in
+// play that is bounded by the context's lifetime.
+func mergeInterrupt(a, b <-chan struct{}) <-chan struct{} {
+	c := make(chan struct{})
+	go func() {
+		defer close(c)
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+	return c
 }
 
 func (k RectKind) layer() layer {

@@ -53,6 +53,9 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		stall = 200
 	}
 	deadline := time.Now().Add(tl)
+	if !opt.Deadline.IsZero() && opt.Deadline.Before(deadline) {
+		deadline = opt.Deadline
+	}
 
 	// Later separation rounds only need to re-settle the fresh pairs, so
 	// their stall budget shrinks: the first round explores, the rest fix.
@@ -85,6 +88,19 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 	totalNodes := 0
 	rounds := 0
 	for rounds < maxSepRounds {
+		if interrupted(opt.Interrupt) {
+			// Canceled between rounds: the valid greedy seed stands.
+			agg.Interrupted = true
+			b.restoreSeed()
+			plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+			plan.Stats = SolveStats{
+				Status: milp.Feasible, Nodes: totalNodes,
+				SeedUsed: true, SeedOnly: true,
+				Search: agg,
+			}
+			plan.Stats.Rounds = rounds
+			return plan, nil
+		}
 		rounds++
 		b.buildMILP(guided, active)
 		var seed []float64
@@ -98,6 +114,8 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		roundSp := opt.Obs.Child(fmt.Sprintf("milp round %d", rounds))
 		res, err := b.model.Solve(milp.Options{
 			TimeLimit:  remaining,
+			Deadline:   opt.Deadline,
+			Interrupt:  opt.Interrupt,
 			Gap:        opt.Gap,
 			StallLimit: roundStall(rounds),
 			Start:      seed,
@@ -174,6 +192,20 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 	}
 	plan.Stats.Rounds = rounds
 	return plan, nil
+}
+
+// interrupted reports whether the cancellation channel has fired (nil:
+// never).
+func interrupted(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // recordRound attaches one separation round's model shape and solver

@@ -1,0 +1,108 @@
+package milp
+
+import (
+	"testing"
+	"time"
+)
+
+// hardSubsetSum builds an even-weight subset-sum model with an odd
+// target: LP-feasible everywhere but integer-infeasible, so branch and
+// bound must enumerate an exponential tree (minutes at n=30). The
+// cancellation tests need a solve that reliably outlives its interrupt.
+func hardSubsetSum(n int) *Model {
+	m := NewModel()
+	e := NewExpr()
+	total := 0
+	for i := 0; i < n; i++ {
+		w := 2 * ((i*7919)%47 + 3)
+		e.Add(m.Binary("x"), float64(w))
+		total += w
+	}
+	m.AddEQ(e, float64(total/2|1))
+	return m
+}
+
+// TestInterruptStopsSearch closes the interrupt channel mid-solve and
+// checks the search halts promptly, returns whatever it had, and flags
+// the interruption in SearchStats.
+func TestInterruptStopsSearch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := hardSubsetSum(30)
+		interrupt := make(chan struct{})
+		time.AfterFunc(50*time.Millisecond, func() { close(interrupt) })
+		start := time.Now()
+		r, err := m.Solve(Options{Workers: workers, Interrupt: interrupt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("workers=%d: interrupt ignored, solve took %v", workers, elapsed)
+		}
+		if !r.Stats.Interrupted {
+			t.Fatalf("workers=%d: Stats.Interrupted not set (status %v)", workers, r.Status)
+		}
+		if r.Status == Infeasible || r.Status == Optimal {
+			t.Fatalf("workers=%d: search ran to completion (%v) despite interrupt", workers, r.Status)
+		}
+	}
+}
+
+// TestInterruptAlreadyClosed starts the solve with a dead channel: the
+// search must do essentially no tree work.
+func TestInterruptAlreadyClosed(t *testing.T) {
+	m := hardSubsetSum(30)
+	interrupt := make(chan struct{})
+	close(interrupt)
+	r, err := m.Solve(Options{Workers: 4, Interrupt: interrupt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Stats.Interrupted {
+		t.Fatal("Stats.Interrupted not set")
+	}
+	// The watcher races the first few expansions; "a handful" is the
+	// contract, not zero.
+	if r.Stats.NodesExplored > 64 {
+		t.Fatalf("explored %d nodes after a pre-closed interrupt", r.Stats.NodesExplored)
+	}
+}
+
+// TestInterruptKeepsIncumbent seeds a feasible start and interrupts: the
+// seed must survive as the returned solution.
+func TestInterruptKeepsIncumbent(t *testing.T) {
+	m := hardKnapsack(32)
+	seed := make([]float64, m.NumVars()) // all-zero is feasible (weight 0)
+	interrupt := make(chan struct{})
+	close(interrupt)
+	r, err := m.Solve(Options{Interrupt: interrupt, Start: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Feasible && r.Status != Optimal {
+		t.Fatalf("status %v, want the seeded incumbent to survive", r.Status)
+	}
+	if r.X == nil {
+		t.Fatal("no solution returned despite seeded incumbent")
+	}
+}
+
+// TestAbsoluteDeadline checks Options.Deadline alone bounds the search,
+// and that the earlier of Deadline and TimeLimit wins.
+func TestAbsoluteDeadline(t *testing.T) {
+	m := hardSubsetSum(30)
+	start := time.Now()
+	r, err := m.Solve(Options{
+		Workers:   2,
+		Deadline:  time.Now().Add(80 * time.Millisecond),
+		TimeLimit: time.Hour, // the absolute deadline must win
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("absolute deadline ignored: solve took %v", elapsed)
+	}
+	if r.Stats.Interrupted {
+		t.Fatal("deadline expiry must not be reported as an interrupt")
+	}
+}

@@ -191,6 +191,19 @@ func (m *Model) MarkDisjunction(vars []VarID) {
 type Options struct {
 	// TimeLimit bounds wall-clock search time; 0 means no limit.
 	TimeLimit time.Duration
+	// Deadline is an absolute wall-clock bound on the search; the zero
+	// value means no absolute bound. When both Deadline and TimeLimit are
+	// set, the earlier one wins. The deadline is propagated into each
+	// worker's LP so even a single oversized relaxation cannot overshoot
+	// it.
+	Deadline time.Time
+	// Interrupt, when non-nil, aborts the search as soon as the channel
+	// is closed (the conventional use is a context's Done channel).
+	// Workers stop pulling nodes immediately; a worker mid-LP finishes
+	// its current relaxation first unless Deadline also fires. The
+	// result is assembled from whatever incumbent exists, exactly as for
+	// a budget expiry, and Stats.Interrupted is set.
+	Interrupt <-chan struct{}
 	// NodeLimit bounds the number of explored nodes; 0 means no limit.
 	NodeLimit int
 	// Start, if non-nil, is a caller-provided integer-feasible assignment

@@ -61,7 +61,8 @@ type search struct {
 	rootObj      float64 // root relaxation objective (global lower bound)
 	rootSolved   bool
 	unbounded    bool
-	stopped      bool // a budget, gap or error ended the search early
+	stopped      bool // a budget, gap, interrupt or error ended the search early
+	interrupted  bool // opt.Interrupt fired (subset of stopped)
 	err          error
 
 	// Observability counters assembled into Result.Stats (SearchStats).
@@ -96,6 +97,9 @@ func newSearch(m *Model, opt Options) *search {
 	if opt.TimeLimit > 0 {
 		s.deadline = s.start.Add(opt.TimeLimit)
 	}
+	if !opt.Deadline.IsZero() && (s.deadline.IsZero() || opt.Deadline.Before(s.deadline)) {
+		s.deadline = opt.Deadline
+	}
 	nv := m.prob.NumVars()
 	s.baseLo = make([]float64, nv)
 	s.baseHi = make([]float64, nv)
@@ -125,6 +129,25 @@ func (s *search) run() (*Result, error) {
 		p.SetDeadline(s.deadline)
 		return p
 	}
+	// The interrupt watcher wakes workers blocked on the frontier condvar
+	// when the caller cancels; it is joined before the result is
+	// assembled so no write can race the final (lock-free) reads.
+	var watchStop, watchDone chan struct{}
+	if s.opt.Interrupt != nil {
+		watchStop = make(chan struct{})
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-s.opt.Interrupt:
+				s.mu.Lock()
+				s.interrupted = true
+				s.haltLocked()
+				s.mu.Unlock()
+			case <-watchStop:
+			}
+		}()
+	}
 	if s.workers == 1 {
 		s.worker(0, newProb())
 	} else {
@@ -137,6 +160,10 @@ func (s *search) run() (*Result, error) {
 			}(w, newProb())
 		}
 		wg.Wait()
+	}
+	if watchStop != nil {
+		close(watchStop)
+		<-watchDone
 	}
 	return s.result()
 }
@@ -178,6 +205,17 @@ func (s *search) next(id int) (n *node, idx int, ok bool) {
 	for {
 		if s.stopped || s.err != nil || s.unbounded {
 			return nil, 0, false
+		}
+		if s.opt.Interrupt != nil {
+			// Cheap poll so a cancellation stops node hand-out within one
+			// expansion even before the watcher goroutine is scheduled.
+			select {
+			case <-s.opt.Interrupt:
+				s.interrupted = true
+				s.haltLocked()
+				return nil, 0, false
+			default:
+			}
 		}
 		if s.opt.NodeLimit > 0 && s.nodes >= s.opt.NodeLimit {
 			s.haltLocked()
@@ -405,6 +443,7 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 func (s *search) statsSnapshot() SearchStats {
 	st := SearchStats{
 		Workers:           s.workers,
+		Interrupted:       s.interrupted,
 		NodesExplored:     int64(s.nodes),
 		NodesPruned:       s.pruned,
 		NodesCutoff:       s.cutoffPre.Load() + s.cutoffPost,

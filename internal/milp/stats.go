@@ -39,6 +39,12 @@ type SearchStats struct {
 	// heuristic's re-solves and how many produced an improving incumbent.
 	RoundingAttempts int64
 	RoundingHits     int64
+	// Interrupted reports that the search was halted by Options.Interrupt
+	// (an external cancellation, e.g. an HTTP client disconnect) rather
+	// than running to a status or budget of its own. Merge ORs it across
+	// rounds, so a layout-level SolveStats.Search.Interrupted proves the
+	// cancellation actually reached the solver.
+	Interrupted bool
 	// Wall is the solve's wall-clock time (same value as Result.Runtime).
 	Wall time.Duration
 	// PerWorker holds one entry per pool worker, indexed by worker id.
@@ -89,6 +95,7 @@ func (st *SearchStats) Merge(other SearchStats) {
 	st.IncumbentUpdates += other.IncumbentUpdates
 	st.RoundingAttempts += other.RoundingAttempts
 	st.RoundingHits += other.RoundingHits
+	st.Interrupted = st.Interrupted || other.Interrupted
 	st.Wall += other.Wall
 	for len(st.PerWorker) < len(other.PerWorker) {
 		st.PerWorker = append(st.PerWorker, WorkerStats{})

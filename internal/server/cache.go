@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+
+	"columbas/internal/core"
+	"columbas/internal/netlist"
+)
+
+// cacheKey is the content address of one synthesis request: SHA-256 over
+// the canonicalized netlist (netlist.Format, which normalizes
+// whitespace, comments and statement spelling) plus a fingerprint of
+// every option that can change the synthesized design. Two requests with
+// the same key are guaranteed the same completed design, so the cache
+// can serve either from one solve.
+type cacheKey [sha256.Size]byte
+
+// newCacheKey canonicalizes and hashes a request. The fingerprint
+// deliberately excludes transient fields — trace handles, deadlines,
+// interrupt channels — that do not influence the design itself.
+func newCacheKey(n *netlist.Netlist, opt core.Options) cacheKey {
+	h := sha256.New()
+	io.WriteString(h, n.Format())
+	lo := opt.Layout
+	// Workers is included: parallel branch and bound may legally settle
+	// on a different tie-equivalent placement, so byte-identical replies
+	// are only guaranteed per worker count.
+	fmt.Fprintf(h, "\x00a=%g;b=%g;g=%g;k=%g;tl=%d;gap=%g;stall=%d;eff=%d;gthr=%d;skip=%t;noseed=%t;eager=%t;w=%d;drc=%t",
+		lo.Alpha, lo.Beta, lo.Gamma, lo.Kappa,
+		lo.TimeLimit, lo.Gap, lo.StallLimit,
+		lo.Effort, lo.GuidedThreshold,
+		lo.SkipMILP, lo.NoSeed, lo.EagerSeparation,
+		lo.Workers, opt.RunDRC)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// String returns the short hex form used in the X-Columbas-Key header.
+func (k cacheKey) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// CacheStats is the cache counter snapshot served by GET /v1/stats.
+type CacheStats struct {
+	// Capacity is the configured entry bound (0: caching disabled).
+	Capacity int `json:"capacity"`
+	// Len is the current number of cached designs.
+	Len int `json:"len"`
+	// Hits and Misses count lookups; Evictions counts entries displaced
+	// by the LRU bound since the server started.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// resultCache is a bounded LRU of completed synthesis results, keyed by
+// content address. All methods are safe for concurrent use.
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	byKey     map[cacheKey]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for k, promoting it to most recently
+// used. Every call counts as exactly one hit or one miss.
+func (c *resultCache) get(k cacheKey) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// add installs a completed result, evicting from the LRU tail past
+// capacity. Re-adding an existing key only refreshes its recency.
+func (c *resultCache) add(k cacheKey, res *core.Result) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.byKey, el.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns a consistent snapshot of the counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:  c.cap,
+		Len:       c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

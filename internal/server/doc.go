@@ -1,0 +1,13 @@
+// Package server exposes the Columba S synthesis flow as an HTTP
+// service — the columbasd daemon. POST /v1/synthesize accepts a netlist
+// description and returns the synthesized design in any registered
+// export format (content negotiation against export.Formats); requests
+// run through core.SynthesizeContext on a bounded worker pool, so a
+// client deadline or disconnect genuinely cancels the in-flight
+// branch-and-bound solve. A content-addressed LRU cache (SHA-256 of the
+// canonical netlist plus an options fingerprint) serves repeated
+// requests without re-solving; hit/miss/eviction counters surface
+// through GET /v1/stats and, per request, through the obs trace sink.
+// GET /healthz and Server.Drain support load-balanced rollouts and
+// graceful shutdown. The wire contract is documented in docs/api.md.
+package server

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/export"
+	"columbas/internal/layout"
+	"columbas/internal/netlist"
+	"columbas/internal/obs"
+)
+
+// Config parameterizes a synthesis server. The zero value is usable:
+// every field has a production default filled in by New.
+type Config struct {
+	// Jobs bounds the number of synthesis runs in flight at once; further
+	// requests queue until a slot frees or their deadline fires. 0 means
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+	// Workers is the MILP branch-and-bound parallelism of each job
+	// (layout.Options.Workers). 0 means 1 — with a full pool, Jobs
+	// sequential solves already saturate the cores; raise Workers and
+	// lower Jobs to trade throughput for latency. Negative means all
+	// cores. Clients may lower (never raise) it per request via
+	// ?workers=.
+	Workers int
+	// CacheEntries bounds the content-addressed result cache. 0 means the
+	// default of 128 completed designs; negative disables caching.
+	CacheEntries int
+	// DefaultTimeout is the per-request synthesis deadline applied when
+	// the client sends no ?timeout=. 0 means the default of 2 minutes;
+	// negative means no implicit deadline.
+	DefaultTimeout time.Duration
+	// MaxLayoutTime caps the per-request MILP budget (?time=). 0 means
+	// the default of 5 minutes.
+	MaxLayoutTime time.Duration
+	// MaxBodyBytes caps the netlist source size. 0 means 1 MiB.
+	MaxBodyBytes int64
+	// TraceSink, when non-nil, receives one columbas-trace/v1 JSON
+	// document per line for every synthesis request (cache hits
+	// included: their trace is the single "cache" span). Writes are
+	// serialized by the server.
+	TraceSink io.Writer
+}
+
+// Server is the columbasd HTTP API: synthesis behind a bounded worker
+// pool with per-request cancellation and a content-addressed result
+// cache. It implements http.Handler; see docs/api.md for the wire
+// contract.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{} // counting semaphore: one token per running job
+	cache *resultCache
+	start time.Time
+
+	draining atomic.Bool
+	active   atomic.Int64
+	queued   atomic.Int64
+
+	mu       sync.Mutex // guards activeHW
+	activeHW int64
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	timeouts  atomic.Int64
+	canceled  atomic.Int64
+
+	traceMu sync.Mutex
+}
+
+// New builds a Server, filling config defaults.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.Workers == 0:
+		cfg.Workers = 1
+	case cfg.Workers < 0:
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.CacheEntries == 0:
+		cfg.CacheEntries = 128
+	case cfg.CacheEntries < 0:
+		cfg.CacheEntries = 0 // disabled
+	}
+	switch {
+	case cfg.DefaultTimeout == 0:
+		cfg.DefaultTimeout = 2 * time.Minute
+	case cfg.DefaultTimeout < 0:
+		cfg.DefaultTimeout = 0 // no implicit deadline
+	}
+	if cfg.MaxLayoutTime <= 0 {
+		cfg.MaxLayoutTime = 5 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.Jobs),
+		cache: newResultCache(cfg.CacheEntries),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/formats", s.handleFormats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain flips the server into shutdown mode: /healthz turns 503 so load
+// balancers stop routing here, and new synthesis requests are refused
+// with 503 while in-flight ones run to completion. Pair it with
+// http.Server.Shutdown, which waits for those in-flight requests.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Stats is the GET /v1/stats document.
+type Stats struct {
+	// Schema identifies this document layout.
+	Schema string `json:"schema"`
+	// UptimeMS is the server's age in milliseconds.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Pool reports the worker-pool state.
+	Pool PoolStats `json:"pool"`
+	// Requests reports the synthesis request counters.
+	Requests RequestStats `json:"requests"`
+	// Cache reports the content-addressed result cache counters.
+	Cache CacheStats `json:"cache"`
+}
+
+// StatsSchema is the Stats document schema identifier.
+const StatsSchema = "columbas-serverstats/v1"
+
+// PoolStats describes the bounded worker pool.
+type PoolStats struct {
+	// Jobs is the pool bound; Workers the MILP parallelism of each job.
+	Jobs    int `json:"jobs"`
+	Workers int `json:"workers"`
+	// Active is the number of running synthesis jobs; Queued the number
+	// waiting for a slot; ActiveHighWater the maximum of Active since
+	// start (never exceeds Jobs).
+	Active          int64 `json:"active"`
+	Queued          int64 `json:"queued"`
+	ActiveHighWater int64 `json:"active_high_water"`
+	// Draining reports shutdown mode.
+	Draining bool `json:"draining"`
+}
+
+// RequestStats counts synthesis requests by outcome. Cache hits are
+// counted under Completed as well as in CacheStats.Hits.
+type RequestStats struct {
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Timeouts  int64 `json:"timeouts"`
+	Canceled  int64 `json:"canceled"`
+}
+
+// snapshot assembles the current Stats.
+func (s *Server) snapshot() Stats {
+	s.mu.Lock()
+	hw := s.activeHW
+	s.mu.Unlock()
+	return Stats{
+		Schema:   StatsSchema,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Pool: PoolStats{
+			Jobs:            s.cfg.Jobs,
+			Workers:         s.cfg.Workers,
+			Active:          s.active.Load(),
+			Queued:          s.queued.Load(),
+			ActiveHighWater: hw,
+			Draining:        s.draining.Load(),
+		},
+		Requests: RequestStats{
+			Completed: s.completed.Load(),
+			Failed:    s.failed.Load(),
+			Timeouts:  s.timeouts.Load(),
+			Canceled:  s.canceled.Load(),
+		},
+		Cache: s.cache.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}
+
+func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
+	type fj struct {
+		Name    string   `json:"name"`
+		MIME    string   `json:"mime"`
+		Aliases []string `json:"aliases,omitempty"`
+	}
+	var out []fj
+	for _, f := range export.Formats() {
+		out = append(out, fj{Name: f.Name, MIME: f.MIME, Aliases: f.Aliases})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleSynthesize is POST /v1/synthesize: netlist source in, rendered
+// design out.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading request body: %v", err),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	q := r.URL.Query()
+	fm, status, err := chooseFormat(q.Get("format"), r.Header.Get("Accept"))
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	n, err := netlist.ParseString(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if mx := q.Get("muxes"); mx != "" {
+		v, err := strconv.Atoi(mx)
+		if err != nil || (v != 1 && v != 2) {
+			http.Error(w, "muxes must be 1 or 2", http.StatusBadRequest)
+			return
+		}
+		n.Muxes = v
+	}
+	if err := n.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	opt, timeout, err := s.requestOptions(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	key := newCacheKey(n, opt)
+	if res, ok := s.cache.get(key); ok {
+		s.completed.Add(1)
+		s.emitHitTrace(n.Name)
+		s.render(w, fm, res, key, "hit")
+		return
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// One pool token per running solve; waiters hold no resources and
+	// give up when their deadline fires or the client disconnects.
+	s.queued.Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.writeSynthesisError(w, fmt.Errorf("queued: %w", ctx.Err()), nil)
+		return
+	}
+	a := s.active.Add(1)
+	s.mu.Lock()
+	if a > s.activeHW {
+		s.activeHW = a
+	}
+	s.mu.Unlock()
+	defer s.active.Add(-1)
+
+	var tr *obs.Trace
+	if s.cfg.TraceSink != nil {
+		tr = obs.New(n.Name)
+		sp := tr.Phase("cache")
+		sp.Label("result", "miss")
+		cs := s.cache.stats()
+		sp.SetInt("hits", cs.Hits)
+		sp.SetInt("misses", cs.Misses)
+		sp.SetInt("evictions", cs.Evictions)
+		sp.End()
+		opt.Trace = tr
+	}
+	res, err := core.SynthesizeContext(ctx, n, opt)
+	s.emitTrace(tr)
+	if err != nil {
+		s.writeSynthesisError(w, err, res)
+		return
+	}
+	s.completed.Add(1)
+	s.cache.add(key, res)
+	s.render(w, fm, res, key, "miss")
+}
+
+// requestOptions translates query parameters into synthesis options and
+// the per-request deadline budget.
+func (s *Server) requestOptions(q map[string][]string) (core.Options, time.Duration, error) {
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	opt := core.DefaultOptions()
+	opt.Layout.Workers = s.cfg.Workers
+	if v := get("time"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return opt, 0, fmt.Errorf("time must be a positive duration (e.g. 30s)")
+		}
+		if d > s.cfg.MaxLayoutTime {
+			d = s.cfg.MaxLayoutTime
+		}
+		opt.Layout.TimeLimit = d
+	}
+	if v := get("workers"); v != "" {
+		wk, err := strconv.Atoi(v)
+		if err != nil || wk < 1 {
+			return opt, 0, fmt.Errorf("workers must be a positive integer")
+		}
+		if wk > s.cfg.Workers {
+			wk = s.cfg.Workers // clients may lower, never raise
+		}
+		opt.Layout.Workers = wk
+	}
+	switch v := get("effort"); v {
+	case "", "auto":
+	case "full":
+		opt.Layout.Effort = layout.EffortFull
+		opt.Layout.GuidedThreshold = 0
+	case "guided":
+		opt.Layout.Effort = layout.EffortGuided
+	case "seed":
+		opt.Layout.SkipMILP = true
+	default:
+		return opt, 0, fmt.Errorf("unknown effort %q (want full, guided, seed or auto)", v)
+	}
+	switch v := get("nodrc"); v {
+	case "", "0", "false":
+	case "1", "true":
+		opt.RunDRC = false
+	default:
+		return opt, 0, fmt.Errorf("nodrc must be boolean")
+	}
+	timeout := s.cfg.DefaultTimeout
+	if v := get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return opt, 0, fmt.Errorf("timeout must be a positive duration (e.g. 10s)")
+		}
+		timeout = d
+	}
+	return opt, timeout, nil
+}
+
+// chooseFormat resolves the response format: an explicit ?format= wins,
+// otherwise the Accept header is negotiated against the registry, and
+// an absent or fully wildcarded preference defaults to JSON.
+func chooseFormat(formatParam, accept string) (export.Format, int, error) {
+	if formatParam != "" {
+		f, ok := export.Lookup(formatParam)
+		if !ok {
+			return f, http.StatusBadRequest, fmt.Errorf(
+				"unknown format %q (want one of %s)", formatParam, strings.Join(export.Names(), ", "))
+		}
+		return f, 0, nil
+	}
+	if a := strings.TrimSpace(accept); a == "" || a == "*/*" {
+		f, _ := export.Lookup("json")
+		return f, 0, nil
+	}
+	f, ok := export.Negotiate(accept)
+	if !ok {
+		return f, http.StatusNotAcceptable, fmt.Errorf(
+			"no acceptable format for %q (available: %s)", accept, strings.Join(export.Names(), ", "))
+	}
+	return f, 0, nil
+}
+
+// writeSynthesisError maps a synthesis failure onto the wire: deadline
+// expiry is the gateway-timeout contract, client disconnects are
+// recorded but unanswerable, design-rule violations are the client's
+// problem, anything else is ours.
+func (s *Server) writeSynthesisError(w http.ResponseWriter, err error, res *core.Result) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		http.Error(w, fmt.Sprintf("synthesis deadline exceeded: %v", err),
+			http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1) // client gone; the response writer is dead
+	case res != nil && res.DRC != nil && !res.DRC.Clean():
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// render writes the design in the negotiated format. The body is
+// buffered first so a writer error can still become a clean 500 instead
+// of a torn 200.
+func (s *Server) render(w http.ResponseWriter, fm export.Format, res *core.Result, key cacheKey, cache string) {
+	var buf bytes.Buffer
+	if err := fm.Write(&buf, res.Design, res.Plan); err != nil {
+		s.failed.Add(1)
+		http.Error(w, fmt.Sprintf("rendering %s: %v", fm.Name, err),
+			http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", fm.MIME)
+	h.Set("X-Columbas-Cache", cache)
+	h.Set("X-Columbas-Key", key.String())
+	h.Set("X-Columbas-Runtime", res.Runtime.String())
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
+}
+
+// emitHitTrace records a cache hit as a single-span trace (the
+// "surfaced through the obs trace" contract for requests that never
+// reach the pipeline).
+func (s *Server) emitHitTrace(name string) {
+	if s.cfg.TraceSink == nil {
+		return
+	}
+	tr := obs.New(name)
+	sp := tr.Phase("cache")
+	sp.Label("result", "hit")
+	cs := s.cache.stats()
+	sp.SetInt("hits", cs.Hits)
+	sp.SetInt("misses", cs.Misses)
+	sp.SetInt("evictions", cs.Evictions)
+	sp.End()
+	s.emitTrace(tr)
+}
+
+// emitTrace finishes tr and appends it to the trace sink as one compact
+// columbas-trace/v1 JSON line. No-op on a nil trace or sink.
+func (s *Server) emitTrace(tr *obs.Trace) {
+	if tr == nil || s.cfg.TraceSink == nil {
+		return
+	}
+	tr.Finish()
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	json.NewEncoder(s.cfg.TraceSink).Encode(tr.Snapshot())
+}
