@@ -1,17 +1,19 @@
 # Standard verify loop for the Columba S reproduction.
 #
-#   make test         tier-1: build everything, run every test
-#   make race         the race detector across the whole module
-#   make race-solver  quick race pass over the solver stack only
-#   make fuzz-smoke   short parallel-vs-sequential solver fuzz run
-#   make docs-check   every internal package documents itself in a doc.go
-#   make serve-check  build the daemon + httptest smoke of the HTTP API under -race
-#   make verify       vet + race + fuzz smoke + docs check + serve check (CI gate)
-#   make bench-solver the sequential-vs-parallel solver benchmark pair
+#   make test           tier-1: build everything, run every test
+#   make race           the race detector across the whole module
+#   make race-solver    quick race pass over the solver stack only
+#   make fuzz-smoke     short parallel-vs-sequential solver fuzz run
+#   make conformance    full randomized synthesis sweep (200 seeds, no race)
+#   make docs-check     every internal package documents itself in a doc.go
+#   make serve-check    build the daemon + httptest smoke of the HTTP API under -race
+#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check (CI gate)
+#   make bench-solver   the sequential-vs-parallel solver benchmark pair
+#   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
 
 GO ?= go
 
-.PHONY: build test vet race race-solver fuzz-smoke docs-check serve-check verify bench-solver bench
+.PHONY: build test vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart
 
 build:
 	$(GO) build ./...
@@ -22,14 +24,24 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# The root package runs its randomized synthesis sweep in -short form
+# here (25 seeds under the race detector); the full 200-seed sweep runs
+# race-free in the conformance target below.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short .
+	$(GO) test -race ./cmd/... ./internal/... ./examples/...
 
 race-solver:
 	$(GO) test -race -count=1 ./internal/milp/... ./internal/lp/...
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMILPParallel -fuzztime 15s .
+
+# The randomized synthesis conformance property at full width: every one
+# of the 200 generator seeds must either be rejected with a typed
+# *core.SynthesisError or synthesize into a DRC-clean design.
+conformance:
+	$(GO) test -run 'TestSynthesisConformance|TestNetlistRoundTrip|TestConformanceMostlySynthesizable' -count=1 .
 
 # Every internal package must carry its documentation in a doc.go whose
 # comment opens with the canonical "Package <name>" sentence, and no other
@@ -59,10 +71,15 @@ serve-check:
 	$(GO) build ./cmd/columbasd ./cmd/columbas
 	$(GO) test -race -count=1 ./internal/server/...
 
-verify: vet race fuzz-smoke docs-check serve-check
+verify: vet race fuzz-smoke conformance docs-check serve-check
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .
+
+# Warm-started vs cold branch-and-bound on the reference cases; the
+# source of the numbers quoted in EXPERIMENTS.md.
+bench-warmstart:
+	$(GO) test -run '^$$' -bench BenchmarkWarmstart -benchtime 3x -count=1 .
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -53,6 +53,7 @@ func run() error {
 		csvPath  = flag.String("csv", "", "also write the results as CSV to this file")
 		jsonPath = flag.String("json", "", "also write the columbas-bench/v1 JSON report (per-phase breakdown) to this file")
 		workers  = flag.Int("workers", 0, "branch-and-bound workers per Columba S solve (0/1: sequential, -1: all cores)")
+		noWarm   = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
 		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
 		pprofMem = flag.String("pprof-mem", "", "write a heap profile at exit to this file")
 	)
@@ -78,6 +79,7 @@ func run() error {
 	cfg.BTime = *btime
 	cfg.SkipBaseline = *noBase
 	cfg.Workers = *workers
+	cfg.NoWarmStart = *noWarm
 	if *quick {
 		cfg.StallLimit = 40
 	}

@@ -49,6 +49,7 @@ func run() error {
 		tl        = flag.Duration("time", 30*time.Second, "layout generation time budget")
 		effort    = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential)")
+		noWarm    = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
 		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
 		stats     = flag.Bool("stats", false, "print the per-phase statistics table (docs/metrics.md) to stderr")
 		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
@@ -126,6 +127,7 @@ func run() error {
 	opt := core.DefaultOptions()
 	opt.Layout.TimeLimit = *tl
 	opt.Layout.Workers = *workers
+	opt.Layout.NoWarmStart = *noWarm
 	opt.RunDRC = !*noDRC
 	opt.Trace = tr
 	switch *effort {

@@ -1,0 +1,159 @@
+package columbas
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"columbas/internal/core"
+	"columbas/internal/gen"
+	"columbas/internal/netlist"
+)
+
+// conformanceSeeds is the size of the randomized synthesis sweep: every
+// seed's netlist must either be rejected with a typed *core.SynthesisError
+// or synthesize into a design with zero DRC violations. Nothing in
+// between — an untyped error or a dirty design is a pipeline bug.
+const conformanceSeeds = 200
+
+func conformanceOpts() core.Options {
+	opt := core.DefaultOptions()
+	// The property under test is validity (typed rejection or DRC-clean
+	// design), not layout quality, so keep the solver budget tight: on
+	// timeout the pipeline degrades to the greedy seed layout, which
+	// still flows through validation and DRC.
+	opt.Layout.TimeLimit = 5 * time.Second
+	opt.Layout.StallLimit = 20
+	opt.Layout.Gap = 0.25
+	// Two solver workers per synthesis; the suite itself fans out, so
+	// wider pools would just oversubscribe the machine.
+	opt.Layout.Workers = 2
+	return opt
+}
+
+func TestSynthesisConformance(t *testing.T) {
+	seeds := conformanceSeeds
+	if testing.Short() {
+		seeds = 25
+	}
+	// Bound the fan-out so -race runs don't oversubscribe the machine:
+	// each synthesis already runs a worker pool of its own.
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n := gen.Generate(seed)
+			res, err := core.Synthesize(n, conformanceOpts())
+			if err != nil {
+				var serr *core.SynthesisError
+				if !errors.As(err, &serr) {
+					t.Errorf("seed %d: untyped synthesis error: %v\n%s", seed, err, n.Format())
+				}
+				return
+			}
+			if res.DRC == nil {
+				t.Errorf("seed %d: synthesis succeeded without a DRC report", seed)
+				return
+			}
+			if !res.DRC.Clean() {
+				t.Errorf("seed %d: %d DRC violation(s); first: %v\n%s",
+					seed, len(res.DRC.Violations), res.DRC.Violations[0], n.Format())
+			}
+		}(seed)
+	}
+	wg.Wait()
+}
+
+// The warm-started and cold solver paths must be interchangeable at the
+// pipeline level: same verdict (typed rejection vs clean design) for the
+// same netlist.
+func TestSynthesisConformanceWarmColdAgree(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		n := gen.Generate(seed)
+		warm, warmErr := core.Synthesize(n, conformanceOpts())
+		coldOpt := conformanceOpts()
+		coldOpt.Layout.NoWarmStart = true
+		cold, coldErr := core.Synthesize(n, coldOpt)
+		if (warmErr == nil) != (coldErr == nil) {
+			t.Errorf("seed %d: warm err=%v, cold err=%v", seed, warmErr, coldErr)
+			continue
+		}
+		if warmErr == nil && (!warm.DRC.Clean() || !cold.DRC.Clean()) {
+			t.Errorf("seed %d: DRC disagreement warm=%v cold=%v",
+				seed, warm.DRC.Clean(), cold.DRC.Clean())
+		}
+	}
+}
+
+// Every generated netlist and every netlist file shipped in examples/
+// must survive a Format → Parse round trip unchanged.
+func TestNetlistRoundTrip(t *testing.T) {
+	seeds := int64(conformanceSeeds)
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		n := gen.Generate(seed)
+		back, err := netlist.ParseString(n.Format())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(n, back) {
+			t.Fatalf("seed %d: round trip changed the netlist", seed)
+		}
+	}
+
+	files, err := filepath.Glob("examples/*/*.netlist")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example netlists found (err=%v)", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		n, err := netlist.ParseString(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", f, err)
+		}
+		back, err := netlist.ParseString(n.Format())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", f, err)
+		}
+		if !reflect.DeepEqual(n, back) {
+			t.Fatalf("%s: round trip changed the netlist", f)
+		}
+	}
+}
+
+// Guard against the conformance property degenerating into "everything is
+// rejected": a healthy generator + pipeline must synthesize a solid
+// majority of random netlists.
+func TestConformanceMostlySynthesizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampling test; skipped in -short")
+	}
+	const sample = 40
+	ok := 0
+	for seed := int64(0); seed < sample; seed++ {
+		if _, err := core.Synthesize(gen.Generate(seed), conformanceOpts()); err == nil {
+			ok++
+		}
+	}
+	if ok < sample/2 {
+		t.Fatalf("only %d/%d random netlists synthesized; generator or pipeline regressed", ok, sample)
+	}
+	t.Logf("%d/%d random netlists synthesized cleanly", ok, sample)
+}

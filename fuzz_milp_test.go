@@ -94,6 +94,30 @@ func FuzzMILPParallel(f *testing.F) {
 		if seq.Status != par.Status {
 			t.Fatalf("seed %d: sequential %v vs parallel %v", seed, seq.Status, par.Status)
 		}
+		// Warm-start conservation: every LP solve is either a basis
+		// re-entry or a cold two-phase solve, whatever the scheduling.
+		for _, r := range []*milp.Result{seq, par} {
+			st := r.Stats
+			if st.LPSolves != st.WarmStarts+st.ColdSolves {
+				t.Fatalf("seed %d workers=%d: LPSolves %d != WarmStarts %d + ColdSolves %d",
+					seed, st.Workers, st.LPSolves, st.WarmStarts, st.ColdSolves)
+			}
+			if st.SimplexPivots != st.WarmPivots+st.ColdPivots {
+				t.Fatalf("seed %d workers=%d: SimplexPivots %d != WarmPivots %d + ColdPivots %d",
+					seed, st.Workers, st.SimplexPivots, st.WarmPivots, st.ColdPivots)
+			}
+		}
+		// The warm kernel must also agree with the cold-only ablation.
+		cold, err := build().Solve(milp.Options{Workers: 1, TimeLimit: budget, NoWarmStart: true})
+		if err != nil {
+			t.Fatalf("seed %d cold: %v", seed, err)
+		}
+		if seq.Status != cold.Status {
+			t.Fatalf("seed %d: warm %v vs cold %v", seed, seq.Status, cold.Status)
+		}
+		if seq.Status == milp.Optimal && math.Abs(seq.Obj-cold.Obj) > 1e-6 {
+			t.Fatalf("seed %d: warm obj %v vs cold obj %v", seed, seq.Obj, cold.Obj)
+		}
 		if seq.Status == milp.Optimal {
 			if math.Abs(seq.Obj-par.Obj) > 1e-6 {
 				t.Fatalf("seed %d: sequential obj %v vs parallel obj %v", seed, seq.Obj, par.Obj)

@@ -29,6 +29,10 @@ type Config struct {
 	// Workers is the branch-and-bound worker count for the Columba S
 	// layout solves (0 or 1: sequential; negative: GOMAXPROCS).
 	Workers int
+	// NoWarmStart solves every branch-and-bound LP cold instead of
+	// warm-starting from the parent basis (the before side of
+	// make bench-warmstart).
+	NoWarmStart bool
 }
 
 // DefaultConfig mirrors the evaluation setup: generous budget for the
@@ -82,6 +86,7 @@ func RunS(c cases.Case, muxes int, cfg Config) (*SRun, error) {
 	opt := core.DefaultOptions()
 	opt.Layout.TimeLimit = cfg.STime
 	opt.Layout.Workers = cfg.Workers
+	opt.Layout.NoWarmStart = cfg.NoWarmStart
 	if cfg.StallLimit > 0 {
 		opt.Layout.StallLimit = cfg.StallLimit
 	}

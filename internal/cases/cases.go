@@ -233,6 +233,17 @@ func ChIPScale(nIP, groups int) (Case, error) {
 	}, nil
 }
 
+// ChIP16 is a mid-scale synthetic ChIP application: 33 units in 4
+// parallel groups. It sits between chip9 and chip64 and is the reference
+// case for the warm-start benchmarks (make bench-warmstart).
+func ChIP16() Case {
+	c, err := ChIPScale(16, 4)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // ChIP64 is the fifth Table 1 case: 129 units in 8 parallel groups.
 func ChIP64() Case {
 	c, err := ChIPScale(64, 8)
@@ -256,9 +267,10 @@ func Table1() []Case {
 	return []Case{NAP6(), ChIP9(), MRNA8(), Kinase21(), ChIP64(), ChIP128()}
 }
 
-// Get returns the case with the given ID.
+// Get returns the case with the given ID — a Table 1 row or one of the
+// extra synthetic sizes (chip16).
 func Get(id string) (Case, error) {
-	for _, c := range Table1() {
+	for _, c := range append(Table1(), ChIP16()) {
 		if c.ID == id {
 			return c, nil
 		}

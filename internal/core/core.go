@@ -107,8 +107,10 @@ func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
 // The context's deadline and cancellation are threaded through
 // layout.Options into the branch-and-bound workers: a canceled or
 // expired context genuinely stops the in-flight MILP solve (observable
-// as Plan.Stats.Search.Interrupted) and SynthesizeContext returns an
-// error wrapping ctx.Err(). Contrast with Options.Layout.TimeLimit,
+// as Plan.Stats.Search.Interrupted) and SynthesizeContext returns a
+// *SynthesisError with Phase PhaseCancel wrapping ctx.Err(). Every
+// failure path returns a *SynthesisError naming the pipeline phase that
+// rejected the netlist. Contrast with Options.Layout.TimeLimit,
 // which is a solver budget — exceeding it degrades to the greedy seed
 // rather than failing the run.
 //
@@ -125,14 +127,14 @@ func SynthesizeContext(ctx context.Context, n *netlist.Netlist, opt Options) (*R
 		lopt = layout.DefaultOptions()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: synthesis canceled: %w", err)
+		return nil, &SynthesisError{Phase: PhaseCancel, Err: err}
 	}
 
 	sp := tr.Phase("planarize")
 	pr, err := planar.Planarize(n)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("core: planarization: %w", err)
+		return nil, &SynthesisError{Phase: PhasePlanarize, Err: err}
 	}
 	sp.SetInt("nodes", int64(len(pr.Nodes)))
 	sp.SetInt("channels", int64(len(pr.Channels)))
@@ -144,19 +146,22 @@ func SynthesizeContext(ctx context.Context, n *netlist.Netlist, opt Options) (*R
 	plan, err := layout.GenerateContext(ctx, pr, lopt)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("core: layout generation: %w", err)
+		if ctx.Err() != nil {
+			return nil, &SynthesisError{Phase: PhaseCancel, Err: err}
+		}
+		return nil, &SynthesisError{Phase: PhaseLayout, Err: err}
 	}
 	recordLayout(sp, plan)
 	sp.End()
 
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: synthesis canceled: %w", err)
+		return nil, &SynthesisError{Phase: PhaseCancel, Err: err}
 	}
 	sp = tr.Phase("validate")
 	d, err := validate.ValidateObs(plan, sp)
 	if err != nil {
 		sp.End()
-		return nil, fmt.Errorf("core: layout validation: %w", err)
+		return nil, &SynthesisError{Phase: PhaseValidate, Err: err}
 	}
 	sp.SetInt("modules", int64(len(d.Modules)))
 	sp.SetInt("flow_channels", int64(len(d.Flow)))
@@ -173,8 +178,9 @@ func SynthesizeContext(ctx context.Context, n *netlist.Netlist, opt Options) (*R
 		sp.End()
 		if !res.DRC.Clean() {
 			res.Runtime = time.Since(start)
-			return res, fmt.Errorf("core: design-rule check failed with %d violation(s); first: %v",
-				len(res.DRC.Violations), res.DRC.Violations[0])
+			return res, &SynthesisError{Phase: PhaseDRC, Err: fmt.Errorf(
+				"design-rule check failed with %d violation(s); first: %v",
+				len(res.DRC.Violations), res.DRC.Violations[0])}
 		}
 	}
 	res.Runtime = time.Since(start)
@@ -208,9 +214,17 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 	sp.SetInt("milp_inflight_high_water", int64(se.InFlightHighWater))
 	sp.SetInt("milp_lp_solves", se.LPSolves)
 	sp.SetInt("milp_simplex_pivots", se.SimplexPivots)
+	sp.SetInt("milp_warm_starts", se.WarmStarts)
+	sp.SetInt("milp_cold_solves", se.ColdSolves)
+	sp.SetInt("milp_warm_fallbacks", se.WarmStartFallbacks)
+	sp.SetInt("milp_warm_pivots", se.WarmPivots)
+	sp.SetInt("milp_cold_pivots", se.ColdPivots)
+	sp.SetInt("milp_phase1_rows", se.Phase1Rows)
+	sp.SetInt("milp_root_bounds_fixed", se.RootBoundsFixed)
 	sp.SetInt("milp_incumbent_updates", se.IncumbentUpdates)
 	sp.SetInt("milp_rounding_attempts", se.RoundingAttempts)
 	sp.SetInt("milp_rounding_hits", se.RoundingHits)
+	sp.SetInt("milp_basis_refreshes", se.BasisRefreshes)
 	for i, w := range se.PerWorker {
 		if se.Workers <= 1 {
 			break

@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// Phase names a pipeline stage for error attribution.
+const (
+	PhasePlanarize = "planarize"
+	PhaseLayout    = "layout"
+	PhaseValidate  = "validate"
+	PhaseDRC       = "drc"
+	PhaseCancel    = "canceled"
+)
+
+// SynthesisError is the typed failure of a synthesis run: it names the
+// pipeline phase that rejected the netlist and wraps that phase's error.
+// Callers (the CLI, the daemon, and the conformance suite) use it to
+// distinguish a legitimate infeasibility verdict from a crash:
+//
+//	var serr *core.SynthesisError
+//	if errors.As(err, &serr) { ... serr.Phase ... }
+//
+// Unwrap exposes the underlying cause, so errors.Is(err, context.Canceled)
+// and friends keep working through the wrapper.
+type SynthesisError struct {
+	// Phase is one of the Phase* constants.
+	Phase string
+	// Err is the phase's own error (a planar, layout, validate or drc
+	// failure, or the context error for PhaseCancel).
+	Err error
+}
+
+func (e *SynthesisError) Error() string {
+	return fmt.Sprintf("core: %s: %v", e.Phase, e.Err)
+}
+
+func (e *SynthesisError) Unwrap() error { return e.Err }

@@ -1,0 +1,12 @@
+// Package gen produces seeded pseudo-random application netlists for
+// conformance and fuzz testing. Every netlist it emits exercises the
+// module library broadly — mixers in all three configurations (plain,
+// sieve, celltrap), chambers, multi-endpoint nets that planarize into
+// switches, fan-in and fan-out topologies, boundary inlets and outlets,
+// per-unit footprint overrides and parallel control groups — while
+// remaining semantically valid: Generate guarantees its output passes
+// netlist.Validate and round-trips through Format/Parse.
+//
+// The generator is deterministic in its seed, so a failing conformance
+// seed reproduces exactly and can be pinned as a regression test.
+package gen

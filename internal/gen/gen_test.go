@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"columbas/internal/netlist"
+)
+
+// Every seed must produce a netlist that validates and survives a full
+// Format → Parse round trip unchanged.
+func TestGenerateValidAndRoundTrips(t *testing.T) {
+	for seed := int64(0); seed < 500; seed++ {
+		n := Generate(seed)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("seed %d: Validate: %v", seed, err)
+		}
+		back, err := netlist.ParseString(n.Format())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, n.Format())
+		}
+		if !reflect.DeepEqual(n, back) {
+			t.Fatalf("seed %d: round trip changed the netlist\nbefore:\n%s\nafter:\n%s",
+				seed, n.Format(), back.Format())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, 9999} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two Generate calls disagree", seed)
+		}
+	}
+}
+
+// The default configuration must actually reach every structural feature
+// somewhere in a modest seed range — otherwise the conformance suite is
+// silently testing less than it claims.
+func TestGenerateCoverage(t *testing.T) {
+	var (
+		sawOpt      [3]bool
+		sawChamber  bool
+		sawSwitch   bool // multi-endpoint net
+		sawFanOut   bool // unit with degree ≥ 3
+		sawParallel bool
+		sawMuxes2   bool
+		sawResize   bool
+	)
+	for seed := int64(0); seed < 300; seed++ {
+		n := Generate(seed)
+		if n.Muxes == 2 {
+			sawMuxes2 = true
+		}
+		for _, u := range n.Units {
+			if u.Type == netlist.Mixer {
+				sawOpt[u.Opt] = true
+			}
+			if u.Type == netlist.Chamber {
+				sawChamber = true
+			}
+			if u.W > 0 || u.H > 0 {
+				sawResize = true
+			}
+			if n.Degree(u.Name) >= 3 {
+				sawFanOut = true
+			}
+		}
+		for _, net := range n.Nets {
+			if len(net.Endpoints) > 2 {
+				sawSwitch = true
+			}
+		}
+		if len(n.Parallel) > 0 {
+			sawParallel = true
+		}
+	}
+	for opt, ok := range sawOpt {
+		if !ok {
+			t.Errorf("no seed produced a %v mixer", netlist.MixerOpt(opt))
+		}
+	}
+	for name, ok := range map[string]bool{
+		"chamber":        sawChamber,
+		"switch net":     sawSwitch,
+		"fan-out":        sawFanOut,
+		"parallel group": sawParallel,
+		"muxes=2":        sawMuxes2,
+		"size override":  sawResize,
+	} {
+		if !ok {
+			t.Errorf("no seed produced a %s", name)
+		}
+	}
+}

@@ -212,6 +212,12 @@ type Options struct {
 	// of lazily separating violated pairs (ablation: measures the value
 	// of lazy separation).
 	EagerSeparation bool
+	// NoWarmStart disables LP basis reuse between branch-and-bound nodes
+	// (milp.Options.NoWarmStart), solving every relaxation cold from an
+	// artificial basis (ablation: measures the value of warm starts; the
+	// seed solver's behaviour, used by make bench-warmstart as the
+	// "before" side).
+	NoWarmStart bool
 	// Workers is the number of parallel branch-and-bound workers handed
 	// to the MILP solver (milp.Options.Workers): 0 or 1 runs the exact
 	// sequential search, a negative value uses runtime.GOMAXPROCS(0).

@@ -113,13 +113,14 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		}
 		roundSp := opt.Obs.Child(fmt.Sprintf("milp round %d", rounds))
 		res, err := b.model.Solve(milp.Options{
-			TimeLimit:  remaining,
-			Deadline:   opt.Deadline,
-			Interrupt:  opt.Interrupt,
-			Gap:        opt.Gap,
-			StallLimit: roundStall(rounds),
-			Start:      seed,
-			Workers:    opt.Workers,
+			TimeLimit:   remaining,
+			Deadline:    opt.Deadline,
+			Interrupt:   opt.Interrupt,
+			Gap:         opt.Gap,
+			StallLimit:  roundStall(rounds),
+			Start:       seed,
+			Workers:     opt.Workers,
+			NoWarmStart: opt.NoWarmStart,
 		})
 		if err != nil {
 			roundSp.End()
@@ -225,6 +226,8 @@ func recordRound(sp *obs.Span, b *builder, res *milp.Result, activePairs int) {
 	sp.SetInt("nodes_cutoff", st.NodesCutoff)
 	sp.SetInt("lp_solves", st.LPSolves)
 	sp.SetInt("simplex_pivots", st.SimplexPivots)
+	sp.SetInt("warm_starts", st.WarmStarts)
+	sp.SetInt("warm_pivots", st.WarmPivots)
 	sp.SetInt("incumbent_updates", st.IncumbentUpdates)
 	sp.End()
 }

@@ -75,8 +75,13 @@ type Problem struct {
 
 	// Cumulative observability counters (see SolveCount / PivotCount).
 	// Not copied by Clone: each clone reports its own work.
-	solves int64
-	pivots int64
+	solves        int64
+	pivots        int64
+	warmSolves    int64
+	coldSolves    int64
+	warmFallbacks int64
+	warmPivots    int64
+	phase1Rows    int64
 }
 
 // SetDeadline makes Solve abort with IterLimit once the wall clock passes
@@ -202,7 +207,25 @@ type Solution struct {
 	X      []float64 // values of the problem variables (length NumVars)
 	Obj    float64   // objective value at X (minimisation)
 	Iters  int       // simplex iterations across both phases
+
+	basis   *Basis    // optimal basis snapshot (nil when unavailable)
+	redCost []float64 // reduced costs of the structural variables at X
+	p1rows  int       // rows the artificial phase 1 had to process
 }
+
+// Basis returns a snapshot of the optimal simplex basis, or nil when the
+// solve did not produce one (presolved, trivially infeasible, or
+// non-optimal outcomes). The snapshot is immutable and safe to share
+// across goroutines and Problem clones; feed it to SolveFrom on a problem
+// with the same rows to warm-start a related solve.
+func (s *Solution) Basis() *Basis { return s.basis }
+
+// ReducedCosts returns the reduced costs of the structural variables at
+// the optimum, or nil when unavailable. For a variable nonbasic at its
+// lower bound the entry is ≥ 0 and measures the objective degradation per
+// unit increase; at the upper bound it is ≤ 0. Branch-and-bound uses
+// these for reduced-cost bound fixing at the root.
+func (s *Solution) ReducedCosts() []float64 { return s.redCost }
 
 const (
 	tol     = 1e-7
@@ -244,7 +267,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	sol, err := p.solve()
 	if sol != nil {
 		p.solves++
+		p.coldSolves++
 		p.pivots += int64(sol.Iters)
+		p.phase1Rows += int64(sol.p1rows)
 	}
 	return sol, err
 }
@@ -258,6 +283,35 @@ func (p *Problem) SolveCount() int64 { return p.solves }
 // PivotCount returns the cumulative simplex iterations (phase 1 + phase 2
 // pivots) across all Solve calls on this problem.
 func (p *Problem) PivotCount() int64 { return p.pivots }
+
+// WarmStartCount returns the number of SolveFrom calls that re-entered
+// the simplex from a supplied basis (the warm path ran to completion).
+func (p *Problem) WarmStartCount() int64 { return p.warmSolves }
+
+// ColdSolveCount returns the number of solves that went through the full
+// two-phase method from an artificial basis: every plain Solve, every
+// SolveFrom without a usable basis, and every warm-start fallback.
+// SolveCount() == WarmStartCount() + ColdSolveCount() always holds.
+func (p *Problem) ColdSolveCount() int64 { return p.coldSolves }
+
+// WarmStartFallbackCount returns how many SolveFrom calls were handed a
+// basis but had to abandon it (singular, stale, or numerically off) and
+// re-solve cold. Fallbacks are counted under ColdSolveCount.
+func (p *Problem) WarmStartFallbackCount() int64 { return p.warmFallbacks }
+
+// WarmPivotCount returns the simplex iterations spent inside successful
+// warm starts (dual repair + primal polish). PivotCount() ==
+// WarmPivotCount() + ColdPivotCount() always holds.
+func (p *Problem) WarmPivotCount() int64 { return p.warmPivots }
+
+// ColdPivotCount returns the simplex iterations spent in cold two-phase
+// solves, phase 1 included.
+func (p *Problem) ColdPivotCount() int64 { return p.pivots - p.warmPivots }
+
+// Phase1RowCount returns the cumulative constraint-row count processed by
+// artificial phase-1 runs — the work warm starts exist to avoid. A warm
+// start contributes zero; every cold solve contributes its row count.
+func (p *Problem) Phase1RowCount() int64 { return p.phase1Rows }
 
 func (p *Problem) solve() (*Solution, error) {
 	for v := range p.cost {
@@ -275,7 +329,7 @@ func (p *Problem) solve() (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost))}
+		out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost)), p1rows: inner.p1rows}
 		if inner.Status == Optimal {
 			out.X = ps.expand(inner.X, len(p.cost))
 			for v, xv := range out.X {
@@ -286,13 +340,17 @@ func (p *Problem) solve() (*Solution, error) {
 	}
 	t := p.newTableau()
 	if st := t.phase1(); st != Optimal {
-		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}, nil
+		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}, nil
 	}
 	st := t.phase2()
-	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}
+	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
 	copy(sol.X, t.x[:t.nStru])
 	for v, xv := range sol.X {
 		sol.Obj += p.cost[v] * xv
+	}
+	if st == Optimal {
+		sol.basis = t.snapshot()
+		sol.redCost = t.reducedCosts(t.cost)
 	}
 	return sol, nil
 }

@@ -1,0 +1,464 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// Basis is a compact snapshot of a simplex basis: which variable is basic
+// in each row plus the bound each nonbasic column rests on, over the full
+// tableau column space (structurals, slacks, artificials). A Basis is
+// immutable after creation — branch-and-bound shares one snapshot between
+// sibling nodes and across worker Problem clones without copying.
+type Basis struct {
+	m, nStru int
+	rows     []int  // rows[i] = variable basic in row i
+	state    []int8 // per-column nonbasic position (atLo / atUp / basic)
+}
+
+// compatible reports whether the snapshot can seed a solve of p: same row
+// count and same structural variable count. Rows are shared by Clone and
+// never mutated by Solve, so dimension equality is the whole check.
+func (b *Basis) compatible(p *Problem) bool {
+	return b != nil && b.m == len(p.rows) && b.nStru == len(p.cost)
+}
+
+// snapshot captures the tableau's current basis. Only valid at a basic
+// solution (after a successful simplex run).
+func (t *tableau) snapshot() *Basis {
+	return &Basis{
+		m:     t.m,
+		nStru: t.nStru,
+		rows:  append([]int(nil), t.basis...),
+		state: append([]int8(nil), t.state...),
+	}
+}
+
+// reducedCosts returns d_j = c_j − y·A_j for the structural variables at
+// the current basis, with y = c_B·B⁻¹.
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	m := t.m
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[i]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+	d := make([]float64, t.nStru)
+	for v := 0; v < t.nStru; v++ {
+		rc := c[v]
+		for _, tm := range t.cols[v] {
+			rc -= y[tm.Var] * tm.Coef
+		}
+		d[v] = rc
+	}
+	return d
+}
+
+// SolveFrom optimises the problem starting from a prior basis snapshot.
+// The intended caller is branch and bound: a child node differs from its
+// parent by one variable-bound change, the parent's optimal basis stays
+// dual feasible under that change, and a short dual-simplex repair
+// reaches the child optimum without any artificial phase 1. When basis is
+// nil, incompatible, singular, or the repair goes off the rails, the
+// solve silently falls back to the cold two-phase path (see
+// WarmStartFallbackCount). Unlike Solve, SolveFrom never presolves — the
+// returned Solution always carries a Basis for the next generation.
+func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
+	sol, warm := p.solveFrom(basis)
+	p.solves++
+	p.pivots += int64(sol.Iters)
+	if warm {
+		p.warmSolves++
+		p.warmPivots += int64(sol.Iters)
+	} else {
+		p.coldSolves++
+		p.phase1Rows += int64(sol.p1rows)
+		if basis != nil {
+			p.warmFallbacks++
+		}
+	}
+	return sol, nil
+}
+
+// solveFrom runs the warm path and reports whether it was used; any
+// failure inside the warm attempt discards its state and re-solves cold.
+func (p *Problem) solveFrom(basis *Basis) (sol *Solution, warm bool) {
+	for v := range p.cost {
+		if p.lo[v] > p.hi[v]+tol {
+			// Trivially infeasible child; no simplex work on either path.
+			// Attributed to the warm side when a basis was offered so a
+			// fallback is never recorded for a node the parent basis
+			// could not have helped.
+			return &Solution{Status: Infeasible, X: make([]float64, len(p.cost))}, basis != nil
+		}
+	}
+	if basis.compatible(p) {
+		if s := p.warmSolve(basis); s != nil {
+			return s, true
+		}
+	}
+	return p.coldFull(), false
+}
+
+// coldFull is the fallback: a full-tableau two-phase solve that bypasses
+// presolve so the result carries a reusable basis.
+func (p *Problem) coldFull() *Solution {
+	t := p.newTableau()
+	if st := t.phase1(); st != Optimal {
+		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
+	}
+	st := t.phase2()
+	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
+	copy(sol.X, t.x[:t.nStru])
+	for v, xv := range sol.X {
+		sol.Obj += p.cost[v] * xv
+	}
+	if st == Optimal {
+		sol.basis = t.snapshot()
+		sol.redCost = t.reducedCosts(t.cost)
+	}
+	return sol
+}
+
+// warmSolve attempts the warm path. A nil return means the basis could
+// not be used (singular factorization, iteration blow-up, or a result
+// that fails verification) and the caller should fall back.
+func (p *Problem) warmSolve(basis *Basis) *Solution {
+	t := p.newWarmTableau(basis)
+	if t == nil {
+		return nil
+	}
+	// Dual simplex drives the primal infeasibilities introduced by the
+	// bound change out of the basis; the parent basis is dual feasible so
+	// no phase 1 is needed. A nil-candidate outcome is a genuine
+	// infeasibility proof, not a failure.
+	switch st := t.dualSimplex(t.cost); st {
+	case Infeasible:
+		return &Solution{Status: Infeasible, X: make([]float64, len(p.cost)), Iters: t.iters}
+	case IterLimit:
+		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return &Solution{Status: IterLimit, X: make([]float64, len(p.cost)), Iters: t.iters}
+		}
+		return nil // stale basis ground away the budget — fall back
+	}
+	// Primal polish from the repaired basis: confirms optimality and
+	// absorbs any dual drift the repair introduced.
+	st := t.phase2()
+	if st == Unbounded || st == IterLimit {
+		if st == IterLimit && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return &Solution{Status: IterLimit, X: make([]float64, len(p.cost)), Iters: t.iters}
+		}
+		if st == Unbounded {
+			return &Solution{Status: Unbounded, X: make([]float64, len(p.cost)), Iters: t.iters}
+		}
+		return nil
+	}
+	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}
+	copy(sol.X, t.x[:t.nStru])
+	for v, xv := range sol.X {
+		sol.Obj += p.cost[v] * xv
+	}
+	if !p.warmResultOK(sol.X) {
+		return nil // numerically off — rebuild from scratch
+	}
+	sol.basis = t.snapshot()
+	sol.redCost = t.reducedCosts(t.cost)
+	return sol
+}
+
+// warmResultOK verifies a warm optimum against the original rows and
+// bounds with a loose tolerance; a failure indicates the inherited
+// factorization drifted and the answer cannot be trusted.
+func (p *Problem) warmResultOK(x []float64) bool {
+	const vtol = 1e-5
+	for v, xv := range x {
+		if xv < p.lo[v]-vtol || xv > p.hi[v]+vtol {
+			return false
+		}
+	}
+	return p.RowsSatisfied(x, vtol)
+}
+
+// newWarmTableau builds the full tableau (as newTableau does) but
+// installs the snapshot basis instead of the artificial one. Artificials
+// are created fixed at zero with +1 coefficients — they exist only so
+// snapshot column indices stay aligned and a degenerate parent basis that
+// still holds an artificial remains representable. Returns nil when the
+// basis matrix is singular.
+func (t *tableau) installBasis(b *Basis) bool {
+	copy(t.basis, b.rows)
+	copy(t.state, b.state)
+	return t.factorize()
+}
+
+func (p *Problem) newWarmTableau(b *Basis) *tableau {
+	m := len(p.rows)
+	nStru := len(p.cost)
+	n := nStru + m + m
+	t := &tableau{
+		m: m, n: n, nStru: nStru, nArt: nStru + m,
+		cols:  make([][]Term, n),
+		b:     make([]float64, m),
+		lo:    make([]float64, n),
+		hi:    make([]float64, n),
+		cost:  make([]float64, n),
+		basis: make([]int, m),
+		state: make([]int8, n),
+		x:     make([]float64, n),
+	}
+	t.maxIter = 5000 + 40*(m+nStru)
+	t.deadline = p.deadline
+	for v := 0; v < nStru; v++ {
+		t.lo[v] = p.lo[v]
+		t.hi[v] = p.hi[v]
+		t.cost[v] = p.cost[v]
+	}
+	for i, r := range p.rows {
+		for _, tm := range r.terms {
+			t.cols[tm.Var] = append(t.cols[tm.Var], Term{Var: i, Coef: tm.Coef})
+		}
+		t.b[i] = r.rhs
+		s := nStru + i
+		t.cols[s] = []Term{{Var: i, Coef: 1}}
+		switch r.sense {
+		case LE:
+			t.lo[s], t.hi[s] = 0, Inf
+		case GE:
+			t.lo[s], t.hi[s] = -Inf, 0
+		case EQ:
+			t.lo[s], t.hi[s] = 0, 0
+		}
+		a := t.nArt + i
+		t.cols[a] = []Term{{Var: i, Coef: 1}}
+		t.lo[a], t.hi[a] = 0, 0
+	}
+	if !t.installBasis(b) {
+		return nil
+	}
+	// Nonbasic variables rest on their (possibly tightened) bounds; the
+	// snapshot's atUp/atLo choice is kept where both bounds are finite.
+	for v := 0; v < t.n; v++ {
+		if t.state[v] == basic {
+			continue
+		}
+		switch {
+		case t.state[v] == atUp && !math.IsInf(t.hi[v], 1):
+			t.x[v] = t.hi[v]
+		case !math.IsInf(t.lo[v], -1):
+			t.state[v], t.x[v] = atLo, t.lo[v]
+		case !math.IsInf(t.hi[v], 1):
+			t.state[v], t.x[v] = atUp, t.hi[v]
+		default:
+			t.state[v], t.x[v] = atLo, 0 // free variable pinned at 0
+		}
+	}
+	t.refreshBasics()
+	return t
+}
+
+// factorize computes binv = B⁻¹ for the currently installed basis by
+// Gauss-Jordan elimination with partial pivoting. Returns false when the
+// basis matrix is numerically singular.
+func (t *tableau) factorize() bool {
+	m := t.m
+	if m == 0 {
+		t.binv = ident(0)
+		return true
+	}
+	// Dense B from the basis columns, augmented with the identity.
+	bmat := make([][]float64, m)
+	t.binv = ident(m)
+	for i := range bmat {
+		bmat[i] = make([]float64, m)
+	}
+	for j := 0; j < m; j++ {
+		v := t.basis[j]
+		if v < 0 || v >= t.n {
+			return false
+		}
+		for _, tm := range t.cols[v] {
+			bmat[tm.Var][j] = tm.Coef
+		}
+	}
+	const singTol = 1e-9
+	for col := 0; col < m; col++ {
+		piv, pivAbs := -1, singTol
+		for r := col; r < m; r++ {
+			if a := math.Abs(bmat[r][col]); a > pivAbs {
+				piv, pivAbs = r, a
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		bmat[col], bmat[piv] = bmat[piv], bmat[col]
+		t.binv[col], t.binv[piv] = t.binv[piv], t.binv[col]
+		inv := 1 / bmat[col][col]
+		for k := 0; k < m; k++ {
+			bmat[col][k] *= inv
+			t.binv[col][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := bmat[r][col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				bmat[r][k] -= f * bmat[col][k]
+				t.binv[r][k] -= f * t.binv[col][k]
+			}
+		}
+	}
+	return true
+}
+
+// dualSimplex restores primal feasibility from a dual-feasible basis with
+// costs c. Each iteration kicks the most-violated basic variable out to
+// its nearest bound, choosing the entering column by the dual ratio test
+// so reduced-cost signs are preserved. Returns Optimal once every basic
+// value is inside its bounds, Infeasible when a violated row admits no
+// entering column (a valid infeasibility certificate), or IterLimit.
+func (t *tableau) dualSimplex(c []float64) Status {
+	m := t.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	degen := 0
+	for ; t.iters < t.maxIter; t.iters++ {
+		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+			return IterLimit
+		}
+		// Leaving row: largest bound violation among basic variables.
+		r, viol, e := -1, tol, 0.0
+		var target float64
+		var leaveAt int8
+		for i := 0; i < m; i++ {
+			bv := t.basis[i]
+			if d := t.x[bv] - t.hi[bv]; d > viol {
+				r, viol, e, target, leaveAt = i, d, 1, t.hi[bv], atUp
+			}
+			if d := t.lo[bv] - t.x[bv]; d > viol {
+				r, viol, e, target, leaveAt = i, d, -1, t.lo[bv], atLo
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+		// Simplex multipliers for the dual ratio test.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			cb := c[t.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := t.binv[i]
+			for k := 0; k < m; k++ {
+				y[k] += cb * row[k]
+			}
+		}
+		rho := t.binv[r]
+		enter, bestRatio := -1, Inf
+		bland := degen >= stall
+		for v := 0; v < t.n; v++ {
+			if t.state[v] == basic {
+				continue
+			}
+			if t.hi[v]-t.lo[v] < tol && !math.IsInf(t.hi[v], 1) {
+				continue // fixed column can never enter
+			}
+			alpha := 0.0
+			for _, tm := range t.cols[v] {
+				alpha += rho[tm.Var] * tm.Coef
+			}
+			ab := e * alpha
+			free := math.IsInf(t.lo[v], -1) && math.IsInf(t.hi[v], 1)
+			var ok bool
+			switch {
+			case free:
+				ok = math.Abs(ab) > pivTol
+			case t.state[v] == atLo:
+				ok = ab > pivTol
+			case t.state[v] == atUp:
+				ok = ab < -pivTol
+			}
+			if !ok {
+				continue
+			}
+			rc := c[v]
+			for _, tm := range t.cols[v] {
+				rc -= y[tm.Var] * tm.Coef
+			}
+			ratio := math.Abs(rc) / math.Abs(ab)
+			if enter < 0 || ratio < bestRatio-tol {
+				enter, bestRatio = v, ratio
+				if bland {
+					break // first admissible column: anti-cycling
+				}
+			}
+		}
+		if enter < 0 {
+			// The violated row cannot be repaired: primal infeasible.
+			return Infeasible
+		}
+		if bestRatio < tol {
+			degen++
+		} else {
+			degen = 0
+		}
+		// Direction w = B⁻¹ A_enter; the step drives row r exactly to its
+		// violated bound.
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		for _, tm := range t.cols[enter] {
+			for i := 0; i < m; i++ {
+				w[i] += t.binv[i][tm.Var] * tm.Coef
+			}
+		}
+		if math.Abs(w[r]) < pivTol {
+			return IterLimit // numerically dead pivot — let the caller fall back
+		}
+		out := t.basis[r]
+		step := (t.x[out] - target) / w[r]
+		t.x[enter] += step
+		for i := 0; i < m; i++ {
+			if w[i] != 0 {
+				t.x[t.basis[i]] -= step * w[i]
+			}
+		}
+		t.state[out] = leaveAt
+		t.x[out] = target
+		t.basis[r] = enter
+		t.state[enter] = basic
+		piv := w[r]
+		brow := t.binv[r]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			brow[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == r || w[i] == 0 {
+				continue
+			}
+			f := w[i]
+			row := t.binv[i]
+			for k := 0; k < m; k++ {
+				row[k] -= f * brow[k]
+			}
+		}
+		if t.iters%refresh == refresh-1 {
+			t.refreshBasics()
+		}
+	}
+	return IterLimit
+}

@@ -79,32 +79,45 @@ func bruteForce(t *testing.T, build func() *Model) (Status, float64) {
 	return Optimal, best
 }
 
-// checkEquivalence solves build() with Workers=1 and Workers=4 and
-// cross-checks both against brute force.
+// checkEquivalence solves build() with Workers=1 and Workers=4, each both
+// warm-started (the default) and with NoWarmStart (the seed solver's cold
+// behaviour), and cross-checks all four against brute force. This is the
+// proof obligation behind the warm-start kernel: basis reuse may change
+// pivot order and tie-breaking, but never status or optimal objective.
 func checkEquivalence(t *testing.T, name string, build func() *Model) {
 	t.Helper()
 	bStatus, bObj := bruteForce(t, build)
 	for _, workers := range []int{1, 4} {
-		r, err := build().Solve(Options{Workers: workers})
-		if err != nil {
-			t.Fatalf("%s workers=%d: %v", name, workers, err)
-		}
-		if r.Status != bStatus {
-			t.Fatalf("%s workers=%d: status %v, brute force %v", name, workers, r.Status, bStatus)
-		}
-		if bStatus == Optimal && math.Abs(r.Obj-bObj) > equivTol {
-			t.Fatalf("%s workers=%d: obj %v, brute force %v (diff %g)",
-				name, workers, r.Obj, bObj, math.Abs(r.Obj-bObj))
-		}
-		if bStatus == Optimal {
-			// The returned assignment must actually be feasible at the
-			// claimed objective, whatever ties it broke.
-			ok, obj := build().checkFeasible(r.X)
-			if !ok {
-				t.Fatalf("%s workers=%d: returned infeasible assignment %v", name, workers, r.X)
+		for _, noWarm := range []bool{false, true} {
+			label := fmt.Sprintf("%s workers=%d warm=%v", name, workers, !noWarm)
+			r, err := build().Solve(Options{Workers: workers, NoWarmStart: noWarm})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
 			}
-			if math.Abs(obj-r.Obj) > 1e-5 {
-				t.Fatalf("%s workers=%d: assignment objective %v != reported %v", name, workers, obj, r.Obj)
+			if r.Status != bStatus {
+				t.Fatalf("%s: status %v, brute force %v", label, r.Status, bStatus)
+			}
+			if bStatus == Optimal && math.Abs(r.Obj-bObj) > equivTol {
+				t.Fatalf("%s: obj %v, brute force %v (diff %g)",
+					label, r.Obj, bObj, math.Abs(r.Obj-bObj))
+			}
+			if bStatus == Optimal {
+				// The returned assignment must actually be feasible at the
+				// claimed objective, whatever ties it broke.
+				ok, obj := build().checkFeasible(r.X)
+				if !ok {
+					t.Fatalf("%s: returned infeasible assignment %v", label, r.X)
+				}
+				if math.Abs(obj-r.Obj) > 1e-5 {
+					t.Fatalf("%s: assignment objective %v != reported %v", label, obj, r.Obj)
+				}
+			}
+			if noWarm && (r.Stats.WarmStarts != 0 || r.Stats.WarmPivots != 0) {
+				t.Fatalf("%s: ablation run reported warm work: %+v", label, r.Stats)
+			}
+			if r.Stats.LPSolves != r.Stats.WarmStarts+r.Stats.ColdSolves {
+				t.Fatalf("%s: LPSolves %d != WarmStarts %d + ColdSolves %d",
+					label, r.Stats.LPSolves, r.Stats.WarmStarts, r.Stats.ColdSolves)
 			}
 		}
 	}
@@ -257,9 +270,14 @@ func randomModel(seed int64) func() *Model {
 	}
 }
 
-// TestEquivalenceRandom cross-checks 50 seeded random MILPs.
+// TestEquivalenceRandom cross-checks 100 seeded random MILPs (each solved
+// warm and cold at two worker counts against brute force).
 func TestEquivalenceRandom(t *testing.T) {
-	for seed := int64(0); seed < 50; seed++ {
+	n := int64(100)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(0); seed < n; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			checkEquivalence(t, fmt.Sprintf("seed%d", seed), randomModel(seed))

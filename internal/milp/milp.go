@@ -220,6 +220,12 @@ type Options struct {
 	// NoGroupBranching disables the k-way disjunction branching and falls
 	// back to plain binary branching (ablation).
 	NoGroupBranching bool
+	// NoWarmStart disables LP basis reuse between parent and child nodes,
+	// solving every relaxation cold from an artificial basis (ablation;
+	// also the reference behaviour the solver-equivalence suite compares
+	// against). Reduced-cost bound fixing at the root is disabled too,
+	// since it needs the root basis's reduced costs.
+	NoWarmStart bool
 	// Workers is the number of branch-and-bound workers solving LP
 	// relaxations concurrently. Each worker explores nodes from the
 	// shared best-first frontier on a private copy of the problem and
@@ -257,6 +263,12 @@ type node struct {
 	changes []boundChange
 	parent  *node
 	seq     int // insertion order for deterministic tie-breaking
+
+	// basis is the parent's optimal LP basis (nil at the root). It is an
+	// immutable snapshot shared by all siblings, so it travels safely
+	// across worker handoffs: whichever worker pops this node warm-starts
+	// its relaxation from the parent basis on its own Problem clone.
+	basis *lp.Basis
 }
 
 type boundChange struct {

@@ -74,8 +74,10 @@ type search struct {
 	cutoffPost    int64        // under mu: dominated post-LP, authoritative check
 	incUpdates    int64        // under mu: installed incumbents
 	roundAttempts atomic.Int64 // rounding-heuristic LP re-solves
+	basisRefresh  atomic.Int64 // full-tableau re-solves to mint a missing basis
 	roundHits     int64        // under mu: rounding incumbents installed
 	inflightHW    int          // under mu: max concurrent expansions
+	rootFixed     int64        // under mu: reduced-cost bound fixings at the root
 	wstats        []WorkerStats
 }
 
@@ -184,6 +186,10 @@ func (s *search) worker(id int, prob *lp.Problem) {
 	// the worker's stats slot now that no more solves can happen.
 	w.LPSolves = prob.SolveCount()
 	w.Pivots = prob.PivotCount()
+	w.WarmStarts = prob.WarmStartCount()
+	w.WarmFallbacks = prob.WarmStartFallbackCount()
+	w.WarmPivots = prob.WarmPivotCount()
+	w.Phase1Rows = prob.Phase1RowCount()
 }
 
 // loadInc reads the published incumbent objective without locking.
@@ -293,6 +299,45 @@ func (s *search) setIncumbentLocked(x []float64, obj float64, resetStall bool) {
 	s.incBits.Store(math.Float64bits(obj))
 }
 
+// rootFixLocked applies reduced-cost bound fixing at the root node:
+// moving an integer variable δ away from its nonbasic bound degrades the
+// relaxation by at least |reduced cost|·δ, so once that exceeds the gap
+// to the incumbent, the move cannot lead to an improving solution and the
+// base bound is tightened permanently. Callers hold mu, the incumbent (if
+// any) is already installed, and no child node exists yet.
+func (s *search) rootFixLocked(sol *lp.Solution, obj float64) {
+	rc := sol.ReducedCosts()
+	if rc == nil || math.IsInf(s.incObj, 1) {
+		return
+	}
+	gap := s.incObj - obj
+	if gap < 0 {
+		return
+	}
+	const eps = 1e-9
+	for v := range s.baseLo {
+		if !s.m.isInt[v] || rc[v] == 0 {
+			continue
+		}
+		lo, hi := s.baseLo[v], s.baseHi[v]
+		x := sol.X[v]
+		switch {
+		case rc[v] > eps && math.Abs(x-lo) < intTol:
+			// Nonbasic at lower bound; can rise by at most gap/rc.
+			if nh := math.Floor(x + gap/rc[v] + eps); nh < hi {
+				s.baseHi[v] = math.Max(nh, lo)
+				s.rootFixed++
+			}
+		case rc[v] < -eps && math.Abs(x-hi) < intTol:
+			// Nonbasic at upper bound; can fall by at most gap/|rc|.
+			if nl := math.Ceil(x + gap/rc[v] - eps); nl > lo {
+				s.baseLo[v] = math.Min(nl, hi)
+				s.rootFixed++
+			}
+		}
+	}
+}
+
 // expand solves the node's LP relaxation on the worker's private problem
 // and either records an incumbent or branches.
 func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
@@ -310,7 +355,19 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			prob.SetBounds(bc.v, bc.lo, bc.hi)
 		}
 	}
-	sol, err := prob.Solve()
+	// Warm-start the relaxation from the parent's optimal basis: the
+	// child differs from the parent by one bound change, so a short dual
+	// repair replaces the full two-phase solve. Nodes without a basis
+	// (the root, or children of a node whose basis was lost) go through
+	// the presolving Solve — cheaper when the model reduces well and the
+	// tree never branches, as the guided large-scale layouts do.
+	var sol *lp.Solution
+	var err error
+	if s.opt.NoWarmStart || n.basis == nil {
+		sol, err = prob.Solve()
+	} else {
+		sol, err = prob.SolveFrom(n.basis)
+	}
 	if err != nil {
 		s.done(id, func() {
 			if s.err == nil {
@@ -356,6 +413,23 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	if math.IsInf(s.loadInc(), 1) && idx%16 == 1 {
 		s.roundAttempts.Add(1)
 		roundX, roundObj, haveRound = s.m.tryRoundingOn(prob, sol.X)
+	}
+
+	if !s.opt.NoWarmStart && sol.Basis() == nil {
+		if bv, bg := s.m.pickBranch(sol.X); bv >= 0 || bg >= 0 {
+			// The node will branch, so its children need a basis to
+			// warm-start from, and the presolved solution carries none:
+			// re-solve once on the full tableau. This extra solve is the
+			// BasisRefreshes term of the node conservation identity; it
+			// never fires when the relaxation is already integral (the
+			// no-branch guided large-scale runs keep their presolve win).
+			sol2, err2 := prob.SolveFrom(nil)
+			s.basisRefresh.Add(1)
+			if err2 == nil && sol2.Status == lp.Optimal && sol2.Basis() != nil {
+				sol = sol2
+				obj = sol.Obj + s.m.objC
+			}
+		}
 	}
 
 	branchVar, branchGroup := s.m.pickBranch(sol.X)
@@ -410,12 +484,24 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			s.setIncumbentLocked(sol.X, obj, reset)
 			return
 		}
+		if n.parent == nil && !s.opt.NoWarmStart {
+			// Reduced-cost bound fixing: with an incumbent already in hand
+			// (seed or root rounding hit), the root reduced costs bound how
+			// far each integer variable can move in any improving solution.
+			// The root is expanded before any child exists, so tightening
+			// the base bounds here is race-free — every later node applies
+			// its chain on top of them.
+			s.rootFixLocked(sol, obj)
+		}
+		// Children warm-start from this node's optimal basis; the snapshot
+		// is immutable and shared by all siblings.
+		nb := sol.Basis()
 		if branchGroup >= 0 {
 			// k-way branch: each child fixes a different member to 0 and
 			// the rest to 1.
 			g := s.m.groups[branchGroup]
 			for _, zero := range g {
-				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq}
+				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, basis: nb}
 				s.seq++
 				for _, v := range g {
 					if v == zero {
@@ -429,9 +515,9 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			return
 		}
 		// Standard two-way branch on a fractional integer variable.
-		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: downCh}
+		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: downCh, basis: nb}
 		s.seq++
-		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: upCh}
+		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: upCh, basis: nb}
 		s.seq++
 		heap.Push(&s.frontier, down)
 		heap.Push(&s.frontier, up)
@@ -451,12 +537,20 @@ func (s *search) statsSnapshot() SearchStats {
 		IncumbentUpdates:  s.incUpdates,
 		RoundingAttempts:  s.roundAttempts.Load(),
 		RoundingHits:      s.roundHits,
+		BasisRefreshes:    s.basisRefresh.Load(),
+		RootBoundsFixed:   s.rootFixed,
 		PerWorker:         s.wstats,
 	}
 	for _, w := range s.wstats {
 		st.LPSolves += w.LPSolves
 		st.SimplexPivots += w.Pivots
+		st.WarmStarts += w.WarmStarts
+		st.WarmStartFallbacks += w.WarmFallbacks
+		st.WarmPivots += w.WarmPivots
+		st.Phase1Rows += w.Phase1Rows
 	}
+	st.ColdSolves = st.LPSolves - st.WarmStarts
+	st.ColdPivots = st.SimplexPivots - st.WarmPivots
 	return st
 }
 

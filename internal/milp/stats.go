@@ -25,13 +25,36 @@ type SearchStats struct {
 	// expanded concurrently — ≤ Workers; below it, the frontier starved.
 	InFlightHighWater int
 	// LPSolves counts LP relaxation solves across all workers, including
-	// rounding-heuristic re-solves: LPSolves = NodesExplored +
-	// RoundingAttempts (the conservation identity TestSearchStatsConservation
-	// pins for both sequential and parallel runs).
+	// rounding-heuristic re-solves and basis refreshes: LPSolves =
+	// NodesExplored + RoundingAttempts + BasisRefreshes (the conservation
+	// identity TestSearchStatsConservation pins for both sequential and
+	// parallel runs).
 	LPSolves int64
 	// SimplexPivots is the total simplex iterations (phase 1 + 2) behind
 	// LPSolves — the solver's innermost unit of work.
 	SimplexPivots int64
+	// WarmStarts counts LP solves that re-entered the simplex from the
+	// parent node's basis instead of a full two-phase cold start, and
+	// ColdSolves the rest (the root, rounding re-solves, and fallbacks):
+	// LPSolves = WarmStarts + ColdSolves is the warm-start conservation
+	// identity (pinned alongside the node identity by the stats tests).
+	WarmStarts int64
+	ColdSolves int64
+	// WarmStartFallbacks counts warm attempts abandoned for a cold
+	// re-solve (singular or stale parent basis); they are included in
+	// ColdSolves.
+	WarmStartFallbacks int64
+	// WarmPivots / ColdPivots split SimplexPivots by path:
+	// SimplexPivots = WarmPivots + ColdPivots.
+	WarmPivots int64
+	ColdPivots int64
+	// Phase1Rows accumulates the constraint-row count over every
+	// artificial phase-1 run — the work warm starts exist to skip. Warm
+	// solves contribute zero.
+	Phase1Rows int64
+	// RootBoundsFixed counts integer-variable bounds tightened by
+	// reduced-cost fixing after the root relaxation.
+	RootBoundsFixed int64
 	// IncumbentUpdates counts installed incumbents (seed acceptance
 	// excluded; rounding hits and integer-feasible nodes included).
 	IncumbentUpdates int64
@@ -39,6 +62,13 @@ type SearchStats struct {
 	// heuristic's re-solves and how many produced an improving incumbent.
 	RoundingAttempts int64
 	RoundingHits     int64
+	// BasisRefreshes counts full-tableau re-solves of a node whose
+	// relaxation was answered by the presolver (which carries no basis)
+	// but which is about to branch — the children need a basis to
+	// warm-start from. Together with nodes and rounding these account for
+	// every LP solve: LPSolves = NodesExplored + RoundingAttempts +
+	// BasisRefreshes.
+	BasisRefreshes int64
 	// Interrupted reports that the search was halted by Options.Interrupt
 	// (an external cancellation, e.g. an HTTP client disconnect) rather
 	// than running to a status or budget of its own. Merge ORs it across
@@ -58,6 +88,12 @@ type WorkerStats struct {
 	// LPSolves and Pivots are the worker's private-LP work totals.
 	LPSolves int64
 	Pivots   int64
+	// WarmStarts / WarmFallbacks / WarmPivots / Phase1Rows are the
+	// worker's share of the warm-start counters (see SearchStats).
+	WarmStarts    int64
+	WarmFallbacks int64
+	WarmPivots    int64
+	Phase1Rows    int64
 	// Busy is the wall-clock time the worker spent expanding nodes (LP
 	// solves included); Busy/Wall is the worker's utilization.
 	Busy time.Duration
@@ -92,9 +128,17 @@ func (st *SearchStats) Merge(other SearchStats) {
 	}
 	st.LPSolves += other.LPSolves
 	st.SimplexPivots += other.SimplexPivots
+	st.WarmStarts += other.WarmStarts
+	st.ColdSolves += other.ColdSolves
+	st.WarmStartFallbacks += other.WarmStartFallbacks
+	st.WarmPivots += other.WarmPivots
+	st.ColdPivots += other.ColdPivots
+	st.Phase1Rows += other.Phase1Rows
+	st.RootBoundsFixed += other.RootBoundsFixed
 	st.IncumbentUpdates += other.IncumbentUpdates
 	st.RoundingAttempts += other.RoundingAttempts
 	st.RoundingHits += other.RoundingHits
+	st.BasisRefreshes += other.BasisRefreshes
 	st.Interrupted = st.Interrupted || other.Interrupted
 	st.Wall += other.Wall
 	for len(st.PerWorker) < len(other.PerWorker) {
@@ -104,6 +148,10 @@ func (st *SearchStats) Merge(other SearchStats) {
 		st.PerWorker[i].Nodes += w.Nodes
 		st.PerWorker[i].LPSolves += w.LPSolves
 		st.PerWorker[i].Pivots += w.Pivots
+		st.PerWorker[i].WarmStarts += w.WarmStarts
+		st.PerWorker[i].WarmFallbacks += w.WarmFallbacks
+		st.PerWorker[i].WarmPivots += w.WarmPivots
+		st.PerWorker[i].Phase1Rows += w.Phase1Rows
 		st.PerWorker[i].Busy += w.Busy
 	}
 }

@@ -19,14 +19,39 @@ func checkStatsConsistent(t *testing.T, st SearchStats, workers int) {
 	if st.Workers != workers {
 		t.Errorf("Workers = %d, want %d", st.Workers, workers)
 	}
-	if got, want := st.LPSolves, st.NodesExplored+st.RoundingAttempts; got != want {
-		t.Errorf("LP-solve conservation violated: LPSolves=%d, NodesExplored+RoundingAttempts=%d", got, want)
+	if got, want := st.LPSolves, st.NodesExplored+st.RoundingAttempts+st.BasisRefreshes; got != want {
+		t.Errorf("LP-solve conservation violated: LPSolves=%d, NodesExplored+RoundingAttempts+BasisRefreshes=%d", got, want)
 	}
-	var nodes, solves, pivots int64
+	if got, want := st.LPSolves, st.WarmStarts+st.ColdSolves; got != want {
+		t.Errorf("warm-start conservation violated: LPSolves=%d, WarmStarts+ColdSolves=%d", got, want)
+	}
+	if got, want := st.SimplexPivots, st.WarmPivots+st.ColdPivots; got != want {
+		t.Errorf("pivot split violated: SimplexPivots=%d, WarmPivots+ColdPivots=%d", got, want)
+	}
+	if st.WarmStartFallbacks > st.ColdSolves {
+		t.Errorf("WarmStartFallbacks %d > ColdSolves %d", st.WarmStartFallbacks, st.ColdSolves)
+	}
+	var nodes, solves, pivots, warm, warmPiv, fallbacks, p1 int64
 	for _, w := range st.PerWorker {
 		nodes += w.Nodes
 		solves += w.LPSolves
 		pivots += w.Pivots
+		warm += w.WarmStarts
+		warmPiv += w.WarmPivots
+		fallbacks += w.WarmFallbacks
+		p1 += w.Phase1Rows
+	}
+	if warm != st.WarmStarts {
+		t.Errorf("per-worker warm starts sum %d != WarmStarts %d", warm, st.WarmStarts)
+	}
+	if warmPiv != st.WarmPivots {
+		t.Errorf("per-worker warm pivots sum %d != WarmPivots %d", warmPiv, st.WarmPivots)
+	}
+	if fallbacks != st.WarmStartFallbacks {
+		t.Errorf("per-worker fallbacks sum %d != WarmStartFallbacks %d", fallbacks, st.WarmStartFallbacks)
+	}
+	if p1 != st.Phase1Rows {
+		t.Errorf("per-worker phase-1 rows sum %d != Phase1Rows %d", p1, st.Phase1Rows)
 	}
 	if nodes != st.NodesExplored {
 		t.Errorf("per-worker nodes sum %d != NodesExplored %d", nodes, st.NodesExplored)
@@ -91,6 +116,72 @@ func TestSearchStatsConservation(t *testing.T) {
 	}
 }
 
+// TestWarmStartEngaged proves basis reuse actually happens on a real
+// search: beyond the root, (nearly) every node solve should re-enter from
+// its parent's basis, and the NoWarmStart ablation must report none.
+func TestWarmStartEngaged(t *testing.T) {
+	res, err := hardKnapsack(14).Solve(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WarmStarts == 0 {
+		t.Fatalf("no warm starts on a %d-node search: %+v", res.Stats.NodesExplored, res.Stats)
+	}
+	// Every solve that had a parent basis should have used it; allow a
+	// small fallback margin but not a silently-cold search.
+	if res.Stats.WarmStarts*2 < res.Stats.NodesExplored {
+		t.Errorf("warm starts %d < half of %d nodes — basis threading is leaking",
+			res.Stats.WarmStarts, res.Stats.NodesExplored)
+	}
+	cold, err := hardKnapsack(14).Solve(Options{Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.WarmStarts != 0 || cold.Stats.WarmPivots != 0 {
+		t.Errorf("NoWarmStart run reported warm work: %+v", cold.Stats)
+	}
+	if d := res.Obj - cold.Obj; d > 1e-6 || d < -1e-6 {
+		t.Errorf("warm %v vs cold %v objective", res.Obj, cold.Obj)
+	}
+	checkStatsConsistent(t, res.Stats, 1)
+	checkStatsConsistent(t, cold.Stats, 1)
+}
+
+// TestRootReducedCostFixing: with a seeded incumbent, root reduced costs
+// must tighten at least one bound on a model built so that an expensive
+// binary can be fixed to zero, without changing the optimum.
+func TestRootReducedCostFixing(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		a := m.Binary("a") // fractional at the root (2a ≥ 1 → a = 0.5)
+		b := m.Binary("b") // expensive alternative: rc ≫ gap, fixable to 0
+		m.AddGE(T(a, 2).Add(b, 2), 1)
+		m.Minimize(T(a, 1).Add(b, 10))
+		return m
+	}
+	seed := []float64{1, 0} // feasible incumbent: obj 1; root relaxation 0.5
+	res, err := build().Solve(Options{Start: seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Obj > 1+1e-6 {
+		t.Fatalf("status %v obj %v", res.Status, res.Obj)
+	}
+	if res.Stats.RootBoundsFixed == 0 {
+		t.Errorf("expected reduced-cost fixing to fire on b (rc≈9, gap≈0.5): %+v", res.Stats)
+	}
+	off, err := build().Solve(Options{Start: seed, Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.RootBoundsFixed != 0 {
+		t.Errorf("NoWarmStart must disable root fixing, got %d", off.Stats.RootBoundsFixed)
+	}
+	if d := res.Obj - off.Obj; d > 1e-6 || d < -1e-6 {
+		t.Errorf("fixing changed the optimum: %v vs %v", res.Obj, off.Obj)
+	}
+}
+
 // TestSearchStatsSeedExcluded: a caller-provided warm start installs the
 // incumbent without counting as an IncumbentUpdate; only improvements
 // found by the search count.
@@ -114,24 +205,37 @@ func TestSearchStatsMerge(t *testing.T) {
 	a := SearchStats{
 		Workers: 2, NodesExplored: 10, NodesPruned: 2, NodesCutoff: 1,
 		InFlightHighWater: 2, LPSolves: 11, SimplexPivots: 100,
+		WarmStarts: 8, ColdSolves: 3, WarmStartFallbacks: 1,
+		WarmPivots: 40, ColdPivots: 60, Phase1Rows: 30, RootBoundsFixed: 2,
 		IncumbentUpdates: 3, RoundingAttempts: 1, RoundingHits: 1,
 		Wall:      time.Second,
-		PerWorker: []WorkerStats{{Nodes: 6}, {Nodes: 4}},
+		PerWorker: []WorkerStats{{Nodes: 6, WarmStarts: 5}, {Nodes: 4, WarmStarts: 3}},
 	}
 	b := SearchStats{
 		Workers: 4, NodesExplored: 5, InFlightHighWater: 3, LPSolves: 5,
+		WarmStarts: 4, ColdSolves: 1, WarmPivots: 10, Phase1Rows: 6,
 		Wall:      time.Second,
-		PerWorker: []WorkerStats{{Nodes: 2}, {Nodes: 1}, {Nodes: 1}, {Nodes: 1}},
+		PerWorker: []WorkerStats{{Nodes: 2, WarmStarts: 4}, {Nodes: 1}, {Nodes: 1}, {Nodes: 1}},
 	}
 	a.Merge(b)
 	if a.Workers != 4 || a.NodesExplored != 15 || a.LPSolves != 16 || a.InFlightHighWater != 3 {
 		t.Fatalf("merge totals wrong: %+v", a)
+	}
+	if a.WarmStarts != 12 || a.ColdSolves != 4 || a.WarmStartFallbacks != 1 ||
+		a.WarmPivots != 50 || a.ColdPivots != 60 || a.Phase1Rows != 36 || a.RootBoundsFixed != 2 {
+		t.Fatalf("warm-start merge totals wrong: %+v", a)
+	}
+	if a.LPSolves != a.WarmStarts+a.ColdSolves {
+		t.Fatalf("merge broke the warm-start conservation identity: %+v", a)
 	}
 	if a.Wall != 2*time.Second {
 		t.Fatalf("wall = %v", a.Wall)
 	}
 	if len(a.PerWorker) != 4 || a.PerWorker[0].Nodes != 8 || a.PerWorker[3].Nodes != 1 {
 		t.Fatalf("per-worker merge wrong: %+v", a.PerWorker)
+	}
+	if a.PerWorker[0].WarmStarts != 9 || a.PerWorker[1].WarmStarts != 3 {
+		t.Fatalf("per-worker warm merge wrong: %+v", a.PerWorker)
 	}
 }
 

@@ -1,0 +1,121 @@
+// Warm-start measurement harness: the same end-to-end synthesis (parse →
+// planarize → layout MILP → validate) run with branch-and-bound basis
+// reuse on (the default) and off (the seed solver's cold behaviour), on
+// the chip9 / chip16 / chip64 cases. The reported custom metrics are the
+// before/after numbers recorded in EXPERIMENTS.md:
+//
+//	make bench-warmstart
+//
+// Workers is pinned to 1 so the pivot counts are deterministic — the
+// search order, and therefore the LP sequence, is identical between the
+// warm and cold runs; only the per-LP work changes.
+package columbas
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/milp"
+)
+
+func warmstartOpts(noWarm bool) core.Options {
+	o := core.DefaultOptions()
+	o.Layout.TimeLimit = 60 * time.Second
+	o.Layout.StallLimit = 40
+	o.Layout.Gap = 0.1
+	o.Layout.Workers = 1
+	o.Layout.NoWarmStart = noWarm
+	return o
+}
+
+func benchWarmstart(b *testing.B, caseID string, noWarm bool) {
+	c, err := cases.Get(caseID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st milp.SearchStats
+	for i := 0; i < b.N; i++ {
+		n, err := c.Netlist()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Synthesize(n, warmstartOpts(noWarm))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.DRC.Clean() {
+			b.Fatalf("%s: design not DRC-clean", caseID)
+		}
+		st = res.Plan.Stats.Search
+	}
+	b.ReportMetric(float64(st.SimplexPivots), "pivots")
+	b.ReportMetric(float64(st.LPSolves), "lp_solves")
+	b.ReportMetric(float64(st.WarmStarts), "warm_starts")
+	b.ReportMetric(float64(st.WarmStartFallbacks), "warm_fallbacks")
+	b.ReportMetric(float64(st.Phase1Rows), "phase1_rows")
+}
+
+func BenchmarkWarmstart(b *testing.B) {
+	for _, id := range []string{"chip9", "chip16", "chip64"} {
+		for _, mode := range []struct {
+			name   string
+			noWarm bool
+		}{{"warm", false}, {"cold", true}} {
+			b.Run(fmt.Sprintf("%s/%s", id, mode.name), func(b *testing.B) {
+				benchWarmstart(b, id, mode.noWarm)
+			})
+		}
+	}
+}
+
+// TestWarmStartPivotReductionChip16 pins the acceptance criterion of the
+// warm-start kernel: on the chip16 case, basis reuse must cut total
+// simplex pivots by at least 25% against the cold solver at an identical
+// search order (Workers=1), while reaching a DRC-clean design of equal
+// quality. Skipped in -short mode (two full mid-size syntheses).
+func TestWarmStartPivotReductionChip16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pivot-reduction measurement skipped in -short mode")
+	}
+	c, err := cases.Get("chip16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(noWarm bool) *core.Result {
+		n, err := c.Netlist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Synthesize(n, warmstartOpts(noWarm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.DRC.Clean() {
+			t.Fatal("design not DRC-clean")
+		}
+		return res
+	}
+	warm := run(false).Plan.Stats
+	cold := run(true).Plan.Stats
+	if warm.Search.WarmStarts == 0 {
+		t.Fatalf("warm run never warm-started: %+v", warm.Search)
+	}
+	if cold.Search.WarmStarts != 0 {
+		t.Fatalf("cold run warm-started: %+v", cold.Search)
+	}
+	wp, cp := warm.Search.SimplexPivots, cold.Search.SimplexPivots
+	if cp == 0 {
+		t.Fatalf("cold run did no simplex work (pivots=0, nodes=%d)", cold.Search.NodesExplored)
+	}
+	reduction := 1 - float64(wp)/float64(cp)
+	t.Logf("chip16 pivots: cold=%d warm=%d (%.1f%% reduction); lp_solves cold=%d warm=%d; warm_starts=%d fallbacks=%d phase1_rows cold=%d warm=%d",
+		cp, wp, reduction*100, cold.Search.LPSolves, warm.Search.LPSolves,
+		warm.Search.WarmStarts, warm.Search.WarmStartFallbacks,
+		cold.Search.Phase1Rows, warm.Search.Phase1Rows)
+	if reduction < 0.25 {
+		t.Errorf("pivot reduction %.1f%% < 25%% (cold=%d warm=%d)", reduction*100, cp, wp)
+	}
+}
