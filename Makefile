@@ -10,10 +10,11 @@
 #   make verify         vet + race + fuzz smoke + conformance + docs check + serve check (CI gate)
 #   make bench-solver   the sequential-vs-parallel solver benchmark pair
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
+#   make bench-kernel   LP-kernel benchmarks with -benchmem + the zero-alloc gate
 
 GO ?= go
 
-.PHONY: build test vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart
+.PHONY: build test vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-kernel
 
 build:
 	$(GO) build ./...
@@ -71,7 +72,7 @@ serve-check:
 	$(GO) build ./cmd/columbasd ./cmd/columbas
 	$(GO) test -race -count=1 ./internal/server/...
 
-verify: vet race fuzz-smoke conformance docs-check serve-check
+verify: vet race fuzz-smoke conformance docs-check serve-check bench-kernel
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .
@@ -80,6 +81,13 @@ bench-solver:
 # source of the numbers quoted in EXPERIMENTS.md.
 bench-warmstart:
 	$(GO) test -run '^$$' -bench BenchmarkWarmstart -benchtime 3x -count=1 .
+
+# The LP-kernel gate: the steady-state warm path must stay at exactly
+# 0 allocs/op (TestSolveFromSteadyStateAllocs fails otherwise), then the
+# kernel benchmarks report ns/op and allocs/op for eyeballing.
+bench-kernel:
+	$(GO) test -run 'TestSolveFromSteadyStateAllocs' -count=1 ./internal/lp/
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveFrom' -benchmem -count=1 ./internal/lp/
 
 bench:
 	$(GO) test -bench . -benchmem .

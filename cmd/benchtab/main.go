@@ -59,6 +59,10 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *workers < -1 {
+		return fmt.Errorf("-workers must be -1 (all cores), 0/1 (sequential) or a worker count, got %d", *workers)
+	}
+
 	if *pprofCPU != "" {
 		stop, err := obs.StartCPUProfile(*pprofCPU)
 		if err != nil {

@@ -48,7 +48,7 @@ func run() error {
 		muxes     = flag.Int("muxes", 0, "override the netlist's multiplexer count (1 or 2)")
 		tl        = flag.Duration("time", 30*time.Second, "layout generation time budget")
 		effort    = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential, -1: all cores)")
 		noWarm    = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
 		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
 		stats     = flag.Bool("stats", false, "print the per-phase statistics table (docs/metrics.md) to stderr")
@@ -59,6 +59,10 @@ func run() error {
 		assay     = flag.Bool("assay", false, "input is an assay description (high-level synthesis front end)")
 	)
 	flag.Parse()
+
+	if *workers < -1 {
+		return fmt.Errorf("-workers must be -1 (all cores), 0/1 (sequential) or a worker count, got %d", *workers)
+	}
 
 	if *pprofCPU != "" {
 		stop, err := obs.StartCPUProfile(*pprofCPU)

@@ -52,6 +52,16 @@ func run() error {
 	)
 	flag.Parse()
 
+	if *jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1, got %d", *jobs)
+	}
+	if *workers == 0 || *workers < -1 {
+		return fmt.Errorf("-workers must be -1 (all cores) or at least 1, got %d", *workers)
+	}
+	if *cacheN < -1 {
+		return fmt.Errorf("-cache must be -1 (disable), 0 (default) or a capacity, got %d", *cacheN)
+	}
+
 	cfg := server.Config{
 		Jobs:           *jobs,
 		Workers:        *workers,

@@ -220,6 +220,9 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 	sp.SetInt("milp_warm_pivots", se.WarmPivots)
 	sp.SetInt("milp_cold_pivots", se.ColdPivots)
 	sp.SetInt("milp_phase1_rows", se.Phase1Rows)
+	sp.SetInt("milp_eta_updates", se.EtaUpdates)
+	sp.SetInt("milp_refactorizations", se.Refactorizations)
+	sp.SetInt("milp_workspace_reuses", se.WorkspaceReuses)
 	sp.SetInt("milp_root_bounds_fixed", se.RootBoundsFixed)
 	sp.SetInt("milp_incumbent_updates", se.IncumbentUpdates)
 	sp.SetInt("milp_rounding_attempts", se.RoundingAttempts)

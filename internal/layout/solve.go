@@ -228,6 +228,9 @@ func recordRound(sp *obs.Span, b *builder, res *milp.Result, activePairs int) {
 	sp.SetInt("simplex_pivots", st.SimplexPivots)
 	sp.SetInt("warm_starts", st.WarmStarts)
 	sp.SetInt("warm_pivots", st.WarmPivots)
+	sp.SetInt("eta_updates", st.EtaUpdates)
+	sp.SetInt("refactorizations", st.Refactorizations)
+	sp.SetInt("workspace_reuses", st.WorkspaceReuses)
 	sp.SetInt("incumbent_updates", st.IncumbentUpdates)
 	sp.End()
 }

@@ -71,7 +71,13 @@ type Problem struct {
 	lo       []float64
 	hi       []float64
 	rows     []rowDef
+	rev      int64 // bumped on every structural change (vars/rows added)
 	deadline time.Time
+
+	// ws is the kernel scratch memory, created lazily on first solve and
+	// reused for the problem's lifetime (see Workspace). Not copied by
+	// Clone: each clone — one per branch-and-bound worker — owns its own.
+	ws *Workspace
 
 	// Cumulative observability counters (see SolveCount / PivotCount).
 	// Not copied by Clone: each clone reports its own work.
@@ -82,6 +88,9 @@ type Problem struct {
 	warmFallbacks int64
 	warmPivots    int64
 	phase1Rows    int64
+	etaUpdates    int64
+	refactors     int64
+	wsReuses      int64
 }
 
 // SetDeadline makes Solve abort with IterLimit once the wall clock passes
@@ -111,6 +120,7 @@ func (p *Problem) AddVar(lo, hi, cost float64) int {
 	p.cost = append(p.cost, cost)
 	p.lo = append(p.lo, lo)
 	p.hi = append(p.hi, hi)
+	p.rev++
 	return len(p.cost) - 1
 }
 
@@ -119,13 +129,16 @@ func (p *Problem) AddVar(lo, hi, cost float64) int {
 // original — branch-and-bound workers rely on this to explore different
 // subtrees concurrently. The constraint rows themselves are shared
 // (Solve never mutates them); neither problem may gain rows while the
-// other is solving.
+// other is solving. The clone starts with no workspace and zeroed
+// counters: each worker owns its scratch memory and reports its own
+// work.
 func (p *Problem) Clone() *Problem {
 	return &Problem{
 		cost:     append([]float64(nil), p.cost...),
 		lo:       append([]float64(nil), p.lo...),
 		hi:       append([]float64(nil), p.hi...),
 		rows:     p.rows[:len(p.rows):len(p.rows)],
+		rev:      p.rev,
 		deadline: p.deadline,
 	}
 }
@@ -155,6 +168,7 @@ func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
 		}
 	}
 	p.rows = append(p.rows, rowDef{terms: merged, sense: sense, rhs: rhs})
+	p.rev++
 	return len(p.rows) - 1
 }
 
@@ -227,6 +241,34 @@ func (s *Solution) Basis() *Basis { return s.basis }
 // these for reduced-cost bound fixing at the root.
 func (s *Solution) ReducedCosts() []float64 { return s.redCost }
 
+// reset prepares a Solution for reuse: recycle, when non-nil, donates
+// its X and reduced-cost buffer capacity (the caller has promised it no
+// longer reads them — see SolveFromReuse). nStru is the structural
+// variable count of the new result.
+func resetSolution(recycle *Solution, nStru int) *Solution {
+	s := recycle
+	if s == nil {
+		s = &Solution{}
+	}
+	s.Status = Optimal
+	s.Obj = 0
+	s.Iters = 0
+	s.p1rows = 0
+	s.basis = nil
+	if cap(s.X) >= nStru {
+		s.X = s.X[:nStru]
+		for i := range s.X {
+			s.X[i] = 0
+		}
+	} else {
+		s.X = make([]float64, nStru)
+	}
+	if s.redCost != nil {
+		s.redCost = s.redCost[:0]
+	}
+	return s
+}
+
 const (
 	tol     = 1e-7
 	pivTol  = 1e-9
@@ -243,7 +285,11 @@ const (
 
 // tableau is the working state of one simplex run over the equality form
 // A·x = b with bounded variables (structurals, slacks, artificials).
+// Every slice is a view into the problem's Workspace; the struct itself
+// is the workspace's reused tab field, so a steady-state solve allocates
+// nothing here.
 type tableau struct {
+	ws    *Workspace
 	m, n  int       // rows, total columns
 	nStru int       // structural variable count
 	nArt  int       // first artificial column index (= nStru + m slacks)
@@ -256,10 +302,21 @@ type tableau struct {
 	basis    []int // basis[i] = variable basic in row i
 	state    []int8
 	x        []float64
-	binv     [][]float64
+	binv     []float64 // m×m row-major B⁻¹ (workspace-backed)
 	iters    int
 	maxIter  int
 	deadline time.Time
+
+	// Per-run kernel tallies, folded into the Problem counters only when
+	// the run's result is actually returned (abandoned warm attempts
+	// leave the cumulative counters untouched, keeping the documented
+	// identities exact).
+	etaUpd     int64
+	refac      int64
+	reusedInv  bool   // install skipped factorization via the workspace cache
+	basisDirty bool   // basis or nonbasic states changed since install
+	invBad     bool   // B⁻¹ is untrusted (mid-run refactorization failed)
+	installed  *Basis // snapshot installed by a warm start (nil when cold)
 }
 
 // Solve optimises the problem with the current bounds and costs.
@@ -313,6 +370,38 @@ func (p *Problem) ColdPivotCount() int64 { return p.pivots - p.warmPivots }
 // start contributes zero; every cold solve contributes its row count.
 func (p *Problem) Phase1RowCount() int64 { return p.phase1Rows }
 
+// EtaUpdateCount returns the cumulative product-form (eta) updates
+// applied to B⁻¹ — one per basis-changing pivot of every solve whose
+// result was returned. EtaUpdateCount() ≤ PivotCount() always holds
+// (bound-flip iterations change no basis and apply no update).
+func (p *Problem) EtaUpdateCount() int64 { return p.etaUpdates }
+
+// RefactorizationCount returns the number of from-scratch Gauss-Jordan
+// factorizations of the basis matrix: warm-start installs that missed
+// the workspace's factorization cache, plus the counted periodic
+// refactorizations that flush eta-update drift (see SetRefactorInterval).
+// The diagonal artificial start basis of a cold solve is written in
+// place and is not counted.
+func (p *Problem) RefactorizationCount() int64 { return p.refactors }
+
+// WorkspaceReuseCount returns the number of completed solves that
+// skipped the O(m³) basis factorization entirely because the workspace
+// already held B⁻¹ for exactly the requested basis — the steady-state
+// branch-and-bound case where a worker expands a child of the node it
+// just solved. WorkspaceReuseCount() ≤ WarmStartCount() always holds.
+func (p *Problem) WorkspaceReuseCount() int64 { return p.wsReuses }
+
+// foldTableau accumulates a finished run's kernel tallies. Called only
+// for tableaus whose result is returned to the caller, so abandoned warm
+// attempts never skew the counters.
+func (p *Problem) foldTableau(t *tableau) {
+	p.etaUpdates += t.etaUpd
+	p.refactors += t.refac
+	if t.reusedInv {
+		p.wsReuses++
+	}
+}
+
 func (p *Problem) solve() (*Solution, error) {
 	for v := range p.cost {
 		if p.lo[v] > p.hi[v]+tol {
@@ -340,9 +429,13 @@ func (p *Problem) solve() (*Solution, error) {
 	}
 	t := p.newTableau()
 	if st := t.phase1(); st != Optimal {
+		t.saveCache()
+		p.foldTableau(t)
 		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}, nil
 	}
 	st := t.phase2()
+	t.saveCache()
+	p.foldTableau(t)
 	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
 	copy(sol.X, t.x[:t.nStru])
 	for v, xv := range sol.X {
@@ -350,26 +443,34 @@ func (p *Problem) solve() (*Solution, error) {
 	}
 	if st == Optimal {
 		sol.basis = t.snapshot()
-		sol.redCost = t.reducedCosts(t.cost)
+		sol.redCost = t.reducedCostsInto(nil, t.cost)
 	}
 	return sol, nil
 }
 
-func (p *Problem) newTableau() *tableau {
-	m := len(p.rows)
-	nStru := len(p.cost)
-	n := nStru + m + m // structurals + slacks + artificials
-	t := &tableau{
-		m: m, n: n, nStru: nStru, nArt: nStru + m,
-		cols:  make([][]Term, n),
-		b:     make([]float64, m),
-		lo:    make([]float64, n),
-		hi:    make([]float64, n),
-		cost:  make([]float64, n),
-		basis: make([]int, m),
-		state: make([]int8, n),
-		x:     make([]float64, n),
+// prepTableau readies the workspace and fills the tableau fields shared
+// by the cold and warm constructors: dimensions, column views, bounds
+// and costs of structurals and slacks, right-hand sides, and zeroed
+// costs for slack and artificial columns. Artificial bounds and
+// coefficients are left to the caller (the two paths differ there).
+func (p *Problem) prepTableau() *tableau {
+	ws := p.Workspace()
+	ws.prepare(p)
+	t := &ws.tab
+	m, nStru, n := ws.m, ws.nStru, ws.n
+	*t = tableau{
+		ws: ws, m: m, n: n, nStru: nStru, nArt: nStru + m,
+		cols:  ws.cols,
+		b:     ws.b,
+		lo:    ws.lo,
+		hi:    ws.hi,
+		cost:  ws.cost,
+		basis: ws.basis,
+		state: ws.state,
+		x:     ws.x,
+		binv:  ws.binv,
 	}
+	t.basisDirty = true
 	t.maxIter = 5000 + 40*(m+nStru)
 	t.deadline = p.deadline
 	for v := 0; v < nStru; v++ {
@@ -378,12 +479,9 @@ func (p *Problem) newTableau() *tableau {
 		t.cost[v] = p.cost[v]
 	}
 	for i, r := range p.rows {
-		for _, tm := range r.terms {
-			t.cols[tm.Var] = append(t.cols[tm.Var], Term{Var: i, Coef: tm.Coef})
-		}
 		t.b[i] = r.rhs
 		s := nStru + i
-		t.cols[s] = []Term{{Var: i, Coef: 1}}
+		t.cost[s] = 0
 		switch r.sense {
 		case LE:
 			t.lo[s], t.hi[s] = 0, Inf
@@ -392,7 +490,18 @@ func (p *Problem) newTableau() *tableau {
 		case EQ:
 			t.lo[s], t.hi[s] = 0, 0
 		}
+		t.cost[t.nArt+i] = 0
 	}
+	return t
+}
+
+// newTableau builds the cold-start tableau: nonbasic structurals and
+// slacks on their nearest bounds, and a signed artificial basis
+// absorbing the residuals, with B⁻¹ = diag(±1) written in place into
+// workspace memory.
+func (p *Problem) newTableau() *tableau {
+	t := p.prepTableau()
+	m := t.m
 	// Nonbasic start values for structurals and slacks: nearest finite
 	// bound, or zero for free variables.
 	for v := 0; v < t.nArt; v++ {
@@ -405,9 +514,16 @@ func (p *Problem) newTableau() *tableau {
 			t.state[v], t.x[v] = atLo, 0 // free variable pinned at 0
 		}
 	}
-	// Artificial basis absorbing the residuals.
-	t.binv = ident(m)
-	resid := make([]float64, m)
+	// Artificial basis absorbing the residuals. This overwrites binv, so
+	// any cached factorization is gone until saveCache re-validates one.
+	// The signed identity below is an exact inverse of the start basis,
+	// so the drift counter restarts from zero — without this, repeated
+	// cold solves accumulate toward refactorEvery and pay needless
+	// mid-solve refactorizations.
+	t.ws.basisValid = false
+	t.ws.updatesSinceRefactor = 0
+	identInto(t.binv, m)
+	resid := t.ws.resid
 	copy(resid, t.b)
 	for v := 0; v < t.nArt; v++ {
 		if t.x[v] == 0 {
@@ -423,29 +539,23 @@ func (p *Problem) newTableau() *tableau {
 		if resid[i] < 0 {
 			sign = -1
 		}
-		t.cols[a] = []Term{{Var: i, Coef: sign}}
+		t.cols[a][0] = Term{Var: i, Coef: sign}
 		t.lo[a], t.hi[a] = 0, Inf
 		t.basis[i] = a
 		t.state[a] = basic
 		t.x[a] = math.Abs(resid[i])
-		t.binv[i][i] = sign // B = diag(±1) for the artificial start basis
+		t.binv[i*m+i] = sign // B = diag(±1) for the artificial start basis
 	}
 	return t
-}
-
-func ident(m int) [][]float64 {
-	b := make([][]float64, m)
-	for i := range b {
-		b[i] = make([]float64, m)
-		b[i][i] = 1
-	}
-	return b
 }
 
 // phase1 minimises the sum of artificials; Optimal means a feasible basis
 // was found (artificials driven to zero and fixed).
 func (t *tableau) phase1() Status {
-	c1 := make([]float64, t.n)
+	c1 := t.ws.c1
+	for v := 0; v < t.nArt; v++ {
+		c1[v] = 0
+	}
 	for a := t.nArt; a < t.n; a++ {
 		c1[a] = 1
 	}
@@ -474,12 +584,56 @@ func (t *tableau) phase2() Status {
 	return t.simplex(t.cost)
 }
 
+// applyEta counts one product-form update of B⁻¹ (the per-pivot row
+// elimination the callers just performed) and, every refactorEvery
+// updates — accumulated across solves through the workspace cache —
+// rebuilds the inverse from scratch for numerical hygiene. Returns false
+// when that periodic refactorization finds the basis numerically
+// singular; callers abort with IterLimit and the warm path falls back.
+func (t *tableau) applyEta() bool {
+	t.etaUpd++
+	t.basisDirty = true
+	t.ws.basisValid = false // binv no longer matches any cached basis
+	t.ws.updatesSinceRefactor++
+	if t.ws.updatesSinceRefactor >= refactorEvery {
+		if !t.factorize() {
+			t.invBad = true
+			return false
+		}
+		t.refreshBasics()
+	}
+	return true
+}
+
+// saveCache records that the workspace's binv is the inverse of the
+// tableau's final basis, so the next warm install of exactly this basis
+// can skip factorization. A basis holding a sign-flipped artificial
+// column is not cacheable: warm tableaus rebuild artificials with +1
+// coefficients, which would silently change the matrix behind the
+// cached inverse.
+func (t *tableau) saveCache() {
+	ws := t.ws
+	if t.invBad {
+		ws.basisValid = false
+		return
+	}
+	for i := 0; i < t.m; i++ {
+		v := t.basis[i]
+		if v >= t.nArt && t.cols[v][0].Coef != 1 {
+			ws.basisValid = false
+			return
+		}
+	}
+	ws.basisValid = true
+	ws.cachedBasis = append(ws.cachedBasis[:0], t.basis...)
+}
+
 // simplex runs the bounded-variable primal simplex with costs c from the
 // current basis until optimality or failure.
 func (t *tableau) simplex(c []float64) Status {
 	m := t.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	y := t.ws.y
+	w := t.ws.w
 	degen := 0
 	for ; t.iters < t.maxIter; t.iters++ {
 		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
@@ -494,7 +648,7 @@ func (t *tableau) simplex(c []float64) Status {
 			if cb == 0 {
 				continue
 			}
-			row := t.binv[i]
+			row := t.binv[i*m : i*m+m]
 			for k := 0; k < m; k++ {
 				y[k] += cb * row[k]
 			}
@@ -510,7 +664,7 @@ func (t *tableau) simplex(c []float64) Status {
 		}
 		for _, tm := range t.cols[enter] {
 			for i := 0; i < m; i++ {
-				w[i] += t.binv[i][tm.Var] * tm.Coef
+				w[i] += t.binv[i*m+tm.Var] * tm.Coef
 			}
 		}
 		// Ratio test. Moving x_enter by dir·t changes basics by -dir·t·w.
@@ -575,6 +729,7 @@ func (t *tableau) simplex(c []float64) Status {
 				t.state[enter] = atLo
 				t.x[enter] = t.lo[enter]
 			}
+			t.basisDirty = true
 			continue
 		}
 		// Pivot enter into the basis replacing basis[leave].
@@ -588,7 +743,7 @@ func (t *tableau) simplex(c []float64) Status {
 		t.basis[leave] = enter
 		t.state[enter] = basic
 		piv := w[leave]
-		brow := t.binv[leave]
+		brow := t.binv[leave*m : leave*m+m]
 		inv := 1 / piv
 		for k := 0; k < m; k++ {
 			brow[k] *= inv
@@ -598,10 +753,13 @@ func (t *tableau) simplex(c []float64) Status {
 				continue
 			}
 			f := w[i]
-			row := t.binv[i]
+			row := t.binv[i*m : i*m+m]
 			for k := 0; k < m; k++ {
 				row[k] -= f * brow[k]
 			}
+		}
+		if !t.applyEta() {
+			return IterLimit
 		}
 		if t.iters%refresh == refresh-1 {
 			t.refreshBasics()
@@ -652,7 +810,7 @@ func (t *tableau) price(c, y []float64, bland bool) (enter, dir int) {
 // accumulated floating-point drift.
 func (t *tableau) refreshBasics() {
 	m := t.m
-	r := make([]float64, m)
+	r := t.ws.resid
 	copy(r, t.b)
 	for v := 0; v < t.n; v++ {
 		if t.state[v] == basic || t.x[v] == 0 {
@@ -664,7 +822,7 @@ func (t *tableau) refreshBasics() {
 	}
 	for i := 0; i < m; i++ {
 		sum := 0.0
-		row := t.binv[i]
+		row := t.binv[i*m : i*m+m]
 		for k := 0; k < m; k++ {
 			sum += row[k] * r[k]
 		}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package lp
+
+// raceEnabled reports whether the race detector instruments this build.
+// The zero-alloc steady-state assertion is skipped under -race: the
+// instrumentation itself allocates, which is not the property under test.
+const raceEnabled = false

@@ -9,7 +9,8 @@ import (
 // in each row plus the bound each nonbasic column rests on, over the full
 // tableau column space (structurals, slacks, artificials). A Basis is
 // immutable after creation — branch-and-bound shares one snapshot between
-// sibling nodes and across worker Problem clones without copying.
+// sibling nodes and across worker Problem clones without copying, and
+// SolveFromReuse never recycles one.
 type Basis struct {
 	m, nStru int
 	rows     []int  // rows[i] = variable basic in row i
@@ -24,8 +25,15 @@ func (b *Basis) compatible(p *Problem) bool {
 }
 
 // snapshot captures the tableau's current basis. Only valid at a basic
-// solution (after a successful simplex run).
+// solution (after a successful simplex run). When a warm start installed
+// a snapshot and the solve finished without moving anything — no pivot,
+// no bound flip, no state normalisation — the installed snapshot itself
+// is returned: it is immutable and still exact, and the steady-state
+// warm path stays allocation-free.
 func (t *tableau) snapshot() *Basis {
+	if !t.basisDirty && t.installed != nil {
+		return t.installed
+	}
 	return &Basis{
 		m:     t.m,
 		nStru: t.nStru,
@@ -34,30 +42,39 @@ func (t *tableau) snapshot() *Basis {
 	}
 }
 
-// reducedCosts returns d_j = c_j − y·A_j for the structural variables at
-// the current basis, with y = c_B·B⁻¹.
-func (t *tableau) reducedCosts(c []float64) []float64 {
+// reducedCostsInto computes d_j = c_j − y·A_j for the structural
+// variables at the current basis, with y = c_B·B⁻¹, writing into dst
+// when its capacity suffices (steady-state solves recycle the previous
+// Solution's buffer and allocate nothing).
+func (t *tableau) reducedCostsInto(dst []float64, c []float64) []float64 {
 	m := t.m
-	y := make([]float64, m)
+	y := t.ws.y
+	for i := 0; i < m; i++ {
+		y[i] = 0
+	}
 	for i := 0; i < m; i++ {
 		cb := c[t.basis[i]]
 		if cb == 0 {
 			continue
 		}
-		row := t.binv[i]
+		row := t.binv[i*m : i*m+m]
 		for k := 0; k < m; k++ {
 			y[k] += cb * row[k]
 		}
 	}
-	d := make([]float64, t.nStru)
+	if cap(dst) >= t.nStru {
+		dst = dst[:t.nStru]
+	} else {
+		dst = make([]float64, t.nStru)
+	}
 	for v := 0; v < t.nStru; v++ {
 		rc := c[v]
 		for _, tm := range t.cols[v] {
 			rc -= y[tm.Var] * tm.Coef
 		}
-		d[v] = rc
+		dst[v] = rc
 	}
-	return d
+	return dst
 }
 
 // SolveFrom optimises the problem starting from a prior basis snapshot.
@@ -70,7 +87,19 @@ func (t *tableau) reducedCosts(c []float64) []float64 {
 // WarmStartFallbackCount). Unlike Solve, SolveFrom never presolves — the
 // returned Solution always carries a Basis for the next generation.
 func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
-	sol, warm := p.solveFrom(basis)
+	return p.SolveFromReuse(basis, nil)
+}
+
+// SolveFromReuse is SolveFrom with Solution recycling: when recycle is
+// non-nil its X and reduced-cost buffers are reused for the new result,
+// and the returned Solution may be recycle itself. The caller promises it
+// no longer reads recycle (or slices obtained from it) — branch-and-bound
+// hands back the previous node's Solution once its values have been
+// copied out, which makes the steady-state warm path allocation-free.
+// Basis snapshots are never recycled; any Basis previously returned
+// remains valid and immutable.
+func (p *Problem) SolveFromReuse(basis *Basis, recycle *Solution) (*Solution, error) {
+	sol, warm := p.solveFrom(basis, recycle)
 	p.solves++
 	p.pivots += int64(sol.Iters)
 	if warm {
@@ -88,48 +117,59 @@ func (p *Problem) SolveFrom(basis *Basis) (*Solution, error) {
 
 // solveFrom runs the warm path and reports whether it was used; any
 // failure inside the warm attempt discards its state and re-solves cold.
-func (p *Problem) solveFrom(basis *Basis) (sol *Solution, warm bool) {
+func (p *Problem) solveFrom(basis *Basis, recycle *Solution) (sol *Solution, warm bool) {
 	for v := range p.cost {
 		if p.lo[v] > p.hi[v]+tol {
 			// Trivially infeasible child; no simplex work on either path.
 			// Attributed to the warm side when a basis was offered so a
 			// fallback is never recorded for a node the parent basis
 			// could not have helped.
-			return &Solution{Status: Infeasible, X: make([]float64, len(p.cost))}, basis != nil
+			s := resetSolution(recycle, len(p.cost))
+			s.Status = Infeasible
+			return s, basis != nil
 		}
 	}
 	if basis.compatible(p) {
-		if s := p.warmSolve(basis); s != nil {
+		if s := p.warmSolve(basis, recycle); s != nil {
 			return s, true
 		}
 	}
-	return p.coldFull(), false
+	return p.coldFull(recycle), false
 }
 
 // coldFull is the fallback: a full-tableau two-phase solve that bypasses
 // presolve so the result carries a reusable basis.
-func (p *Problem) coldFull() *Solution {
+func (p *Problem) coldFull(recycle *Solution) *Solution {
 	t := p.newTableau()
 	if st := t.phase1(); st != Optimal {
-		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
+		t.saveCache()
+		p.foldTableau(t)
+		sol := resetSolution(recycle, len(p.cost))
+		sol.Status, sol.Iters, sol.p1rows = st, t.iters, t.m
+		return sol
 	}
 	st := t.phase2()
-	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
+	t.saveCache()
+	p.foldTableau(t)
+	sol := resetSolution(recycle, len(p.cost))
+	sol.Status, sol.Iters, sol.p1rows = st, t.iters, t.m
 	copy(sol.X, t.x[:t.nStru])
 	for v, xv := range sol.X {
 		sol.Obj += p.cost[v] * xv
 	}
 	if st == Optimal {
 		sol.basis = t.snapshot()
-		sol.redCost = t.reducedCosts(t.cost)
+		sol.redCost = t.reducedCostsInto(sol.redCost, t.cost)
 	}
 	return sol
 }
 
 // warmSolve attempts the warm path. A nil return means the basis could
 // not be used (singular factorization, iteration blow-up, or a result
-// that fails verification) and the caller should fall back.
-func (p *Problem) warmSolve(basis *Basis) *Solution {
+// that fails verification) and the caller should fall back. The recycle
+// buffers are only consumed on a returned result; a fallback leaves them
+// for coldFull to claim.
+func (p *Problem) warmSolve(basis *Basis, recycle *Solution) *Solution {
 	t := p.newWarmTableau(basis)
 	if t == nil {
 		return nil
@@ -140,10 +180,17 @@ func (p *Problem) warmSolve(basis *Basis) *Solution {
 	// infeasibility proof, not a failure.
 	switch st := t.dualSimplex(t.cost); st {
 	case Infeasible:
-		return &Solution{Status: Infeasible, X: make([]float64, len(p.cost)), Iters: t.iters}
+		t.saveCache()
+		p.foldTableau(t)
+		sol := resetSolution(recycle, len(p.cost))
+		sol.Status, sol.Iters = Infeasible, t.iters
+		return sol
 	case IterLimit:
 		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
-			return &Solution{Status: IterLimit, X: make([]float64, len(p.cost)), Iters: t.iters}
+			p.foldTableau(t)
+			sol := resetSolution(recycle, len(p.cost))
+			sol.Status, sol.Iters = IterLimit, t.iters
+			return sol
 		}
 		return nil // stale basis ground away the budget — fall back
 	}
@@ -152,14 +199,22 @@ func (p *Problem) warmSolve(basis *Basis) *Solution {
 	st := t.phase2()
 	if st == Unbounded || st == IterLimit {
 		if st == IterLimit && !t.deadline.IsZero() && time.Now().After(t.deadline) {
-			return &Solution{Status: IterLimit, X: make([]float64, len(p.cost)), Iters: t.iters}
+			p.foldTableau(t)
+			sol := resetSolution(recycle, len(p.cost))
+			sol.Status, sol.Iters = IterLimit, t.iters
+			return sol
 		}
 		if st == Unbounded {
-			return &Solution{Status: Unbounded, X: make([]float64, len(p.cost)), Iters: t.iters}
+			t.saveCache()
+			p.foldTableau(t)
+			sol := resetSolution(recycle, len(p.cost))
+			sol.Status, sol.Iters = Unbounded, t.iters
+			return sol
 		}
 		return nil
 	}
-	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters}
+	sol := resetSolution(recycle, len(p.cost))
+	sol.Status, sol.Iters = st, t.iters
 	copy(sol.X, t.x[:t.nStru])
 	for v, xv := range sol.X {
 		sol.Obj += p.cost[v] * xv
@@ -167,8 +222,10 @@ func (p *Problem) warmSolve(basis *Basis) *Solution {
 	if !p.warmResultOK(sol.X) {
 		return nil // numerically off — rebuild from scratch
 	}
+	t.saveCache()
+	p.foldTableau(t)
 	sol.basis = t.snapshot()
-	sol.redCost = t.reducedCosts(t.cost)
+	sol.redCost = t.reducedCostsInto(sol.redCost, t.cost)
 	return sol
 }
 
@@ -185,62 +242,47 @@ func (p *Problem) warmResultOK(x []float64) bool {
 	return p.RowsSatisfied(x, vtol)
 }
 
-// newWarmTableau builds the full tableau (as newTableau does) but
-// installs the snapshot basis instead of the artificial one. Artificials
-// are created fixed at zero with +1 coefficients — they exist only so
-// snapshot column indices stay aligned and a degenerate parent basis that
-// still holds an artificial remains representable. Returns nil when the
-// basis matrix is singular.
+// installBasis adopts the snapshot's basis and states, producing a valid
+// B⁻¹ in workspace memory. When the workspace's factorization cache
+// already holds the inverse of exactly this basis — the steady-state
+// branch-and-bound case, where a worker expands a child of the node it
+// just solved — the O(m³) Gauss-Jordan rebuild is skipped entirely and
+// the solve is tallied as a workspace reuse. Returns false when the
+// basis matrix is numerically singular.
 func (t *tableau) installBasis(b *Basis) bool {
 	copy(t.basis, b.rows)
 	copy(t.state, b.state)
+	t.installed = b
+	if t.ws.basisValid && intsEqual(t.ws.cachedBasis, b.rows) {
+		t.reusedInv = true
+		return true
+	}
 	return t.factorize()
 }
 
+// newWarmTableau builds the full tableau (as newTableau does) but
+// installs the snapshot basis instead of the artificial one. Artificials
+// are fixed at zero with +1 coefficients — they exist only so snapshot
+// column indices stay aligned and a degenerate parent basis that still
+// holds an artificial remains representable. Returns nil when the basis
+// matrix is singular.
 func (p *Problem) newWarmTableau(b *Basis) *tableau {
-	m := len(p.rows)
-	nStru := len(p.cost)
-	n := nStru + m + m
-	t := &tableau{
-		m: m, n: n, nStru: nStru, nArt: nStru + m,
-		cols:  make([][]Term, n),
-		b:     make([]float64, m),
-		lo:    make([]float64, n),
-		hi:    make([]float64, n),
-		cost:  make([]float64, n),
-		basis: make([]int, m),
-		state: make([]int8, n),
-		x:     make([]float64, n),
-	}
-	t.maxIter = 5000 + 40*(m+nStru)
-	t.deadline = p.deadline
-	for v := 0; v < nStru; v++ {
-		t.lo[v] = p.lo[v]
-		t.hi[v] = p.hi[v]
-		t.cost[v] = p.cost[v]
-	}
-	for i, r := range p.rows {
-		for _, tm := range r.terms {
-			t.cols[tm.Var] = append(t.cols[tm.Var], Term{Var: i, Coef: tm.Coef})
-		}
-		t.b[i] = r.rhs
-		s := nStru + i
-		t.cols[s] = []Term{{Var: i, Coef: 1}}
-		switch r.sense {
-		case LE:
-			t.lo[s], t.hi[s] = 0, Inf
-		case GE:
-			t.lo[s], t.hi[s] = -Inf, 0
-		case EQ:
-			t.lo[s], t.hi[s] = 0, 0
-		}
+	t := p.prepTableau()
+	m := t.m
+	// A prior cold solve may have sign-flipped artificial coefficients in
+	// the shared column arena; the warm convention is +1, fixed at zero.
+	// Rewriting a nonbasic column never touches B⁻¹, and saveCache refuses
+	// to cache a basis holding a flipped artificial, so a cache hit can
+	// only ever see +1 columns.
+	for i := 0; i < m; i++ {
 		a := t.nArt + i
-		t.cols[a] = []Term{{Var: i, Coef: 1}}
+		t.cols[a][0] = Term{Var: i, Coef: 1}
 		t.lo[a], t.hi[a] = 0, 0
 	}
 	if !t.installBasis(b) {
 		return nil
 	}
+	t.basisDirty = false
 	// Nonbasic variables rest on their (possibly tightened) bounds; the
 	// snapshot's atUp/atLo choice is kept where both bounds are finite.
 	for v := 0; v < t.n; v++ {
@@ -251,11 +293,23 @@ func (p *Problem) newWarmTableau(b *Basis) *tableau {
 		case t.state[v] == atUp && !math.IsInf(t.hi[v], 1):
 			t.x[v] = t.hi[v]
 		case !math.IsInf(t.lo[v], -1):
-			t.state[v], t.x[v] = atLo, t.lo[v]
+			if t.state[v] != atLo {
+				t.state[v] = atLo
+				t.basisDirty = true
+			}
+			t.x[v] = t.lo[v]
 		case !math.IsInf(t.hi[v], 1):
-			t.state[v], t.x[v] = atUp, t.hi[v]
+			if t.state[v] != atUp {
+				t.state[v] = atUp
+				t.basisDirty = true
+			}
+			t.x[v] = t.hi[v]
 		default:
-			t.state[v], t.x[v] = atLo, 0 // free variable pinned at 0
+			if t.state[v] != atLo {
+				t.state[v] = atLo
+				t.basisDirty = true
+			}
+			t.x[v] = 0 // free variable pinned at 0
 		}
 	}
 	t.refreshBasics()
@@ -263,58 +317,77 @@ func (p *Problem) newWarmTableau(b *Basis) *tableau {
 }
 
 // factorize computes binv = B⁻¹ for the currently installed basis by
-// Gauss-Jordan elimination with partial pivoting. Returns false when the
-// basis matrix is numerically singular.
+// Gauss-Jordan elimination with partial pivoting, entirely inside
+// workspace memory. Returns false when the basis matrix is numerically
+// singular; the factorization cache is invalidated either way until a
+// trusted exit re-validates it (saveCache).
 func (t *tableau) factorize() bool {
 	m := t.m
+	t.ws.basisValid = false
+	t.ws.updatesSinceRefactor = 0
+	t.refac++
 	if m == 0 {
-		t.binv = ident(0)
 		return true
 	}
 	// Dense B from the basis columns, augmented with the identity.
-	bmat := make([][]float64, m)
-	t.binv = ident(m)
-	for i := range bmat {
-		bmat[i] = make([]float64, m)
+	bmat := t.ws.bmat
+	binv := t.binv
+	for i := range bmat[:m*m] {
+		bmat[i] = 0
 	}
+	identInto(binv, m)
 	for j := 0; j < m; j++ {
 		v := t.basis[j]
 		if v < 0 || v >= t.n {
 			return false
 		}
 		for _, tm := range t.cols[v] {
-			bmat[tm.Var][j] = tm.Coef
+			bmat[tm.Var*m+j] = tm.Coef
 		}
 	}
 	const singTol = 1e-9
 	for col := 0; col < m; col++ {
 		piv, pivAbs := -1, singTol
 		for r := col; r < m; r++ {
-			if a := math.Abs(bmat[r][col]); a > pivAbs {
+			if a := math.Abs(bmat[r*m+col]); a > pivAbs {
 				piv, pivAbs = r, a
 			}
 		}
 		if piv < 0 {
 			return false
 		}
-		bmat[col], bmat[piv] = bmat[piv], bmat[col]
-		t.binv[col], t.binv[piv] = t.binv[piv], t.binv[col]
-		inv := 1 / bmat[col][col]
+		if piv != col {
+			cr := bmat[col*m : col*m+m]
+			pr := bmat[piv*m : piv*m+m]
+			for k := 0; k < m; k++ {
+				cr[k], pr[k] = pr[k], cr[k]
+			}
+			ci := binv[col*m : col*m+m]
+			pi := binv[piv*m : piv*m+m]
+			for k := 0; k < m; k++ {
+				ci[k], pi[k] = pi[k], ci[k]
+			}
+		}
+		crow := bmat[col*m : col*m+m]
+		irow := binv[col*m : col*m+m]
+		inv := 1 / crow[col]
 		for k := 0; k < m; k++ {
-			bmat[col][k] *= inv
-			t.binv[col][k] *= inv
+			crow[k] *= inv
+			irow[k] *= inv
 		}
 		for r := 0; r < m; r++ {
 			if r == col {
 				continue
 			}
-			f := bmat[r][col]
+			f := bmat[r*m+col]
 			if f == 0 {
 				continue
 			}
+			rrow := bmat[r*m : r*m+m]
+			xrow := binv[r*m : r*m+m]
 			for k := 0; k < m; k++ {
-				bmat[r][k] -= f * bmat[col][k]
-				t.binv[r][k] -= f * t.binv[col][k]
+				rrow[k] -= f * crow[k]
+				xrow[k] -= f * irow[k]
 			}
 		}
 	}
@@ -329,8 +402,8 @@ func (t *tableau) factorize() bool {
 // entering column (a valid infeasibility certificate), or IterLimit.
 func (t *tableau) dualSimplex(c []float64) Status {
 	m := t.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	y := t.ws.y
+	w := t.ws.w
 	degen := 0
 	for ; t.iters < t.maxIter; t.iters++ {
 		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
@@ -361,12 +434,12 @@ func (t *tableau) dualSimplex(c []float64) Status {
 			if cb == 0 {
 				continue
 			}
-			row := t.binv[i]
+			row := t.binv[i*m : i*m+m]
 			for k := 0; k < m; k++ {
 				y[k] += cb * row[k]
 			}
 		}
-		rho := t.binv[r]
+		rho := t.binv[r*m : r*m+m]
 		enter, bestRatio := -1, Inf
 		bland := degen >= stall
 		for v := 0; v < t.n; v++ {
@@ -422,7 +495,7 @@ func (t *tableau) dualSimplex(c []float64) Status {
 		}
 		for _, tm := range t.cols[enter] {
 			for i := 0; i < m; i++ {
-				w[i] += t.binv[i][tm.Var] * tm.Coef
+				w[i] += t.binv[i*m+tm.Var] * tm.Coef
 			}
 		}
 		if math.Abs(w[r]) < pivTol {
@@ -441,7 +514,7 @@ func (t *tableau) dualSimplex(c []float64) Status {
 		t.basis[r] = enter
 		t.state[enter] = basic
 		piv := w[r]
-		brow := t.binv[r]
+		brow := t.binv[r*m : r*m+m]
 		inv := 1 / piv
 		for k := 0; k < m; k++ {
 			brow[k] *= inv
@@ -451,10 +524,13 @@ func (t *tableau) dualSimplex(c []float64) Status {
 				continue
 			}
 			f := w[i]
-			row := t.binv[i]
+			row := t.binv[i*m : i*m+m]
 			for k := 0; k < m; k++ {
 				row[k] -= f * brow[k]
 			}
+		}
+		if !t.applyEta() {
+			return IterLimit
 		}
 		if t.iters%refresh == refresh-1 {
 			t.refreshBasics()

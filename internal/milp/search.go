@@ -79,6 +79,13 @@ type search struct {
 	inflightHW    int          // under mu: max concurrent expansions
 	rootFixed     int64        // under mu: reduced-cost bound fixings at the root
 	wstats        []WorkerStats
+
+	// spare holds one recyclable lp.Solution per worker. expand hands the
+	// previous node's Solution back to SolveFromReuse once everything it
+	// needs has been copied out (incumbents copy X, children only share
+	// the immutable Basis), so the steady-state warm path allocates
+	// nothing.
+	spare []*lp.Solution
 }
 
 func newSearch(m *Model, opt Options) *search {
@@ -112,6 +119,7 @@ func newSearch(m *Model, opt Options) *search {
 	s.frontier = nodeHeap{{bound: math.Inf(-1)}}
 	s.inflight = make(map[int]float64, s.workers)
 	s.wstats = make([]WorkerStats, s.workers)
+	s.spare = make([]*lp.Solution, s.workers)
 	return s
 }
 
@@ -129,6 +137,11 @@ func (s *search) run() (*Result, error) {
 		// Propagate the budget into the LP so one oversized relaxation
 		// cannot overshoot it.
 		p.SetDeadline(s.deadline)
+		// Each worker owns its kernel workspace: tableau scratch, the flat
+		// B⁻¹ and its factorization cache live for the worker's whole
+		// subtree, so after warm-up the expansion loop runs on recycled
+		// memory (see lp.Workspace).
+		p.SetWorkspace(lp.NewWorkspace())
 		return p
 	}
 	// The interrupt watcher wakes workers blocked on the frontier condvar
@@ -190,6 +203,9 @@ func (s *search) worker(id int, prob *lp.Problem) {
 	w.WarmFallbacks = prob.WarmStartFallbackCount()
 	w.WarmPivots = prob.WarmPivotCount()
 	w.Phase1Rows = prob.Phase1RowCount()
+	w.EtaUpdates = prob.EtaUpdateCount()
+	w.Refactorizations = prob.RefactorizationCount()
+	w.WorkspaceReuses = prob.WorkspaceReuseCount()
 }
 
 // loadInc reads the published incumbent objective without locking.
@@ -363,10 +379,17 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	// tree never branches, as the guided large-scale layouts do.
 	var sol *lp.Solution
 	var err error
+	// The worker's spare Solution from the previous expansion is recycled
+	// into this solve (its X and reduced costs were copied out before it
+	// was parked); whatever Solution this expansion ends up holding is
+	// parked as the next spare on every exit path.
+	reuse := s.spare[id]
+	s.spare[id] = nil
+	defer func() { s.spare[id] = sol }()
 	if s.opt.NoWarmStart || n.basis == nil {
 		sol, err = prob.Solve()
 	} else {
-		sol, err = prob.SolveFrom(n.basis)
+		sol, err = prob.SolveFromReuse(n.basis, reuse)
 	}
 	if err != nil {
 		s.done(id, func() {
@@ -548,6 +571,9 @@ func (s *search) statsSnapshot() SearchStats {
 		st.WarmStartFallbacks += w.WarmFallbacks
 		st.WarmPivots += w.WarmPivots
 		st.Phase1Rows += w.Phase1Rows
+		st.EtaUpdates += w.EtaUpdates
+		st.Refactorizations += w.Refactorizations
+		st.WorkspaceReuses += w.WorkspaceReuses
 	}
 	st.ColdSolves = st.LPSolves - st.WarmStarts
 	st.ColdPivots = st.SimplexPivots - st.WarmPivots

@@ -52,6 +52,20 @@ type SearchStats struct {
 	// artificial phase-1 run — the work warm starts exist to skip. Warm
 	// solves contribute zero.
 	Phase1Rows int64
+	// EtaUpdates counts the product-form updates applied to B⁻¹ — one per
+	// basis-changing simplex pivot. EtaUpdates ≤ SimplexPivots always
+	// holds (bound-flip iterations change no basis).
+	EtaUpdates int64
+	// Refactorizations counts from-scratch Gauss-Jordan rebuilds of B⁻¹:
+	// warm-start installs that missed the per-worker factorization cache
+	// plus the counted periodic refactorizations that flush eta-update
+	// drift.
+	Refactorizations int64
+	// WorkspaceReuses counts LP solves that skipped factorization
+	// entirely because the worker's workspace already held B⁻¹ for
+	// exactly the requested basis — the steady-state parent→child case.
+	// WorkspaceReuses ≤ WarmStarts always holds.
+	WorkspaceReuses int64
 	// RootBoundsFixed counts integer-variable bounds tightened by
 	// reduced-cost fixing after the root relaxation.
 	RootBoundsFixed int64
@@ -94,6 +108,11 @@ type WorkerStats struct {
 	WarmFallbacks int64
 	WarmPivots    int64
 	Phase1Rows    int64
+	// EtaUpdates / Refactorizations / WorkspaceReuses are the worker's
+	// share of the kernel memory-model counters (see SearchStats).
+	EtaUpdates       int64
+	Refactorizations int64
+	WorkspaceReuses  int64
 	// Busy is the wall-clock time the worker spent expanding nodes (LP
 	// solves included); Busy/Wall is the worker's utilization.
 	Busy time.Duration
@@ -134,6 +153,9 @@ func (st *SearchStats) Merge(other SearchStats) {
 	st.WarmPivots += other.WarmPivots
 	st.ColdPivots += other.ColdPivots
 	st.Phase1Rows += other.Phase1Rows
+	st.EtaUpdates += other.EtaUpdates
+	st.Refactorizations += other.Refactorizations
+	st.WorkspaceReuses += other.WorkspaceReuses
 	st.RootBoundsFixed += other.RootBoundsFixed
 	st.IncumbentUpdates += other.IncumbentUpdates
 	st.RoundingAttempts += other.RoundingAttempts
@@ -152,6 +174,9 @@ func (st *SearchStats) Merge(other SearchStats) {
 		st.PerWorker[i].WarmFallbacks += w.WarmFallbacks
 		st.PerWorker[i].WarmPivots += w.WarmPivots
 		st.PerWorker[i].Phase1Rows += w.Phase1Rows
+		st.PerWorker[i].EtaUpdates += w.EtaUpdates
+		st.PerWorker[i].Refactorizations += w.Refactorizations
+		st.PerWorker[i].WorkspaceReuses += w.WorkspaceReuses
 		st.PerWorker[i].Busy += w.Busy
 	}
 }

@@ -31,7 +31,13 @@ func checkStatsConsistent(t *testing.T, st SearchStats, workers int) {
 	if st.WarmStartFallbacks > st.ColdSolves {
 		t.Errorf("WarmStartFallbacks %d > ColdSolves %d", st.WarmStartFallbacks, st.ColdSolves)
 	}
-	var nodes, solves, pivots, warm, warmPiv, fallbacks, p1 int64
+	if st.EtaUpdates > st.SimplexPivots {
+		t.Errorf("EtaUpdates %d > SimplexPivots %d", st.EtaUpdates, st.SimplexPivots)
+	}
+	if st.WorkspaceReuses > st.WarmStarts {
+		t.Errorf("WorkspaceReuses %d > WarmStarts %d", st.WorkspaceReuses, st.WarmStarts)
+	}
+	var nodes, solves, pivots, warm, warmPiv, fallbacks, p1, eta, refac, reuse int64
 	for _, w := range st.PerWorker {
 		nodes += w.Nodes
 		solves += w.LPSolves
@@ -40,6 +46,18 @@ func checkStatsConsistent(t *testing.T, st SearchStats, workers int) {
 		warmPiv += w.WarmPivots
 		fallbacks += w.WarmFallbacks
 		p1 += w.Phase1Rows
+		eta += w.EtaUpdates
+		refac += w.Refactorizations
+		reuse += w.WorkspaceReuses
+	}
+	if eta != st.EtaUpdates {
+		t.Errorf("per-worker eta updates sum %d != EtaUpdates %d", eta, st.EtaUpdates)
+	}
+	if refac != st.Refactorizations {
+		t.Errorf("per-worker refactorizations sum %d != Refactorizations %d", refac, st.Refactorizations)
+	}
+	if reuse != st.WorkspaceReuses {
+		t.Errorf("per-worker workspace reuses sum %d != WorkspaceReuses %d", reuse, st.WorkspaceReuses)
 	}
 	if warm != st.WarmStarts {
 		t.Errorf("per-worker warm starts sum %d != WarmStarts %d", warm, st.WarmStarts)
@@ -207,15 +225,17 @@ func TestSearchStatsMerge(t *testing.T) {
 		InFlightHighWater: 2, LPSolves: 11, SimplexPivots: 100,
 		WarmStarts: 8, ColdSolves: 3, WarmStartFallbacks: 1,
 		WarmPivots: 40, ColdPivots: 60, Phase1Rows: 30, RootBoundsFixed: 2,
+		EtaUpdates: 90, Refactorizations: 4, WorkspaceReuses: 6,
 		IncumbentUpdates: 3, RoundingAttempts: 1, RoundingHits: 1,
 		Wall:      time.Second,
-		PerWorker: []WorkerStats{{Nodes: 6, WarmStarts: 5}, {Nodes: 4, WarmStarts: 3}},
+		PerWorker: []WorkerStats{{Nodes: 6, WarmStarts: 5, EtaUpdates: 50}, {Nodes: 4, WarmStarts: 3, EtaUpdates: 40}},
 	}
 	b := SearchStats{
 		Workers: 4, NodesExplored: 5, InFlightHighWater: 3, LPSolves: 5,
 		WarmStarts: 4, ColdSolves: 1, WarmPivots: 10, Phase1Rows: 6,
+		EtaUpdates: 10, Refactorizations: 1, WorkspaceReuses: 3,
 		Wall:      time.Second,
-		PerWorker: []WorkerStats{{Nodes: 2, WarmStarts: 4}, {Nodes: 1}, {Nodes: 1}, {Nodes: 1}},
+		PerWorker: []WorkerStats{{Nodes: 2, WarmStarts: 4, EtaUpdates: 10}, {Nodes: 1}, {Nodes: 1}, {Nodes: 1}},
 	}
 	a.Merge(b)
 	if a.Workers != 4 || a.NodesExplored != 15 || a.LPSolves != 16 || a.InFlightHighWater != 3 {
@@ -227,6 +247,12 @@ func TestSearchStatsMerge(t *testing.T) {
 	}
 	if a.LPSolves != a.WarmStarts+a.ColdSolves {
 		t.Fatalf("merge broke the warm-start conservation identity: %+v", a)
+	}
+	if a.EtaUpdates != 100 || a.Refactorizations != 5 || a.WorkspaceReuses != 9 {
+		t.Fatalf("kernel counter merge totals wrong: %+v", a)
+	}
+	if a.PerWorker[0].EtaUpdates != 60 || a.PerWorker[1].EtaUpdates != 40 {
+		t.Fatalf("per-worker kernel counter merge wrong: %+v", a.PerWorker)
 	}
 	if a.Wall != 2*time.Second {
 		t.Fatalf("wall = %v", a.Wall)

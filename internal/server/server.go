@@ -78,6 +78,15 @@ type Server struct {
 	timeouts  atomic.Int64
 	canceled  atomic.Int64
 
+	// Cumulative LP-kernel work across all completed syntheses (cache
+	// hits contribute nothing — no solver ran).
+	lpSolves      atomic.Int64
+	simplexPivots atomic.Int64
+	warmStarts    atomic.Int64
+	etaUpdates    atomic.Int64
+	refactors     atomic.Int64
+	wsReuses      atomic.Int64
+
 	traceMu sync.Mutex
 }
 
@@ -145,6 +154,8 @@ type Stats struct {
 	Pool PoolStats `json:"pool"`
 	// Requests reports the synthesis request counters.
 	Requests RequestStats `json:"requests"`
+	// Solver aggregates LP-kernel work across completed syntheses.
+	Solver SolverStats `json:"solver"`
 	// Cache reports the content-addressed result cache counters.
 	Cache CacheStats `json:"cache"`
 }
@@ -176,6 +187,22 @@ type RequestStats struct {
 	Canceled  int64 `json:"canceled"`
 }
 
+// SolverStats is the cumulative LP-kernel work behind every completed
+// synthesis — the milp_* counter family of docs/metrics.md summed over
+// requests (cache hits run no solver and add nothing). It makes kernel
+// health observable in production without tracing: warm_starts near
+// lp_solves and workspace_reuses near warm_starts mean the factorization
+// cache is doing its job; a rising refactorizations share means bases
+// are churning.
+type SolverStats struct {
+	LPSolves         int64 `json:"lp_solves"`
+	SimplexPivots    int64 `json:"simplex_pivots"`
+	WarmStarts       int64 `json:"warm_starts"`
+	EtaUpdates       int64 `json:"eta_updates"`
+	Refactorizations int64 `json:"refactorizations"`
+	WorkspaceReuses  int64 `json:"workspace_reuses"`
+}
+
 // snapshot assembles the current Stats.
 func (s *Server) snapshot() Stats {
 	s.mu.Lock()
@@ -197,6 +224,14 @@ func (s *Server) snapshot() Stats {
 			Failed:    s.failed.Load(),
 			Timeouts:  s.timeouts.Load(),
 			Canceled:  s.canceled.Load(),
+		},
+		Solver: SolverStats{
+			LPSolves:         s.lpSolves.Load(),
+			SimplexPivots:    s.simplexPivots.Load(),
+			WarmStarts:       s.warmStarts.Load(),
+			EtaUpdates:       s.etaUpdates.Load(),
+			Refactorizations: s.refactors.Load(),
+			WorkspaceReuses:  s.wsReuses.Load(),
 		},
 		Cache: s.cache.stats(),
 	}
@@ -330,6 +365,15 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.completed.Add(1)
+	if res.Plan != nil {
+		se := res.Plan.Stats.Search
+		s.lpSolves.Add(se.LPSolves)
+		s.simplexPivots.Add(se.SimplexPivots)
+		s.warmStarts.Add(se.WarmStarts)
+		s.etaUpdates.Add(se.EtaUpdates)
+		s.refactors.Add(se.Refactorizations)
+		s.wsReuses.Add(se.WorkspaceReuses)
+	}
 	s.cache.add(key, res)
 	s.render(w, fm, res, key, "miss")
 }

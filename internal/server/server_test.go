@@ -190,6 +190,22 @@ func TestCacheHitByteIdentical(t *testing.T) {
 	if st.Cache.Hits != 3 || st.Requests.Completed != 4 {
 		t.Fatalf("stats = %+v", st)
 	}
+	// The solver block reflects the single cold solve; the three cache
+	// hits ran no solver and contributed nothing, so one synthesis worth
+	// of LP solves is all there is, and the kernel identities hold.
+	if st.Solver.LPSolves == 0 {
+		t.Fatalf("solver stats empty after a completed synthesis: %+v", st.Solver)
+	}
+	if st.Solver.EtaUpdates > st.Solver.SimplexPivots {
+		t.Fatalf("eta_updates %d > simplex_pivots %d", st.Solver.EtaUpdates, st.Solver.SimplexPivots)
+	}
+	if st.Solver.WorkspaceReuses > st.Solver.WarmStarts {
+		t.Fatalf("workspace_reuses %d > warm_starts %d", st.Solver.WorkspaceReuses, st.Solver.WarmStarts)
+	}
+	after := getStats(t, ts.URL)
+	if after.Solver != st.Solver {
+		t.Fatalf("solver stats changed without a solve: %+v vs %+v", after.Solver, st.Solver)
+	}
 	// Hit/miss surfaced through the obs trace sink: one line per request.
 	lines := strings.Count(traces.String(), "\n")
 	if lines != 4 {
@@ -316,7 +332,10 @@ func TestDeadlineCancelsMidSolve(t *testing.T) {
 // TestQueuedRequestHonorsDeadline: a request stuck behind a full pool
 // times out in the queue with 504.
 func TestQueuedRequestHonorsDeadline(t *testing.T) {
-	c, err := cases.Get("chip9")
+	// chip64 keeps the branch-and-bound busy for well over the queued
+	// request's window; chip9 no longer does since the kernel got fast
+	// enough to finish in tens of milliseconds.
+	c, err := cases.Get("chip64")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +346,16 @@ func TestQueuedRequestHonorsDeadline(t *testing.T) {
 		defer close(release)
 		post(t, ts.URL+"/v1/synthesize?timeout=3s&effort=full&time=30s", c.Source)
 	}()
-	time.Sleep(100 * time.Millisecond) // let the slow solve take the slot
+	// Wait for the slow solve to actually take the slot.
+	for i := 0; ; i++ {
+		if st := getStats(t, ts.URL); st.Pool.Active == 1 {
+			break
+		}
+		if i > 200 {
+			t.Fatal("slow solve never took the pool slot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	resp, body := post(t, ts.URL+"/v1/synthesize?timeout=100ms", tinySrc)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("queued status %d: %s", resp.StatusCode, body)
