@@ -1,26 +1,33 @@
 # Standard verify loop for the Columba S reproduction.
 #
 #   make test           tier-1: build everything, run every test
+#   make test-short     the fast tier: go test -short ./... (inner-loop sanity)
 #   make race           the race detector across the whole module
 #   make race-solver    quick race pass over the solver stack only
-#   make fuzz-smoke     short parallel-vs-sequential solver fuzz run
+#   make fuzz-smoke     short solver fuzz runs (parallel-vs-sequential + cut validity)
 #   make conformance    full randomized synthesis sweep (200 seeds, no race)
 #   make docs-check     every internal package documents itself in a doc.go
 #   make serve-check    build the daemon + httptest smoke of the HTTP API under -race
 #   make verify         vet + race + fuzz smoke + conformance + docs check + serve check (CI gate)
 #   make bench-solver   the sequential-vs-parallel solver benchmark pair
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
+#   make bench-cuts     tree reductions on vs off: node/pivot numbers for EXPERIMENTS.md
 #   make bench-kernel   LP-kernel benchmarks with -benchmem + the zero-alloc gate
 
 GO ?= go
 
-.PHONY: build test vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-kernel
+.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# The fast tier for inner-loop development: every package's -short
+# subset (the randomized sweeps shrink, the measurement tests skip).
+test-short: build
+	$(GO) test -short ./...
 
 vet:
 	$(GO) vet ./...
@@ -35,12 +42,20 @@ race:
 race-solver:
 	$(GO) test -race -count=1 ./internal/milp/... ./internal/lp/...
 
+# One go test invocation can drive only one -fuzz target, so the two
+# smoke runs are separate lines: the parallel-vs-sequential solver
+# property at the root, and the cut/presolve validity property
+# (no reduction may exclude an integer-feasible point) in internal/milp.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMILPParallel -fuzztime 15s .
+	$(GO) test -run '^$$' -fuzz FuzzCutValidity -fuzztime 15s ./internal/milp/
 
 # The randomized synthesis conformance property at full width: every one
 # of the 200 generator seeds must either be rejected with a typed
-# *core.SynthesisError or synthesize into a DRC-clean design.
+# *core.SynthesisError or synthesize into a DRC-clean design. The
+# TestSynthesisConformance prefix also pulls in the warm/cold and
+# cuts×presolve agreement matrices (solver ablations must never change
+# a verdict).
 conformance:
 	$(GO) test -run 'TestSynthesisConformance|TestNetlistRoundTrip|TestConformanceMostlySynthesizable' -count=1 .
 
@@ -81,6 +96,12 @@ bench-solver:
 # source of the numbers quoted in EXPERIMENTS.md.
 bench-warmstart:
 	$(GO) test -run '^$$' -bench BenchmarkWarmstart -benchtime 3x -count=1 .
+
+# Search-tree reductions (presolve + root cuts + pseudocost branching)
+# on vs off on the reference cases; the source of the node/pivot/wall
+# numbers quoted in EXPERIMENTS.md.
+bench-cuts:
+	$(GO) test -run '^$$' -bench BenchmarkCutsPresolve -benchtime 3x -count=1 .
 
 # The LP-kernel gate: the steady-state warm path must stay at exactly
 # 0 allocs/op (TestSolveFromSteadyStateAllocs fails otherwise), then the

@@ -29,6 +29,7 @@ import (
 	"columbas/internal/export"
 	"columbas/internal/hls"
 	"columbas/internal/layout"
+	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
 )
@@ -50,6 +51,9 @@ func run() error {
 		effort    = flag.String("effort", "auto", "placement effort: full, guided, seed or auto")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel branch-and-bound workers for layout generation (1: sequential, -1: all cores)")
 		noWarm    = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
+		noCuts    = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
+		noPre     = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
+		branching = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
 		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
 		stats     = flag.Bool("stats", false, "print the per-phase statistics table (docs/metrics.md) to stderr")
 		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
@@ -62,6 +66,10 @@ func run() error {
 
 	if *workers < -1 {
 		return fmt.Errorf("-workers must be -1 (all cores), 0/1 (sequential) or a worker count, got %d", *workers)
+	}
+	branchRule, err := milp.ParseBranchRule(*branching)
+	if err != nil {
+		return fmt.Errorf("-branching: %w", err)
 	}
 
 	if *pprofCPU != "" {
@@ -101,7 +109,6 @@ func run() error {
 	}
 	parseSp := tr.Phase("parse")
 	var n *netlist.Netlist
-	var err error
 	if *assay {
 		a, aerr := hls.Parse(src)
 		if aerr != nil {
@@ -132,6 +139,9 @@ func run() error {
 	opt.Layout.TimeLimit = *tl
 	opt.Layout.Workers = *workers
 	opt.Layout.NoWarmStart = *noWarm
+	opt.Layout.NoCuts = *noCuts
+	opt.Layout.NoPresolve = *noPre
+	opt.Layout.Branching = branchRule
 	opt.RunDRC = !*noDRC
 	opt.Trace = tr
 	switch *effort {

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"columbas/internal/milp"
 	"columbas/internal/server"
 )
 
@@ -49,6 +50,9 @@ func run() error {
 		maxBody  = flag.Int64("max-body", 1<<20, "max netlist source size in bytes")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
 		traceLog = flag.String("trace-log", "", "append one columbas-trace/v1 JSON line per request to this file")
+		noCuts   = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
+		noPre    = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
+		branch   = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
 	)
 	flag.Parse()
 
@@ -62,6 +66,11 @@ func run() error {
 		return fmt.Errorf("-cache must be -1 (disable), 0 (default) or a capacity, got %d", *cacheN)
 	}
 
+	rule, err := milp.ParseBranchRule(*branch)
+	if err != nil {
+		return fmt.Errorf("-branching: %w", err)
+	}
+
 	cfg := server.Config{
 		Jobs:           *jobs,
 		Workers:        *workers,
@@ -69,6 +78,9 @@ func run() error {
 		DefaultTimeout: *timeout,
 		MaxLayoutTime:  *maxTime,
 		MaxBodyBytes:   *maxBody,
+		NoCuts:         *noCuts,
+		NoPresolve:     *noPre,
+		Branching:      rule,
 	}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -97,6 +97,56 @@ func TestSynthesisConformanceWarmColdAgree(t *testing.T) {
 	}
 }
 
+// The 2×2 cuts × presolve matrix must be interchangeable at the
+// pipeline level: for the same netlist, every cell reaches the same
+// verdict (typed rejection vs clean design). Objectives may differ —
+// the lazy separation loop legitimately takes different trajectories
+// when the tree changes shape — but validity never may: a cell whose
+// cuts or tightened bounds excluded a feasible layout would surface
+// here as a rejection or a dirty design the other cells don't produce.
+func TestSynthesisConformanceCutsPresolveAgree(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	type cell struct {
+		name               string
+		noCuts, noPresolve bool
+	}
+	cells := []cell{
+		{"both", false, false},
+		{"nocuts", true, false},
+		{"nopresolve", false, true},
+		{"neither", true, true},
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		n := gen.Generate(seed)
+		var refOK, refClean bool
+		for i, c := range cells {
+			opt := conformanceOpts()
+			opt.Layout.NoCuts = c.noCuts
+			opt.Layout.NoPresolve = c.noPresolve
+			res, err := core.Synthesize(n, opt)
+			if err != nil {
+				var serr *core.SynthesisError
+				if !errors.As(err, &serr) {
+					t.Errorf("seed %d %s: untyped synthesis error: %v", seed, c.name, err)
+				}
+			}
+			ok := err == nil
+			clean := ok && res.DRC != nil && res.DRC.Clean()
+			if i == 0 {
+				refOK, refClean = ok, clean
+				continue
+			}
+			if ok != refOK || clean != refClean {
+				t.Errorf("seed %d: cell %s verdict (ok=%v clean=%v) disagrees with %s (ok=%v clean=%v)",
+					seed, c.name, ok, clean, cells[0].name, refOK, refClean)
+			}
+		}
+	}
+}
+
 // Every generated netlist and every netlist file shipped in examples/
 // must survive a Format → Parse round trip unchanged.
 func TestNetlistRoundTrip(t *testing.T) {

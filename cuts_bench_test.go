@@ -1,0 +1,147 @@
+// Search-tree reduction measurement harness: the same end-to-end
+// synthesis (parse → planarize → layout MILP → validate) run with the
+// tree reductions on (node presolve, root Gomory + cover cuts,
+// pseudocost branching — the defaults) and off (-no-cuts -no-presolve
+// -branching=mostfrac, the seed solver's behaviour), on the chip9 /
+// chip16 cases. The reported custom metrics are the before/after numbers
+// recorded in EXPERIMENTS.md:
+//
+//	make bench-cuts
+//
+// Workers is pinned to 1 so node counts are deterministic — the frontier
+// order is identical between repeated runs; only the reductions differ
+// between the two cells.
+package columbas
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/milp"
+)
+
+// cutsOpts configures one cell of the reduction ablation. The stall
+// budget is wide and the gap tight so the searches run to (near)
+// optimality instead of stopping at the same stall fence — node counts
+// then measure tree size, not budget.
+func cutsOpts(ablate bool) core.Options {
+	o := core.DefaultOptions()
+	o.Layout.TimeLimit = 60 * time.Second
+	o.Layout.StallLimit = 400
+	o.Layout.Gap = 0.01
+	o.Layout.Workers = 1
+	o.Layout.NoCuts = ablate
+	o.Layout.NoPresolve = ablate
+	if ablate {
+		o.Layout.Branching = milp.BranchMostFractional
+	}
+	return o
+}
+
+func runCutsCell(t testing.TB, caseID string, ablate bool) *core.Result {
+	c, err := cases.Get(caseID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Synthesize(n, cutsOpts(ablate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DRC.Clean() {
+		t.Fatalf("%s: design not DRC-clean", caseID)
+	}
+	return res
+}
+
+func benchCuts(b *testing.B, caseID string, ablate bool) {
+	var st milp.SearchStats
+	for i := 0; i < b.N; i++ {
+		st = runCutsCell(b, caseID, ablate).Plan.Stats.Search
+	}
+	b.ReportMetric(float64(st.NodesExplored), "nodes")
+	b.ReportMetric(float64(st.SimplexPivots), "pivots")
+	b.ReportMetric(float64(st.LPSolves), "lp_solves")
+	b.ReportMetric(float64(st.CutsAdded), "cuts_added")
+	b.ReportMetric(float64(st.BoundsTightened), "bounds_tightened")
+	b.ReportMetric(float64(st.NodesPresolved), "nodes_presolved")
+}
+
+func BenchmarkCutsPresolve(b *testing.B) {
+	for _, id := range []string{"chip9", "chip16"} {
+		for _, mode := range []struct {
+			name   string
+			ablate bool
+		}{{"on", false}, {"off", true}} {
+			b.Run(fmt.Sprintf("%s/%s", id, mode.name), func(b *testing.B) {
+				benchCuts(b, id, mode.ablate)
+			})
+		}
+	}
+}
+
+// TestCutPresolveNodeReductionChip16 pins the acceptance criterion of
+// the search-tree reduction layer: across the chip9 + chip16 cases, node
+// presolve, root cuts and pseudocost branching together must cut the
+// explored-node total by at least 30% against the full ablation at an
+// identical search configuration (Workers=1), while producing
+// byte-identical layouts. Per case, the reductions must never inflate
+// the tree (a small slack absorbs tie-break noise on stall-terminated
+// runs — chip9's tree is dominated by k-way group branches that root
+// cuts cannot prune, so its gain is modest; chip16's relaxation goes
+// near-integral after cuts and carries the aggregate). Mirrors
+// TestWarmStartPivotReductionChip16; skipped in -short mode (four full
+// mid-size syntheses).
+func TestCutPresolveNodeReductionChip16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("node-reduction measurement skipped in -short mode")
+	}
+	var onTotal, offTotal int64
+	for _, id := range []string{"chip9", "chip16"} {
+		on := runCutsCell(t, id, false)
+		off := runCutsCell(t, id, true)
+		son, soff := on.Plan.Stats, off.Plan.Stats
+		if d := son.Obj - soff.Obj; d > 1e-6 || d < -1e-6 {
+			t.Errorf("%s: objective differs: reductions %v vs ablation %v", id, son.Obj, soff.Obj)
+		}
+		var jon, joff bytes.Buffer
+		if err := on.WriteJSON(&jon); err != nil {
+			t.Fatal(err)
+		}
+		if err := off.WriteJSON(&joff); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jon.Bytes(), joff.Bytes()) {
+			t.Errorf("%s: layouts differ between reductions and ablation (%d vs %d bytes)",
+				id, jon.Len(), joff.Len())
+		}
+		non, noff := son.Search.NodesExplored, soff.Search.NodesExplored
+		t.Logf("%s: nodes on=%d off=%d; cuts=%d rounds=%d bounds_tightened=%d rows_removed=%d nodes_presolved=%d; pivots on=%d off=%d",
+			id, non, noff, son.Search.CutsAdded, son.Search.CutRounds,
+			son.Search.BoundsTightened, son.Search.RowsRemoved, son.Search.NodesPresolved,
+			son.Search.SimplexPivots, soff.Search.SimplexPivots)
+		if float64(non) > 1.15*float64(noff)+5 {
+			t.Errorf("%s: reductions inflated the tree: %d nodes vs %d ablated", id, non, noff)
+		}
+		if soff.Search.CutsAdded != 0 || soff.Search.BoundsTightened != 0 || soff.Search.PseudocostBranches != 0 {
+			t.Errorf("%s: ablation cell reported reduction work: %+v", id, soff.Search)
+		}
+		onTotal += non
+		offTotal += noff
+	}
+	if offTotal == 0 {
+		t.Fatal("ablation runs explored no nodes")
+	}
+	reduction := 1 - float64(onTotal)/float64(offTotal)
+	t.Logf("chip9+chip16 nodes: ablation=%d reductions=%d (%.1f%% reduction)", offTotal, onTotal, reduction*100)
+	if reduction < 0.30 {
+		t.Errorf("node reduction %.1f%% < 30%% (ablation=%d reductions=%d)", reduction*100, offTotal, onTotal)
+	}
+}

@@ -33,6 +33,15 @@ type Config struct {
 	// warm-starting from the parent basis (the before side of
 	// make bench-warmstart).
 	NoWarmStart bool
+	// NoCuts disables root cutting planes in the layout MILPs (the
+	// before side of make bench-cuts).
+	NoCuts bool
+	// NoPresolve disables MILP presolve (bound tightening, redundant
+	// rows, coefficient strengthening).
+	NoPresolve bool
+	// Branching selects the branch-and-bound variable selection rule;
+	// the zero value is pseudocost branching.
+	Branching milp.BranchRule
 }
 
 // DefaultConfig mirrors the evaluation setup: generous budget for the
@@ -87,6 +96,9 @@ func RunS(c cases.Case, muxes int, cfg Config) (*SRun, error) {
 	opt.Layout.TimeLimit = cfg.STime
 	opt.Layout.Workers = cfg.Workers
 	opt.Layout.NoWarmStart = cfg.NoWarmStart
+	opt.Layout.NoCuts = cfg.NoCuts
+	opt.Layout.NoPresolve = cfg.NoPresolve
+	opt.Layout.Branching = cfg.Branching
 	if cfg.StallLimit > 0 {
 		opt.Layout.StallLimit = cfg.StallLimit
 	}

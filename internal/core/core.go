@@ -228,6 +228,16 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 	sp.SetInt("milp_rounding_attempts", se.RoundingAttempts)
 	sp.SetInt("milp_rounding_hits", se.RoundingHits)
 	sp.SetInt("milp_basis_refreshes", se.BasisRefreshes)
+	sp.SetInt("milp_nodes_presolved", se.NodesPresolved)
+	sp.SetInt("milp_bounds_tightened", se.BoundsTightened)
+	sp.SetInt("milp_rows_removed", se.RowsRemoved)
+	sp.SetInt("milp_coefs_strengthened", se.CoefsStrengthened)
+	sp.SetInt("milp_cuts_added", se.CutsAdded)
+	sp.SetInt("milp_cut_rounds", se.CutRounds)
+	sp.SetInt("milp_branchings", se.Branchings)
+	sp.SetInt("milp_group_branches", se.GroupBranches)
+	sp.SetInt("milp_pseudocost_branches", se.PseudocostBranches)
+	sp.SetInt("milp_reliability_fallbacks", se.ReliabilityFallbacks)
 	for i, w := range se.PerWorker {
 		if se.Workers <= 1 {
 			break

@@ -218,6 +218,18 @@ type Options struct {
 	// seed solver's behaviour, used by make bench-warmstart as the
 	// "before" side).
 	NoWarmStart bool
+	// NoCuts disables root-node cut separation in every MILP round
+	// (milp.Options.NoCuts): no Gomory or cover cuts strengthen the root
+	// relaxation (ablation: measures the value of cutting planes).
+	NoCuts bool
+	// NoPresolve disables the MILP presolve (milp.Options.NoPresolve):
+	// no root or node bound tightening, redundant-row removal, or
+	// coefficient strengthening (ablation: measures presolve's value).
+	NoPresolve bool
+	// Branching selects the branch-and-bound variable selection rule
+	// (milp.Options.Branching); the zero value is pseudocost branching
+	// with reliability initialization.
+	Branching milp.BranchRule
 	// Workers is the number of parallel branch-and-bound workers handed
 	// to the MILP solver (milp.Options.Workers): 0 or 1 runs the exact
 	// sequential search, a negative value uses runtime.GOMAXPROCS(0).

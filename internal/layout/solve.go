@@ -121,6 +121,9 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			Start:       seed,
 			Workers:     opt.Workers,
 			NoWarmStart: opt.NoWarmStart,
+			NoCuts:      opt.NoCuts,
+			NoPresolve:  opt.NoPresolve,
+			Branching:   opt.Branching,
 		})
 		if err != nil {
 			roundSp.End()
@@ -232,6 +235,12 @@ func recordRound(sp *obs.Span, b *builder, res *milp.Result, activePairs int) {
 	sp.SetInt("refactorizations", st.Refactorizations)
 	sp.SetInt("workspace_reuses", st.WorkspaceReuses)
 	sp.SetInt("incumbent_updates", st.IncumbentUpdates)
+	sp.SetInt("cuts_added", st.CutsAdded)
+	sp.SetInt("cut_rounds", st.CutRounds)
+	sp.SetInt("nodes_presolved", st.NodesPresolved)
+	sp.SetInt("bounds_tightened", st.BoundsTightened)
+	sp.SetInt("branchings", st.Branchings)
+	sp.SetInt("pseudocost_branches", st.PseudocostBranches)
 	sp.End()
 }
 

@@ -274,6 +274,10 @@ const (
 	pivTol  = 1e-9
 	stall   = 200 // degenerate iterations before switching to Bland's rule
 	refresh = 120 // iterations between basic-value refreshes
+	// stabPivTol is the relative pivot-stability threshold: a ratio-test
+	// winner whose pivot element is below stabPivTol × max|w| triggers a
+	// refactorization and re-price instead of a basis-corrupting pivot.
+	stabPivTol = 1e-8
 )
 
 // nonbasic variable states
@@ -306,6 +310,10 @@ type tableau struct {
 	iters    int
 	maxIter  int
 	deadline time.Time
+	// forceBland prices with Bland's rule from the first iteration — the
+	// cold path's verification retry uses it to walk a different, maximally
+	// cautious pivot sequence after a default run went numerically wrong.
+	forceBland bool
 
 	// Per-run kernel tallies, folded into the Problem counters only when
 	// the run's result is actually returned (abandoned warm attempts
@@ -316,6 +324,7 @@ type tableau struct {
 	reusedInv  bool   // install skipped factorization via the workspace cache
 	basisDirty bool   // basis or nonbasic states changed since install
 	invBad     bool   // B⁻¹ is untrusted (mid-run refactorization failed)
+	stabHits   int    // stability-guard triggers: the run saw numerical distress
 	installed  *Basis // snapshot installed by a warm start (nil when cold)
 }
 
@@ -403,6 +412,9 @@ func (p *Problem) foldTableau(t *tableau) {
 }
 
 func (p *Problem) solve() (*Solution, error) {
+	if p.ws != nil {
+		p.ws.tabOptimal = false
+	}
 	for v := range p.cost {
 		if p.lo[v] > p.hi[v]+tol {
 			// Conflicting bounds make the whole problem trivially infeasible;
@@ -418,22 +430,53 @@ func (p *Problem) solve() (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost)), p1rows: inner.p1rows}
-		if inner.Status == Optimal {
-			out.X = ps.expand(inner.X, len(p.cost))
-			for v, xv := range out.X {
-				out.Obj += p.cost[v] * xv
+		deadlineHit := !p.deadline.IsZero() && !time.Now().Before(p.deadline)
+		if inner.Status != IterLimit || deadlineHit {
+			out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost)), p1rows: inner.p1rows}
+			if inner.Status == Optimal {
+				out.X = ps.expand(inner.X, len(p.cost))
+				for v, xv := range out.X {
+					out.Obj += p.cost[v] * xv
+				}
 			}
+			return out, nil
 		}
-		return out, nil
+		// The reduced problem hit the iteration limit without the deadline
+		// passing — almost always numerical breakdown rather than a genuinely
+		// hard LP: the affine substitutions (x = k·y + c with extreme k) can
+		// destroy the scaling of rows that were well-conditioned in the
+		// original space, driving the reduced basis singular. The reduction
+		// is only an optimization, so fall through and solve the original
+		// problem with the full tableau instead of surfacing a bogus limit.
 	}
 	t := p.newTableau()
-	if st := t.phase1(); st != Optimal {
+	p1 := t.phase1()
+	st := p1
+	if p1 == Optimal {
+		st = t.phase2()
+	}
+	if (st == Optimal && !p.warmResultOK(t.x[:t.nStru])) || (st == IterLimit && t.invBad) ||
+		(st == Infeasible && t.stabHits > 0) {
+		// The default pivot sequence claimed optimality on a point that
+		// violates bounds or rows, drove the basis numerically singular
+		// (invBad), or claimed infeasibility from a run that tripped the
+		// pivot-stability guard — accumulated drift corrupted the run.
+		// Retry once from scratch under Bland's rule, whose cautious
+		// pricing walks a different (and far more stable) pivot path; the
+		// abandoned run's tallies are dropped, like a failed warm attempt.
+		t = p.newTableau()
+		t.forceBland = true
+		if p1 = t.phase1(); p1 == Optimal {
+			st = t.phase2()
+		} else {
+			st = p1
+		}
+	}
+	if p1 != Optimal {
 		t.saveCache()
 		p.foldTableau(t)
 		return &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}, nil
 	}
-	st := t.phase2()
 	t.saveCache()
 	p.foldTableau(t)
 	sol := &Solution{Status: st, X: make([]float64, len(p.cost)), Iters: t.iters, p1rows: t.m}
@@ -444,6 +487,7 @@ func (p *Problem) solve() (*Solution, error) {
 	if st == Optimal {
 		sol.basis = t.snapshot()
 		sol.redCost = t.reducedCostsInto(nil, t.cost)
+		t.ws.tabOptimal = true
 	}
 	return sol, nil
 }
@@ -654,7 +698,7 @@ func (t *tableau) simplex(c []float64) Status {
 			}
 		}
 		// Pricing.
-		enter, dir := t.price(c, y, degen >= stall)
+		enter, dir := t.price(c, y, degen >= stall || t.forceBland)
 		if enter < 0 {
 			return Optimal
 		}
@@ -707,6 +751,32 @@ func (t *tableau) simplex(c []float64) Status {
 		}
 		if math.IsInf(tMax, 1) {
 			return Unbounded
+		}
+		if leave >= 0 && t.ws.updatesSinceRefactor > 0 {
+			// Pivot stability guard: dividing the basis inverse by a pivot
+			// element that is tiny relative to the direction vector's largest
+			// entry multiplies every accumulated rounding error by the same
+			// huge factor, and one such pivot is enough to corrupt B⁻¹ beyond
+			// repair (observed: |w| entries of 1e14 turning a degenerate step
+			// into an 0.04 bound violation the primal loop can never undo).
+			// Tiny relative pivots are almost always artifacts of eta-update
+			// drift, so rebuild the factorization and re-price; a pivot that
+			// is still tiny on a fresh inverse is accepted as genuine.
+			wmax := 0.0
+			for i := 0; i < m; i++ {
+				if a := math.Abs(w[i]); a > wmax {
+					wmax = a
+				}
+			}
+			if math.Abs(w[leave]) < stabPivTol*wmax {
+				t.stabHits++
+				if !t.factorize() {
+					t.invBad = true
+					return IterLimit
+				}
+				t.refreshBasics()
+				continue
+			}
 		}
 		if tMax < tol {
 			degen++

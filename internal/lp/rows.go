@@ -1,0 +1,65 @@
+package lp
+
+// Row-level access for presolve and cut separation. Clone shares row
+// storage between worker problems, so the mutating calls below demand a
+// problem that owns its rows (CloneWithRows, or rows it appended
+// itself); the branch-and-bound root presolve is the intended caller.
+
+// Row returns the terms, sense and right-hand side of constraint row i.
+// The returned slice is the problem's live storage — callers must treat
+// it as read-only and use ReplaceRow to modify a row.
+func (p *Problem) Row(i int) ([]Term, Sense, float64) {
+	r := &p.rows[i]
+	return r.terms, r.sense, r.rhs
+}
+
+// CloneWithRows returns an independent copy of the problem that owns a
+// private deep copy of the constraint rows, unlike Clone (which shares
+// row storage with the original — see Clone). Root presolve uses it to
+// obtain a problem whose rows may be strengthened, replaced or removed
+// without touching the model the copy came from. Like Clone, the copy
+// starts with no workspace and zeroed counters.
+func (p *Problem) CloneWithRows() *Problem {
+	q := p.Clone()
+	rows := make([]rowDef, len(p.rows))
+	for i, r := range p.rows {
+		rows[i] = rowDef{terms: append([]Term(nil), r.terms...), sense: r.sense, rhs: r.rhs}
+	}
+	q.rows = rows
+	// Private storage is a structural change: any workspace column arena
+	// built against the shared rows must rebuild before the next solve.
+	q.rev++
+	return q
+}
+
+// ReplaceRow swaps the contents of row i. Must only be called on a
+// problem that owns its row storage; replacing a row on a plain Clone
+// would silently mutate every other clone sharing the slice.
+func (p *Problem) ReplaceRow(i int, terms []Term, sense Sense, rhs float64) {
+	p.rows[i] = rowDef{terms: mergeTerms(terms), sense: sense, rhs: rhs}
+	p.rev++
+}
+
+// DeleteRows removes every row for which drop returns true, preserving
+// the order of the remainder, and returns how many were removed. Row
+// indices shift down; like ReplaceRow this must only be used on a
+// problem that owns its row storage, and never while a solve is in
+// flight on any clone sharing it.
+func (p *Problem) DeleteRows(drop func(i int) bool) int {
+	kept := p.rows[:0]
+	removed := 0
+	for i := range p.rows {
+		if drop(i) {
+			removed++
+			continue
+		}
+		kept = append(kept, p.rows[i])
+	}
+	if removed == 0 {
+		p.rows = kept
+		return 0
+	}
+	p.rows = kept
+	p.rev++
+	return removed
+}

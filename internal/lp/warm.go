@@ -118,6 +118,9 @@ func (p *Problem) SolveFromReuse(basis *Basis, recycle *Solution) (*Solution, er
 // solveFrom runs the warm path and reports whether it was used; any
 // failure inside the warm attempt discards its state and re-solves cold.
 func (p *Problem) solveFrom(basis *Basis, recycle *Solution) (sol *Solution, warm bool) {
+	if p.ws != nil {
+		p.ws.tabOptimal = false
+	}
 	for v := range p.cost {
 		if p.lo[v] > p.hi[v]+tol {
 			// Trivially infeasible child; no simplex work on either path.
@@ -141,14 +144,33 @@ func (p *Problem) solveFrom(basis *Basis, recycle *Solution) (sol *Solution, war
 // presolve so the result carries a reusable basis.
 func (p *Problem) coldFull(recycle *Solution) *Solution {
 	t := p.newTableau()
-	if st := t.phase1(); st != Optimal {
+	p1 := t.phase1()
+	st := p1
+	if p1 == Optimal {
+		st = t.phase2()
+	}
+	if (st == Optimal && !p.warmResultOK(t.x[:t.nStru])) || (st == IterLimit && t.invBad) ||
+		(st == Infeasible && t.stabHits > 0) {
+		// Same verification retry as Problem.solve: a cold run that claims
+		// optimality on a bound- or row-violating point, drove the basis
+		// numerically singular, or claims infeasibility after tripping the
+		// pivot-stability guard is re-run once under Bland's rule (see the
+		// comment there).
+		t = p.newTableau()
+		t.forceBland = true
+		if p1 = t.phase1(); p1 == Optimal {
+			st = t.phase2()
+		} else {
+			st = p1
+		}
+	}
+	if p1 != Optimal {
 		t.saveCache()
 		p.foldTableau(t)
 		sol := resetSolution(recycle, len(p.cost))
 		sol.Status, sol.Iters, sol.p1rows = st, t.iters, t.m
 		return sol
 	}
-	st := t.phase2()
 	t.saveCache()
 	p.foldTableau(t)
 	sol := resetSolution(recycle, len(p.cost))
@@ -160,6 +182,7 @@ func (p *Problem) coldFull(recycle *Solution) *Solution {
 	if st == Optimal {
 		sol.basis = t.snapshot()
 		sol.redCost = t.reducedCostsInto(sol.redCost, t.cost)
+		t.ws.tabOptimal = true
 	}
 	return sol
 }
@@ -226,6 +249,7 @@ func (p *Problem) warmSolve(basis *Basis, recycle *Solution) *Solution {
 	p.foldTableau(t)
 	sol.basis = t.snapshot()
 	sol.redCost = t.reducedCostsInto(sol.redCost, t.cost)
+	t.ws.tabOptimal = true
 	return sol
 }
 

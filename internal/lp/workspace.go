@@ -84,6 +84,12 @@ type Workspace struct {
 	// carries binv across solves too.
 	updatesSinceRefactor int
 
+	// tabOptimal records that tab holds the final state of a full-tableau
+	// solve that ended Optimal and that nothing on the problem has changed
+	// since (cleared on every solve entry and bound-revision mismatch).
+	// Gomory separation reads the tableau only while this holds.
+	tabOptimal bool
+
 	tab tableau // reused tableau header, one live solve at a time
 }
 

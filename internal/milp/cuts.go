@@ -1,0 +1,246 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"columbas/internal/lp"
+)
+
+// Root cutting-plane loop: before any worker starts, the search
+// strengthens the root relaxation with two cut families separated
+// against the fractional root LP point — Gomory mixed-integer cuts read
+// off the kernel's final tableau (lp.GomoryCuts) and knapsack cover
+// cuts derived combinatorially from the rows (coverCuts below). Both
+// families are valid for every integer-feasible point within the base
+// bounds, so adding them never changes the optimum the tree converges
+// to (FuzzCutValidity pins this against brute force); they only raise
+// the root bound and shrink the tree.
+
+const (
+	// cutMaxRounds bounds the separate→add→re-solve loop.
+	cutMaxRounds = 10
+	// cutMaxPerRound caps how many cuts of each family one round adds.
+	cutMaxPerRound = 24
+	// cutMinViolation is the normalized violation a cut must achieve at
+	// the current fractional point to be worth adding.
+	cutMinViolation = 1e-4
+)
+
+// coverCuts separates knapsack cover cuts from prob's rows at the
+// fractional point x. Each LE row (GE rows negated; EQ rows both ways)
+// is relaxed to a pure binary knapsack Σ ã·z ≤ b̃ by complementing
+// negative-coefficient binaries and absorbing the extreme activity of
+// every non-binary term into the right-hand side; a greedy minimal-ish
+// cover C (Σ_{C} ã > b̃) then yields Σ_{C} z ≤ |C|−1, mapped back to the
+// original variables. Valid because any integer point with all of C at
+// its complemented value 1 would violate the relaxed knapsack.
+func coverCuts(prob *lp.Problem, isInt []bool, x []float64, max int, minViol float64) []lp.CutRow {
+	var out []lp.CutRow
+	nr := prob.NumRows()
+	for r := 0; r < nr && len(out) < max; r++ {
+		terms, sense, rhs := prob.Row(r)
+		if sense != lp.GE {
+			if c := coverFromLE(prob, isInt, x, terms, rhs, 1, minViol); c != nil {
+				out = append(out, *c)
+			}
+		}
+		if sense != lp.LE && len(out) < max {
+			if c := coverFromLE(prob, isInt, x, terms, rhs, -1, minViol); c != nil {
+				out = append(out, *c)
+			}
+		}
+	}
+	return out
+}
+
+type coverItem struct {
+	v      int
+	weight float64
+	zstar  float64 // complemented LP value: fraction of the item "used"
+	compl  bool
+}
+
+// coverFromLE derives one cover cut from the row sign·(Σ terms·x) ≤
+// sign·rhs. Returns nil when the row admits no violated cover.
+func coverFromLE(prob *lp.Problem, isInt []bool, x []float64, terms []lp.Term, rhs, sign, minViol float64) *lp.CutRow {
+	b := sign * rhs
+	items := make([]coverItem, 0, len(terms))
+	wsum := 0.0
+	for _, t := range terms {
+		a := sign * t.Coef
+		lo, hi := prob.Bounds(t.Var)
+		if isInt[t.Var] && lo == 0 && hi == 1 {
+			z := math.Min(1, math.Max(0, x[t.Var]))
+			if a > 0 {
+				items = append(items, coverItem{v: t.Var, weight: a, zstar: z})
+			} else {
+				// Complement: a·x = a − a·(1−x); move the constant to b.
+				b -= a
+				items = append(items, coverItem{v: t.Var, weight: -a, zstar: 1 - z, compl: true})
+			}
+			wsum += math.Abs(a)
+			continue
+		}
+		// Non-binary term: absorb its minimum contribution so dropping it
+		// relaxes the knapsack (any feasible point still satisfies it).
+		mc := minContrib(a, lo, hi)
+		if math.IsInf(mc, -1) {
+			return nil
+		}
+		b -= mc
+	}
+	if len(items) < 2 || wsum <= b+1e-9 || b < -1e-9 {
+		return nil // no cover exists (or row is activity-infeasible: not ours to report)
+	}
+	// Greedy cover: cheapest violation first — items the LP point already
+	// uses heavily (small 1−z*) enter the cover first per unit of weight.
+	sort.Slice(items, func(i, j int) bool {
+		ri := (1 - items[i].zstar) / items[i].weight
+		rj := (1 - items[j].zstar) / items[j].weight
+		if ri != rj {
+			return ri < rj
+		}
+		return items[i].v < items[j].v
+	})
+	wcov := 0.0
+	ncov := 0
+	for ncov < len(items) {
+		wcov += items[ncov].weight
+		ncov++
+		if wcov > b+1e-9 {
+			break
+		}
+	}
+	if wcov <= b+1e-9 {
+		return nil
+	}
+	cover := items[:ncov]
+	// Violation of Σ z ≤ |C|−1 at the LP point, Euclidean-normalized
+	// (every coefficient is ±1, so the norm is √|C|).
+	lhs := 0.0
+	for _, it := range cover {
+		lhs += it.zstar
+	}
+	viol := (lhs - float64(ncov-1)) / math.Sqrt(float64(ncov))
+	if viol < minViol {
+		return nil
+	}
+	// Map back: complemented members contribute (1−x), shifting the rhs.
+	cutTerms := make([]lp.Term, 0, ncov)
+	cutRHS := float64(ncov - 1)
+	for _, it := range cover {
+		if it.compl {
+			cutTerms = append(cutTerms, lp.Term{Var: it.v, Coef: -1})
+			cutRHS--
+		} else {
+			cutTerms = append(cutTerms, lp.Term{Var: it.v, Coef: 1})
+		}
+	}
+	return &lp.CutRow{Terms: cutTerms, RHS: cutRHS, Violation: viol}
+}
+
+// cutKey is the cut pool's dedup key: terms sorted by variable, rounded
+// to printable precision. Two separation rounds often rediscover the
+// same inequality; adding it twice would bloat every later LP.
+func cutKey(c lp.CutRow) string {
+	ts := append([]lp.Term(nil), c.Terms...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Var < ts[j].Var })
+	var b strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%d:%.9g;", t.Var, t.Coef)
+	}
+	fmt.Fprintf(&b, "|%.9g", c.RHS)
+	return b.String()
+}
+
+// rootCutLoop strengthens the search's base problem with root cuts:
+// solve the relaxation on the full tableau, separate Gomory + cover
+// cuts at the fractional optimum, add the violated ones, repeat. The
+// loop stops when the point goes integral, a round separates nothing
+// new, or the round budget is spent. Runs single-threaded before any
+// worker exists; its LP work lands on baseProb's counters (folded into
+// worker slot 0 by prepareRoot) and each round counts as one CutRound.
+// The final basis is kept as the root node's warm start when no row was
+// added after it.
+func (s *search) rootCutLoop() {
+	prob := s.baseProb
+	pool := make(map[string]bool)
+	var lastBasis *lp.Basis
+	rowsAtBasis := -1
+	for round := 0; round < cutMaxRounds; round++ {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			break
+		}
+		sol, err := prob.SolveFrom(nil)
+		s.cutRounds++
+		if err != nil || sol.Status != lp.Optimal {
+			if err == nil && sol.Status == lp.Infeasible {
+				// Cuts never exclude an integer point, so an infeasible root
+				// relaxation proves integer infeasibility: drain the tree.
+				s.frontier = s.frontier[:0]
+				return
+			}
+			// The solve failed for another reason — usually numerical
+			// breakdown on tableau-derived cut coefficients. The rows added
+			// since the last validated solve poisoned the problem; roll them
+			// back so the tree searches a base problem some solve has
+			// actually handled.
+			s.rollbackCuts(rowsAtBasis)
+			break
+		}
+		lastBasis, rowsAtBasis = sol.Basis(), prob.NumRows()
+		if bv, bg := s.m.pickBranch(sol.X); bv < 0 && bg < 0 {
+			break // relaxation already integral: nothing to cut
+		}
+		cuts := prob.GomoryCuts(s.m.isInt, cutMaxPerRound, cutMinViolation)
+		cuts = append(cuts, coverCuts(prob, s.m.isInt, sol.X, cutMaxPerRound, cutMinViolation)...)
+		added := 0
+		for _, c := range cuts {
+			k := cutKey(c)
+			if pool[k] {
+				continue
+			}
+			pool[k] = true
+			prob.AddConstraint(c.Terms, lp.LE, c.RHS)
+			added++
+		}
+		if added == 0 {
+			break
+		}
+		s.cutsAdded += int64(added)
+	}
+	if rowsAtBasis >= 0 && prob.NumRows() > rowsAtBasis {
+		// The loop ended right after adding cuts (round budget or deadline),
+		// so the final row set was never solved. Validate it now: the tree
+		// must never start from a base problem no solve has handled.
+		sol, err := prob.SolveFrom(nil)
+		s.cutRounds++
+		switch {
+		case err == nil && sol.Status == lp.Optimal:
+			lastBasis, rowsAtBasis = sol.Basis(), prob.NumRows()
+		case err == nil && sol.Status == lp.Infeasible:
+			s.frontier = s.frontier[:0]
+			return
+		default:
+			s.rollbackCuts(rowsAtBasis)
+		}
+	}
+	if lastBasis != nil && rowsAtBasis == prob.NumRows() {
+		s.rootBasis = lastBasis
+	}
+}
+
+// rollbackCuts removes every row at or past keep from the base problem —
+// the cut rows added since the last validated solve — and restores the
+// CutsAdded counter to the rows that actually remain.
+func (s *search) rollbackCuts(keep int) {
+	if keep < 0 || s.baseProb.NumRows() <= keep {
+		return
+	}
+	rolled := s.baseProb.DeleteRows(func(i int) bool { return i >= keep })
+	s.cutsAdded -= int64(rolled)
+}

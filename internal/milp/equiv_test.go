@@ -121,6 +121,49 @@ func checkEquivalence(t *testing.T, name string, build func() *Model) {
 			}
 		}
 	}
+	// 2×2 cuts × presolve matrix: disabling either tree reduction (or
+	// both) may only change how the tree is searched, never what it
+	// proves — every cell must reproduce the brute-force status and
+	// optimum. The both-enabled cell is the default already covered by
+	// the warm/worker sweep above, so only the three ablated cells run.
+	// This is the proof obligation behind the root-cut and presolve
+	// layers: cuts and tightened bounds must never exclude an
+	// integer-feasible point.
+	for _, noCuts := range []bool{false, true} {
+		for _, noPresolve := range []bool{false, true} {
+			if !noCuts && !noPresolve {
+				continue
+			}
+			label := fmt.Sprintf("%s cuts=%v presolve=%v", name, !noCuts, !noPresolve)
+			r, err := build().Solve(Options{Workers: 1, NoCuts: noCuts, NoPresolve: noPresolve})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if r.Status != bStatus {
+				t.Fatalf("%s: status %v, brute force %v", label, r.Status, bStatus)
+			}
+			if bStatus == Optimal && math.Abs(r.Obj-bObj) > equivTol {
+				t.Fatalf("%s: obj %v, brute force %v (diff %g)",
+					label, r.Obj, bObj, math.Abs(r.Obj-bObj))
+			}
+			if bStatus == Optimal {
+				ok, obj := build().checkFeasible(r.X)
+				if !ok {
+					t.Fatalf("%s: returned infeasible assignment %v", label, r.X)
+				}
+				if math.Abs(obj-r.Obj) > 1e-5 {
+					t.Fatalf("%s: assignment objective %v != reported %v", label, obj, r.Obj)
+				}
+			}
+			if noCuts && (r.Stats.CutsAdded != 0 || r.Stats.CutRounds != 0) {
+				t.Fatalf("%s: NoCuts run reported cut work: %+v", label, r.Stats)
+			}
+			if noPresolve && (r.Stats.NodesPresolved != 0 || r.Stats.BoundsTightened != 0 ||
+				r.Stats.RowsRemoved != 0 || r.Stats.CoefsStrengthened != 0) {
+				t.Fatalf("%s: NoPresolve run reported presolve work: %+v", label, r.Stats)
+			}
+		}
+	}
 }
 
 // TestEquivalenceFixtures runs the named fixtures of the package's test

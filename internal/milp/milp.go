@@ -187,6 +187,46 @@ func (m *Model) MarkDisjunction(vars []VarID) {
 	m.groups = append(m.groups, g)
 }
 
+// BranchRule selects how the search picks a branching variable when no
+// disjunction group takes priority (see Options.Branching).
+type BranchRule int
+
+const (
+	// BranchPseudocost (the default) branches on the variable with the
+	// best pseudocost score — the per-unit objective degradation each
+	// branching direction has historically caused — falling back to the
+	// most-fractional rule until a variable has enough observations in
+	// both directions to be reliable.
+	BranchPseudocost BranchRule = iota
+	// BranchMostFractional always branches on the most fractional
+	// integer variable — the pre-pseudocost rule, kept as the ablation
+	// baseline (-branching=mostfrac).
+	BranchMostFractional
+)
+
+func (r BranchRule) String() string {
+	switch r {
+	case BranchPseudocost:
+		return "pseudocost"
+	case BranchMostFractional:
+		return "mostfrac"
+	}
+	return fmt.Sprintf("branchrule(%d)", int(r))
+}
+
+// ParseBranchRule maps a rule name to its BranchRule. The empty string
+// selects the default (pseudocost); an unknown name is an error listing
+// the valid names rather than a silent fallback.
+func ParseBranchRule(name string) (BranchRule, error) {
+	switch name {
+	case "", "pseudocost":
+		return BranchPseudocost, nil
+	case "mostfrac":
+		return BranchMostFractional, nil
+	}
+	return 0, fmt.Errorf("unknown branching rule %q (valid: pseudocost, mostfrac)", name)
+}
+
 // Options controls the branch-and-bound search.
 type Options struct {
 	// TimeLimit bounds wall-clock search time; 0 means no limit.
@@ -220,6 +260,19 @@ type Options struct {
 	// NoGroupBranching disables the k-way disjunction branching and falls
 	// back to plain binary branching (ablation).
 	NoGroupBranching bool
+	// NoCuts disables root-node cut separation — the Gomory and knapsack
+	// cover cuts added to the root relaxation before workers start
+	// (ablation; also the seed solver's behaviour).
+	NoCuts bool
+	// NoPresolve disables the search's presolve — root bound tightening,
+	// redundant-row removal and coefficient strengthening, plus the
+	// per-node bound propagation that discards infeasible nodes before
+	// their LP (ablation).
+	NoPresolve bool
+	// Branching selects the variable branching rule; the zero value is
+	// pseudocost branching with a most-fractional reliability fallback
+	// (see BranchRule).
+	Branching BranchRule
 	// NoWarmStart disables LP basis reuse between parent and child nodes,
 	// solving every relaxation cold from an artificial basis (ablation;
 	// also the reference behaviour the solver-equivalence suite compares
@@ -269,6 +322,16 @@ type node struct {
 	// across worker handoffs: whichever worker pops this node warm-starts
 	// its relaxation from the parent basis on its own Problem clone.
 	basis *lp.Basis
+
+	// Pseudocost bookkeeping: bVar is the variable whose two-way branch
+	// created this node (-1 for the root and for k-way group children),
+	// bUp whether this is the up child, and bDist the fractional distance
+	// the branch moved that variable from the parent's relaxation value.
+	// When this node's own LP solves, (objective gain)/bDist becomes one
+	// pseudocost observation for bVar in direction bUp.
+	bVar  int
+	bUp   bool
+	bDist float64
 }
 
 type boundChange struct {

@@ -1,0 +1,347 @@
+package milp
+
+import (
+	"math"
+
+	"columbas/internal/lp"
+)
+
+// Presolve: single-row activity analysis applied at two levels of the
+// search. At the root it runs to a fixpoint on the search's row-owning
+// base problem — implied-bound tightening (rounded for integer
+// variables), redundant-row removal, and coefficient strengthening on
+// binaries — all provably optimum-preserving reductions (every
+// integer-feasible point of the original model survives; the fuzz
+// target FuzzCutValidity pins this against brute-force optima). At each
+// node it re-runs the bound-tightening part alone against the node's
+// local bounds, either shrinking the LP's feasible box or proving the
+// node infeasible before any simplex work is spent (NodesPresolved).
+
+const (
+	// presolveRootPasses bounds the root fixpoint loop.
+	presolveRootPasses = 8
+	// presolveNodePasses bounds the per-node propagation (the root has
+	// already reached a fixpoint; nodes only propagate their own branch
+	// bound changes).
+	presolveNodePasses = 2
+)
+
+// minContrib / maxContrib are the extreme contributions of one term
+// a·x over x ∈ [lo, hi]. a is never zero (mergeTerms drops zeros).
+func minContrib(a, lo, hi float64) float64 {
+	if a >= 0 {
+		return a * lo
+	}
+	return a * hi
+}
+
+func maxContrib(a, lo, hi float64) float64 {
+	if a >= 0 {
+		return a * hi
+	}
+	return a * lo
+}
+
+// presolveBounds tightens the bound vectors lo/hi in place by activity
+// analysis of prob's rows (which are read, never modified). For every
+// row, the minimum/maximum activity of the remaining terms bounds how
+// far each variable can move without violating the row; implied bounds
+// of integer variables are rounded inward. Returns the number of bounds
+// tightened and whether the bounds prove the problem infeasible.
+//
+// The analysis is conservative in both directions: activity sums that
+// go stale mid-pass only ever under-tighten, and the infeasibility
+// threshold is scaled loose, so a feasible problem is never declared
+// infeasible and no feasible point is ever excluded (only fractional
+// parts of integer domains are cut).
+// Only the first nr rows participate: node-level calls exclude the root
+// cut rows appended after presolve, whose tableau-derived coefficients
+// are valid only to LP tolerance — propagating integer-rounded bounds
+// through them can cut off the true optimum (observed: both children of
+// a root killed as "infeasible" on a model whose optimum was intact).
+func presolveBounds(prob *lp.Problem, isInt []bool, lo, hi []float64, passes, nr int) (tightened int64, infeas bool) {
+	for pass := 0; pass < passes; pass++ {
+		changed := false
+		for r := 0; r < nr; r++ {
+			terms, sense, rhs := prob.Row(r)
+			minSum, maxSum := 0.0, 0.0
+			minInf, maxInf := 0, 0
+			for _, t := range terms {
+				if mc := minContrib(t.Coef, lo[t.Var], hi[t.Var]); math.IsInf(mc, -1) {
+					minInf++
+				} else {
+					minSum += mc
+				}
+				if xc := maxContrib(t.Coef, lo[t.Var], hi[t.Var]); math.IsInf(xc, 1) {
+					maxInf++
+				} else {
+					maxSum += xc
+				}
+			}
+			ftol := 1e-6 * math.Max(1, math.Abs(rhs))
+			if sense != lp.GE && minInf == 0 && minSum > rhs+ftol {
+				return tightened, true // LE/EQ row cannot reach its rhs
+			}
+			if sense != lp.LE && maxInf == 0 && maxSum < rhs-ftol {
+				return tightened, true // GE/EQ row cannot reach its rhs
+			}
+			if sense != lp.GE { // LE or EQ: a_v·x_v ≤ rhs − minact(rest)
+				for _, t := range terms {
+					v := t.Var
+					mc := minContrib(t.Coef, lo[v], hi[v])
+					restMin := math.Inf(-1)
+					switch {
+					case minInf == 0:
+						restMin = minSum - mc
+					case minInf == 1 && math.IsInf(mc, -1):
+						restMin = minSum
+					}
+					if math.IsInf(restMin, -1) {
+						continue
+					}
+					nb := (rhs - restMin) / t.Coef
+					if t.Coef > 0 {
+						if isInt[v] {
+							nb = math.Floor(nb + intTol)
+						} else {
+							nb += 1e-9
+						}
+						if nb < hi[v]-1e-9 {
+							hi[v] = nb
+							tightened++
+							changed = true
+						}
+					} else {
+						if isInt[v] {
+							nb = math.Ceil(nb - intTol)
+						} else {
+							nb -= 1e-9
+						}
+						if nb > lo[v]+1e-9 {
+							lo[v] = nb
+							tightened++
+							changed = true
+						}
+					}
+					if lo[v] > hi[v]+1e-7 {
+						return tightened, true
+					}
+				}
+			}
+			if sense != lp.LE { // GE or EQ: a_v·x_v ≥ rhs − maxact(rest)
+				for _, t := range terms {
+					v := t.Var
+					xc := maxContrib(t.Coef, lo[v], hi[v])
+					restMax := math.Inf(1)
+					switch {
+					case maxInf == 0:
+						restMax = maxSum - xc
+					case maxInf == 1 && math.IsInf(xc, 1):
+						restMax = maxSum
+					}
+					if math.IsInf(restMax, 1) {
+						continue
+					}
+					nb := (rhs - restMax) / t.Coef
+					if t.Coef > 0 {
+						if isInt[v] {
+							nb = math.Ceil(nb - intTol)
+						} else {
+							nb -= 1e-9
+						}
+						if nb > lo[v]+1e-9 {
+							lo[v] = nb
+							tightened++
+							changed = true
+						}
+					} else {
+						if isInt[v] {
+							nb = math.Floor(nb + intTol)
+						} else {
+							nb += 1e-9
+						}
+						if nb < hi[v]-1e-9 {
+							hi[v] = nb
+							tightened++
+							changed = true
+						}
+					}
+					if lo[v] > hi[v]+1e-7 {
+						return tightened, true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return tightened, false
+}
+
+// rowRedundant reports whether row r of prob can never be violated
+// within the bounds lo/hi — its worst-case activity already satisfies
+// the sense — so it can be dropped from the root problem.
+func rowRedundant(prob *lp.Problem, r int, lo, hi []float64) bool {
+	terms, sense, rhs := prob.Row(r)
+	switch sense {
+	case lp.LE:
+		sum := 0.0
+		for _, t := range terms {
+			sum += maxContrib(t.Coef, lo[t.Var], hi[t.Var])
+		}
+		return sum <= rhs+1e-9 && !math.IsNaN(sum)
+	case lp.GE:
+		sum := 0.0
+		for _, t := range terms {
+			sum += minContrib(t.Coef, lo[t.Var], hi[t.Var])
+		}
+		return sum >= rhs-1e-9 && !math.IsNaN(sum)
+	case lp.EQ:
+		lo1, hi1 := 0.0, 0.0
+		for _, t := range terms {
+			lo1 += minContrib(t.Coef, lo[t.Var], hi[t.Var])
+			hi1 += maxContrib(t.Coef, lo[t.Var], hi[t.Var])
+		}
+		return math.Abs(lo1-rhs) <= 1e-9 && math.Abs(hi1-rhs) <= 1e-9
+	}
+	return false
+}
+
+// strengthenLE applies coefficient strengthening to the LE row in
+// place: for a binary x_j with coefficient a > 0 whose row is redundant
+// at x_j = 0 but not at x_j = 1 (d = rhs − maxact(rest) ∈ (0, a)), the
+// row (a−d)·x_j + rest ≤ rhs−d keeps exactly the same integer points
+// and dominates the original for fractional x_j; the a < 0 case is the
+// complemented mirror (coefficient moves up by d, rhs unchanged).
+// Returns the number of coefficients tightened.
+func strengthenLE(terms []lp.Term, rhs *float64, lo, hi []float64, isInt []bool) int {
+	u := 0.0
+	for _, t := range terms {
+		xc := maxContrib(t.Coef, lo[t.Var], hi[t.Var])
+		if math.IsInf(xc, 1) {
+			return 0
+		}
+		u += xc
+	}
+	changed := 0
+	b := *rhs
+	for i := range terms {
+		v := terms[i].Var
+		if !isInt[v] || lo[v] != 0 || hi[v] != 1 {
+			continue
+		}
+		a := terms[i].Coef
+		if a > 0 {
+			d := b - (u - a) // rhs − maxact(rest)
+			if d > 1e-9 && a-d > 1e-9 {
+				terms[i].Coef = a - d
+				b -= d
+				u -= d
+				changed++
+			}
+		} else {
+			d := b - a - u // complemented mirror; max contribution is 0
+			if d > 1e-9 && -a-d > 1e-9 {
+				terms[i].Coef = a + d
+				changed++
+			}
+		}
+	}
+	*rhs = b
+	return changed
+}
+
+// rootPresolve runs the full root reduction on the search's base
+// problem (which owns its rows): bound tightening into baseLo/baseHi,
+// redundant-row removal, and coefficient strengthening. Returns true
+// when the model is proven integer-infeasible. Must run before any
+// worker problem is cloned.
+func (s *search) rootPresolve() (infeas bool) {
+	tight, infeas := presolveBounds(s.baseProb, s.m.isInt, s.baseLo, s.baseHi, presolveRootPasses, s.baseProb.NumRows())
+	s.boundsTightened.Add(tight)
+	if infeas {
+		return true
+	}
+	for v := range s.baseLo {
+		s.baseProb.SetBounds(v, s.baseLo[v], s.baseHi[v])
+	}
+	s.rowsRemoved = int64(s.baseProb.DeleteRows(func(i int) bool {
+		return rowRedundant(s.baseProb, i, s.baseLo, s.baseHi)
+	}))
+	for r := 0; r < s.baseProb.NumRows(); r++ {
+		terms, sense, rhs := s.baseProb.Row(r)
+		if sense == lp.EQ {
+			continue
+		}
+		// Strengthen pure-integer rows only. On mixed rows the reduction
+		// shaves big-M coefficients down to exactly-supporting planes:
+		// valid, but it turns the disjunction rows into degenerate
+		// near-duplicates that stall the simplex and produce singular
+		// warm bases (observed: 3× the pivots per LP and factorization
+		// breakdowns on the layout models).
+		pureInt := true
+		for _, t := range terms {
+			if !s.m.isInt[t.Var] {
+				pureInt = false
+				break
+			}
+		}
+		if !pureInt {
+			continue
+		}
+		work := append([]lp.Term(nil), terms...)
+		b := rhs
+		if sense == lp.GE {
+			for i := range work {
+				work[i].Coef = -work[i].Coef
+			}
+			b = -b
+		}
+		n := strengthenLE(work, &b, s.baseLo, s.baseHi, s.m.isInt)
+		if n == 0 {
+			continue
+		}
+		if sense == lp.GE {
+			for i := range work {
+				work[i].Coef = -work[i].Coef
+			}
+			b = -b
+		}
+		s.baseProb.ReplaceRow(r, work, sense, b)
+		s.coefsStrengthened += int64(n)
+	}
+	return false
+}
+
+// nodePresolve propagates the node's local bounds (already applied to
+// prob) through the rows, tightening prob's bounds in place. Returns
+// the number of bounds tightened and whether the node is proven
+// infeasible — in which case the caller discards it without solving its
+// LP. Scratch slices are per worker, so the hot path allocates nothing
+// in steady state.
+func (s *search) nodePresolve(id int, prob *lp.Problem) (int64, bool) {
+	nv := prob.NumVars()
+	if cap(s.psLo[id]) < nv {
+		s.psLo[id] = make([]float64, nv)
+		s.psHi[id] = make([]float64, nv)
+	}
+	lo, hi := s.psLo[id][:nv], s.psHi[id][:nv]
+	for v := 0; v < nv; v++ {
+		lo[v], hi[v] = prob.Bounds(v)
+	}
+	nr := prob.NumRows()
+	if s.cutRowStart >= 0 && s.cutRowStart < nr {
+		nr = s.cutRowStart // never propagate bounds through root cut rows
+	}
+	tight, infeas := presolveBounds(prob, s.m.isInt, lo, hi, presolveNodePasses, nr)
+	if infeas {
+		return tight, true
+	}
+	if tight > 0 {
+		for v := 0; v < nv; v++ {
+			prob.SetBounds(v, lo[v], hi[v])
+		}
+	}
+	return tight, false
+}

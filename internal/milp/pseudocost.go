@@ -1,0 +1,72 @@
+package milp
+
+import "math"
+
+// Pseudocost branching with reliability initialization. Every two-way
+// branch records, once each child's LP solves, how much the relaxation
+// objective degraded per unit of fractional distance in that direction;
+// the running average is the variable's pseudocost. When choosing the
+// next branching variable, the search scores every fractional candidate
+// by the product of its predicted down- and up-degradations — the
+// classic product rule, which favours variables that hurt in BOTH
+// directions and therefore tighten both children's bounds — but only
+// trusts variables with at least pcReliabilityMinObs observations per
+// direction. Until then the most-fractional rule stands in
+// (ReliabilityFallbacks), so early branching never follows noise from a
+// single observation.
+
+// pcReliabilityMinObs is the number of observations a variable needs in
+// each direction before its pseudocost is trusted.
+const pcReliabilityMinObs = 2
+
+// pcRecord adds one observation: branching variable v in direction up
+// cost perUnit objective per unit of fractional distance.
+func (s *search) pcRecord(v int, up bool, perUnit float64) {
+	s.pcMu.Lock()
+	if up {
+		s.pcUpSum[v] += perUnit
+		s.pcUpN[v]++
+	} else {
+		s.pcDownSum[v] += perUnit
+		s.pcDownN[v]++
+	}
+	s.pcMu.Unlock()
+}
+
+// pickPseudocost selects among the fractional integer variables the one
+// with the best product score down·f_down × up·f_up, considering only
+// variables whose history is reliable in both directions. ok is false
+// when no fractional variable qualifies yet — the caller keeps its
+// most-fractional choice and counts a reliability fallback. Ties break
+// on the lowest variable index, keeping single-worker runs
+// deterministic.
+func (s *search) pickPseudocost(x []float64) (v int, ok bool) {
+	s.pcMu.Lock()
+	defer s.pcMu.Unlock()
+	best, bestScore := -1, 0.0
+	for v := range s.m.isInt {
+		if !s.m.isInt[v] {
+			continue
+		}
+		fd := x[v] - math.Floor(x[v])
+		fu := 1 - fd
+		if fd < intTol || fu < intTol {
+			continue
+		}
+		if s.pcDownN[v] < pcReliabilityMinObs || s.pcUpN[v] < pcReliabilityMinObs {
+			continue
+		}
+		down := s.pcDownSum[v] / float64(s.pcDownN[v])
+		up := s.pcUpSum[v] / float64(s.pcUpN[v])
+		// Floor each factor so a zero-gain history cannot erase the other
+		// direction's signal entirely.
+		score := math.Max(down*fd, 1e-9) * math.Max(up*fu, 1e-9)
+		if score > bestScore {
+			best, bestScore = v, score
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	return best, true
+}

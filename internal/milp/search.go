@@ -41,8 +41,35 @@ type search struct {
 	deadline time.Time // zero: no time limit
 
 	// Base bounds of the model; worker problems are reset to these before
-	// a node's own bound changes are applied.
+	// a node's own bound changes are applied. Root presolve tightens them
+	// before any worker exists.
 	baseLo, baseHi []float64
+
+	// baseProb is the problem every worker clones: the model's problem
+	// itself when no root reduction runs, or a row-owning copy that root
+	// presolve tightened/strengthened and the root cut loop extended
+	// (prepareRoot). rootBasis, when non-nil, is the optimal basis of the
+	// final cut-loop LP, seeded into the root node as its warm start.
+	baseProb  *lp.Problem
+	rootBasis *lp.Basis
+	// cutRowStart is baseProb's row count before the root cut loop
+	// appended anything (-1 when no cuts ran): rows at or past it are cut
+	// rows, which node presolve must never propagate bounds through.
+	cutRowStart int
+
+	// Pseudocost state (nil unless the rule is BranchPseudocost and the
+	// model has integer variables): per-variable, per-direction sums of
+	// observed objective gain per unit of fractional distance, and the
+	// observation counts that gate reliability. Guarded by pcMu — the
+	// frontier lock is busier and the pseudocost reads/writes are tiny.
+	pcMu      sync.Mutex
+	pcDownSum []float64
+	pcUpSum   []float64
+	pcDownN   []int32
+	pcUpN     []int32
+
+	// Per-worker scratch for node presolve (lazily sized).
+	psLo, psHi [][]float64
 
 	// incBits publishes math.Float64bits of the incumbent objective
 	// (+Inf while none exists) so workers mid-expansion can prune without
@@ -78,7 +105,22 @@ type search struct {
 	roundHits     int64        // under mu: rounding incumbents installed
 	inflightHW    int          // under mu: max concurrent expansions
 	rootFixed     int64        // under mu: reduced-cost bound fixings at the root
+	lpLimited     int64        // under mu: nodes dropped because their LP hit a limit
 	wstats        []WorkerStats
+
+	// Search-tree reduction counters (see SearchStats). The root-only
+	// ones are plain (written before workers spawn); the node-level ones
+	// are atomic or under mu like their peers above.
+	nodesPresolved    int64        // under mu: nodes killed by node presolve
+	boundsTightened   atomic.Int64 // root + node presolve tightenings
+	rowsRemoved       int64        // root only
+	coefsStrengthened int64        // root only
+	cutsAdded         int64        // root only
+	cutRounds         int64        // root only
+	branchings        int64        // under mu: branch decisions taken
+	groupBranches     int64        // under mu
+	pcBranches        int64        // under mu
+	relFallbacks      int64        // under mu
 
 	// spare holds one recyclable lp.Solution per worker. expand hands the
 	// previous node's Solution back to SolveFromReuse once everything it
@@ -116,11 +158,63 @@ func newSearch(m *Model, opt Options) *search {
 		s.baseLo[v], s.baseHi[v] = m.prob.Bounds(v)
 	}
 	s.incBits.Store(math.Float64bits(math.Inf(1)))
-	s.frontier = nodeHeap{{bound: math.Inf(-1)}}
+	s.frontier = nodeHeap{{bound: math.Inf(-1), bVar: -1}}
 	s.inflight = make(map[int]float64, s.workers)
 	s.wstats = make([]WorkerStats, s.workers)
 	s.spare = make([]*lp.Solution, s.workers)
+	s.baseProb = m.prob
+	s.cutRowStart = -1
+	s.psLo = make([][]float64, s.workers)
+	s.psHi = make([][]float64, s.workers)
+	if opt.Branching == BranchPseudocost && m.NumInt() > 0 {
+		s.pcDownSum = make([]float64, nv)
+		s.pcUpSum = make([]float64, nv)
+		s.pcDownN = make([]int32, nv)
+		s.pcUpN = make([]int32, nv)
+	}
 	return s
+}
+
+// prepareRoot runs the search-tree reductions that happen once, before
+// any worker exists: it swaps baseProb to a row-owning copy of the
+// model, presolves it (bound tightening into baseLo/baseHi, redundant
+// rows, coefficient strengthening), runs the root cutting-plane loop,
+// and seeds the root node with the final basis. All LP work done here
+// is attributed to worker slot 0 (worker folds add, not assign), so
+// every conservation identity over SearchStats stays exact.
+func (s *search) prepareRoot() {
+	doPresolve := !s.opt.NoPresolve
+	doCuts := !s.opt.NoCuts && s.m.NumInt() > 0
+	if !doPresolve && !doCuts {
+		return
+	}
+	s.baseProb = s.m.prob.CloneWithRows()
+	s.baseProb.SetDeadline(s.deadline)
+	if doPresolve && s.rootPresolve() {
+		// Activity analysis proved no point — integer or not — fits the
+		// bounds: drain the tree. result() turns the empty frontier into
+		// Infeasible (or returns a caller-seeded incumbent, matching what
+		// the root LP would have concluded).
+		s.frontier = s.frontier[:0]
+	}
+	if doCuts && len(s.frontier) > 0 {
+		s.cutRowStart = s.baseProb.NumRows()
+		s.baseProb.SetWorkspace(lp.NewWorkspace())
+		s.rootCutLoop()
+	}
+	w := &s.wstats[0]
+	w.LPSolves += s.baseProb.SolveCount()
+	w.Pivots += s.baseProb.PivotCount()
+	w.WarmStarts += s.baseProb.WarmStartCount()
+	w.WarmFallbacks += s.baseProb.WarmStartFallbackCount()
+	w.WarmPivots += s.baseProb.WarmPivotCount()
+	w.Phase1Rows += s.baseProb.Phase1RowCount()
+	w.EtaUpdates += s.baseProb.EtaUpdateCount()
+	w.Refactorizations += s.baseProb.RefactorizationCount()
+	w.WorkspaceReuses += s.baseProb.WorkspaceReuseCount()
+	if len(s.frontier) > 0 {
+		s.frontier[0].basis = s.rootBasis
+	}
 }
 
 // run executes the search and assembles the Result.
@@ -132,8 +226,9 @@ func (s *search) run() (*Result, error) {
 			s.incBits.Store(math.Float64bits(obj))
 		}
 	}
+	s.prepareRoot()
 	newProb := func() *lp.Problem {
-		p := s.m.prob.Clone()
+		p := s.baseProb.Clone()
 		// Propagate the budget into the LP so one oversized relaxation
 		// cannot overshoot it.
 		p.SetDeadline(s.deadline)
@@ -191,21 +286,24 @@ func (s *search) worker(id int, prob *lp.Problem) {
 			break
 		}
 		t0 := time.Now()
-		s.expand(id, idx, n, prob)
+		if s.expand(id, idx, n, prob) {
+			w.Nodes++
+		}
 		w.Busy += time.Since(t0)
-		w.Nodes++
 	}
 	// The worker's private problem accumulated its LP work; fold it into
-	// the worker's stats slot now that no more solves can happen.
-	w.LPSolves = prob.SolveCount()
-	w.Pivots = prob.PivotCount()
-	w.WarmStarts = prob.WarmStartCount()
-	w.WarmFallbacks = prob.WarmStartFallbackCount()
-	w.WarmPivots = prob.WarmPivotCount()
-	w.Phase1Rows = prob.Phase1RowCount()
-	w.EtaUpdates = prob.EtaUpdateCount()
-	w.Refactorizations = prob.RefactorizationCount()
-	w.WorkspaceReuses = prob.WorkspaceReuseCount()
+	// the worker's stats slot now that no more solves can happen. Adds,
+	// not assignments: slot 0 was pre-filled with the root-preparation
+	// (presolve + cut loop) LP work.
+	w.LPSolves += prob.SolveCount()
+	w.Pivots += prob.PivotCount()
+	w.WarmStarts += prob.WarmStartCount()
+	w.WarmFallbacks += prob.WarmStartFallbackCount()
+	w.WarmPivots += prob.WarmPivotCount()
+	w.Phase1Rows += prob.Phase1RowCount()
+	w.EtaUpdates += prob.EtaUpdateCount()
+	w.Refactorizations += prob.RefactorizationCount()
+	w.WorkspaceReuses += prob.WorkspaceReuseCount()
 }
 
 // loadInc reads the published incumbent objective without locking.
@@ -355,8 +453,12 @@ func (s *search) rootFixLocked(sol *lp.Solution, obj float64) {
 }
 
 // expand solves the node's LP relaxation on the worker's private problem
-// and either records an incumbent or branches.
-func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
+// and either records an incumbent or branches. The return value reports
+// whether the node counted as explored — node presolve can prove a node
+// infeasible before its LP, in which case it is excluded from
+// NodesExplored (and the worker's node count) and counted as
+// NodesPresolved instead, keeping the LP-solve identity exact.
+func (s *search) expand(id, idx int, n *node, prob *lp.Problem) bool {
 	// Reset to base bounds, then walk the chain root→leaf so deeper
 	// changes win.
 	for v := range s.baseLo {
@@ -368,7 +470,37 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
 		for _, bc := range chain[i].changes {
-			prob.SetBounds(bc.v, bc.lo, bc.hi)
+			// Intersect rather than overwrite: group branches record the
+			// absolute binary fixings {0,0}/{1,1}, which must not escape
+			// bounds the root reductions (presolve, reduced-cost fixing)
+			// have since proven — rows deleted as redundant are only
+			// redundant inside that box. An empty intersection proves the
+			// node infeasible without any LP work.
+			lo, hi := prob.Bounds(bc.v)
+			lo = math.Max(lo, bc.lo)
+			hi = math.Min(hi, bc.hi)
+			if lo > hi {
+				s.done(id, func() {
+					s.nodes--
+					s.nodesPresolved++
+				})
+				return false
+			}
+			prob.SetBounds(bc.v, lo, hi)
+		}
+	}
+	// Node presolve: propagate this node's bound changes through the rows
+	// before paying for a simplex run. The root skips it — prepareRoot
+	// already ran the same propagation to a fixpoint.
+	if !s.opt.NoPresolve && n.parent != nil {
+		tight, infeas := s.nodePresolve(id, prob)
+		s.boundsTightened.Add(tight)
+		if infeas {
+			s.done(id, func() {
+				s.nodes--
+				s.nodesPresolved++
+			})
+			return false
 		}
 	}
 	// Warm-start the relaxation from the parent's optimal basis: the
@@ -398,12 +530,12 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			}
 			s.haltLocked()
 		})
-		return
+		return true
 	}
 	switch sol.Status {
 	case lp.Infeasible:
 		s.done(id, nil)
-		return
+		return true
 	case lp.Unbounded:
 		s.done(id, func() {
 			if n.parent == nil {
@@ -412,19 +544,30 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			}
 			// Non-root unbounded: unexplorable, bound stays with siblings.
 		})
-		return
+		return true
 	case lp.IterLimit:
-		s.done(id, nil) // treat as unexplorable
-		return
+		// The relaxation ran out of budget (deadline) or broke down
+		// numerically: the subtree is unexplorable, not infeasible. The
+		// flag keeps result() from claiming optimality or infeasibility
+		// over a tree with dropped subtrees.
+		s.done(id, func() { s.lpLimited++ })
+		return true
 	}
 	obj := sol.Obj + s.m.objC
+
+	// Feed the branching history: this node's LP degradation per unit of
+	// fractional distance is one pseudocost observation for the variable
+	// whose branch created it.
+	if s.pcDownSum != nil && n.bVar >= 0 && n.bDist > 1e-9 {
+		s.pcRecord(n.bVar, n.bUp, math.Max(obj-n.bound, 0)/n.bDist)
+	}
 
 	// Prune against the freshest published incumbent before any further
 	// work; the authoritative re-check happens under the lock below.
 	if n.parent != nil && obj >= s.loadInc()-1e-9 {
 		s.cutoffPre.Add(1)
 		s.done(id, nil)
-		return
+		return true
 	}
 
 	// Rounding heuristic while no incumbent exists: fix the integer part
@@ -456,11 +599,13 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 	}
 
 	branchVar, branchGroup := s.m.pickBranch(sol.X)
+	groupConverted := false
 	if s.opt.NoGroupBranching && branchGroup >= 0 {
 		// Ablation mode: resolve the group with binary branching on its
 		// most fractional member instead.
 		branchGroup = -1
 		branchVar = -1
+		groupConverted = true
 		bestFrac := intTol
 		for _, g := range s.m.groups {
 			for _, v := range g {
@@ -475,14 +620,28 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			branchVar = bv
 		}
 	}
+	// Pseudocost branching: when the history has reliable estimates for
+	// any fractional variable, it overrides the most-fractional default.
+	// The disjunction-group fast path above stays untouched, and the
+	// converted-group ablation keeps its member choice.
+	usedPC := false
+	if branchGroup < 0 && branchVar >= 0 && !groupConverted && s.pcDownSum != nil {
+		if v, ok := s.pickPseudocost(sol.X); ok {
+			branchVar = v
+			usedPC = true
+		}
+	}
 
 	// Child bound changes are prepared outside the lock; prob still holds
 	// the node's bounds, so Bounds(branchVar) sees the node-local range.
 	var downCh, upCh []boundChange
+	var fracDown, fracUp float64
 	if branchGroup < 0 && branchVar >= 0 {
 		x := sol.X[branchVar]
 		lo, hi := prob.Bounds(branchVar)
 		fl := math.Floor(x)
+		fracDown = x - fl
+		fracUp = fl + 1 - x
 		downCh = []boundChange{{branchVar, lo, fl}}
 		upCh = []boundChange{{branchVar, fl + 1, hi}}
 	}
@@ -522,9 +681,11 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 		if branchGroup >= 0 {
 			// k-way branch: each child fixes a different member to 0 and
 			// the rest to 1.
+			s.branchings++
+			s.groupBranches++
 			g := s.m.groups[branchGroup]
 			for _, zero := range g {
-				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, basis: nb}
+				ch := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, basis: nb, bVar: -1}
 				s.seq++
 				for _, v := range g {
 					if v == zero {
@@ -538,13 +699,22 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) {
 			return
 		}
 		// Standard two-way branch on a fractional integer variable.
-		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: downCh, basis: nb}
+		s.branchings++
+		if usedPC {
+			s.pcBranches++
+		} else {
+			s.relFallbacks++
+		}
+		down := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: downCh, basis: nb,
+			bVar: branchVar, bUp: false, bDist: fracDown}
 		s.seq++
-		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: upCh, basis: nb}
+		up := &node{bound: obj, depth: n.depth + 1, parent: n, seq: s.seq, changes: upCh, basis: nb,
+			bVar: branchVar, bUp: true, bDist: fracUp}
 		s.seq++
 		heap.Push(&s.frontier, down)
 		heap.Push(&s.frontier, up)
 	})
+	return true
 }
 
 // statsSnapshot assembles the SearchStats after all workers have joined;
@@ -563,6 +733,17 @@ func (s *search) statsSnapshot() SearchStats {
 		BasisRefreshes:    s.basisRefresh.Load(),
 		RootBoundsFixed:   s.rootFixed,
 		PerWorker:         s.wstats,
+
+		NodesPresolved:       s.nodesPresolved,
+		BoundsTightened:      s.boundsTightened.Load(),
+		RowsRemoved:          s.rowsRemoved,
+		CoefsStrengthened:    s.coefsStrengthened,
+		CutsAdded:            s.cutsAdded,
+		CutRounds:            s.cutRounds,
+		Branchings:           s.branchings,
+		GroupBranches:        s.groupBranches,
+		PseudocostBranches:   s.pcBranches,
+		ReliabilityFallbacks: s.relFallbacks,
 	}
 	for _, w := range s.wstats {
 		st.LPSolves += w.LPSolves
@@ -607,14 +788,21 @@ func (s *search) result() (*Result, error) {
 		// An empty frontier proves optimality even when a budget fired on
 		// the final nodes: halted workers never abandon popped nodes, so
 		// an empty heap with all workers drained means the whole tree was
-		// expanded or dominated.
-		if len(s.frontier) == 0 {
+		// expanded or dominated — unless some node's LP hit a limit, in
+		// which case its subtree was dropped unexplored and the incumbent
+		// is only known to be feasible.
+		if len(s.frontier) == 0 && s.lpLimited == 0 {
 			res.Status = Optimal
 			res.Bound = s.incObj
 		} else {
 			res.Status = Feasible
-			// Bound is the best outstanding node bound.
+			// Bound is the best outstanding node bound; with dropped
+			// subtrees and an empty frontier, the root bound is all that
+			// remains known.
 			best := s.incObj
+			if len(s.frontier) == 0 {
+				best = res.Bound
+			}
 			for _, n := range s.frontier {
 				if n.bound < best {
 					best = n.bound
@@ -624,7 +812,9 @@ func (s *search) result() (*Result, error) {
 		}
 		return res, nil
 	}
-	if len(s.frontier) == 0 {
+	// No incumbent: an exhausted tree proves infeasibility only when no
+	// subtree was dropped by an LP limit along the way.
+	if len(s.frontier) == 0 && s.lpLimited == 0 {
 		res.Status = Infeasible
 	}
 	return res, nil

@@ -25,8 +25,9 @@ type SearchStats struct {
 	// expanded concurrently — ≤ Workers; below it, the frontier starved.
 	InFlightHighWater int
 	// LPSolves counts LP relaxation solves across all workers, including
-	// rounding-heuristic re-solves and basis refreshes: LPSolves =
-	// NodesExplored + RoundingAttempts + BasisRefreshes (the conservation
+	// rounding-heuristic re-solves, basis refreshes and the root cut
+	// loop's separation solves: LPSolves = NodesExplored +
+	// RoundingAttempts + BasisRefreshes + CutRounds (the conservation
 	// identity TestSearchStatsConservation pins for both sequential and
 	// parallel runs).
 	LPSolves int64
@@ -79,10 +80,43 @@ type SearchStats struct {
 	// BasisRefreshes counts full-tableau re-solves of a node whose
 	// relaxation was answered by the presolver (which carries no basis)
 	// but which is about to branch — the children need a basis to
-	// warm-start from. Together with nodes and rounding these account for
-	// every LP solve: LPSolves = NodesExplored + RoundingAttempts +
-	// BasisRefreshes.
+	// warm-start from. Together with nodes, rounding and the root cut
+	// loop these account for every LP solve: LPSolves = NodesExplored +
+	// RoundingAttempts + BasisRefreshes + CutRounds.
 	BasisRefreshes int64
+	// NodesPresolved counts nodes discarded by node presolve: their local
+	// bounds were proven infeasible by activity propagation before any
+	// simplex work was spent. Such nodes never reach the LP, so they are
+	// excluded from NodesExplored and the LP-solve conservation identity
+	// stays exact.
+	NodesPresolved int64
+	// BoundsTightened counts variable bounds tightened by activity-based
+	// presolve, at the root (to a fixpoint) and at nodes (local
+	// propagation of the branch's bound changes).
+	BoundsTightened int64
+	// RowsRemoved counts constraint rows dropped at the root because the
+	// base bounds prove them redundant (never violable).
+	RowsRemoved int64
+	// CoefsStrengthened counts binary-variable coefficients tightened by
+	// the root's coefficient-strengthening pass.
+	CoefsStrengthened int64
+	// CutsAdded counts the Gomory and knapsack cover cuts appended to the
+	// root problem; CutRounds counts the separation loop's LP solves (one
+	// per round, including the final round that separated nothing), which
+	// is exactly the root-preparation term of the LP-solve conservation
+	// identity.
+	CutsAdded int64
+	CutRounds int64
+	// Branchings counts branch decisions taken; every one is a k-way
+	// group branch, a pseudocost branch, or a most-fractional reliability
+	// fallback, so Branchings = GroupBranches + PseudocostBranches +
+	// ReliabilityFallbacks is the branching conservation identity.
+	// Ablation runs with Branching=mostfrac count every variable branch
+	// as a fallback (the fallback IS the most-fractional rule).
+	Branchings           int64
+	GroupBranches        int64
+	PseudocostBranches   int64
+	ReliabilityFallbacks int64
 	// Interrupted reports that the search was halted by Options.Interrupt
 	// (an external cancellation, e.g. an HTTP client disconnect) rather
 	// than running to a status or budget of its own. Merge ORs it across
@@ -161,6 +195,16 @@ func (st *SearchStats) Merge(other SearchStats) {
 	st.RoundingAttempts += other.RoundingAttempts
 	st.RoundingHits += other.RoundingHits
 	st.BasisRefreshes += other.BasisRefreshes
+	st.NodesPresolved += other.NodesPresolved
+	st.BoundsTightened += other.BoundsTightened
+	st.RowsRemoved += other.RowsRemoved
+	st.CoefsStrengthened += other.CoefsStrengthened
+	st.CutsAdded += other.CutsAdded
+	st.CutRounds += other.CutRounds
+	st.Branchings += other.Branchings
+	st.GroupBranches += other.GroupBranches
+	st.PseudocostBranches += other.PseudocostBranches
+	st.ReliabilityFallbacks += other.ReliabilityFallbacks
 	st.Interrupted = st.Interrupted || other.Interrupted
 	st.Wall += other.Wall
 	for len(st.PerWorker) < len(other.PerWorker) {

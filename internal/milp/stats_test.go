@@ -8,9 +8,14 @@ import (
 // checkStatsConsistent asserts the internal identities every SearchStats
 // must satisfy regardless of worker count or scheduling:
 //
-//   - LP-solve conservation: LPSolves = NodesExplored + RoundingAttempts
-//     (each expanded node costs exactly one relaxation solve; the only
-//     other solves are rounding-heuristic re-solves) — see docs/metrics.md;
+//   - LP-solve conservation: LPSolves = NodesExplored + RoundingAttempts +
+//     BasisRefreshes + CutRounds (each expanded node costs exactly one
+//     relaxation solve; the only other solves are rounding-heuristic
+//     re-solves, pre-branch basis refreshes, and the root cut loop's
+//     separation rounds) — see docs/metrics.md;
+//   - branching conservation: Branchings = GroupBranches +
+//     PseudocostBranches + ReliabilityFallbacks (every branch decision is
+//     exactly one of the three);
 //   - per-worker totals sum to the pool totals;
 //   - the in-flight high-water mark never exceeds the pool size;
 //   - pruning counters never exceed the work that could produce them.
@@ -19,8 +24,11 @@ func checkStatsConsistent(t *testing.T, st SearchStats, workers int) {
 	if st.Workers != workers {
 		t.Errorf("Workers = %d, want %d", st.Workers, workers)
 	}
-	if got, want := st.LPSolves, st.NodesExplored+st.RoundingAttempts+st.BasisRefreshes; got != want {
-		t.Errorf("LP-solve conservation violated: LPSolves=%d, NodesExplored+RoundingAttempts+BasisRefreshes=%d", got, want)
+	if got, want := st.LPSolves, st.NodesExplored+st.RoundingAttempts+st.BasisRefreshes+st.CutRounds; got != want {
+		t.Errorf("LP-solve conservation violated: LPSolves=%d, NodesExplored+RoundingAttempts+BasisRefreshes+CutRounds=%d", got, want)
+	}
+	if got, want := st.Branchings, st.GroupBranches+st.PseudocostBranches+st.ReliabilityFallbacks; got != want {
+		t.Errorf("branching conservation violated: Branchings=%d, GroupBranches+PseudocostBranches+ReliabilityFallbacks=%d", got, want)
 	}
 	if got, want := st.LPSolves, st.WarmStarts+st.ColdSolves; got != want {
 		t.Errorf("warm-start conservation violated: LPSolves=%d, WarmStarts+ColdSolves=%d", got, want)
@@ -177,8 +185,11 @@ func TestRootReducedCostFixing(t *testing.T) {
 		m.Minimize(T(a, 1).Add(b, 10))
 		return m
 	}
+	// Root cuts and coefficient strengthening close this tiny model's gap
+	// before reduced-cost fixing can fire; ablate them so the test keeps
+	// exercising the fixing path specifically.
 	seed := []float64{1, 0} // feasible incumbent: obj 1; root relaxation 0.5
-	res, err := build().Solve(Options{Start: seed, Workers: 1})
+	res, err := build().Solve(Options{Start: seed, Workers: 1, NoCuts: true, NoPresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +199,7 @@ func TestRootReducedCostFixing(t *testing.T) {
 	if res.Stats.RootBoundsFixed == 0 {
 		t.Errorf("expected reduced-cost fixing to fire on b (rc≈9, gap≈0.5): %+v", res.Stats)
 	}
-	off, err := build().Solve(Options{Start: seed, Workers: 1, NoWarmStart: true})
+	off, err := build().Solve(Options{Start: seed, Workers: 1, NoWarmStart: true, NoCuts: true, NoPresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,6 +238,9 @@ func TestSearchStatsMerge(t *testing.T) {
 		WarmPivots: 40, ColdPivots: 60, Phase1Rows: 30, RootBoundsFixed: 2,
 		EtaUpdates: 90, Refactorizations: 4, WorkspaceReuses: 6,
 		IncumbentUpdates: 3, RoundingAttempts: 1, RoundingHits: 1,
+		NodesPresolved: 2, BoundsTightened: 7, RowsRemoved: 1, CoefsStrengthened: 3,
+		CutsAdded: 5, CutRounds: 2,
+		Branchings: 9, GroupBranches: 4, PseudocostBranches: 3, ReliabilityFallbacks: 2,
 		Wall:      time.Second,
 		PerWorker: []WorkerStats{{Nodes: 6, WarmStarts: 5, EtaUpdates: 50}, {Nodes: 4, WarmStarts: 3, EtaUpdates: 40}},
 	}
@@ -234,6 +248,8 @@ func TestSearchStatsMerge(t *testing.T) {
 		Workers: 4, NodesExplored: 5, InFlightHighWater: 3, LPSolves: 5,
 		WarmStarts: 4, ColdSolves: 1, WarmPivots: 10, Phase1Rows: 6,
 		EtaUpdates: 10, Refactorizations: 1, WorkspaceReuses: 3,
+		NodesPresolved: 1, BoundsTightened: 3, CutsAdded: 2, CutRounds: 1,
+		Branchings: 2, PseudocostBranches: 1, ReliabilityFallbacks: 1,
 		Wall:      time.Second,
 		PerWorker: []WorkerStats{{Nodes: 2, WarmStarts: 4, EtaUpdates: 10}, {Nodes: 1}, {Nodes: 1}, {Nodes: 1}},
 	}
@@ -250,6 +266,16 @@ func TestSearchStatsMerge(t *testing.T) {
 	}
 	if a.EtaUpdates != 100 || a.Refactorizations != 5 || a.WorkspaceReuses != 9 {
 		t.Fatalf("kernel counter merge totals wrong: %+v", a)
+	}
+	if a.NodesPresolved != 3 || a.BoundsTightened != 10 || a.RowsRemoved != 1 ||
+		a.CoefsStrengthened != 3 || a.CutsAdded != 7 || a.CutRounds != 3 {
+		t.Fatalf("presolve/cut counter merge totals wrong: %+v", a)
+	}
+	if a.Branchings != 11 || a.GroupBranches != 4 || a.PseudocostBranches != 4 || a.ReliabilityFallbacks != 3 {
+		t.Fatalf("branching counter merge totals wrong: %+v", a)
+	}
+	if a.Branchings != a.GroupBranches+a.PseudocostBranches+a.ReliabilityFallbacks {
+		t.Fatalf("merge broke the branching conservation identity: %+v", a)
 	}
 	if a.PerWorker[0].EtaUpdates != 60 || a.PerWorker[1].EtaUpdates != 40 {
 		t.Fatalf("per-worker kernel counter merge wrong: %+v", a.PerWorker)

@@ -18,6 +18,7 @@ import (
 	"columbas/internal/core"
 	"columbas/internal/export"
 	"columbas/internal/layout"
+	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
 )
@@ -53,6 +54,15 @@ type Config struct {
 	// included: their trace is the single "cache" span). Writes are
 	// serialized by the server.
 	TraceSink io.Writer
+	// NoCuts disables root cutting planes in every layout MILP served
+	// by this process (ablation deployments).
+	NoCuts bool
+	// NoPresolve disables MILP presolve (bound tightening, redundant
+	// rows, coefficient strengthening).
+	NoPresolve bool
+	// Branching selects the branch-and-bound variable selection rule;
+	// the zero value is pseudocost branching.
+	Branching milp.BranchRule
 }
 
 // Server is the columbasd HTTP API: synthesis behind a bounded worker
@@ -86,6 +96,12 @@ type Server struct {
 	etaUpdates    atomic.Int64
 	refactors     atomic.Int64
 	wsReuses      atomic.Int64
+	cutsAdded     atomic.Int64
+	cutRounds     atomic.Int64
+	nodesPresolve atomic.Int64
+	boundsTight   atomic.Int64
+	branchings    atomic.Int64
+	pcBranches    atomic.Int64
 
 	traceMu sync.Mutex
 }
@@ -194,13 +210,24 @@ type RequestStats struct {
 // lp_solves and workspace_reuses near warm_starts mean the factorization
 // cache is doing its job; a rising refactorizations share means bases
 // are churning.
+// The search-tree reduction family (cuts_added onward) mirrors the same
+// health story for the branch-and-bound layer: cuts_added and
+// bounds_tightened near zero on a default deployment mean the reductions
+// have nothing to bite on; pseudocost_branches near branchings means the
+// reliability phase has converged.
 type SolverStats struct {
-	LPSolves         int64 `json:"lp_solves"`
-	SimplexPivots    int64 `json:"simplex_pivots"`
-	WarmStarts       int64 `json:"warm_starts"`
-	EtaUpdates       int64 `json:"eta_updates"`
-	Refactorizations int64 `json:"refactorizations"`
-	WorkspaceReuses  int64 `json:"workspace_reuses"`
+	LPSolves           int64 `json:"lp_solves"`
+	SimplexPivots      int64 `json:"simplex_pivots"`
+	WarmStarts         int64 `json:"warm_starts"`
+	EtaUpdates         int64 `json:"eta_updates"`
+	Refactorizations   int64 `json:"refactorizations"`
+	WorkspaceReuses    int64 `json:"workspace_reuses"`
+	CutsAdded          int64 `json:"cuts_added"`
+	CutRounds          int64 `json:"cut_rounds"`
+	NodesPresolved     int64 `json:"nodes_presolved"`
+	BoundsTightened    int64 `json:"bounds_tightened"`
+	Branchings         int64 `json:"branchings"`
+	PseudocostBranches int64 `json:"pseudocost_branches"`
 }
 
 // snapshot assembles the current Stats.
@@ -226,12 +253,18 @@ func (s *Server) snapshot() Stats {
 			Canceled:  s.canceled.Load(),
 		},
 		Solver: SolverStats{
-			LPSolves:         s.lpSolves.Load(),
-			SimplexPivots:    s.simplexPivots.Load(),
-			WarmStarts:       s.warmStarts.Load(),
-			EtaUpdates:       s.etaUpdates.Load(),
-			Refactorizations: s.refactors.Load(),
-			WorkspaceReuses:  s.wsReuses.Load(),
+			LPSolves:           s.lpSolves.Load(),
+			SimplexPivots:      s.simplexPivots.Load(),
+			WarmStarts:         s.warmStarts.Load(),
+			EtaUpdates:         s.etaUpdates.Load(),
+			Refactorizations:   s.refactors.Load(),
+			WorkspaceReuses:    s.wsReuses.Load(),
+			CutsAdded:          s.cutsAdded.Load(),
+			CutRounds:          s.cutRounds.Load(),
+			NodesPresolved:     s.nodesPresolve.Load(),
+			BoundsTightened:    s.boundsTight.Load(),
+			Branchings:         s.branchings.Load(),
+			PseudocostBranches: s.pcBranches.Load(),
 		},
 		Cache: s.cache.stats(),
 	}
@@ -373,6 +406,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.etaUpdates.Add(se.EtaUpdates)
 		s.refactors.Add(se.Refactorizations)
 		s.wsReuses.Add(se.WorkspaceReuses)
+		s.cutsAdded.Add(se.CutsAdded)
+		s.cutRounds.Add(se.CutRounds)
+		s.nodesPresolve.Add(se.NodesPresolved)
+		s.boundsTight.Add(se.BoundsTightened)
+		s.branchings.Add(se.Branchings)
+		s.pcBranches.Add(se.PseudocostBranches)
 	}
 	s.cache.add(key, res)
 	s.render(w, fm, res, key, "miss")
@@ -389,6 +428,9 @@ func (s *Server) requestOptions(q map[string][]string) (core.Options, time.Durat
 	}
 	opt := core.DefaultOptions()
 	opt.Layout.Workers = s.cfg.Workers
+	opt.Layout.NoCuts = s.cfg.NoCuts
+	opt.Layout.NoPresolve = s.cfg.NoPresolve
+	opt.Layout.Branching = s.cfg.Branching
 	if v := get("time"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
