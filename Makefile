@@ -13,10 +13,11 @@
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
 #   make bench-cuts     tree reductions on vs off: node/pivot numbers for EXPERIMENTS.md
 #   make bench-kernel   LP-kernel benchmarks with -benchmem + the zero-alloc gate
+#   make bench-scaling  dense-vs-sparse scaling curve chip9 → chip256 (BENCH_scaling.txt)
 
 GO ?= go
 
-.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel
+.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
 
 build:
 	$(GO) build ./...
@@ -59,9 +60,15 @@ fuzz-smoke:
 conformance:
 	$(GO) test -run 'TestSynthesisConformance|TestNetlistRoundTrip|TestConformanceMostlySynthesizable' -count=1 .
 
-# Every internal package must carry its documentation in a doc.go whose
-# comment opens with the canonical "Package <name>" sentence, and no other
-# file may duplicate the package comment.
+# Three documentation gates:
+#   1. every internal package carries its documentation in a doc.go whose
+#      comment opens with the canonical "Package <name>" sentence, and no
+#      other file duplicates the package comment;
+#   2. no relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md
+#      or docs/*.md dangles (external http(s) links are not checked);
+#   3. every milp.SearchStats counter field is documented by name in
+#      docs/metrics.md — an undocumented counter is how the metrics
+#      contract silently rots.
 docs-check:
 	@fail=0; \
 	for d in internal/*/; do \
@@ -78,6 +85,21 @@ docs-check:
 		fi; \
 	done; \
 	if [ ! -f docs/metrics.md ]; then echo "docs-check: docs/metrics.md missing"; fail=1; fi; \
+	for f in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do \
+		[ -f $$f ] || continue; \
+		dir=$$(dirname $$f); \
+		for link in $$(grep -o '](\([^)#]*\))' $$f | sed 's/^](//;s/)$$//' | grep -v '^[a-z][a-z]*:' || true); do \
+			if [ ! -e "$$dir/$$link" ]; then \
+				echo "docs-check: $$f links to missing $$link"; fail=1; \
+			fi; \
+		done; \
+	done; \
+	for field in $$(awk '/^type SearchStats struct/,/^}/' internal/milp/stats.go | \
+			grep -o '^	[A-Z][A-Za-z0-9]*' | tr -d '\t'); do \
+		if ! grep -q "$$field" docs/metrics.md; then \
+			echo "docs-check: SearchStats.$$field is not documented in docs/metrics.md"; fail=1; \
+		fi; \
+	done; \
 	exit $$fail
 
 # The synthesis-service gate: both binaries must build and the httptest
@@ -109,6 +131,14 @@ bench-cuts:
 bench-kernel:
 	$(GO) test -run 'TestSolveFromSteadyStateAllocs' -count=1 ./internal/lp/
 	$(GO) test -run '^$$' -bench 'BenchmarkSolveFrom' -benchmem -count=1 ./internal/lp/
+
+# The dense-vs-sparse scaling curve (EXPERIMENTS.md "Kernel scaling"):
+# one full synthesis per ChIP size and LP basis engine, chip9 → chip256
+# plus a generated chip128-class netlist, reporting wall time, pivots,
+# fill-in, peak basis nonzeros and dense fallbacks. The raw go test
+# output is the BENCH artifact (BENCH_scaling.txt).
+bench-scaling:
+	$(GO) test -run '^$$' -bench BenchmarkScalingKernel -benchtime 1x -count=1 -timeout 60m . | tee BENCH_scaling.txt
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -32,6 +32,7 @@ import (
 
 	"columbas/internal/bench"
 	"columbas/internal/cases"
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/obs"
 )
@@ -58,6 +59,7 @@ func run() error {
 		noCuts   = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre    = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
 		branch   = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
+		kernel   = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
 		pprofMem = flag.String("pprof-mem", "", "write a heap profile at exit to this file")
 	)
@@ -93,6 +95,9 @@ func run() error {
 	var err error
 	if cfg.Branching, err = milp.ParseBranchRule(*branch); err != nil {
 		return fmt.Errorf("-branching: %w", err)
+	}
+	if cfg.Kernel, err = lp.ParseKernel(*kernel); err != nil {
+		return fmt.Errorf("-kernel: %w", err)
 	}
 	if *quick {
 		cfg.StallLimit = 40

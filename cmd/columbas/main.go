@@ -29,6 +29,7 @@ import (
 	"columbas/internal/export"
 	"columbas/internal/hls"
 	"columbas/internal/layout"
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
@@ -54,6 +55,7 @@ func run() error {
 		noCuts    = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre     = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
 		branching = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
+		kernel    = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
 		stats     = flag.Bool("stats", false, "print the per-phase statistics table (docs/metrics.md) to stderr")
 		traceJSON = flag.String("trace-json", "", "write the phase trace as JSON (schema columbas-trace/v1) to this file")
@@ -70,6 +72,10 @@ func run() error {
 	branchRule, err := milp.ParseBranchRule(*branching)
 	if err != nil {
 		return fmt.Errorf("-branching: %w", err)
+	}
+	kernelMode, err := lp.ParseKernel(*kernel)
+	if err != nil {
+		return fmt.Errorf("-kernel: %w", err)
 	}
 
 	if *pprofCPU != "" {
@@ -142,6 +148,7 @@ func run() error {
 	opt.Layout.NoCuts = *noCuts
 	opt.Layout.NoPresolve = *noPre
 	opt.Layout.Branching = branchRule
+	opt.Layout.Kernel = kernelMode
 	opt.RunDRC = !*noDRC
 	opt.Trace = tr
 	switch *effort {

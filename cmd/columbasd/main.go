@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/server"
 )
@@ -53,6 +54,7 @@ func run() error {
 		noCuts   = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre    = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
 		branch   = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
+		kernel   = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 	)
 	flag.Parse()
 
@@ -70,6 +72,10 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("-branching: %w", err)
 	}
+	kernelMode, err := lp.ParseKernel(*kernel)
+	if err != nil {
+		return fmt.Errorf("-kernel: %w", err)
+	}
 
 	cfg := server.Config{
 		Jobs:           *jobs,
@@ -81,6 +87,7 @@ func run() error {
 		NoCuts:         *noCuts,
 		NoPresolve:     *noPre,
 		Branching:      rule,
+		Kernel:         kernelMode,
 	}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

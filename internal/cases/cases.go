@@ -262,15 +262,29 @@ func ChIP128() Case {
 	return c
 }
 
+// ChIP256 is the scaling-curve extension beyond Table 1: 513 units in 32
+// parallel groups. Its layout model is roughly double chip128's (the LP
+// dimension grows with the group count, since each group's lanes merge
+// into one block rectangle); it is the largest point of the sparse-kernel
+// scaling curve (make bench-scaling) and the reason the kernel factorizes
+// rather than inverts.
+func ChIP256() Case {
+	c, err := ChIPScale(256, 32)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
 // Table1 returns the six evaluation cases in the paper's row order.
 func Table1() []Case {
 	return []Case{NAP6(), ChIP9(), MRNA8(), Kinase21(), ChIP64(), ChIP128()}
 }
 
 // Get returns the case with the given ID — a Table 1 row or one of the
-// extra synthetic sizes (chip16).
+// extra synthetic sizes (chip16, chip256).
 func Get(id string) (Case, error) {
-	for _, c := range append(Table1(), ChIP16()) {
+	for _, c := range append(Table1(), ChIP16(), ChIP256()) {
 		if c.ID == id {
 			return c, nil
 		}

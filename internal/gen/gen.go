@@ -31,6 +31,14 @@ type Config struct {
 	// ParallelGroups enables grouping same-configuration lane mixers so
 	// they share control channels.
 	ParallelGroups bool
+	// MaxGroupSize, when positive, switches the generator to scale-class
+	// output (see Scale): uniform in → mixer → chamber lanes drained by
+	// one collector switch, with same-option lanes chunked into parallel
+	// groups of at most MaxGroupSize lanes each. FanOut, Blend, Resize
+	// and the per-feature random gates are ignored in this mode — the
+	// structure is fixed and only the mixer options vary with the seed.
+	// Zero keeps the default small-netlist generator.
+	MaxGroupSize int
 }
 
 // Default returns the configuration used by the conformance suite: small
@@ -51,6 +59,24 @@ func Default() Config {
 // Generate builds a random netlist from the seed under the Default
 // configuration.
 func Generate(seed int64) *netlist.Netlist { return Default().Generate(seed) }
+
+// Scale returns a chip-scale configuration: exactly lanes uniform
+// process lanes (in → sieve/cell-trap/plain mixer → chamber) drained by
+// one collector switch, with parallel groups of at most groupSize lanes.
+// Scale(128, 8) and Scale(256, 8) produce chip128- and chip256-class
+// netlists (the layout model keeps one block rectangle per group, so the
+// LP dimension grows with lanes/groupSize); they feed the sparse-kernel
+// scaling benchmarks (make bench-scaling).
+func Scale(lanes, groupSize int) Config {
+	return Config{
+		MinLanes:       lanes,
+		MaxLanes:       lanes,
+		MaxMuxes:       1,
+		Collector:      true,
+		ParallelGroups: true,
+		MaxGroupSize:   groupSize,
+	}
+}
 
 // Generate builds a random netlist from the seed. The same seed always
 // yields the same netlist. The result is guaranteed to pass
@@ -74,6 +100,10 @@ func (c Config) Generate(seed int64) *netlist.Netlist {
 	}
 
 	opts := []netlist.MixerOpt{netlist.Plain, netlist.Sieve, netlist.CellTrap}
+
+	if c.MaxGroupSize > 0 {
+		return c.generateScale(rng, n, lanes, opts)
+	}
 
 	// Process lanes: in:s<i> → m<i> [→ c<i>], optionally fanning out to a
 	// second chamber with its own outlet. tails collects each lane's last
@@ -145,6 +175,70 @@ func (c Config) Generate(seed int64) *netlist.Netlist {
 
 	if err := n.Validate(); err != nil {
 		panic(fmt.Sprintf("gen: seed %d produced an invalid netlist: %v", seed, err))
+	}
+	return n
+}
+
+// generateScale emits a chip128/chip256-class netlist: lanes uniform
+// in:s<i> → m<i> → c<i> chains, one collector switch joining every
+// chamber, and parallel groups of at most MaxGroupSize same-option lanes
+// each (mirroring the synthetic ChIP cases, cases.ChIPScale). Only the
+// per-lane mixer options are random; the structure — and therefore the
+// layout-model size — is fixed by the configuration. Lanes whose option
+// chunk would leave them alone stay independent (a parallel group needs
+// at least two members).
+func (c Config) generateScale(rng *rand.Rand, n *netlist.Netlist, lanes int, opts []netlist.MixerOpt) *netlist.Netlist {
+	laneOpt := make([]netlist.MixerOpt, 0, lanes)
+	for i := 1; i <= lanes; i++ {
+		opt := opts[rng.Intn(len(opts))]
+		laneOpt = append(laneOpt, opt)
+		m := fmt.Sprintf("m%d", i)
+		ch := fmt.Sprintf("c%d", i)
+		n.Units = append(n.Units,
+			netlist.Unit{Name: m, Type: netlist.Mixer, Opt: opt},
+			netlist.Unit{Name: ch, Type: netlist.Chamber, Opt: netlist.Plain})
+		n.Nets = append(n.Nets, net(in(fmt.Sprintf("s%d", i)), unit(m)))
+		n.Nets = append(n.Nets, net(unit(m), unit(ch)))
+	}
+
+	// One collector mixer drains every chamber through a single switch.
+	n.Units = append(n.Units, netlist.Unit{Name: "col", Type: netlist.Mixer, Opt: netlist.Plain})
+	eps := make([]netlist.Endpoint, 0, lanes+2)
+	for i := 1; i <= lanes; i++ {
+		eps = append(eps, unit(fmt.Sprintf("c%d", i)))
+	}
+	eps = append(eps, unit("col"), out("waste"))
+	n.Nets = append(n.Nets, netlist.Net{Endpoints: eps})
+	n.Nets = append(n.Nets, net(unit("col"), out("collect")))
+
+	// Chunk same-option lanes into parallel groups of at most MaxGroupSize
+	// lanes, each group carrying its mixers and chambers.
+	if c.ParallelGroups {
+		byOpt := map[netlist.MixerOpt][]int{}
+		for i, opt := range laneOpt {
+			byOpt[opt] = append(byOpt[opt], i+1)
+		}
+		for _, opt := range opts {
+			ls := byOpt[opt]
+			for start := 0; start < len(ls); start += c.MaxGroupSize {
+				end := start + c.MaxGroupSize
+				if end > len(ls) {
+					end = len(ls)
+				}
+				if end-start < 2 {
+					break
+				}
+				g := make([]string, 0, 2*(end-start))
+				for _, i := range ls[start:end] {
+					g = append(g, fmt.Sprintf("m%d", i), fmt.Sprintf("c%d", i))
+				}
+				n.Parallel = append(n.Parallel, g)
+			}
+		}
+	}
+
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: scale netlist (%d lanes, groups of %d) invalid: %v", lanes, c.MaxGroupSize, err))
 	}
 	return n
 }

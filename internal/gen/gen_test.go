@@ -35,6 +35,54 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// Scale-class netlists must validate, round-trip, and have the fixed
+// chip-scale structure: 2·lanes+1 units, one switch joining every
+// chamber, and parallel groups capped at MaxGroupSize lanes.
+func TestScaleGenerate(t *testing.T) {
+	for _, tc := range []struct{ lanes, group int }{
+		{16, 4}, {128, 8}, {256, 8},
+	} {
+		cfg := Scale(tc.lanes, tc.group)
+		for seed := int64(0); seed < 5; seed++ {
+			n := cfg.Generate(seed)
+			if err := n.Validate(); err != nil {
+				t.Fatalf("Scale(%d,%d) seed %d: Validate: %v", tc.lanes, tc.group, seed, err)
+			}
+			if got, want := n.NumUnits(), 2*tc.lanes+1; got != want {
+				t.Fatalf("Scale(%d,%d) seed %d: %d units, want %d", tc.lanes, tc.group, seed, got, want)
+			}
+			back, err := netlist.ParseString(n.Format())
+			if err != nil {
+				t.Fatalf("Scale(%d,%d) seed %d: reparse: %v", tc.lanes, tc.group, seed, err)
+			}
+			if !reflect.DeepEqual(n, back) {
+				t.Fatalf("Scale(%d,%d) seed %d: round trip changed the netlist", tc.lanes, tc.group, seed)
+			}
+			grouped := 0
+			for _, g := range n.Parallel {
+				if len(g) > 2*tc.group {
+					t.Fatalf("Scale(%d,%d) seed %d: group of %d units exceeds cap %d",
+						tc.lanes, tc.group, seed, len(g), 2*tc.group)
+				}
+				if len(g) < 4 {
+					t.Fatalf("Scale(%d,%d) seed %d: group of %d units (needs ≥ 2 lanes)",
+						tc.lanes, tc.group, seed, len(g))
+				}
+				grouped += len(g) / 2
+			}
+			// With lanes ≫ groupSize nearly every lane lands in a group;
+			// at most one undersized remainder chunk per mixer option.
+			if grouped < tc.lanes-3 {
+				t.Fatalf("Scale(%d,%d) seed %d: only %d of %d lanes grouped",
+					tc.lanes, tc.group, seed, grouped, tc.lanes)
+			}
+			if !reflect.DeepEqual(n, cfg.Generate(seed)) {
+				t.Fatalf("Scale(%d,%d) seed %d: not deterministic", tc.lanes, tc.group, seed)
+			}
+		}
+	}
+}
+
 // The default configuration must actually reach every structural feature
 // somewhere in a modest seed range — otherwise the conformance suite is
 // silently testing less than it claims.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"columbas/internal/geom"
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
@@ -230,6 +231,11 @@ type Options struct {
 	// (milp.Options.Branching); the zero value is pseudocost branching
 	// with reliability initialization.
 	Branching milp.BranchRule
+	// Kernel selects the LP basis engine for every MILP relaxation
+	// (milp.Options.Kernel): the zero value picks dense or sparse per
+	// problem from the size/density heuristic; the columbas CLI exposes
+	// it as -kernel={auto,dense,sparse}.
+	Kernel lp.Kernel
 	// Workers is the number of parallel branch-and-bound workers handed
 	// to the MILP solver (milp.Options.Workers): 0 or 1 runs the exact
 	// sequential search, a negative value uses runtime.GOMAXPROCS(0).

@@ -124,6 +124,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			NoCuts:      opt.NoCuts,
 			NoPresolve:  opt.NoPresolve,
 			Branching:   opt.Branching,
+			Kernel:      opt.Kernel,
 		})
 		if err != nil {
 			roundSp.End()
@@ -233,6 +234,10 @@ func recordRound(sp *obs.Span, b *builder, res *milp.Result, activePairs int) {
 	sp.SetInt("warm_pivots", st.WarmPivots)
 	sp.SetInt("eta_updates", st.EtaUpdates)
 	sp.SetInt("refactorizations", st.Refactorizations)
+	sp.SetInt("sparse_refactorizations", st.SparseRefactorizations)
+	sp.SetInt("dense_fallbacks", st.DenseFallbacks)
+	sp.SetInt("fill_in", st.FillIn)
+	sp.SetInt("basis_nonzeros", st.BasisNonzeros)
 	sp.SetInt("workspace_reuses", st.WorkspaceReuses)
 	sp.SetInt("incumbent_updates", st.IncumbentUpdates)
 	sp.SetInt("cuts_added", st.CutsAdded)

@@ -107,8 +107,8 @@ func (p *Problem) GomoryCuts(isInt []bool, max int, minViol float64) []CutRow {
 // which is then substituted back to structural space (t_j = x_j − lo_j,
 // hi_j − x_j, or the slack's defining row) and returned in ≤ form.
 func (p *Problem) gomoryFromRow(t *tableau, i int, f0 float64, isInt, intSlack []bool, coef []float64, minViol float64) *CutRow {
-	m, nStru := t.m, t.nStru
-	binvRow := t.binv[i*m : i*m+m]
+	nStru := t.nStru
+	binvRow := t.binvRow(i)
 	ratio := f0 / (1 - f0)
 	K := 0.0
 	rhsRelax := 0.0 // conservative rhs slack from folded-away tiny terms

@@ -73,6 +73,7 @@ type Problem struct {
 	rows     []rowDef
 	rev      int64 // bumped on every structural change (vars/rows added)
 	deadline time.Time
+	kernel   Kernel // basis-factorization engine selection (see SetKernel)
 
 	// ws is the kernel scratch memory, created lazily on first solve and
 	// reused for the problem's lifetime (see Workspace). Not copied by
@@ -91,6 +92,10 @@ type Problem struct {
 	etaUpdates    int64
 	refactors     int64
 	wsReuses      int64
+	sparseRefacs  int64
+	denseFBs      int64
+	fillIn        int64
+	basisNnzPeak  int64
 }
 
 // SetDeadline makes Solve abort with IterLimit once the wall clock passes
@@ -140,6 +145,7 @@ func (p *Problem) Clone() *Problem {
 		rows:     p.rows[:len(p.rows):len(p.rows)],
 		rev:      p.rev,
 		deadline: p.deadline,
+		kernel:   p.kernel,
 	}
 }
 
@@ -306,7 +312,9 @@ type tableau struct {
 	basis    []int // basis[i] = variable basic in row i
 	state    []int8
 	x        []float64
-	binv     []float64 // m×m row-major B⁻¹ (workspace-backed)
+	binv     []float64 // m×m row-major B⁻¹ (workspace-backed, dense engine)
+	sparse   bool      // this run factorizes instead of inverting
+	f        *sparseLU // workspace-owned sparse factors (valid when sparse)
 	iters    int
 	maxIter  int
 	deadline time.Time
@@ -319,13 +327,17 @@ type tableau struct {
 	// the run's result is actually returned (abandoned warm attempts
 	// leave the cumulative counters untouched, keeping the documented
 	// identities exact).
-	etaUpd     int64
-	refac      int64
-	reusedInv  bool   // install skipped factorization via the workspace cache
-	basisDirty bool   // basis or nonbasic states changed since install
-	invBad     bool   // B⁻¹ is untrusted (mid-run refactorization failed)
-	stabHits   int    // stability-guard triggers: the run saw numerical distress
-	installed  *Basis // snapshot installed by a warm start (nil when cold)
+	etaUpd      int64
+	refac       int64
+	sparseRefac int64  // subset of refac performed by the sparse LU engine
+	fillIn      int64  // cumulative LU fill-in across this run's factorizations
+	basisNnz    int64  // peak nnz(B) observed at factorization time
+	denseFB     bool   // the sparse engine fell back to the dense inverse
+	reusedInv   bool   // install skipped factorization via the workspace cache
+	basisDirty  bool   // basis or nonbasic states changed since install
+	invBad      bool   // B⁻¹ is untrusted (mid-run refactorization failed)
+	stabHits    int    // stability-guard triggers: the run saw numerical distress
+	installed   *Basis // snapshot installed by a warm start (nil when cold)
 }
 
 // Solve optimises the problem with the current bounds and costs.
@@ -400,16 +412,74 @@ func (p *Problem) RefactorizationCount() int64 { return p.refactors }
 // just solved. WorkspaceReuseCount() ≤ WarmStartCount() always holds.
 func (p *Problem) WorkspaceReuseCount() int64 { return p.wsReuses }
 
+// foldKernelCounters merges the kernel-level tallies of q — a reduced
+// problem the presolver solved on this problem's behalf — into p.
+// Solve/pivot counts are deliberately excluded: those flow back through
+// the returned Solution, and folding them here would double-count.
+func (p *Problem) foldKernelCounters(q *Problem) {
+	p.etaUpdates += q.etaUpdates
+	p.refactors += q.refactors
+	p.sparseRefacs += q.sparseRefacs
+	p.denseFBs += q.denseFBs
+	p.fillIn += q.fillIn
+	if q.basisNnzPeak > p.basisNnzPeak {
+		p.basisNnzPeak = q.basisNnzPeak
+	}
+}
+
 // foldTableau accumulates a finished run's kernel tallies. Called only
 // for tableaus whose result is returned to the caller, so abandoned warm
 // attempts never skew the counters.
 func (p *Problem) foldTableau(t *tableau) {
 	p.etaUpdates += t.etaUpd
 	p.refactors += t.refac
+	p.sparseRefacs += t.sparseRefac
+	p.fillIn += t.fillIn
+	// Sample the final basis too: a solve that stays under the
+	// refactorization interval never factorizes, and the peak would
+	// otherwise read zero for exactly the large single-LP models the
+	// counter exists to describe.
+	var bnnz int64
+	for j := 0; j < t.m; j++ {
+		bnnz += int64(len(t.cols[t.basis[j]]))
+	}
+	if bnnz > t.basisNnz {
+		t.basisNnz = bnnz
+	}
+	if t.basisNnz > p.basisNnzPeak {
+		p.basisNnzPeak = t.basisNnz
+	}
+	if t.denseFB {
+		p.denseFBs++
+	}
 	if t.reusedInv {
 		p.wsReuses++
 	}
 }
+
+// SparseRefactorizationCount returns the subset of RefactorizationCount
+// performed by the sparse LU engine; the remainder ran the dense
+// Gauss-Jordan rebuild. SparseRefactorizationCount() ≤
+// RefactorizationCount() always holds.
+func (p *Problem) SparseRefactorizationCount() int64 { return p.sparseRefacs }
+
+// DenseFallbackCount returns the number of completed solves during which
+// the sparse engine abandoned its factors (fill-in blow-up at
+// refactorization time) and finished the run on the dense inverse.
+// DenseFallbackCount() ≤ SolveCount() always holds: a run falls back at
+// most once and stays dense until its next install.
+func (p *Problem) DenseFallbackCount() int64 { return p.denseFBs }
+
+// FillInCount returns the cumulative LU fill-in — factor nonzeros beyond
+// nnz(B), summed over the sparse refactorizations of every returned run.
+// Zero whenever SparseRefactorizationCount is zero.
+func (p *Problem) FillInCount() int64 { return p.fillIn }
+
+// BasisNonzeroPeak returns the largest basis-matrix nonzero count
+// observed at factorization time (a high-water mark, not a sum). Solves
+// that never refactorize — the cold start's diagonal artificial basis is
+// written in place — contribute nothing.
+func (p *Problem) BasisNonzeroPeak() int64 { return p.basisNnzPeak }
 
 func (p *Problem) solve() (*Solution, error) {
 	if p.ws != nil {
@@ -432,6 +502,13 @@ func (p *Problem) solve() (*Solution, error) {
 		}
 		deadlineHit := !p.deadline.IsZero() && !time.Now().Before(p.deadline)
 		if inner.Status != IterLimit || deadlineHit {
+			// The reduced problem ran its own kernel; its factorization
+			// tallies belong to this solve. Pivot and solve counts flow
+			// back through the returned Solution instead, so only the
+			// kernel counters fold here. The IterLimit fall-through below
+			// abandons the reduced run, so — like a failed warm attempt —
+			// its tallies are dropped.
+			p.foldKernelCounters(ps.prob)
 			out := &Solution{Status: inner.Status, Iters: inner.Iters, X: make([]float64, len(p.cost)), p1rows: inner.p1rows}
 			if inner.Status == Optimal {
 				out.X = ps.expand(inner.X, len(p.cost))
@@ -504,15 +581,17 @@ func (p *Problem) prepTableau() *tableau {
 	m, nStru, n := ws.m, ws.nStru, ws.n
 	*t = tableau{
 		ws: ws, m: m, n: n, nStru: nStru, nArt: nStru + m,
-		cols:  ws.cols,
-		b:     ws.b,
-		lo:    ws.lo,
-		hi:    ws.hi,
-		cost:  ws.cost,
-		basis: ws.basis,
-		state: ws.state,
-		x:     ws.x,
-		binv:  ws.binv,
+		cols:   ws.cols,
+		b:      ws.b,
+		lo:     ws.lo,
+		hi:     ws.hi,
+		cost:   ws.cost,
+		basis:  ws.basis,
+		state:  ws.state,
+		x:      ws.x,
+		binv:   ws.binv,
+		sparse: ws.sparse,
+		f:      &ws.lu,
 	}
 	t.basisDirty = true
 	t.maxIter = 5000 + 40*(m+nStru)
@@ -566,7 +645,11 @@ func (p *Problem) newTableau() *tableau {
 	// mid-solve refactorizations.
 	t.ws.basisValid = false
 	t.ws.updatesSinceRefactor = 0
-	identInto(t.binv, m)
+	if t.sparse {
+		t.f.setIdentity(m)
+	} else {
+		identInto(t.binv, m)
+	}
 	resid := t.ws.resid
 	copy(resid, t.b)
 	for v := 0; v < t.nArt; v++ {
@@ -588,7 +671,13 @@ func (p *Problem) newTableau() *tableau {
 		t.basis[i] = a
 		t.state[a] = basic
 		t.x[a] = math.Abs(resid[i])
-		t.binv[i*m+i] = sign // B = diag(±1) for the artificial start basis
+		// B = diag(±1) for the artificial start basis: its exact inverse is
+		// written in place (dense) or installed as a trivial U (sparse).
+		if t.sparse {
+			t.f.uDiag[i] = sign
+		} else {
+			t.binv[i*m+i] = sign
+		}
 	}
 	return t
 }
@@ -669,6 +758,7 @@ func (t *tableau) saveCache() {
 		}
 	}
 	ws.basisValid = true
+	ws.cacheSparse = t.sparse
 	ws.cachedBasis = append(ws.cachedBasis[:0], t.basis...)
 }
 
@@ -684,33 +774,14 @@ func (t *tableau) simplex(c []float64) Status {
 			return IterLimit
 		}
 		// Simplex multipliers y = c_B · B⁻¹.
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := c[t.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := t.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
+		t.computeMultipliers(c)
 		// Pricing.
 		enter, dir := t.price(c, y, degen >= stall || t.forceBland)
 		if enter < 0 {
 			return Optimal
 		}
 		// Direction w = B⁻¹ A_enter.
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for _, tm := range t.cols[enter] {
-			for i := 0; i < m; i++ {
-				w[i] += t.binv[i*m+tm.Var] * tm.Coef
-			}
-		}
+		t.ftranColumn(enter)
 		// Ratio test. Moving x_enter by dir·t changes basics by -dir·t·w.
 		tMax := Inf
 		leave := -1 // index into basis; -1 = bound flip of entering var
@@ -812,22 +883,7 @@ func (t *tableau) simplex(c []float64) Status {
 		}
 		t.basis[leave] = enter
 		t.state[enter] = basic
-		piv := w[leave]
-		brow := t.binv[leave*m : leave*m+m]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			brow[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leave || w[i] == 0 {
-				continue
-			}
-			f := w[i]
-			row := t.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				row[k] -= f * brow[k]
-			}
-		}
+		t.updateInverse(leave, w)
 		if !t.applyEta() {
 			return IterLimit
 		}
@@ -890,6 +946,13 @@ func (t *tableau) refreshBasics() {
 			r[tm.Var] -= tm.Coef * t.x[v]
 		}
 	}
+	if t.sparse {
+		t.f.ftran(r)
+		for i := 0; i < m; i++ {
+			t.x[t.basis[i]] = r[i]
+		}
+		return
+	}
 	for i := 0; i < m; i++ {
 		sum := 0.0
 		row := t.binv[i*m : i*m+m]
@@ -897,6 +960,99 @@ func (t *tableau) refreshBasics() {
 			sum += row[k] * r[k]
 		}
 		t.x[t.basis[i]] = sum
+	}
+}
+
+// computeMultipliers computes the simplex multipliers y = c_B·B⁻¹ into
+// the workspace's y vector: a dense row sweep over the explicit inverse,
+// or one BTRAN against the sparse factors.
+func (t *tableau) computeMultipliers(c []float64) {
+	m, y := t.m, t.ws.y
+	if t.sparse {
+		cb := t.f.cw
+		for i := 0; i < m; i++ {
+			cb[i] = c[t.basis[i]]
+		}
+		t.f.btran(cb, y)
+		return
+	}
+	for i := 0; i < m; i++ {
+		y[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			y[k] += cb * row[k]
+		}
+	}
+}
+
+// ftranColumn computes the direction w = B⁻¹·A_enter into the
+// workspace's w vector.
+func (t *tableau) ftranColumn(enter int) {
+	m, w := t.m, t.ws.w
+	for i := 0; i < m; i++ {
+		w[i] = 0
+	}
+	if t.sparse {
+		for _, tm := range t.cols[enter] {
+			w[tm.Var] += tm.Coef
+		}
+		t.f.ftran(w)
+		return
+	}
+	for _, tm := range t.cols[enter] {
+		for i := 0; i < m; i++ {
+			w[i] += t.binv[i*m+tm.Var] * tm.Coef
+		}
+	}
+}
+
+// binvRow returns row r of B⁻¹ (the BTRAN of the r-th unit vector): the
+// dense engine hands out its matrix row in place; the sparse engine
+// solves into the workspace's rho scratch.
+func (t *tableau) binvRow(r int) []float64 {
+	m := t.m
+	if !t.sparse {
+		return t.binv[r*m : r*m+m]
+	}
+	cb, rho := t.f.cw, t.ws.rho
+	for i := 0; i < m; i++ {
+		cb[i] = 0
+	}
+	cb[r] = 1
+	t.f.btran(cb, rho)
+	return rho
+}
+
+// updateInverse applies a pivot with direction column w and leaving row
+// r to the basis representation: in-place row elimination on the dense
+// inverse, or one appended product-form eta on the sparse factors.
+func (t *tableau) updateInverse(r int, w []float64) {
+	if t.sparse {
+		t.f.appendEta(r, w)
+		return
+	}
+	m := t.m
+	piv := w[r]
+	brow := t.binv[r*m : r*m+m]
+	inv := 1 / piv
+	for k := 0; k < m; k++ {
+		brow[k] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == r || w[i] == 0 {
+			continue
+		}
+		f := w[i]
+		row := t.binv[i*m : i*m+m]
+		for k := 0; k < m; k++ {
+			row[k] -= f * brow[k]
+		}
 	}
 }
 

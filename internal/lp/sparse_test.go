@@ -1,0 +1,343 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkInverseOps is the engine-agnostic counterpart of
+// checkInverseExact: instead of reading the dense B⁻¹ element-wise, it
+// verifies the basis representation through the same FTRAN operation the
+// simplex uses — B⁻¹·A_v must equal the j-th unit vector for the
+// variable v basic in row j, within the 1e-6 drift budget.
+func checkInverseOps(t *testing.T, p *Problem, seed int64, step int) {
+	t.Helper()
+	tb := &p.ws.tab
+	m := tb.m
+	for j := 0; j < m; j++ {
+		tb.ftranColumn(tb.basis[j])
+		for i := 0; i < m; i++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(tb.ws.w[i]-want) > 1e-6 {
+				t.Fatalf("seed %d step %d: (B⁻¹B)[%d][%d] = %v, want %v",
+					seed, step, i, j, tb.ws.w[i], want)
+			}
+		}
+	}
+}
+
+// TestKernelParse pins the strict flag grammar of ParseKernel.
+func TestKernelParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+		err  bool
+	}{
+		{"", KernelAuto, false},
+		{"auto", KernelAuto, false},
+		{"dense", KernelDense, false},
+		{"sparse", KernelSparse, false},
+		{"Sparse", KernelAuto, true},
+		{"lu", KernelAuto, true},
+	} {
+		got, err := ParseKernel(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	for _, k := range []Kernel{KernelAuto, KernelDense, KernelSparse} {
+		if back, err := ParseKernel(k.String()); err != nil || back != k {
+			t.Errorf("ParseKernel(%v.String()) = %v, %v", k, back, err)
+		}
+	}
+}
+
+// TestCloneInheritsKernel: branch-and-bound worker clones must solve
+// with the same engine as the problem they were cloned from.
+func TestCloneInheritsKernel(t *testing.T) {
+	p := NewProblem()
+	p.SetKernel(KernelSparse)
+	if got := p.Clone().KernelMode(); got != KernelSparse {
+		t.Fatalf("clone kernel = %v, want sparse", got)
+	}
+}
+
+// TestSparseMatchesDenseRandom solves the randomized warm-start fixtures
+// under both engines and requires identical statuses and objectives:
+// the factorized path may pivot differently but must prove the same
+// optima.
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	seeds := int64(200)
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		dense := randomLP(rand.New(rand.NewSource(seed)))
+		dense.SetKernel(KernelDense)
+		sparse := randomLP(rand.New(rand.NewSource(seed)))
+		sparse.SetKernel(KernelSparse)
+		ds, err := dense.Solve()
+		if err != nil {
+			t.Fatalf("seed %d dense: %v", seed, err)
+		}
+		ss, err := sparse.Solve()
+		if err != nil {
+			t.Fatalf("seed %d sparse: %v", seed, err)
+		}
+		if ds.Status != ss.Status {
+			t.Fatalf("seed %d: dense status %v, sparse status %v", seed, ds.Status, ss.Status)
+		}
+		if ds.Status == Optimal && math.Abs(ds.Obj-ss.Obj) > 1e-6 {
+			t.Fatalf("seed %d: dense obj %v, sparse obj %v", seed, ds.Obj, ss.Obj)
+		}
+	}
+}
+
+// TestSparseBtranConsistency checks the transpose solve directly: after
+// an optimal sparse solve, a random position-space vector c pushed
+// through BTRAN must satisfy Bᵀy = c, i.e. y·A_{basis[j]} = c_j for
+// every basis column.
+func TestSparseBtranConsistency(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		p.SetKernel(KernelSparse)
+		sol, err := p.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Status != Optimal {
+			continue
+		}
+		tb := &p.ws.tab
+		if !tb.sparse {
+			t.Fatalf("seed %d: tableau not sparse under KernelSparse", seed)
+		}
+		m := tb.m
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		cb := tb.f.cw
+		copy(cb[:m], c)
+		y := make([]float64, m)
+		tb.f.btran(cb, y)
+		for j := 0; j < m; j++ {
+			dot := 0.0
+			for _, tm := range tb.cols[tb.basis[j]] {
+				dot += y[tm.Var] * tm.Coef
+			}
+			if math.Abs(dot-c[j]) > 1e-6 {
+				t.Fatalf("seed %d: (Bᵀy)[%d] = %v, want %v", seed, j, dot, c[j])
+			}
+		}
+	}
+}
+
+// TestSparseUpdatesMatchRefactorization is the sparse half of the
+// numerical-drift property (see TestEtaUpdatesMatchRefactorization):
+// with periodic refactorization disabled, 60-pivot-chain solves
+// accumulate eta columns on the LU factors across solves via the
+// factorization cache, and the factor-plus-eta operator must still
+// agree with the basis it represents — and with a reference run that
+// refactorizes after every pivot — to 1e-6.
+func TestSparseUpdatesMatchRefactorization(t *testing.T) {
+	const steps = 60
+	runChain := func(seed int64, check bool) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		p.SetKernel(KernelSparse)
+		var objs []float64
+		sol, err := p.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d: root: %v", seed, err)
+		}
+		basis := sol.Basis()
+		for step := 0; step < steps; step++ {
+			tightenOne(p, rng)
+			sol, err = p.SolveFrom(basis)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if sol.Status == Optimal {
+				objs = append(objs, sol.Obj)
+				if check {
+					checkInverseOps(t, p, seed, step)
+				}
+			} else {
+				objs = append(objs, math.Inf(1))
+			}
+			if nb := sol.Basis(); nb != nil {
+				basis = nb
+			}
+		}
+		if check && p.ws.tab.m > 0 && p.ws.tab.sparse {
+			// Final cross-check: a from-scratch refactorization of the same
+			// basis must leave every FTRAN answer where the eta-updated
+			// factors already had it.
+			tb := &p.ws.tab
+			m := tb.m
+			before := make([]float64, 0, m*m)
+			for j := 0; j < m; j++ {
+				tb.ftranColumn(tb.basis[j])
+				before = append(before, tb.ws.w[:m]...)
+			}
+			if !tb.factorize() {
+				t.Fatalf("seed %d: final basis singular on refactorization", seed)
+			}
+			for j := 0; j < m; j++ {
+				tb.ftranColumn(tb.basis[j])
+				for i := 0; i < m; i++ {
+					if math.Abs(before[j*m+i]-tb.ws.w[i]) > 1e-6 {
+						t.Fatalf("seed %d: eta-updated (B⁻¹B)[%d][%d] = %v, refactorized %v",
+							seed, i, j, before[j*m+i], tb.ws.w[i])
+					}
+				}
+			}
+		}
+		return objs
+	}
+
+	for seed := int64(0); seed < 8; seed++ {
+		prev := SetRefactorInterval(1 << 30)
+		etaObjs := runChain(seed, true)
+		SetRefactorInterval(1)
+		refObjs := runChain(seed, false)
+		SetRefactorInterval(prev)
+
+		if len(etaObjs) != len(refObjs) {
+			t.Fatalf("seed %d: %d eta objectives vs %d reference", seed, len(etaObjs), len(refObjs))
+		}
+		for i := range etaObjs {
+			a, b := etaObjs[i], refObjs[i]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("seed %d step %d: eta status differs from reference", seed, i)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-5 {
+				t.Fatalf("seed %d step %d: eta obj %v, reference obj %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSparseWorkspaceReuse pins the factorization cache on the sparse
+// path: re-solving an unchanged problem from its own optimal basis must
+// reuse the factors (no refactorization), exactly as the dense cache
+// does, and sparse counters must obey their identities.
+func TestSparseWorkspaceReuse(t *testing.T) {
+	var p *Problem
+	var sol *Solution
+	var err error
+	for seed := int64(0); ; seed++ {
+		if seed == 64 {
+			t.Fatal("no seed produced an optimal root")
+		}
+		p = randomLP(rand.New(rand.NewSource(seed)))
+		p.SetKernel(KernelSparse)
+		sol, err = p.SolveFrom(nil)
+		if err != nil {
+			t.Fatalf("seed %d root: %v", seed, err)
+		}
+		if sol.Status == Optimal {
+			break
+		}
+	}
+	basis := sol.Basis()
+	refacBefore := p.RefactorizationCount()
+	for i := 0; i < 5; i++ {
+		sol, err = p.SolveFrom(basis)
+		if err != nil || sol.Status != Optimal {
+			t.Fatalf("resolve %d: status %v err %v", i, sol.Status, err)
+		}
+		basis = sol.Basis()
+	}
+	if got := p.WorkspaceReuseCount(); got != 5 {
+		t.Errorf("WorkspaceReuseCount = %d, want 5", got)
+	}
+	if got := p.RefactorizationCount(); got != refacBefore {
+		t.Errorf("RefactorizationCount grew %d -> %d on cache hits", refacBefore, got)
+	}
+	if p.SparseRefactorizationCount() > p.RefactorizationCount() {
+		t.Errorf("SparseRefactorizations %d > Refactorizations %d",
+			p.SparseRefactorizationCount(), p.RefactorizationCount())
+	}
+	if p.DenseFallbackCount() > p.SolveCount() {
+		t.Errorf("DenseFallbacks %d > Solves %d", p.DenseFallbackCount(), p.SolveCount())
+	}
+	// Now force basis changes until a from-scratch factorization happens;
+	// in sparse mode with no fill blow-up every refactorization must be a
+	// sparse one (Refactorizations = SparseRefactorizations + dense ones,
+	// and these tiny models never trip the fill guard).
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40 && p.RefactorizationCount() == refacBefore; i++ {
+		tightenOne(p, rng)
+		sol, err = p.SolveFrom(basis)
+		if err != nil {
+			t.Fatalf("tighten resolve %d: %v", i, err)
+		}
+		if nb := sol.Basis(); nb != nil {
+			basis = nb
+		}
+	}
+	if p.RefactorizationCount() > refacBefore &&
+		p.SparseRefactorizationCount()+p.DenseFallbackCount() == 0 {
+		t.Errorf("Refactorizations grew to %d but SparseRefactorizations=%d DenseFallbacks=%d",
+			p.RefactorizationCount(), p.SparseRefactorizationCount(), p.DenseFallbackCount())
+	}
+	if p.FillInCount() < 0 {
+		t.Errorf("FillInCount = %d, want ≥ 0", p.FillInCount())
+	}
+}
+
+// TestSparseWarmChainsMatchDense drives branch-and-bound-style warm
+// chains under both engines and cross-checks every step's outcome.
+func TestSparseWarmChainsMatchDense(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		run := func(k Kernel) []float64 {
+			rng := rand.New(rand.NewSource(seed))
+			p := randomLP(rng)
+			p.SetKernel(k)
+			sol, err := p.SolveFrom(nil)
+			if err != nil {
+				t.Fatalf("seed %d %v root: %v", seed, k, err)
+			}
+			basis := sol.Basis()
+			var objs []float64
+			for step := 0; step < 20; step++ {
+				tightenOne(p, rng)
+				sol, err = p.SolveFrom(basis)
+				if err != nil {
+					t.Fatalf("seed %d %v step %d: %v", seed, k, step, err)
+				}
+				if sol.Status == Optimal {
+					objs = append(objs, sol.Obj)
+				} else {
+					objs = append(objs, math.Inf(1))
+				}
+				if nb := sol.Basis(); nb != nil {
+					basis = nb
+				}
+			}
+			return objs
+		}
+		dense := run(KernelDense)
+		sparse := run(KernelSparse)
+		for i := range dense {
+			a, b := dense[i], sparse[i]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("seed %d step %d: dense/sparse status mismatch", seed, i)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-5 {
+				t.Fatalf("seed %d step %d: dense obj %v, sparse obj %v", seed, i, a, b)
+			}
+		}
+	}
+}

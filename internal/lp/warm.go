@@ -47,21 +47,8 @@ func (t *tableau) snapshot() *Basis {
 // when its capacity suffices (steady-state solves recycle the previous
 // Solution's buffer and allocate nothing).
 func (t *tableau) reducedCostsInto(dst []float64, c []float64) []float64 {
-	m := t.m
 	y := t.ws.y
-	for i := 0; i < m; i++ {
-		y[i] = 0
-	}
-	for i := 0; i < m; i++ {
-		cb := c[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := t.binv[i*m : i*m+m]
-		for k := 0; k < m; k++ {
-			y[k] += cb * row[k]
-		}
-	}
+	t.computeMultipliers(c)
 	if cap(dst) >= t.nStru {
 		dst = dst[:t.nStru]
 	} else {
@@ -277,7 +264,9 @@ func (t *tableau) installBasis(b *Basis) bool {
 	copy(t.basis, b.rows)
 	copy(t.state, b.state)
 	t.installed = b
-	if t.ws.basisValid && intsEqual(t.ws.cachedBasis, b.rows) {
+	// A cache hit requires the cached representation to match this run's
+	// engine: dense binv and sparse factors are not interchangeable.
+	if t.ws.basisValid && t.ws.cacheSparse == t.sparse && intsEqual(t.ws.cachedBasis, b.rows) {
 		t.reusedInv = true
 		return true
 	}
@@ -340,19 +329,65 @@ func (p *Problem) newWarmTableau(b *Basis) *tableau {
 	return t
 }
 
-// factorize computes binv = B⁻¹ for the currently installed basis by
-// Gauss-Jordan elimination with partial pivoting, entirely inside
-// workspace memory. Returns false when the basis matrix is numerically
-// singular; the factorization cache is invalidated either way until a
-// trusted exit re-validates it (saveCache).
+// factorize rebuilds the basis representation for the currently
+// installed basis from scratch: sparse LU factors on the sparse path,
+// the explicit Gauss-Jordan inverse on the dense one. Returns false when
+// the basis matrix is numerically singular; the factorization cache is
+// invalidated either way until a trusted exit re-validates it
+// (saveCache). A sparse factorization whose fill-in blows past the
+// luFillFactor threshold abandons the sparse engine for the rest of the
+// run and rebuilds the dense inverse instead (counted as a
+// DenseFallback).
 func (t *tableau) factorize() bool {
-	m := t.m
 	t.ws.basisValid = false
 	t.ws.updatesSinceRefactor = 0
 	t.refac++
-	if m == 0 {
+	if t.m == 0 {
+		if t.sparse {
+			t.f.setIdentity(0)
+		}
 		return true
 	}
+	if t.sparse {
+		st, bNnz, fill := t.f.factorize(t.basis, t.cols, t.m)
+		if int64(bNnz) > t.basisNnz {
+			t.basisNnz = int64(bNnz)
+		}
+		switch st {
+		case luOK:
+			t.sparseRefac++
+			t.fillIn += int64(fill)
+			return true
+		case luSingular:
+			return false
+		}
+		// luFill: the basis wants a near-dense factorization — grow the
+		// dense buffers (a rare, amortized allocation) and switch the run
+		// over to the explicit inverse.
+		ws := t.ws
+		ws.binv = growF(ws.binv, t.m*t.m)
+		ws.bmat = growF(ws.bmat, t.m*t.m)
+		t.binv = ws.binv
+		t.sparse = false
+		ws.sparse = false
+		t.denseFB = true
+		return t.factorizeDense()
+	}
+	bnnz := int64(0)
+	for j := 0; j < t.m; j++ {
+		bnnz += int64(len(t.cols[t.basis[j]]))
+	}
+	if bnnz > t.basisNnz {
+		t.basisNnz = bnnz
+	}
+	return t.factorizeDense()
+}
+
+// factorizeDense computes binv = B⁻¹ for the currently installed basis
+// by Gauss-Jordan elimination with partial pivoting, entirely inside
+// workspace memory.
+func (t *tableau) factorizeDense() bool {
+	m := t.m
 	// Dense B from the basis columns, augmented with the identity.
 	bmat := t.ws.bmat
 	binv := t.binv
@@ -450,20 +485,8 @@ func (t *tableau) dualSimplex(c []float64) Status {
 			return Optimal
 		}
 		// Simplex multipliers for the dual ratio test.
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i := 0; i < m; i++ {
-			cb := c[t.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := t.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				y[k] += cb * row[k]
-			}
-		}
-		rho := t.binv[r*m : r*m+m]
+		t.computeMultipliers(c)
+		rho := t.binvRow(r)
 		enter, bestRatio := -1, Inf
 		bland := degen >= stall
 		for v := 0; v < t.n; v++ {
@@ -514,14 +537,7 @@ func (t *tableau) dualSimplex(c []float64) Status {
 		}
 		// Direction w = B⁻¹ A_enter; the step drives row r exactly to its
 		// violated bound.
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for _, tm := range t.cols[enter] {
-			for i := 0; i < m; i++ {
-				w[i] += t.binv[i*m+tm.Var] * tm.Coef
-			}
-		}
+		t.ftranColumn(enter)
 		if math.Abs(w[r]) < pivTol {
 			return IterLimit // numerically dead pivot — let the caller fall back
 		}
@@ -537,22 +553,7 @@ func (t *tableau) dualSimplex(c []float64) Status {
 		t.x[out] = target
 		t.basis[r] = enter
 		t.state[enter] = basic
-		piv := w[r]
-		brow := t.binv[r*m : r*m+m]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			brow[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == r || w[i] == 0 {
-				continue
-			}
-			f := w[i]
-			row := t.binv[i*m : i*m+m]
-			for k := 0; k < m; k++ {
-				row[k] -= f * brow[k]
-			}
-		}
+		t.updateInverse(r, w)
 		if !t.applyEta() {
 			return IterLimit
 		}

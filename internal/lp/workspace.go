@@ -1,26 +1,33 @@
 package lp
 
-// The kernel memory model (see DESIGN.md, "Kernel memory model"): every
-// piece of scratch a simplex run needs — the column-sparse constraint
-// matrix, the flat row-major B⁻¹, the working bounds/costs/values and
+// The kernel memory model (see DESIGN.md, "Sparse kernel"): every piece
+// of scratch a simplex run needs — the column-sparse constraint matrix,
+// the basis representation (sparse LU factors, or the flat row-major
+// dense inverse for small models), the working bounds/costs/values and
 // the per-iteration vectors — lives in a Workspace that is reused from
 // solve to solve. Branch and bound performs thousands of LP solves per
 // chip; with a per-worker Workspace the steady-state warm path allocates
-// nothing (pinned by TestSolveFromSteadyStateAllocs and the make
-// bench-kernel gate).
+// nothing in either kernel mode (pinned by TestSolveFromSteadyStateAllocs
+// and the make bench-kernel gate).
 //
-// The Workspace also caches the factorization itself: B⁻¹ is maintained
-// across pivots by product-form (eta) updates, and when the next
-// SolveFrom installs exactly the basis the workspace already holds an
-// inverse for, the O(m³) Gauss-Jordan refactorization is skipped
+// The Workspace also caches the factorization itself: the basis
+// representation is maintained across pivots by product-form (eta)
+// updates, and when the next SolveFrom installs exactly the basis the
+// workspace already holds factors for, refactorization is skipped
 // entirely (WorkspaceReuseCount). Numerical hygiene comes from a counted
-// periodic refactorization: after refactorEvery eta updates the inverse
-// is rebuilt from scratch (RefactorizationCount), and every warm result
+// periodic refactorization: after refactorEvery eta updates the factors
+// are rebuilt from scratch (RefactorizationCount, split out as
+// SparseRefactorizationCount on the LU engine), and every warm result
 // is still verified against the original rows before it is trusted.
+// Which engine a solve runs is the Problem's Kernel mode resolved by
+// wantSparse (kernel.go); a sparse factorization that blows the fill
+// threshold flips the workspace to the dense engine for good
+// (DenseFallbackCount).
 
 // defaultRefactorEvery is the number of product-form (eta) updates the
-// kernel lets accumulate on B⁻¹ — across solves, thanks to the
-// factorization cache — before forcing a from-scratch refactorization.
+// kernel lets accumulate on the basis representation — across solves,
+// thanks to the factorization cache — before forcing a from-scratch
+// refactorization.
 const defaultRefactorEvery = 512
 
 var refactorEvery = defaultRefactorEvery
@@ -64,19 +71,34 @@ type Workspace struct {
 	colOff []int
 
 	// Flat simplex state. binv is the m×m row-major basis inverse; bmat
-	// is the factorization scratch of the same shape.
+	// is the factorization scratch of the same shape. Both are grown only
+	// while the dense engine is selected (or on a sparse run's dense
+	// fallback) — the sparse path must not pay O(m²) memory.
 	binv []float64
 	bmat []float64
+
+	// lu holds the sparse engine's factors, eta file and scratch; rho is
+	// the BTRAN-unit output buffer (binvRow) the sparse path solves into.
+	lu  sparseLU
+	rho []float64
+
+	// sparse records the engine chosen for the solve in flight (and, via
+	// the factorization cache, the engine that produced the cached
+	// representation until the next prepare).
+	sparse bool
 
 	b, lo, hi, cost, x, c1 []float64
 	y, w, resid            []float64
 	basis                  []int
 	state                  []int8
 
-	// Factorization cache: when basisValid, binv is the inverse of the
-	// basis recorded in cachedBasis over the current cols arena, and the
-	// next install of exactly that basis skips the Gauss-Jordan rebuild.
+	// Factorization cache: when basisValid, the basis representation —
+	// dense binv when !cacheSparse, LU factors + eta file when
+	// cacheSparse — matches the basis recorded in cachedBasis over the
+	// current cols arena, and the next install of exactly that basis
+	// under the same engine skips the from-scratch rebuild.
 	basisValid  bool
+	cacheSparse bool
 	cachedBasis []int
 
 	// updatesSinceRefactor counts eta updates applied to binv since the
@@ -143,8 +165,14 @@ func (ws *Workspace) prepare(p *Problem) {
 		ws.rebuildCols(p)
 	}
 	m, n := ws.m, ws.n
-	ws.binv = growF(ws.binv, m*m)
-	ws.bmat = growF(ws.bmat, m*m)
+	ws.sparse = p.wantSparse(ws)
+	if ws.sparse {
+		ws.lu.ensure(m)
+		ws.rho = growF(ws.rho, m)
+	} else {
+		ws.binv = growF(ws.binv, m*m)
+		ws.bmat = growF(ws.bmat, m*m)
+	}
 	ws.b = growF(ws.b, m)
 	ws.y = growF(ws.y, m)
 	ws.w = growF(ws.w, m)

@@ -190,6 +190,7 @@ func (s *search) prepareRoot() {
 	}
 	s.baseProb = s.m.prob.CloneWithRows()
 	s.baseProb.SetDeadline(s.deadline)
+	s.baseProb.SetKernel(s.opt.Kernel)
 	if doPresolve && s.rootPresolve() {
 		// Activity analysis proved no point — integer or not — fits the
 		// bounds: drain the tree. result() turns the empty frontier into
@@ -212,6 +213,12 @@ func (s *search) prepareRoot() {
 	w.EtaUpdates += s.baseProb.EtaUpdateCount()
 	w.Refactorizations += s.baseProb.RefactorizationCount()
 	w.WorkspaceReuses += s.baseProb.WorkspaceReuseCount()
+	w.SparseRefactorizations += s.baseProb.SparseRefactorizationCount()
+	w.DenseFallbacks += s.baseProb.DenseFallbackCount()
+	w.FillIn += s.baseProb.FillInCount()
+	if nnz := s.baseProb.BasisNonzeroPeak(); nnz > w.BasisNonzeros {
+		w.BasisNonzeros = nnz
+	}
 	if len(s.frontier) > 0 {
 		s.frontier[0].basis = s.rootBasis
 	}
@@ -232,6 +239,10 @@ func (s *search) run() (*Result, error) {
 		// Propagate the budget into the LP so one oversized relaxation
 		// cannot overshoot it.
 		p.SetDeadline(s.deadline)
+		// Every worker solves on the engine the caller selected (baseProb
+		// may still be the shared model problem, which must not be mutated,
+		// so the kernel is applied to each owned clone).
+		p.SetKernel(s.opt.Kernel)
 		// Each worker owns its kernel workspace: tableau scratch, the flat
 		// B⁻¹ and its factorization cache live for the worker's whole
 		// subtree, so after warm-up the expansion loop runs on recycled
@@ -304,6 +315,12 @@ func (s *search) worker(id int, prob *lp.Problem) {
 	w.EtaUpdates += prob.EtaUpdateCount()
 	w.Refactorizations += prob.RefactorizationCount()
 	w.WorkspaceReuses += prob.WorkspaceReuseCount()
+	w.SparseRefactorizations += prob.SparseRefactorizationCount()
+	w.DenseFallbacks += prob.DenseFallbackCount()
+	w.FillIn += prob.FillInCount()
+	if nnz := prob.BasisNonzeroPeak(); nnz > w.BasisNonzeros {
+		w.BasisNonzeros = nnz
+	}
 }
 
 // loadInc reads the published incumbent objective without locking.
@@ -755,6 +772,12 @@ func (s *search) statsSnapshot() SearchStats {
 		st.EtaUpdates += w.EtaUpdates
 		st.Refactorizations += w.Refactorizations
 		st.WorkspaceReuses += w.WorkspaceReuses
+		st.SparseRefactorizations += w.SparseRefactorizations
+		st.DenseFallbacks += w.DenseFallbacks
+		st.FillIn += w.FillIn
+		if w.BasisNonzeros > st.BasisNonzeros {
+			st.BasisNonzeros = w.BasisNonzeros
+		}
 	}
 	st.ColdSolves = st.LPSolves - st.WarmStarts
 	st.ColdPivots = st.SimplexPivots - st.WarmPivots

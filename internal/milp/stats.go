@@ -67,6 +67,28 @@ type SearchStats struct {
 	// exactly the requested basis — the steady-state parent→child case.
 	// WorkspaceReuses ≤ WarmStarts always holds.
 	WorkspaceReuses int64
+	// SparseRefactorizations is the share of Refactorizations performed by
+	// the sparse LU engine (Markowitz-ordered factorize instead of a dense
+	// Gauss-Jordan inverse): Refactorizations = SparseRefactorizations +
+	// dense refactorizations, so SparseRefactorizations ≤ Refactorizations
+	// always holds, with equality in pure sparse-mode runs that never trip
+	// the fill guard, and zero in dense-mode runs.
+	SparseRefactorizations int64
+	// DenseFallbacks counts sparse factorization attempts abandoned to the
+	// dense engine because LU fill-in exceeded the fill guard; at most one
+	// fallback can happen per LP solve, so DenseFallbacks ≤ LPSolves.
+	// Dense-mode runs report zero.
+	DenseFallbacks int64
+	// FillIn accumulates, over every sparse refactorization, the entries
+	// the LU factors hold beyond the basis's own nonzeros — the memory
+	// price of factorizing. FillIn/SparseRefactorizations is the mean
+	// fill per refactorization the scaling benchmark tracks.
+	FillIn int64
+	// BasisNonzeros is the high-water basis-matrix nonzero count observed
+	// at factorization time (either engine) — the m-by-m basis's actual
+	// density, the quantity the dense/sparse dispatch heuristic bets on.
+	// A high-water mark: Merge takes the max, not the sum.
+	BasisNonzeros int64
 	// RootBoundsFixed counts integer-variable bounds tightened by
 	// reduced-cost fixing after the root relaxation.
 	RootBoundsFixed int64
@@ -142,11 +164,17 @@ type WorkerStats struct {
 	WarmFallbacks int64
 	WarmPivots    int64
 	Phase1Rows    int64
-	// EtaUpdates / Refactorizations / WorkspaceReuses are the worker's
-	// share of the kernel memory-model counters (see SearchStats).
-	EtaUpdates       int64
-	Refactorizations int64
-	WorkspaceReuses  int64
+	// EtaUpdates / Refactorizations / WorkspaceReuses /
+	// SparseRefactorizations / DenseFallbacks / FillIn are the worker's
+	// share of the kernel memory-model counters, and BasisNonzeros the
+	// worker's own factorization-time high-water mark (see SearchStats).
+	EtaUpdates             int64
+	Refactorizations       int64
+	WorkspaceReuses        int64
+	SparseRefactorizations int64
+	DenseFallbacks         int64
+	FillIn                 int64
+	BasisNonzeros          int64
 	// Busy is the wall-clock time the worker spent expanding nodes (LP
 	// solves included); Busy/Wall is the worker's utilization.
 	Busy time.Duration
@@ -190,6 +218,12 @@ func (st *SearchStats) Merge(other SearchStats) {
 	st.EtaUpdates += other.EtaUpdates
 	st.Refactorizations += other.Refactorizations
 	st.WorkspaceReuses += other.WorkspaceReuses
+	st.SparseRefactorizations += other.SparseRefactorizations
+	st.DenseFallbacks += other.DenseFallbacks
+	st.FillIn += other.FillIn
+	if other.BasisNonzeros > st.BasisNonzeros {
+		st.BasisNonzeros = other.BasisNonzeros
+	}
 	st.RootBoundsFixed += other.RootBoundsFixed
 	st.IncumbentUpdates += other.IncumbentUpdates
 	st.RoundingAttempts += other.RoundingAttempts
@@ -221,6 +255,12 @@ func (st *SearchStats) Merge(other SearchStats) {
 		st.PerWorker[i].EtaUpdates += w.EtaUpdates
 		st.PerWorker[i].Refactorizations += w.Refactorizations
 		st.PerWorker[i].WorkspaceReuses += w.WorkspaceReuses
+		st.PerWorker[i].SparseRefactorizations += w.SparseRefactorizations
+		st.PerWorker[i].DenseFallbacks += w.DenseFallbacks
+		st.PerWorker[i].FillIn += w.FillIn
+		if w.BasisNonzeros > st.PerWorker[i].BasisNonzeros {
+			st.PerWorker[i].BasisNonzeros = w.BasisNonzeros
+		}
 		st.PerWorker[i].Busy += w.Busy
 	}
 }

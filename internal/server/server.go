@@ -18,6 +18,7 @@ import (
 	"columbas/internal/core"
 	"columbas/internal/export"
 	"columbas/internal/layout"
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
@@ -63,6 +64,10 @@ type Config struct {
 	// Branching selects the branch-and-bound variable selection rule;
 	// the zero value is pseudocost branching.
 	Branching milp.BranchRule
+	// Kernel selects the LP basis engine for every layout MILP served by
+	// this process (layout.Options.Kernel): auto (zero value), dense or
+	// sparse.
+	Kernel lp.Kernel
 }
 
 // Server is the columbasd HTTP API: synthesis behind a bounded worker
@@ -95,6 +100,10 @@ type Server struct {
 	warmStarts    atomic.Int64
 	etaUpdates    atomic.Int64
 	refactors     atomic.Int64
+	sparseRefacs  atomic.Int64
+	denseFBs      atomic.Int64
+	fillIn        atomic.Int64
+	basisNnz      atomic.Int64 // high-water max, not a sum
 	wsReuses      atomic.Int64
 	cutsAdded     atomic.Int64
 	cutRounds     atomic.Int64
@@ -216,18 +225,27 @@ type RequestStats struct {
 // have nothing to bite on; pseudocost_branches near branchings means the
 // reliability phase has converged.
 type SolverStats struct {
-	LPSolves           int64 `json:"lp_solves"`
-	SimplexPivots      int64 `json:"simplex_pivots"`
-	WarmStarts         int64 `json:"warm_starts"`
-	EtaUpdates         int64 `json:"eta_updates"`
-	Refactorizations   int64 `json:"refactorizations"`
-	WorkspaceReuses    int64 `json:"workspace_reuses"`
-	CutsAdded          int64 `json:"cuts_added"`
-	CutRounds          int64 `json:"cut_rounds"`
-	NodesPresolved     int64 `json:"nodes_presolved"`
-	BoundsTightened    int64 `json:"bounds_tightened"`
-	Branchings         int64 `json:"branchings"`
-	PseudocostBranches int64 `json:"pseudocost_branches"`
+	LPSolves         int64 `json:"lp_solves"`
+	SimplexPivots    int64 `json:"simplex_pivots"`
+	WarmStarts       int64 `json:"warm_starts"`
+	EtaUpdates       int64 `json:"eta_updates"`
+	Refactorizations int64 `json:"refactorizations"`
+	// SparseRefactorizations ≤ Refactorizations is the sparse LU engine's
+	// share; DenseFallbacks counts sparse factorizations abandoned to the
+	// dense engine on fill blow-up; FillIn is the cumulative LU fill; and
+	// BasisNonzeros is the high-water basis density seen by any worker
+	// (a max across requests, not a sum).
+	SparseRefactorizations int64 `json:"sparse_refactorizations"`
+	DenseFallbacks         int64 `json:"dense_fallbacks"`
+	FillIn                 int64 `json:"fill_in"`
+	BasisNonzeros          int64 `json:"basis_nonzeros"`
+	WorkspaceReuses        int64 `json:"workspace_reuses"`
+	CutsAdded              int64 `json:"cuts_added"`
+	CutRounds              int64 `json:"cut_rounds"`
+	NodesPresolved         int64 `json:"nodes_presolved"`
+	BoundsTightened        int64 `json:"bounds_tightened"`
+	Branchings             int64 `json:"branchings"`
+	PseudocostBranches     int64 `json:"pseudocost_branches"`
 }
 
 // snapshot assembles the current Stats.
@@ -253,18 +271,22 @@ func (s *Server) snapshot() Stats {
 			Canceled:  s.canceled.Load(),
 		},
 		Solver: SolverStats{
-			LPSolves:           s.lpSolves.Load(),
-			SimplexPivots:      s.simplexPivots.Load(),
-			WarmStarts:         s.warmStarts.Load(),
-			EtaUpdates:         s.etaUpdates.Load(),
-			Refactorizations:   s.refactors.Load(),
-			WorkspaceReuses:    s.wsReuses.Load(),
-			CutsAdded:          s.cutsAdded.Load(),
-			CutRounds:          s.cutRounds.Load(),
-			NodesPresolved:     s.nodesPresolve.Load(),
-			BoundsTightened:    s.boundsTight.Load(),
-			Branchings:         s.branchings.Load(),
-			PseudocostBranches: s.pcBranches.Load(),
+			LPSolves:               s.lpSolves.Load(),
+			SimplexPivots:          s.simplexPivots.Load(),
+			WarmStarts:             s.warmStarts.Load(),
+			EtaUpdates:             s.etaUpdates.Load(),
+			Refactorizations:       s.refactors.Load(),
+			SparseRefactorizations: s.sparseRefacs.Load(),
+			DenseFallbacks:         s.denseFBs.Load(),
+			FillIn:                 s.fillIn.Load(),
+			BasisNonzeros:          s.basisNnz.Load(),
+			WorkspaceReuses:        s.wsReuses.Load(),
+			CutsAdded:              s.cutsAdded.Load(),
+			CutRounds:              s.cutRounds.Load(),
+			NodesPresolved:         s.nodesPresolve.Load(),
+			BoundsTightened:        s.boundsTight.Load(),
+			Branchings:             s.branchings.Load(),
+			PseudocostBranches:     s.pcBranches.Load(),
 		},
 		Cache: s.cache.stats(),
 	}
@@ -405,6 +427,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		s.warmStarts.Add(se.WarmStarts)
 		s.etaUpdates.Add(se.EtaUpdates)
 		s.refactors.Add(se.Refactorizations)
+		s.sparseRefacs.Add(se.SparseRefactorizations)
+		s.denseFBs.Add(se.DenseFallbacks)
+		s.fillIn.Add(se.FillIn)
+		// BasisNonzeros is a high-water mark: CAS-max rather than add.
+		for {
+			cur := s.basisNnz.Load()
+			if se.BasisNonzeros <= cur || s.basisNnz.CompareAndSwap(cur, se.BasisNonzeros) {
+				break
+			}
+		}
 		s.wsReuses.Add(se.WorkspaceReuses)
 		s.cutsAdded.Add(se.CutsAdded)
 		s.cutRounds.Add(se.CutRounds)
@@ -431,6 +463,7 @@ func (s *Server) requestOptions(q map[string][]string) (core.Options, time.Durat
 	opt.Layout.NoCuts = s.cfg.NoCuts
 	opt.Layout.NoPresolve = s.cfg.NoPresolve
 	opt.Layout.Branching = s.cfg.Branching
+	opt.Layout.Kernel = s.cfg.Kernel
 	if v := get("time"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {

@@ -1,0 +1,99 @@
+// The sparse-kernel scaling curve (make bench-scaling): one full
+// synthesis per ChIP size and LP basis engine, from chip9 up to the
+// chip256-class sizes the dense kernel cannot reach comfortably. Each
+// benchmark reports the layout model size and the merged solver counters
+// (pivots, fill-in, peak basis nonzeros, dense fallbacks) alongside
+// ns/op, so one `make bench-scaling` run yields the whole EXPERIMENTS.md
+// scaling table. The dense column is capped at chip128 — beyond that the
+// m×m inverse is the point being made — while the sparse column extends
+// through chip256 and a generated (internal/gen.Scale) chip128-class
+// netlist.
+package columbas
+
+import (
+	"testing"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/gen"
+	"columbas/internal/lp"
+	"columbas/internal/netlist"
+)
+
+// benchScalingKernel synthesizes the netlist end to end (DRC included)
+// under the given LP kernel and reports the scaling-curve metrics.
+func benchScalingKernel(b *testing.B, n *netlist.Netlist, k lp.Kernel) {
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = 180 * time.Second
+	opt.Layout.StallLimit = 60
+	opt.Layout.Kernel = k
+	opt.RunDRC = true
+	var res *core.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.Synthesize(n, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.DRC != nil && !res.DRC.Clean() {
+		b.Fatalf("%s: design not DRC-clean under %v kernel", n.Name, k)
+	}
+	st := res.Plan.Stats.Search
+	b.ReportMetric(float64(res.Plan.Stats.Rows), "rows")
+	b.ReportMetric(float64(st.SimplexPivots), "pivots")
+	b.ReportMetric(float64(st.FillIn), "fill_in")
+	b.ReportMetric(float64(st.BasisNonzeros), "basis_nnz")
+	b.ReportMetric(float64(st.SparseRefactorizations), "sparse_refacs")
+	b.ReportMetric(float64(st.DenseFallbacks), "dense_fallbacks")
+}
+
+func scalingCase(b *testing.B, id string) *netlist.Netlist {
+	b.Helper()
+	c, err := cases.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := c.Netlist()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+func BenchmarkScalingKernel_ChIP9_Dense(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip9"), lp.KernelDense)
+}
+func BenchmarkScalingKernel_ChIP9_Sparse(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip9"), lp.KernelSparse)
+}
+func BenchmarkScalingKernel_ChIP16_Dense(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip16"), lp.KernelDense)
+}
+func BenchmarkScalingKernel_ChIP16_Sparse(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip16"), lp.KernelSparse)
+}
+func BenchmarkScalingKernel_ChIP64_Dense(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip64"), lp.KernelDense)
+}
+func BenchmarkScalingKernel_ChIP64_Sparse(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip64"), lp.KernelSparse)
+}
+func BenchmarkScalingKernel_ChIP128_Dense(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip128"), lp.KernelDense)
+}
+func BenchmarkScalingKernel_ChIP128_Sparse(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip128"), lp.KernelSparse)
+}
+func BenchmarkScalingKernel_ChIP256_Sparse(b *testing.B) {
+	benchScalingKernel(b, scalingCase(b, "chip256"), lp.KernelSparse)
+}
+
+// Gen128 is the generated (not hand-written) chip128-class point:
+// gen.Scale(128, 8), seed 1 — 257 units in parallel groups of at most 8
+// same-option lanes. It checks the sparse kernel's scaling story holds
+// off the curated ChIP shapes too.
+func BenchmarkScalingKernel_Gen128_Sparse(b *testing.B) {
+	benchScalingKernel(b, gen.Scale(128, 8).Generate(1), lp.KernelSparse)
+}
