@@ -8,7 +8,9 @@
 #   make conformance    full randomized synthesis sweep (200 seeds, no race)
 #   make docs-check     every internal package documents itself in a doc.go
 #   make serve-check    build the daemon + httptest smoke of the HTTP API under -race
-#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check (CI gate)
+#   make loadtest-smoke short columbaload run against an in-process server (zero shed, well-formed report)
+#   make loadtest       the full tail-latency run behind BENCH_serving.json (1000 requests)
+#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check + loadtest smoke (CI gate)
 #   make bench-solver   the sequential-vs-parallel solver benchmark pair
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
 #   make bench-cuts     tree reductions on vs off: node/pivot numbers for EXPERIMENTS.md
@@ -17,7 +19,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
+.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check loadtest-smoke loadtest verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
 
 build:
 	$(GO) build ./...
@@ -109,7 +111,21 @@ serve-check:
 	$(GO) build ./cmd/columbasd ./cmd/columbas
 	$(GO) test -race -count=1 ./internal/server/...
 
-verify: vet race fuzz-smoke conformance docs-check serve-check bench-kernel
+# The load-harness gate: columbaload must build and a short mixed run
+# against an in-process server must settle every request with zero shed
+# (the load sits far below capacity) and produce a well-formed
+# columbas-load/v1 report.
+loadtest-smoke:
+	$(GO) build ./cmd/columbaload
+	$(GO) test -race -count=1 -run TestLoadSmoke ./internal/bench/
+
+# The full tail-latency run: 1000 concurrent mixed hit/miss/cancel
+# requests against an in-process server. The report is the
+# BENCH_serving.json artifact quoted in EXPERIMENTS.md.
+loadtest:
+	$(GO) run ./cmd/columbaload -n 1000 -c 64 -o BENCH_serving.json
+
+verify: vet race fuzz-smoke conformance docs-check serve-check loadtest-smoke bench-kernel
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .

@@ -1,0 +1,120 @@
+// Command columbaload is the tail-latency load harness for columbasd's
+// v2 job API. It fires a deterministic mix of cache-hit, cache-miss
+// and cancel requests at a server — an external one via -url, or an
+// in-process instance it spins up itself — follows every job's SSE
+// progress stream to its terminal state, and writes a
+// columbas-load/v1 JSON report (p50/p90/p95/p99/max latency, shed and
+// error counts, final server stats). BENCH_serving.json is this
+// program's output.
+//
+// Usage:
+//
+//	columbaload -n 1000 -c 64 -o BENCH_serving.json
+//	columbaload -url http://host:8080 -n 200 -hit 0.5 -cancel 0.1
+//	columbaload -n 400 -jobs 2 -queue 4 -o /dev/null   # provoke shedding
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"columbas/internal/bench"
+	"columbas/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "columbaload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "", "target server base URL (empty: run an in-process server)")
+		n        = flag.Int("n", 1000, "total requests")
+		c        = flag.Int("c", 64, "concurrent clients")
+		hit      = flag.Float64("hit", 0.5, "fraction of requests re-submitting a hot design (cache hits)")
+		cancel   = flag.Float64("cancel", 0.1, "fraction of requests canceled right after submission")
+		timeout  = flag.String("timeout", "60s", "per-job deadline option sent with every request")
+		missTime = flag.String("miss-time", "500ms", "MILP budget for hit/miss requests (past it the solver degrades to the greedy seed)")
+		seed     = flag.Int64("seed", 1, "schedule and netlist generator seed")
+		warmup   = flag.Bool("warmup", true, "pre-solve the hot pool serially before the timed run so hit requests measure real cache hits")
+		out      = flag.String("o", "-", "report path (-: stdout)")
+
+		// In-process server shape (ignored with -url).
+		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "in-process server: max concurrent solves")
+		queue  = flag.Int("queue", 0, "in-process server: admission queue bound (0: 8x jobs, -1: no queue)")
+		cacheN = flag.Int("cache", 1024, "in-process server: result cache capacity")
+	)
+	flag.Parse()
+	if *hit < 0 || *cancel < 0 || *hit+*cancel > 1 {
+		return fmt.Errorf("-hit and -cancel must be non-negative and sum to at most 1")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if base == "" {
+		srv := server.New(server.Config{
+			Jobs:         *jobs,
+			MaxQueue:     *queue,
+			CacheEntries: *cacheN,
+		})
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		defer func() {
+			srv.Drain()
+			wctx, wcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer wcancel()
+			srv.WaitIdle(wctx)
+		}()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "columbaload: in-process server at %s (%d job(s), queue %d)\n",
+			base, *jobs, *queue)
+	}
+
+	rep, err := bench.RunLoad(ctx, bench.LoadOptions{
+		BaseURL:        base,
+		Requests:       *n,
+		Concurrency:    *c,
+		HitFraction:    *hit,
+		CancelFraction: *cancel,
+		Timeout:        *timeout,
+		MissTime:       *missTime,
+		Seed:           *seed,
+		Warmup:         *warmup,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"columbaload: %d requests in %.2fs (%.1f rps): %d ok (%d hits), %d canceled, %d shed, %d timeouts, %d failed, %d errors\n",
+		*n, rep.DurationS, rep.ThroughputRPS,
+		rep.Succeeded, rep.CacheHits, rep.Canceled, rep.Shed, rep.Timeouts, rep.Failed, rep.Errors)
+	l := rep.Latency
+	fmt.Fprintf(os.Stderr,
+		"columbaload: latency p50 %.1fms  p90 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		l.P50MS, l.P90MS, l.P95MS, l.P99MS, l.MaxMS)
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(*out, doc, 0o644)
+}

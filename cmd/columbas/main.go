@@ -28,9 +28,6 @@ import (
 	"columbas/internal/core"
 	"columbas/internal/export"
 	"columbas/internal/hls"
-	"columbas/internal/layout"
-	"columbas/internal/lp"
-	"columbas/internal/milp"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
 )
@@ -66,16 +63,24 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *workers < -1 {
-		return fmt.Errorf("-workers must be -1 (all cores), 0/1 (sequential) or a worker count, got %d", *workers)
+	// The flags map onto the same OptionSpec the columbasd HTTP API
+	// decodes, so validation and option semantics are identical across
+	// both front ends.
+	spec := core.OptionSpec{
+		Muxes:       *muxes,
+		Time:        tl.String(),
+		Effort:      *effort,
+		Workers:     *workers,
+		NoDRC:       *noDRC,
+		NoWarmStart: *noWarm,
+		NoCuts:      *noCuts,
+		NoPresolve:  *noPre,
+		Branching:   *branching,
+		Kernel:      *kernel,
 	}
-	branchRule, err := milp.ParseBranchRule(*branching)
+	opt, err := spec.Apply(core.DefaultOptions())
 	if err != nil {
-		return fmt.Errorf("-branching: %w", err)
-	}
-	kernelMode, err := lp.ParseKernel(*kernel)
-	if err != nil {
-		return fmt.Errorf("-kernel: %w", err)
+		return err
 	}
 
 	if *pprofCPU != "" {
@@ -134,35 +139,10 @@ func run() error {
 	parseSp.SetInt("units", int64(n.NumUnits()))
 	parseSp.End()
 	tr.SetName(n.Name)
-	if *muxes != 0 {
-		if *muxes != 1 && *muxes != 2 {
-			return fmt.Errorf("-muxes must be 1 or 2")
-		}
-		n.Muxes = *muxes
+	if err := spec.ApplyNetlist(n); err != nil {
+		return err
 	}
-
-	opt := core.DefaultOptions()
-	opt.Layout.TimeLimit = *tl
-	opt.Layout.Workers = *workers
-	opt.Layout.NoWarmStart = *noWarm
-	opt.Layout.NoCuts = *noCuts
-	opt.Layout.NoPresolve = *noPre
-	opt.Layout.Branching = branchRule
-	opt.Layout.Kernel = kernelMode
-	opt.RunDRC = !*noDRC
 	opt.Trace = tr
-	switch *effort {
-	case "full":
-		opt.Layout.Effort = layout.EffortFull
-		opt.Layout.GuidedThreshold = 0
-	case "guided":
-		opt.Layout.Effort = layout.EffortGuided
-	case "seed":
-		opt.Layout.SkipMILP = true
-	case "auto":
-	default:
-		return fmt.Errorf("unknown -effort %q", *effort)
-	}
 
 	res, err := core.Synthesize(n, opt)
 	if err != nil {

@@ -1,19 +1,26 @@
-// Command columbasd serves the Columba S synthesis flow over HTTP: a
-// bounded pool of synthesis jobs behind POST /v1/synthesize, with
-// per-request deadlines that cancel in-flight MILP solves, a
-// content-addressed result cache, and graceful shutdown that drains
-// running solves. See docs/api.md for the endpoint contract.
+// Command columbasd serves the Columba S synthesis flow over HTTP. The
+// primary surface is the v2 job API — POST /v2/jobs accepts a job and
+// answers 202, GET /v2/jobs/{id} reports it, /events streams SSE
+// progress, DELETE cancels the in-flight MILP solve — in front of a
+// bounded solver pool with admission control (bounded queue,
+// deadline-aware shedding with Retry-After), a content-addressed result
+// cache, a TTL-collected job store, and graceful shutdown that drains
+// running solves. POST /v1/synthesize remains as a synchronous wrapper
+// over the same job path. See docs/api.md for the endpoint contract.
 //
 // Usage:
 //
 //	columbasd -addr :8080
 //	columbasd -addr :8080 -jobs 4 -workers 2 -cache 256
+//	columbasd -addr :8080 -queue 16 -job-ttl 10m
 //	columbasd -addr :8080 -trace-log traces.jsonl
 //
-// Operational endpoints: GET /healthz (200 while serving, 503 while
-// draining), GET /v1/stats (pool, request and cache counters), GET
-// /v1/formats (the export format registry). SIGINT/SIGTERM starts a
-// graceful drain bounded by -drain.
+// Operational endpoints: GET /healthz (liveness: always 200), GET
+// /readyz (readiness: 503 with Retry-After while draining), GET
+// /v1/stats (pool, admission, job-store, request and cache counters),
+// GET /v1/formats (the export format registry). SIGINT/SIGTERM starts a
+// graceful drain bounded by -drain; async jobs still running past the
+// HTTP shutdown are awaited for the same budget.
 package main
 
 import (
@@ -44,6 +51,8 @@ func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "max concurrent synthesis jobs")
+		queue    = flag.Int("queue", 0, "admission queue bound past the pool (0: 8x jobs, -1: no queue)")
+		jobTTL   = flag.Duration("job-ttl", 0, "retention of finished job resources (0: 5m, -1s: keep forever)")
 		workers  = flag.Int("workers", 1, "MILP branch-and-bound workers per job (-1: all cores)")
 		cacheN   = flag.Int("cache", 128, "result cache capacity in designs (-1: disable)")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "default per-request synthesis deadline (-1s: none)")
@@ -79,6 +88,8 @@ func run() error {
 
 	cfg := server.Config{
 		Jobs:           *jobs,
+		MaxQueue:       *queue,
+		JobTTL:         *jobTTL,
 		Workers:        *workers,
 		CacheEntries:   *cacheN,
 		DefaultTimeout: *timeout,
@@ -129,6 +140,12 @@ func run() error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Async jobs are detached from their submitting connections, so the
+	// HTTP shutdown above does not imply the pool is idle. Wait for the
+	// remaining solves inside the same drain budget.
+	if err := srv.WaitIdle(shCtx); err != nil {
+		return fmt.Errorf("draining async jobs: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "columbasd: drained, bye")
 	return nil

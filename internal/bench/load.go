@@ -1,0 +1,481 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/gen"
+)
+
+// LoadReportSchema identifies the columbaload report document — the
+// BENCH_serving.json artifact.
+const LoadReportSchema = "columbas-load/v1"
+
+// LoadOptions parameterizes one load run against a columbasd instance.
+type LoadOptions struct {
+	// BaseURL is the server under test (e.g. "http://127.0.0.1:8080").
+	BaseURL string
+	// Requests is the total number of synthesis requests to issue.
+	Requests int
+	// Concurrency is the number of parallel clients.
+	Concurrency int
+	// HitFraction of requests re-submit a design from a small hot pool,
+	// so all but the pool's first solves are cache hits. CancelFraction
+	// of requests cancel their job right after submission. The rest are
+	// unique generated netlists — guaranteed cache misses.
+	HitFraction    float64
+	CancelFraction float64
+	// Timeout is the per-job deadline option sent with every request
+	// ("" = server default).
+	Timeout string
+	// MissTime is the MILP budget option ("time") for hit and miss
+	// requests; past it the solver degrades to the greedy seed, so it
+	// bounds a cold solve's cost without failing it. "" sends none.
+	MissTime string
+	// Seed drives the op schedule and the generated miss netlists, so a
+	// run is reproducible end to end.
+	Seed int64
+	// Warmup pre-solves the hot pool serially before the clock starts,
+	// so hit-class requests measure genuine cache hits instead of
+	// contending for the first cold solve of their design (which, under
+	// overload, can shed the whole hot pool and leave the hit fraction
+	// meaningless). The warmup solves are excluded from every counter
+	// and latency sample; only WarmupS records their cost.
+	Warmup bool
+}
+
+// LoadReport is the columbas-load/v1 document: one load run's outcome
+// mix and tail latency against a job-API server.
+type LoadReport struct {
+	Schema string `json:"schema"`
+	// Config echoes the run parameters.
+	Config LoadConfigDoc `json:"config"`
+	// DurationS is the wall-clock time of the timed run; WarmupS the
+	// cost of the serial hot-pool warmup before it (0 if disabled).
+	DurationS float64 `json:"duration_s"`
+	WarmupS   float64 `json:"warmup_s,omitempty"`
+	// ThroughputRPS is settled requests (any outcome) per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Outcome counts. Succeeded splits into CacheHits + cold solves;
+	// Shed counts 429 admission refusals; ShedRetryAfter of those
+	// carried a Retry-After header (must equal Shed); Canceled counts
+	// jobs that reached the canceled state; Timeouts the deadline
+	// failures; Errors everything unexpected.
+	Succeeded      int64 `json:"succeeded"`
+	CacheHits      int64 `json:"cache_hits"`
+	Canceled       int64 `json:"canceled"`
+	Shed           int64 `json:"shed"`
+	ShedRetryAfter int64 `json:"shed_retry_after"`
+	Timeouts       int64 `json:"timeouts"`
+	Failed         int64 `json:"failed"`
+	Errors         int64 `json:"errors"`
+	// Latency aggregates submit→terminal-state wall time for settled
+	// jobs (succeeded and canceled; shed and errored requests are
+	// excluded — they never ran).
+	Latency LatencyStats `json:"latency"`
+	// HitLatency and MissLatency split Latency by cache outcome for
+	// succeeded jobs.
+	HitLatency  LatencyStats `json:"hit_latency"`
+	MissLatency LatencyStats `json:"miss_latency"`
+	// Server is the target's GET /v1/stats document after the run.
+	Server json.RawMessage `json:"server,omitempty"`
+}
+
+// LoadConfigDoc is the config echo block of a LoadReport.
+type LoadConfigDoc struct {
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	HitFraction    float64 `json:"hit_fraction"`
+	CancelFraction float64 `json:"cancel_fraction"`
+	Timeout        string  `json:"timeout,omitempty"`
+	MissTime       string  `json:"miss_time,omitempty"`
+	Seed           int64   `json:"seed"`
+	Warmup         bool    `json:"warmup"`
+}
+
+// LatencyStats summarizes a latency sample in milliseconds.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// summarize computes the percentile block from raw durations.
+func summarize(durs []time.Duration) LatencyStats {
+	st := LatencyStats{Count: int64(len(durs))}
+	if len(durs) == 0 {
+		return st
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	pct := func(q float64) float64 {
+		// Nearest-rank: the smallest sample ≥ q of the distribution.
+		i := int(math.Ceil(q*float64(len(durs)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ms(durs[i])
+	}
+	st.MeanMS = ms(sum / time.Duration(len(durs)))
+	st.P50MS = pct(0.50)
+	st.P90MS = pct(0.90)
+	st.P95MS = pct(0.95)
+	st.P99MS = pct(0.99)
+	st.MaxMS = ms(durs[len(durs)-1])
+	return st
+}
+
+// op classes of the load schedule.
+const (
+	opMiss = iota
+	opHit
+	opCancel
+)
+
+// loadOp is one scheduled request.
+type loadOp struct {
+	class   int
+	netlist string
+}
+
+// hotPool returns the designs hit-class requests cycle through: the
+// paper's chip9/chip16 evaluation cases, both mux variants.
+func hotPool() ([]string, error) {
+	pool := make([]string, 0, 4)
+	for _, id := range []string{"chip9", "chip16"} {
+		c, err := cases.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, c.Source, c.WithMuxes(2).Source)
+	}
+	return pool, nil
+}
+
+// buildSchedule materializes the deterministic op list: hits cycle the
+// hot pool, misses and cancel targets come from the netlist generator.
+func buildSchedule(o LoadOptions) ([]loadOp, error) {
+	pool, err := hotPool()
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]loadOp, o.Requests)
+	nHit := int(o.HitFraction * float64(o.Requests))
+	nCancel := int(o.CancelFraction * float64(o.Requests))
+	for i := range ops {
+		switch {
+		case i < nHit:
+			ops[i] = loadOp{class: opHit, netlist: pool[i%len(pool)]}
+		case i < nHit+nCancel:
+			// Cancel targets are unique full-effort solves: long enough
+			// to still be live when the DELETE lands.
+			n := gen.Generate(o.Seed + int64(1_000_000+i))
+			ops[i] = loadOp{class: opCancel, netlist: n.Format()}
+		default:
+			n := gen.Generate(o.Seed + int64(i))
+			ops[i] = loadOp{class: opMiss, netlist: n.Format()}
+		}
+	}
+	// Deterministic shuffle so hits, misses and cancels interleave.
+	rng := newSplitMix(uint64(o.Seed))
+	for i := len(ops) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+	return ops, nil
+}
+
+// splitMix is a tiny deterministic PRNG for the schedule shuffle (the
+// stdlib global source would tie the schedule to unrelated callers).
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// sample is one settled request's accounting.
+type sample struct {
+	latency  time.Duration
+	state    string // terminal job state, or "shed"/"error"
+	errCode  string // failed only: the columbas-error/v1 code
+	cacheHit bool
+	retryOK  bool // shed only: Retry-After header present
+}
+
+// RunLoad drives a full load run and aggregates the report. The target
+// server must speak the v2 job API.
+func RunLoad(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	if o.Requests <= 0 {
+		return nil, fmt.Errorf("load: Requests must be positive")
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	ops, err := buildSchedule(o)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.Concurrency * 2,
+		MaxIdleConnsPerHost: o.Concurrency * 2,
+	}}
+
+	var warmup time.Duration
+	if o.Warmup && o.HitFraction > 0 {
+		wstart := time.Now()
+		pool, err := hotPool()
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range pool {
+			// Serial, so the pool's occupancy stays at one and admission
+			// cannot shed the warmup even on a single-slot server.
+			sm := runOp(ctx, client, o, loadOp{class: opMiss, netlist: src}, 0)
+			if sm.state != "succeeded" {
+				return nil, fmt.Errorf("load: hot-pool warmup solve ended %q", sm.state)
+			}
+		}
+		warmup = time.Since(wstart)
+	}
+
+	samples := make([]sample, len(ops))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				samples[i] = runOp(ctx, client, o, ops[i], i)
+			}
+		}()
+	}
+	start := time.Now()
+feed:
+	for i := 0; i < len(ops); i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := &LoadReport{
+		Schema: LoadReportSchema,
+		Config: LoadConfigDoc{
+			Requests:       o.Requests,
+			Concurrency:    o.Concurrency,
+			HitFraction:    o.HitFraction,
+			CancelFraction: o.CancelFraction,
+			Timeout:        o.Timeout,
+			MissTime:       o.MissTime,
+			Seed:           o.Seed,
+			Warmup:         o.Warmup && o.HitFraction > 0,
+		},
+		DurationS:     wall.Seconds(),
+		WarmupS:       warmup.Seconds(),
+		ThroughputRPS: float64(len(ops)) / wall.Seconds(),
+	}
+	var all, hits, misses []time.Duration
+	for _, sm := range samples {
+		switch sm.state {
+		case "succeeded":
+			rep.Succeeded++
+			all = append(all, sm.latency)
+			if sm.cacheHit {
+				rep.CacheHits++
+				hits = append(hits, sm.latency)
+			} else {
+				misses = append(misses, sm.latency)
+			}
+		case "canceled":
+			rep.Canceled++
+			all = append(all, sm.latency)
+		case "failed":
+			if sm.errCode == "deadline_exceeded" {
+				rep.Timeouts++
+			} else {
+				rep.Failed++
+			}
+		case "shed":
+			rep.Shed++
+			if sm.retryOK {
+				rep.ShedRetryAfter++
+			}
+		default:
+			rep.Errors++
+		}
+	}
+	rep.Latency = summarize(all)
+	rep.HitLatency = summarize(hits)
+	rep.MissLatency = summarize(misses)
+
+	if stats, err := fetchStats(ctx, client, o.BaseURL); err == nil {
+		rep.Server = stats
+	}
+	return rep, nil
+}
+
+// runOp settles one scheduled request: submit, optionally cancel, then
+// follow the SSE progress stream to the terminal state.
+func runOp(ctx context.Context, client *http.Client, o LoadOptions, op loadOp, i int) sample {
+	body := map[string]any{
+		"schema":  "columbas-jobrequest/v1",
+		"netlist": op.netlist,
+	}
+	opts := map[string]any{}
+	if o.Timeout != "" {
+		opts["timeout"] = o.Timeout
+	}
+	if op.class == opCancel {
+		// Full effort with a generous budget: the job must still be
+		// running when the cancel lands.
+		opts["effort"] = "full"
+		opts["time"] = "30s"
+	} else if o.MissTime != "" {
+		opts["time"] = o.MissTime
+	}
+	if len(opts) > 0 {
+		body["options"] = opts
+	}
+	payload, _ := json.Marshal(body)
+
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, "POST", o.BaseURL+"/v2/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return sample{state: "error"}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{state: "error"}
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return sample{state: "shed", retryOK: resp.Header.Get("Retry-After") != ""}
+	default:
+		return sample{state: "error"}
+	}
+	var doc struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Cache string `json:"cache"`
+	}
+	if err := json.Unmarshal(respBody, &doc); err != nil || doc.ID == "" {
+		return sample{state: "error"}
+	}
+
+	if op.class == opCancel {
+		dreq, _ := http.NewRequestWithContext(ctx, "DELETE", o.BaseURL+"/v2/jobs/"+doc.ID, nil)
+		if dresp, err := client.Do(dreq); err == nil {
+			io.Copy(io.Discard, dresp.Body)
+			dresp.Body.Close()
+		}
+	}
+
+	state, cache, errCode, ok := followEvents(ctx, client, o.BaseURL, doc.ID)
+	if !ok {
+		return sample{state: "error"}
+	}
+	return sample{latency: time.Since(start), state: state, errCode: errCode, cacheHit: cache == "hit"}
+}
+
+// followEvents consumes the job's SSE stream until the terminal state
+// event and returns that state, its cache marker and (for failures)
+// the error code.
+func followEvents(ctx context.Context, client *http.Client, base, id string) (state, cache, errCode string, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v2/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", "", "", false
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", "", "", false
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return "", "", "", false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Type  string `json:"type"`
+			State string `json:"state"`
+			Cache string `json:"cache"`
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		if ev.Type == "state" {
+			switch ev.State {
+			case "succeeded", "failed", "canceled":
+				code := ""
+				if ev.Error != nil {
+					code = ev.Error.Code
+				}
+				return ev.State, ev.Cache, code, true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// fetchStats grabs the target's /v1/stats document verbatim.
+func fetchStats(ctx context.Context, client *http.Client, base string) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: stats fetch failed")
+	}
+	return json.RawMessage(b), nil
+}

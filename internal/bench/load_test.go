@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"columbas/internal/server"
+)
+
+// TestLoadSmoke is the `make loadtest-smoke` gate: a short mixed run
+// against an in-process server must complete with zero shed (the load
+// is far below capacity), zero transport errors, and a well-formed
+// columbas-load/v1 report. The full-scale run behind BENCH_serving.json
+// uses the same harness with bigger knobs.
+func TestLoadSmoke(t *testing.T) {
+	srv := server.New(server.Config{Jobs: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.WaitIdle(ctx); err != nil {
+			t.Errorf("WaitIdle: %v", err)
+		}
+	}()
+
+	const n = 24
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:        ts.URL,
+		Requests:       n,
+		Concurrency:    4,
+		HitFraction:    0.5,
+		CancelFraction: 0.25,
+		Timeout:        "60s",
+		MissTime:       "200ms",
+		Seed:           7,
+		Warmup:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != LoadReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Shed != 0 || rep.Errors != 0 {
+		t.Fatalf("low-load smoke shed %d / errored %d requests: %+v", rep.Shed, rep.Errors, rep)
+	}
+	if got := rep.Succeeded + rep.Canceled + rep.Timeouts + rep.Failed; got != n {
+		t.Fatalf("settled %d of %d requests: %+v", got, n, rep)
+	}
+	if rep.Succeeded == 0 || rep.Canceled == 0 {
+		t.Fatalf("mix did not exercise both outcomes: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("hot pool produced no cache hits: %+v", rep)
+	}
+	l := rep.Latency
+	if l.Count != int64(rep.Succeeded+rep.Canceled) {
+		t.Fatalf("latency count %d, want %d", l.Count, rep.Succeeded+rep.Canceled)
+	}
+	if l.P50MS <= 0 || l.MaxMS < l.P99MS || l.P99MS < l.P50MS {
+		t.Fatalf("latency stats not monotone: %+v", l)
+	}
+	if rep.DurationS <= 0 || rep.ThroughputRPS <= 0 {
+		t.Fatalf("rate fields empty: %+v", rep)
+	}
+	if len(rep.Server) == 0 {
+		t.Fatal("final server stats missing from report")
+	}
+	if rep.Config.Requests != n || rep.Config.Seed != 7 {
+		t.Fatalf("config echo = %+v", rep.Config)
+	}
+}

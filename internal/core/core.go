@@ -19,18 +19,21 @@ import (
 	"columbas/internal/validate"
 )
 
-// Options configures a synthesis run.
+// Options configures a synthesis run. The json tags are a stable
+// contract: columbasd's /v2 job resources embed the resolved Options of
+// every job, and OptionSpec is the matching wire form for requests.
 type Options struct {
 	// Layout configures the generation-phase MILP; zero value uses
 	// layout.DefaultOptions.
-	Layout layout.Options
+	Layout layout.Options `json:"layout"`
 	// RunDRC verifies the completed design against the design rules and
 	// fails synthesis on violations.
-	RunDRC bool
+	RunDRC bool `json:"run_drc"`
 	// Trace, when non-nil, records the run as hierarchical phase spans
 	// (parse → planarize → layout → validate → drc) with the counters
 	// documented in docs/metrics.md. A nil trace disables all recording.
-	Trace *obs.Trace
+	// Transient: never serialized.
+	Trace *obs.Trace `json:"-"`
 }
 
 // DefaultOptions returns the standard flow configuration.
@@ -49,25 +52,27 @@ type Result struct {
 	Runtime time.Duration
 }
 
-// Metrics are the Table 1 figures of merit for one design.
+// Metrics are the Table 1 figures of merit for one design. The json
+// tags are stable: /v2 job status documents embed them.
 type Metrics struct {
-	Name string
+	Name string `json:"name"`
 	// Muxes is the multiplexer count (1 or 2).
-	Muxes int
+	Muxes int `json:"muxes"`
 	// WidthMM, HeightMM are v_x_max * v_y_max of the full chip in mm.
-	WidthMM, HeightMM float64
+	WidthMM  float64 `json:"width_mm"`
+	HeightMM float64 `json:"height_mm"`
 	// FlowMM is L_f: functional-region flow channel length in mm.
-	FlowMM float64
+	FlowMM float64 `json:"flow_mm"`
 	// CtrlInlets is #c_in.
-	CtrlInlets int
+	CtrlInlets int `json:"ctrl_inlets"`
 	// FluidPorts is the number of fluid inlets/outlets.
-	FluidPorts int
+	FluidPorts int `json:"fluid_ports"`
 	// Units is #u.
-	Units int
-	// Runtime is the synthesis time.
-	Runtime time.Duration
+	Units int `json:"units"`
+	// Runtime is the synthesis time in nanoseconds.
+	Runtime time.Duration `json:"runtime_ns"`
 	// SolverStatus reports how the generation model terminated.
-	SolverStatus milp.Status
+	SolverStatus milp.Status `json:"solver_status"`
 }
 
 // Metrics extracts the evaluation metrics from a run.

@@ -189,77 +189,83 @@ const (
 	EffortGuided
 )
 
-// Options configures layout generation.
+// Options configures layout generation. The json tags are a stable
+// contract — columbasd /v2 job resources embed the resolved options of
+// every job; transient fields (Deadline, Interrupt, Obs) never
+// serialize.
 type Options struct {
 	// Weights of objective (13): α·x_max + β·y_max + γ·max(x,y) + κ·Σ length.
-	Alpha, Beta, Gamma, Kappa float64
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Gamma float64 `json:"gamma"`
+	Kappa float64 `json:"kappa"`
 	// TimeLimit bounds the MILP search (0: solver default of 30 s).
-	TimeLimit time.Duration
+	TimeLimit time.Duration `json:"time_limit_ns"`
 	// Gap is the acceptable relative optimality gap (default 0.02).
-	Gap float64
+	Gap float64 `json:"gap"`
 	// StallLimit stops branch and bound after this many nodes without an
 	// incumbent improvement (0: solver default of 200).
-	StallLimit int
+	StallLimit int `json:"stall_limit"`
 	// Effort selects the disjunction policy. Designs above
 	// GuidedThreshold rectangles use EffortGuided automatically.
-	Effort          Effort
-	GuidedThreshold int
+	Effort          Effort `json:"effort"`
+	GuidedThreshold int    `json:"guided_threshold"`
 	// SkipMILP accepts the greedy seed directly (debug/ablation).
-	SkipMILP bool
+	SkipMILP bool `json:"skip_milp,omitempty"`
 	// NoSeed withholds the greedy warm start from branch and bound
 	// (ablation: measures the value of seeding).
-	NoSeed bool
+	NoSeed bool `json:"no_seed,omitempty"`
 	// EagerSeparation adds every non-overlap disjunction up front instead
 	// of lazily separating violated pairs (ablation: measures the value
 	// of lazy separation).
-	EagerSeparation bool
+	EagerSeparation bool `json:"eager_separation,omitempty"`
 	// NoWarmStart disables LP basis reuse between branch-and-bound nodes
 	// (milp.Options.NoWarmStart), solving every relaxation cold from an
 	// artificial basis (ablation: measures the value of warm starts; the
 	// seed solver's behaviour, used by make bench-warmstart as the
 	// "before" side).
-	NoWarmStart bool
+	NoWarmStart bool `json:"no_warmstart,omitempty"`
 	// NoCuts disables root-node cut separation in every MILP round
 	// (milp.Options.NoCuts): no Gomory or cover cuts strengthen the root
 	// relaxation (ablation: measures the value of cutting planes).
-	NoCuts bool
+	NoCuts bool `json:"no_cuts,omitempty"`
 	// NoPresolve disables the MILP presolve (milp.Options.NoPresolve):
 	// no root or node bound tightening, redundant-row removal, or
 	// coefficient strengthening (ablation: measures presolve's value).
-	NoPresolve bool
+	NoPresolve bool `json:"no_presolve,omitempty"`
 	// Branching selects the branch-and-bound variable selection rule
 	// (milp.Options.Branching); the zero value is pseudocost branching
 	// with reliability initialization.
-	Branching milp.BranchRule
+	Branching milp.BranchRule `json:"branching"`
 	// Kernel selects the LP basis engine for every MILP relaxation
 	// (milp.Options.Kernel): the zero value picks dense or sparse per
 	// problem from the size/density heuristic; the columbas CLI exposes
 	// it as -kernel={auto,dense,sparse}.
-	Kernel lp.Kernel
+	Kernel lp.Kernel `json:"kernel"`
 	// Workers is the number of parallel branch-and-bound workers handed
 	// to the MILP solver (milp.Options.Workers): 0 or 1 runs the exact
 	// sequential search, a negative value uses runtime.GOMAXPROCS(0).
 	// Parallel runs keep the same optimal objective but may pick a
 	// different tie-equivalent placement; the columbas CLI defaults to
 	// all cores via -workers.
-	Workers int
+	Workers int `json:"workers"`
 	// Deadline, when non-zero, is an absolute wall-clock bound on
 	// generation; the earlier of Deadline and now+TimeLimit wins. Like a
 	// TimeLimit expiry, hitting it falls back to the greedy seed — use
 	// GenerateContext to turn a context deadline into a hard error
 	// instead.
-	Deadline time.Time
+	Deadline time.Time `json:"-"`
 	// Interrupt, when non-nil, cancels generation as soon as the channel
 	// is closed: the in-flight branch and bound halts
 	// (milp.Options.Interrupt) and no further separation rounds start.
 	// Generate still returns the seed-fallback plan; GenerateContext
 	// maps the cancellation to the context's error.
-	Interrupt <-chan struct{}
+	Interrupt <-chan struct{} `json:"-"`
 	// Obs, when non-nil, is the parent trace span (the pipeline's "layout"
 	// phase) under which generation records its sub-phases: the greedy
 	// seed and each lazy-separation MILP round with that round's solver
 	// counters. A nil span disables the recording at no cost.
-	Obs *obs.Span
+	Obs *obs.Span `json:"-"`
 }
 
 // DefaultOptions returns the options used by the Columba S flow.

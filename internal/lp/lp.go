@@ -67,13 +67,14 @@ type Term struct {
 // constraints are added incrementally; bounds and costs may be changed
 // between Solve calls (branch-and-bound relies on this).
 type Problem struct {
-	cost     []float64
-	lo       []float64
-	hi       []float64
-	rows     []rowDef
-	rev      int64 // bumped on every structural change (vars/rows added)
-	deadline time.Time
-	kernel   Kernel // basis-factorization engine selection (see SetKernel)
+	cost      []float64
+	lo        []float64
+	hi        []float64
+	rows      []rowDef
+	rev       int64 // bumped on every structural change (vars/rows added)
+	deadline  time.Time
+	interrupt <-chan struct{}
+	kernel    Kernel // basis-factorization engine selection (see SetKernel)
 
 	// ws is the kernel scratch memory, created lazily on first solve and
 	// reused for the problem's lifetime (see Workspace). Not copied by
@@ -103,6 +104,31 @@ type Problem struct {
 // no deadline. Branch and bound uses this so a single oversized LP cannot
 // blow through the search budget.
 func (p *Problem) SetDeadline(t time.Time) { p.deadline = t }
+
+// SetInterrupt makes Solve abort with IterLimit as soon as ch is closed,
+// checked at the same cadence as the deadline. A nil channel (the
+// default) disables the check. Branch and bound threads its caller's
+// cancellation here so even a single in-flight LP stops within a few
+// dozen pivots instead of running out its deadline.
+func (p *Problem) SetInterrupt(ch <-chan struct{}) { p.interrupt = ch }
+
+// budgetStop reports whether the problem's budget is exhausted: the
+// deadline passed or the interrupt fired. Solve paths use it to tell a
+// genuine stop (return IterLimit to the caller) from a numerical stall
+// (retry on a different pivot path).
+func (p *Problem) budgetStop() bool {
+	if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+		return true
+	}
+	if p.interrupt != nil {
+		select {
+		case <-p.interrupt:
+			return true
+		default:
+		}
+	}
+	return false
+}
 
 type rowDef struct {
 	terms []Term
@@ -139,13 +165,14 @@ func (p *Problem) AddVar(lo, hi, cost float64) int {
 // work.
 func (p *Problem) Clone() *Problem {
 	return &Problem{
-		cost:     append([]float64(nil), p.cost...),
-		lo:       append([]float64(nil), p.lo...),
-		hi:       append([]float64(nil), p.hi...),
-		rows:     p.rows[:len(p.rows):len(p.rows)],
-		rev:      p.rev,
-		deadline: p.deadline,
-		kernel:   p.kernel,
+		cost:      append([]float64(nil), p.cost...),
+		lo:        append([]float64(nil), p.lo...),
+		hi:        append([]float64(nil), p.hi...),
+		rows:      p.rows[:len(p.rows):len(p.rows)],
+		rev:       p.rev,
+		deadline:  p.deadline,
+		interrupt: p.interrupt,
+		kernel:    p.kernel,
 	}
 }
 
@@ -309,15 +336,16 @@ type tableau struct {
 	hi    []float64
 	cost  []float64 // phase-2 costs
 
-	basis    []int // basis[i] = variable basic in row i
-	state    []int8
-	x        []float64
-	binv     []float64 // m×m row-major B⁻¹ (workspace-backed, dense engine)
-	sparse   bool      // this run factorizes instead of inverting
-	f        *sparseLU // workspace-owned sparse factors (valid when sparse)
-	iters    int
-	maxIter  int
-	deadline time.Time
+	basis     []int // basis[i] = variable basic in row i
+	state     []int8
+	x         []float64
+	binv      []float64 // m×m row-major B⁻¹ (workspace-backed, dense engine)
+	sparse    bool      // this run factorizes instead of inverting
+	f         *sparseLU // workspace-owned sparse factors (valid when sparse)
+	iters     int
+	maxIter   int
+	deadline  time.Time
+	interrupt <-chan struct{}
 	// forceBland prices with Bland's rule from the first iteration — the
 	// cold path's verification retry uses it to walk a different, maximally
 	// cautious pivot sequence after a default run went numerically wrong.
@@ -500,8 +528,7 @@ func (p *Problem) solve() (*Solution, error) {
 		if err != nil {
 			return nil, err
 		}
-		deadlineHit := !p.deadline.IsZero() && !time.Now().Before(p.deadline)
-		if inner.Status != IterLimit || deadlineHit {
+		if inner.Status != IterLimit || p.budgetStop() {
 			// The reduced problem ran its own kernel; its factorization
 			// tallies belong to this solve. Pivot and solve counts flow
 			// back through the returned Solution instead, so only the
@@ -596,6 +623,7 @@ func (p *Problem) prepTableau() *tableau {
 	t.basisDirty = true
 	t.maxIter = 5000 + 40*(m+nStru)
 	t.deadline = p.deadline
+	t.interrupt = p.interrupt
 	for v := 0; v < nStru; v++ {
 		t.lo[v] = p.lo[v]
 		t.hi[v] = p.hi[v]
@@ -762,6 +790,24 @@ func (t *tableau) saveCache() {
 	ws.cachedBasis = append(ws.cachedBasis[:0], t.basis...)
 }
 
+// aborted reports that the run's budget is gone: the deadline passed or
+// the caller's interrupt channel fired. The simplex loops poll it every
+// 64 iterations — cheap enough to be free, frequent enough that a
+// cancellation stops even a huge LP within a few dozen pivots.
+func (t *tableau) aborted() bool {
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		return true
+	}
+	if t.interrupt != nil {
+		select {
+		case <-t.interrupt:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
 // simplex runs the bounded-variable primal simplex with costs c from the
 // current basis until optimality or failure.
 func (t *tableau) simplex(c []float64) Status {
@@ -770,7 +816,7 @@ func (t *tableau) simplex(c []float64) Status {
 	w := t.ws.w
 	degen := 0
 	for ; t.iters < t.maxIter; t.iters++ {
-		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if t.iters%64 == 0 && t.aborted() {
 			return IterLimit
 		}
 		// Simplex multipliers y = c_B · B⁻¹.

@@ -165,6 +165,7 @@ func (p *Problem) presolve() *presolved {
 
 	ps.prob = NewProblem()
 	ps.prob.deadline = p.deadline
+	ps.prob.interrupt = p.interrupt
 	ps.prob.kernel = p.kernel
 	ps.rootOf = make([]int, n)
 	for i := range ps.rootOf {

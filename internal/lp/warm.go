@@ -2,7 +2,6 @@ package lp
 
 import (
 	"math"
-	"time"
 )
 
 // Basis is a compact snapshot of a simplex basis: which variable is basic
@@ -196,7 +195,7 @@ func (p *Problem) warmSolve(basis *Basis, recycle *Solution) *Solution {
 		sol.Status, sol.Iters = Infeasible, t.iters
 		return sol
 	case IterLimit:
-		if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if p.budgetStop() {
 			p.foldTableau(t)
 			sol := resetSolution(recycle, len(p.cost))
 			sol.Status, sol.Iters = IterLimit, t.iters
@@ -208,7 +207,7 @@ func (p *Problem) warmSolve(basis *Basis, recycle *Solution) *Solution {
 	// absorbs any dual drift the repair introduced.
 	st := t.phase2()
 	if st == Unbounded || st == IterLimit {
-		if st == IterLimit && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if st == IterLimit && p.budgetStop() {
 			p.foldTableau(t)
 			sol := resetSolution(recycle, len(p.cost))
 			sol.Status, sol.Iters = IterLimit, t.iters
@@ -465,7 +464,7 @@ func (t *tableau) dualSimplex(c []float64) Status {
 	w := t.ws.w
 	degen := 0
 	for ; t.iters < t.maxIter; t.iters++ {
-		if t.iters%64 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		if t.iters%64 == 0 && t.aborted() {
 			return IterLimit
 		}
 		// Leaving row: largest bound violation among basic variables.

@@ -175,6 +175,13 @@ func (s *search) rootCutLoop() {
 		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 			break
 		}
+		if s.pollInterrupt() {
+			// Canceled during root preparation: stop strengthening. The
+			// loop runs before any worker exists, so the flag write cannot
+			// race the watcher (it starts after prepareRoot).
+			s.interrupted = true
+			break
+		}
 		sol, err := prob.SolveFrom(nil)
 		s.cutRounds++
 		if err != nil || sol.Status != lp.Optimal {

@@ -190,6 +190,7 @@ func (s *search) prepareRoot() {
 	}
 	s.baseProb = s.m.prob.CloneWithRows()
 	s.baseProb.SetDeadline(s.deadline)
+	s.baseProb.SetInterrupt(s.opt.Interrupt)
 	s.baseProb.SetKernel(s.opt.Kernel)
 	if doPresolve && s.rootPresolve() {
 		// Activity analysis proved no point — integer or not — fits the
@@ -239,6 +240,9 @@ func (s *search) run() (*Result, error) {
 		// Propagate the budget into the LP so one oversized relaxation
 		// cannot overshoot it.
 		p.SetDeadline(s.deadline)
+		// Cancellation must reach the worker's in-flight LP too: a node
+		// relaxation can outlive the rest of the search by seconds.
+		p.SetInterrupt(s.opt.Interrupt)
 		// Every worker solves on the engine the caller selected (baseProb
 		// may still be the shared model problem, which must not be mutated,
 		// so the kernel is applied to each owned clone).
@@ -325,6 +329,19 @@ func (s *search) worker(id int, prob *lp.Problem) {
 
 // loadInc reads the published incumbent objective without locking.
 func (s *search) loadInc() float64 { return math.Float64frombits(s.incBits.Load()) }
+
+// pollInterrupt non-blockingly reports whether opt.Interrupt has fired.
+func (s *search) pollInterrupt() bool {
+	if s.opt.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-s.opt.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
 
 // haltLocked ends the search early; callers hold mu.
 func (s *search) haltLocked() {

@@ -1,0 +1,68 @@
+package obs
+
+// EventKind classifies a live trace Event.
+type EventKind int
+
+// Event kinds, in the order a span emits them.
+const (
+	// EventSpanStart fires when a phase (or sub-phase) span opens.
+	EventSpanStart EventKind = iota
+	// EventSpanEnd fires when a span is sealed by End; the event carries
+	// the span's snapshot (wall time, counters, labels).
+	EventSpanEnd
+	// EventTraceFinish fires when the trace itself is sealed by Finish.
+	EventTraceFinish
+)
+
+// String names the kind for wire documents ("span-start", "span-end",
+// "finish").
+func (k EventKind) String() string {
+	switch k {
+	case EventSpanStart:
+		return "span-start"
+	case EventSpanEnd:
+		return "span-end"
+	case EventTraceFinish:
+		return "finish"
+	}
+	return "unknown"
+}
+
+// Event is one live notification from an observed Trace: a span opened,
+// a span sealed, or the whole trace finished. Events let a consumer —
+// columbasd's /v2 SSE progress streams are the canonical one — follow a
+// synthesis run phase by phase while it executes, instead of reading
+// the trace document after the fact.
+type Event struct {
+	// Kind is the event class.
+	Kind EventKind
+	// Path is the slash-joined span ancestry ("layout", "layout/milp
+	// round 1"). Empty for EventTraceFinish.
+	Path string
+	// WallMS is the sealed wall time in milliseconds: the span's on
+	// EventSpanEnd, the trace's on EventTraceFinish, 0 on span start.
+	WallMS float64
+	// Span is the ended span's snapshot (counters and labels included,
+	// child spans stripped — children emit their own events). Only set
+	// on EventSpanEnd.
+	Span *SpanJSON
+}
+
+// Observer receives live trace events. It is called synchronously from
+// the instrumented goroutine with no trace lock held, so it may call
+// back into the trace but must return promptly — a blocking observer
+// stalls the pipeline it observes.
+type Observer func(Event)
+
+// Observe registers fn as the trace's single live observer, replacing
+// any prior one (nil unregisters). Spans opened before Observe emit no
+// retroactive events; consumers that need history replay it from their
+// own buffer. No-op on a nil trace.
+func (t *Trace) Observe(fn Observer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
+}

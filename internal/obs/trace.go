@@ -12,11 +12,12 @@ import (
 // instrumented code needs no enabled-checks and pays only a nil test on
 // the disabled path.
 type Trace struct {
-	mu    sync.Mutex
-	name  string
-	start time.Time
-	end   time.Time
-	spans []*Span
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	spans    []*Span
+	observer Observer
 }
 
 // Span is one phase (or sub-phase) of a traced run: a name, a wall-clock
@@ -24,6 +25,7 @@ type Trace struct {
 type Span struct {
 	tr       *Trace
 	name     string
+	path     string // slash-joined ancestry, e.g. "layout/milp round 1"
 	start    time.Time
 	end      time.Time
 	counters map[string]float64
@@ -63,10 +65,14 @@ func (t *Trace) Phase(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tr: t, name: name, start: time.Now()}
+	s := &Span{tr: t, name: name, path: name, start: time.Now()}
 	t.mu.Lock()
 	t.spans = append(t.spans, s)
+	obs := t.observer
 	t.mu.Unlock()
+	if obs != nil {
+		obs(Event{Kind: EventSpanStart, Path: s.path})
+	}
 	return s
 }
 
@@ -77,10 +83,17 @@ func (t *Trace) Finish() {
 		return
 	}
 	t.mu.Lock()
+	sealed := false
 	if t.end.IsZero() {
 		t.end = time.Now()
+		sealed = true
 	}
+	wall := t.wallLocked()
+	obs := t.observer
 	t.mu.Unlock()
+	if sealed && obs != nil {
+		obs(Event{Kind: EventTraceFinish, WallMS: ms(wall)})
+	}
 }
 
 // Wall returns the trace's total wall-clock time so far (0 on nil).
@@ -105,24 +118,41 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	c := &Span{tr: s.tr, name: name, path: s.path + "/" + name, start: time.Now()}
 	s.tr.mu.Lock()
 	s.children = append(s.children, c)
+	obs := s.tr.observer
 	s.tr.mu.Unlock()
+	if obs != nil {
+		obs(Event{Kind: EventSpanStart, Path: c.path})
+	}
 	return c
 }
 
 // End seals the span's wall-clock interval. Ending twice keeps the first
-// end time.
+// end time (and emits no second event).
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.tr.mu.Lock()
+	sealed := false
 	if s.end.IsZero() {
 		s.end = time.Now()
+		sealed = true
+	}
+	obs := s.tr.observer
+	var snap SpanJSON
+	if sealed && obs != nil {
+		snap = s.snapshotLocked()
 	}
 	s.tr.mu.Unlock()
+	if sealed && obs != nil {
+		// The snapshot is flattened to this span's own data: child spans
+		// emit their own events.
+		snap.Spans = nil
+		obs(Event{Kind: EventSpanEnd, Path: s.path, WallMS: snap.WallMS, Span: &snap})
+	}
 }
 
 // Elapsed returns the span's wall time: up to now while open, the sealed

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission-control rejections. Handlers map both onto 429 with a
+// Retry-After hint; they are distinguishable in stats.
+var (
+	// errQueueFull: pool and queue are both at capacity.
+	errQueueFull = errors.New("admission queue full")
+	// errDoomedDeadline: the queue has room, but the request's deadline
+	// would expire before a pool slot frees — queueing it would burn a
+	// slot on work that can only time out.
+	errDoomedDeadline = errors.New("deadline shorter than estimated queue wait")
+)
+
+// admission is the load-shedding layer in front of the job pool: a
+// bounded queue with deadline-aware rejection. The pool semaphore
+// bounds *running* work; admission bounds total occupancy (running +
+// waiting), so a burst beyond pool+queue capacity is refused
+// immediately with a backoff hint instead of accumulating unbounded
+// waiters (queue collapse).
+//
+// Wait estimation is an EWMA of recent service times: with the pool
+// full and q jobs already waiting over n slots, a new arrival waits
+// roughly avg·(q+1)/n. A request whose deadline lands inside that
+// window is shed up front — by the time it ran, it could only 504.
+type admission struct {
+	slots int // pool width (Config.Jobs)
+	capQ  int // queue bound past the pool (Config.MaxQueue)
+
+	mu      sync.Mutex
+	queued  int     // admitted, not yet holding a pool slot
+	running int     // holding a pool slot
+	avgNS   float64 // EWMA of service time
+	samples int64
+
+	admitted     int64
+	shedFull     int64
+	shedDeadline int64
+}
+
+// ewmaAlpha weights the newest service-time sample; ~5 samples of
+// history dominate the estimate.
+const ewmaAlpha = 0.2
+
+func newAdmission(slots, capQ int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if capQ < 0 {
+		capQ = 0
+	}
+	return &admission{slots: slots, capQ: capQ}
+}
+
+// admit reserves an occupancy slot for a job with the given absolute
+// deadline (zero: none). On rejection it returns the estimated time
+// until capacity frees — the Retry-After hint — and one of the shed
+// errors. An admitted job must eventually call started (when it takes
+// a pool slot) or abandoned (when it gives up waiting).
+func (a *admission) admit(deadline time.Time) (time.Duration, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	wait := a.estWaitLocked()
+	if a.queued+a.running >= a.slots+a.capQ {
+		a.shedFull++
+		return wait, errQueueFull
+	}
+	if !deadline.IsZero() && wait > 0 && time.Now().Add(wait).After(deadline) {
+		a.shedDeadline++
+		return wait, errDoomedDeadline
+	}
+	a.queued++
+	a.admitted++
+	return 0, nil
+}
+
+// started moves an admitted job from the queue to the pool.
+func (a *admission) started() {
+	a.mu.Lock()
+	a.queued--
+	a.running++
+	a.mu.Unlock()
+}
+
+// abandoned releases an admitted job that never ran (deadline or cancel
+// fired while waiting).
+func (a *admission) abandoned() {
+	a.mu.Lock()
+	a.queued--
+	a.mu.Unlock()
+}
+
+// finished releases a running job's slot and records its service time
+// for the wait estimator.
+func (a *admission) finished(d time.Duration) {
+	a.mu.Lock()
+	a.running--
+	if a.samples == 0 {
+		a.avgNS = float64(d)
+	} else {
+		a.avgNS = (1-ewmaAlpha)*a.avgNS + ewmaAlpha*float64(d)
+	}
+	a.samples++
+	a.mu.Unlock()
+}
+
+// estWaitLocked estimates how long a new arrival would wait for a pool
+// slot. Zero while a slot is free, and zero until the first sample
+// lands: with no history the layer admits optimistically rather than
+// shedding on a guess.
+func (a *admission) estWaitLocked() time.Duration {
+	if a.samples == 0 || a.running < a.slots {
+		return 0
+	}
+	return time.Duration(a.avgNS * float64(a.queued+1) / float64(a.slots))
+}
+
+// AdmissionStats is the admission-control block of GET /v1/stats.
+type AdmissionStats struct {
+	// QueueCapacity is the configured queue bound past the pool
+	// (Config.MaxQueue).
+	QueueCapacity int `json:"queue_capacity"`
+	// Queued is the number of admitted jobs waiting for a pool slot.
+	Queued int64 `json:"queued"`
+	// Admitted counts jobs accepted since start.
+	Admitted int64 `json:"admitted"`
+	// ShedQueueFull and ShedDeadline count 429s by cause: occupancy at
+	// capacity vs deadline shorter than the estimated wait.
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedDeadline  int64 `json:"shed_deadline"`
+	// AvgServiceMS is the EWMA of service time behind the wait
+	// estimator (0 until the first completion).
+	AvgServiceMS float64 `json:"avg_service_ms"`
+}
+
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		QueueCapacity: a.capQ,
+		Queued:        int64(a.queued),
+		Admitted:      a.admitted,
+		ShedQueueFull: a.shedFull,
+		ShedDeadline:  a.shedDeadline,
+		AvgServiceMS:  a.avgNS / 1e6,
+	}
+}

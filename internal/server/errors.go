@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"columbas/internal/core"
+)
+
+// ErrorSchema identifies the structured error envelope every non-2xx
+// response carries (v1 and v2 alike).
+const ErrorSchema = "columbas-error/v1"
+
+// Stable machine-readable error codes. Clients branch on Code; Message
+// and Detail are for humans and may change wording between releases.
+const (
+	// CodeBadRequest is a malformed request envelope or parameter.
+	CodeBadRequest = "bad_request"
+	// CodeNetlistParse is a netlist source that does not parse.
+	CodeNetlistParse = "netlist_parse"
+	// CodeNetlistInvalid is a netlist that parses but fails semantic
+	// validation (not synthesizable as written).
+	CodeNetlistInvalid = "netlist_invalid"
+	// CodeInvalidOption is an option value rejected by the shared
+	// OptionSpec validation.
+	CodeInvalidOption = "invalid_option"
+	// CodeUnknownFormat is an unregistered ?format= name.
+	CodeUnknownFormat = "unknown_format"
+	// CodeNotAcceptable is an Accept header matching no registered
+	// format.
+	CodeNotAcceptable = "not_acceptable"
+	// CodeBodyTooLarge is a request body over the configured limit.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeJobNotFound is an unknown (or TTL-expired) job id.
+	CodeJobNotFound = "job_not_found"
+	// CodeNotReady is a result fetched before the job reached a
+	// terminal state.
+	CodeNotReady = "not_ready"
+	// CodeOverloaded is an admission-control shed: the queue is full or
+	// the request's deadline would expire before a pool slot frees.
+	// The response carries Retry-After.
+	CodeOverloaded = "overloaded"
+	// CodeDraining is a request refused because shutdown has begun.
+	// The response carries Retry-After.
+	CodeDraining = "draining"
+	// CodeDeadline is a request whose wall-clock deadline fired
+	// (queued or mid-solve).
+	CodeDeadline = "deadline_exceeded"
+	// CodeCanceled is a job canceled by the client.
+	CodeCanceled = "canceled"
+	// CodeSynthPlanarize/Layout/Validate/DRC map core.SynthesisError
+	// phases onto the wire.
+	CodeSynthPlanarize = "synthesis_planarize"
+	CodeSynthLayout    = "synthesis_layout"
+	CodeSynthValidate  = "synthesis_validate"
+	CodeSynthDRC       = "synthesis_drc"
+	// CodeRender is a failure rendering a completed design.
+	CodeRender = "render_failed"
+	// CodeInternal is everything else on our side.
+	CodeInternal = "internal"
+)
+
+// ErrorDoc is the columbas-error/v1 envelope: the body of every non-2xx
+// response and the error field of failed job resources.
+type ErrorDoc struct {
+	// Schema is always ErrorSchema.
+	Schema string `json:"schema"`
+	// Code is one of the Code* constants — the stable, machine-readable
+	// failure class.
+	Code string `json:"code"`
+	// Message is the human-readable one-liner.
+	Message string `json:"message"`
+	// Detail optionally narrows the failure (e.g. the pipeline phase or
+	// the offending parameter).
+	Detail string `json:"detail,omitempty"`
+}
+
+// errDoc builds an envelope.
+func errDoc(code, message string) *ErrorDoc {
+	return &ErrorDoc{Schema: ErrorSchema, Code: code, Message: message}
+}
+
+// writeError writes the envelope as the response body with the given
+// status.
+func writeError(w http.ResponseWriter, status int, doc *ErrorDoc) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// writeErrorRetry is writeError plus a Retry-After hint (429/503): the
+// client's backoff signal. The hint is rounded up to whole seconds,
+// never below 1.
+func writeErrorRetry(w http.ResponseWriter, status int, retryAfter time.Duration, doc *ErrorDoc) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	writeError(w, status, doc)
+}
+
+// retryAfterSeconds renders a duration as the integral-seconds form the
+// Retry-After header requires, with a floor of 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// synthesisErrorDoc maps a synthesis failure onto the wire contract:
+// deadline expiry is the gateway-timeout contract, cancellation is the
+// client's own doing, design-rule violations are the client's problem,
+// anything else is ours. Returns the HTTP status a synchronous caller
+// would use plus the envelope.
+func synthesisErrorDoc(err error, res *core.Result) (int, *ErrorDoc) {
+	var serr *core.SynthesisError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		d := errDoc(CodeDeadline, "synthesis deadline exceeded")
+		d.Detail = err.Error()
+		return http.StatusGatewayTimeout, d
+	case errors.Is(err, context.Canceled):
+		d := errDoc(CodeCanceled, "synthesis canceled")
+		d.Detail = err.Error()
+		// 499 is the de-facto "client closed request" status; a live
+		// client (v2 DELETE) reads the job resource, not this status.
+		return 499, d
+	case res != nil && res.DRC != nil && !res.DRC.Clean():
+		d := errDoc(CodeSynthDRC, err.Error())
+		d.Detail = core.PhaseDRC
+		return http.StatusUnprocessableEntity, d
+	case errors.As(err, &serr):
+		code := CodeInternal
+		switch serr.Phase {
+		case core.PhasePlanarize:
+			code = CodeSynthPlanarize
+		case core.PhaseLayout:
+			code = CodeSynthLayout
+		case core.PhaseValidate:
+			code = CodeSynthValidate
+		case core.PhaseDRC:
+			code = CodeSynthDRC
+		}
+		d := errDoc(code, err.Error())
+		d.Detail = serr.Phase
+		if serr.Phase == core.PhaseDRC {
+			return http.StatusUnprocessableEntity, d
+		}
+		return http.StatusInternalServerError, d
+	default:
+		return http.StatusInternalServerError, errDoc(CodeInternal, err.Error())
+	}
+}

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"columbas/internal/export"
+	"columbas/internal/netlist"
+)
+
+// writeJSON renders a wire document with the server's standard
+// indentation.
+func writeJSON(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// formatErrCode maps a chooseFormat failure status onto its error code.
+func formatErrCode(status int) string {
+	if status == http.StatusNotAcceptable {
+		return CodeNotAcceptable
+	}
+	return CodeUnknownFormat
+}
+
+// readBody slurps the (bounded) request body; a limit overrun is
+// reported as 413 and the returned bool is false.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		d := errDoc(CodeBodyTooLarge, fmt.Sprintf("reading request body: %v", err))
+		writeError(w, http.StatusRequestEntityTooLarge, d)
+		return nil, false
+	}
+	return body, true
+}
+
+// submitHTTP runs submit for a handler, translating the refusal
+// modes (draining, shed) onto the wire. Returns nil after writing the
+// refusal.
+func (s *Server) submitHTTP(w http.ResponseWriter, req submitRequest) *job {
+	j, retry, err := s.submit(req)
+	switch {
+	case err == nil:
+		return j
+	case errors.Is(err, errDraining):
+		writeErrorRetry(w, http.StatusServiceUnavailable, retry,
+			errDoc(CodeDraining, "server is draining"))
+	default: // admission shed
+		d := errDoc(CodeOverloaded, err.Error())
+		if retry > 0 {
+			d.Detail = fmt.Sprintf("estimated wait %s", retry.Round(time.Millisecond))
+		}
+		writeErrorRetry(w, http.StatusTooManyRequests, retry, d)
+	}
+	return nil
+}
+
+// handleSynthesize is POST /v1/synthesize: netlist source in, rendered
+// design out. Since the v2 redesign it is a thin synchronous wrapper —
+// submit a job, wait for its terminal state, render — so v1 and v2
+// share one synthesis path, one option decoder and one admission
+// layer. The endpoint is deprecated in favor of POST /v2/jobs but its
+// contract (statuses, headers, byte-identical cache hits) is frozen.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErrorRetry(w, http.StatusServiceUnavailable, drainRetryAfter,
+			errDoc(CodeDraining, "server is draining"))
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	fm, status, err := chooseFormat(q.Get("format"), r.Header.Get("Accept"))
+	if err != nil {
+		writeError(w, status, errDoc(formatErrCode(status), err.Error()))
+		return
+	}
+	n, err := netlist.ParseString(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeNetlistParse, err.Error()))
+		return
+	}
+	sp, err := specFromQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+		return
+	}
+	if err := sp.ApplyNetlist(n); err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+		return
+	}
+	if err := n.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, errDoc(CodeNetlistInvalid, err.Error()))
+		return
+	}
+	opt, timeout, err := s.resolveOptions(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+		return
+	}
+	j := s.submitHTTP(w, submitRequest{n: n, opt: opt, timeout: timeout})
+	if j == nil {
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client hung up: cancel the job and wait for the solver to
+		// actually stop, so the connection closes with the pool drained.
+		j.cancelJob()
+		<-j.done
+		return
+	}
+	st, res, errStatus, edoc, cache := j.outcome()
+	if st == JobSucceeded {
+		s.render(w, fm, res, j.key, cache)
+		return
+	}
+	writeError(w, errStatus, edoc)
+}
+
+// handleJobCreate is POST /v2/jobs: accept a synthesis job, reply 202
+// with the job resource. The body is either a columbas-jobrequest/v1
+// JSON envelope (Content-Type: application/json) or, for curl
+// convenience, raw netlist source with the v1 query parameters.
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErrorRetry(w, http.StatusServiceUnavailable, drainRetryAfter,
+			errDoc(CodeDraining, "server is draining"))
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var src, format string
+	var jr JobRequest
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		dec := json.NewDecoder(strings.NewReader(string(body)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&jr); err != nil {
+			writeError(w, http.StatusBadRequest,
+				errDoc(CodeBadRequest, fmt.Sprintf("decoding job request: %v", err)))
+			return
+		}
+		if jr.Schema != "" && jr.Schema != JobRequestSchema {
+			writeError(w, http.StatusBadRequest, errDoc(CodeBadRequest,
+				fmt.Sprintf("unsupported request schema %q (want %s)", jr.Schema, JobRequestSchema)))
+			return
+		}
+		src, format = jr.Netlist, jr.Format
+	} else {
+		var err error
+		if jr.Options, err = specFromQuery(r.URL.Query()); err != nil {
+			writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+			return
+		}
+		src, format = string(body), r.URL.Query().Get("format")
+	}
+	if format != "" {
+		if _, ok := export.Lookup(format); !ok {
+			writeError(w, http.StatusBadRequest, errDoc(CodeUnknownFormat,
+				fmt.Sprintf("unknown format %q (want one of %s)", format, strings.Join(export.Names(), ", "))))
+			return
+		}
+	}
+	n, err := netlist.ParseString(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeNetlistParse, err.Error()))
+		return
+	}
+	if err := jr.Options.ApplyNetlist(n); err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+		return
+	}
+	if err := n.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, errDoc(CodeNetlistInvalid, err.Error()))
+		return
+	}
+	opt, timeout, err := s.resolveOptions(jr.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errDoc(CodeInvalidOption, err.Error()))
+		return
+	}
+	j := s.submitHTTP(w, submitRequest{n: n, opt: opt, timeout: timeout, format: format})
+	if j == nil {
+		return
+	}
+	w.Header().Set("Location", "/v2/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.doc())
+}
+
+// handleJobGet is GET /v2/jobs/{id}: the job resource document.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errDoc(CodeJobNotFound, "no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.doc())
+}
+
+// handleJobResult is GET /v2/jobs/{id}/result: the rendered design of
+// a succeeded job under the same content negotiation as /v1 (an
+// explicit ?format= wins, then the Accept header, then the format
+// pinned at submit). A failed job replays its terminal error; a job
+// still in flight answers 409.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errDoc(CodeJobNotFound, "no such job"))
+		return
+	}
+	formatParam := r.URL.Query().Get("format")
+	if formatParam == "" && r.Header.Get("Accept") == "" {
+		formatParam = j.format
+	}
+	fm, status, err := chooseFormat(formatParam, r.Header.Get("Accept"))
+	if err != nil {
+		writeError(w, status, errDoc(formatErrCode(status), err.Error()))
+		return
+	}
+	st, res, errStatus, edoc, cache := j.outcome()
+	switch {
+	case !st.Terminal():
+		d := errDoc(CodeNotReady, "job has not finished")
+		d.Detail = string(st)
+		writeError(w, http.StatusConflict, d)
+	case st == JobSucceeded:
+		s.render(w, fm, res, j.key, cache)
+	default:
+		writeError(w, errStatus, edoc)
+	}
+}
+
+// handleJobCancel is DELETE /v2/jobs/{id}: request cancellation and
+// return the (possibly already terminal) job resource. Cancellation is
+// idempotent — deleting a finished job changes nothing and still
+// answers 200, and the resource stays retrievable until its TTL.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errDoc(CodeJobNotFound, "no such job"))
+		return
+	}
+	j.cancelJob()
+	writeJSON(w, http.StatusOK, j.doc())
+}
+
+// handleJobEvents is GET /v2/jobs/{id}/events: the job's progress as a
+// Server-Sent Events stream of columbas-jobevent/v1 documents. The
+// backlog replays first (resumable via Last-Event-ID), then live
+// events follow until the terminal state event ends the stream.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errDoc(CodeJobNotFound, "no such job"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError,
+			errDoc(CodeInternal, "response writer does not support streaming"))
+		return
+	}
+	var lastSeen int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		lastSeen, _ = strconv.ParseInt(v, 10, 64)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := j.hub.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if ev.Seq > lastSeen {
+			writeSSE(w, ev)
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Hub closed: the terminal state event was the last one
+				// delivered (or replayed); the stream is complete.
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event: id is the sequence number, event the
+// type, data the columbas-jobevent/v1 document.
+func writeSSE(w io.Writer, ev JobEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
+
+// handleHealthz is liveness: 200 as long as the process serves HTTP,
+// draining or not — a draining server is still alive and must not be
+// restarted by its supervisor.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is readiness: 200 while accepting synthesis work, 503
+// (with Retry-After) once draining so load balancers stop routing
+// here.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErrorRetry(w, http.StatusServiceUnavailable, drainRetryAfter,
+			errDoc(CodeDraining, "server is draining"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,10 +16,8 @@ import (
 
 	"columbas/internal/core"
 	"columbas/internal/export"
-	"columbas/internal/layout"
 	"columbas/internal/lp"
 	"columbas/internal/milp"
-	"columbas/internal/netlist"
 	"columbas/internal/obs"
 )
 
@@ -28,9 +25,14 @@ import (
 // every field has a production default filled in by New.
 type Config struct {
 	// Jobs bounds the number of synthesis runs in flight at once; further
-	// requests queue until a slot frees or their deadline fires. 0 means
-	// runtime.GOMAXPROCS(0).
+	// admitted jobs queue until a slot frees or their deadline fires. 0
+	// means runtime.GOMAXPROCS(0).
 	Jobs int
+	// MaxQueue bounds the number of admitted-but-not-running jobs. A
+	// submission past pool+queue capacity is shed with 429 and a
+	// Retry-After hint instead of waiting. 0 means 8×Jobs; negative
+	// means no queue at all (shed whenever the pool is full).
+	MaxQueue int
 	// Workers is the MILP branch-and-bound parallelism of each job
 	// (layout.Options.Workers). 0 means 1 — with a full pool, Jobs
 	// sequential solves already saturate the cores; raise Workers and
@@ -50,6 +52,10 @@ type Config struct {
 	MaxLayoutTime time.Duration
 	// MaxBodyBytes caps the netlist source size. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// JobTTL is how long a terminal job resource stays retrievable via
+	// GET /v2/jobs/{id} after it finishes. 0 means the default of 5
+	// minutes; negative retains jobs until process exit.
+	JobTTL time.Duration
 	// TraceSink, when non-nil, receives one columbas-trace/v1 JSON
 	// document per line for every synthesis request (cache hits
 	// included: their trace is the single "cache" span). Writes are
@@ -70,20 +76,30 @@ type Config struct {
 	Kernel lp.Kernel
 }
 
-// Server is the columbasd HTTP API: synthesis behind a bounded worker
-// pool with per-request cancellation and a content-addressed result
-// cache. It implements http.Handler; see docs/api.md for the wire
+// drainRetryAfter is the backoff hint sent with draining refusals: the
+// client should come back once a replacement instance took over.
+const drainRetryAfter = 5 * time.Second
+
+// Server is the columbasd HTTP API: synthesis as asynchronous job
+// resources (POST /v2/jobs + status, result, SSE progress and cancel
+// subresources) behind an admission-controlled bounded worker pool,
+// with a content-addressed result cache and a TTL'd job store.
+// /v1/synthesize remains as a synchronous wrapper over the same job
+// path. It implements http.Handler; see docs/api.md for the wire
 // contract.
 type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	sem   chan struct{} // counting semaphore: one token per running job
 	cache *resultCache
+	adm   *admission
+	jobs  *jobStore
 	start time.Time
 
 	draining atomic.Bool
 	active   atomic.Int64
-	queued   atomic.Int64
+
+	jobsWG sync.WaitGroup // one count per spawned job goroutine
 
 	mu       sync.Mutex // guards activeHW
 	activeHW int64
@@ -121,6 +137,12 @@ func New(cfg Config) *Server {
 		cfg.Jobs = runtime.GOMAXPROCS(0)
 	}
 	switch {
+	case cfg.MaxQueue == 0:
+		cfg.MaxQueue = 8 * cfg.Jobs
+	case cfg.MaxQueue < 0:
+		cfg.MaxQueue = 0 // no queue: shed when the pool is full
+	}
+	switch {
 	case cfg.Workers == 0:
 		cfg.Workers = 1
 	case cfg.Workers < 0:
@@ -144,17 +166,31 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	switch {
+	case cfg.JobTTL == 0:
+		cfg.JobTTL = 5 * time.Minute
+	case cfg.JobTTL < 0:
+		cfg.JobTTL = 0 // retain until process exit
+	}
 	s := &Server{
 		cfg:   cfg,
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.Jobs),
 		cache: newResultCache(cfg.CacheEntries),
+		adm:   newAdmission(cfg.Jobs, cfg.MaxQueue),
+		jobs:  newJobStore(cfg.JobTTL),
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/formats", s.handleFormats)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v2/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -163,11 +199,30 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Drain flips the server into shutdown mode: /healthz turns 503 so load
-// balancers stop routing here, and new synthesis requests are refused
-// with 503 while in-flight ones run to completion. Pair it with
-// http.Server.Shutdown, which waits for those in-flight requests.
+// Drain flips the server into shutdown mode: /readyz turns 503 so load
+// balancers stop routing here, and new synthesis submissions are
+// refused with 503 while in-flight jobs run to completion. Pair it
+// with http.Server.Shutdown (which waits for open connections) and
+// WaitIdle (which waits for detached async jobs).
 func (s *Server) Drain() { s.draining.Store(true) }
+
+// WaitIdle blocks until every spawned job goroutine has reached a
+// terminal state, or ctx fires. Async jobs outlive their submitting
+// connection, so http.Server.Shutdown alone does not cover them; a
+// graceful exit is Drain, then Shutdown, then WaitIdle.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Stats is the GET /v1/stats document.
 type Stats struct {
@@ -177,6 +232,10 @@ type Stats struct {
 	UptimeMS int64 `json:"uptime_ms"`
 	// Pool reports the worker-pool state.
 	Pool PoolStats `json:"pool"`
+	// Admission reports the load-shedding layer in front of the pool.
+	Admission AdmissionStats `json:"admission"`
+	// Jobs reports the v2 job store.
+	Jobs JobStats `json:"jobs"`
 	// Requests reports the synthesis request counters.
 	Requests RequestStats `json:"requests"`
 	// Solver aggregates LP-kernel work across completed syntheses.
@@ -194,8 +253,8 @@ type PoolStats struct {
 	Jobs    int `json:"jobs"`
 	Workers int `json:"workers"`
 	// Active is the number of running synthesis jobs; Queued the number
-	// waiting for a slot; ActiveHighWater the maximum of Active since
-	// start (never exceeds Jobs).
+	// admitted but waiting for a slot; ActiveHighWater the maximum of
+	// Active since start (never exceeds Jobs).
 	Active          int64 `json:"active"`
 	Queued          int64 `json:"queued"`
 	ActiveHighWater int64 `json:"active_high_water"`
@@ -203,8 +262,8 @@ type PoolStats struct {
 	Draining bool `json:"draining"`
 }
 
-// RequestStats counts synthesis requests by outcome. Cache hits are
-// counted under Completed as well as in CacheStats.Hits.
+// RequestStats counts synthesis jobs by outcome, v1 and v2 combined.
+// Cache hits are counted under Completed as well as in CacheStats.Hits.
 type RequestStats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
@@ -248,11 +307,43 @@ type SolverStats struct {
 	PseudocostBranches     int64 `json:"pseudocost_branches"`
 }
 
+// recordSolverStats folds a completed synthesis's search counters into
+// the server-lifetime solver block.
+func (s *Server) recordSolverStats(res *core.Result) {
+	if res == nil || res.Plan == nil {
+		return
+	}
+	se := res.Plan.Stats.Search
+	s.lpSolves.Add(se.LPSolves)
+	s.simplexPivots.Add(se.SimplexPivots)
+	s.warmStarts.Add(se.WarmStarts)
+	s.etaUpdates.Add(se.EtaUpdates)
+	s.refactors.Add(se.Refactorizations)
+	s.sparseRefacs.Add(se.SparseRefactorizations)
+	s.denseFBs.Add(se.DenseFallbacks)
+	s.fillIn.Add(se.FillIn)
+	// BasisNonzeros is a high-water mark: CAS-max rather than add.
+	for {
+		cur := s.basisNnz.Load()
+		if se.BasisNonzeros <= cur || s.basisNnz.CompareAndSwap(cur, se.BasisNonzeros) {
+			break
+		}
+	}
+	s.wsReuses.Add(se.WorkspaceReuses)
+	s.cutsAdded.Add(se.CutsAdded)
+	s.cutRounds.Add(se.CutRounds)
+	s.nodesPresolve.Add(se.NodesPresolved)
+	s.boundsTight.Add(se.BoundsTightened)
+	s.branchings.Add(se.Branchings)
+	s.pcBranches.Add(se.PseudocostBranches)
+}
+
 // snapshot assembles the current Stats.
 func (s *Server) snapshot() Stats {
 	s.mu.Lock()
 	hw := s.activeHW
 	s.mu.Unlock()
+	adm := s.adm.snapshot()
 	return Stats{
 		Schema:   StatsSchema,
 		UptimeMS: time.Since(s.start).Milliseconds(),
@@ -260,10 +351,12 @@ func (s *Server) snapshot() Stats {
 			Jobs:            s.cfg.Jobs,
 			Workers:         s.cfg.Workers,
 			Active:          s.active.Load(),
-			Queued:          s.queued.Load(),
+			Queued:          adm.Queued,
 			ActiveHighWater: hw,
 			Draining:        s.draining.Load(),
 		},
+		Admission: adm,
+		Jobs:      s.jobs.stats(),
 		Requests: RequestStats{
 			Completed: s.completed.Load(),
 			Failed:    s.failed.Load(),
@@ -293,10 +386,7 @@ func (s *Server) snapshot() Stats {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.snapshot())
+	writeJSON(w, http.StatusOK, s.snapshot())
 }
 
 func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
@@ -309,209 +399,7 @@ func (s *Server) handleFormats(w http.ResponseWriter, r *http.Request) {
 	for _, f := range export.Formats() {
 		out = append(out, fj{Name: f.Name, MIME: f.MIME, Aliases: f.Aliases})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(out)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
-}
-
-// handleSynthesize is POST /v1/synthesize: netlist source in, rendered
-// design out.
-func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "server is draining", http.StatusServiceUnavailable)
-		return
-	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("reading request body: %v", err),
-			http.StatusRequestEntityTooLarge)
-		return
-	}
-	q := r.URL.Query()
-	fm, status, err := chooseFormat(q.Get("format"), r.Header.Get("Accept"))
-	if err != nil {
-		http.Error(w, err.Error(), status)
-		return
-	}
-	n, err := netlist.ParseString(string(body))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if mx := q.Get("muxes"); mx != "" {
-		v, err := strconv.Atoi(mx)
-		if err != nil || (v != 1 && v != 2) {
-			http.Error(w, "muxes must be 1 or 2", http.StatusBadRequest)
-			return
-		}
-		n.Muxes = v
-	}
-	if err := n.Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	opt, timeout, err := s.requestOptions(q)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
-	key := newCacheKey(n, opt)
-	if res, ok := s.cache.get(key); ok {
-		s.completed.Add(1)
-		s.emitHitTrace(n.Name)
-		s.render(w, fm, res, key, "hit")
-		return
-	}
-
-	ctx := r.Context()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
-
-	// One pool token per running solve; waiters hold no resources and
-	// give up when their deadline fires or the client disconnects.
-	s.queued.Add(1)
-	select {
-	case s.sem <- struct{}{}:
-		s.queued.Add(-1)
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		s.queued.Add(-1)
-		s.writeSynthesisError(w, fmt.Errorf("queued: %w", ctx.Err()), nil)
-		return
-	}
-	a := s.active.Add(1)
-	s.mu.Lock()
-	if a > s.activeHW {
-		s.activeHW = a
-	}
-	s.mu.Unlock()
-	defer s.active.Add(-1)
-
-	var tr *obs.Trace
-	if s.cfg.TraceSink != nil {
-		tr = obs.New(n.Name)
-		sp := tr.Phase("cache")
-		sp.Label("result", "miss")
-		cs := s.cache.stats()
-		sp.SetInt("hits", cs.Hits)
-		sp.SetInt("misses", cs.Misses)
-		sp.SetInt("evictions", cs.Evictions)
-		sp.End()
-		opt.Trace = tr
-	}
-	res, err := core.SynthesizeContext(ctx, n, opt)
-	s.emitTrace(tr)
-	if err != nil {
-		s.writeSynthesisError(w, err, res)
-		return
-	}
-	s.completed.Add(1)
-	if res.Plan != nil {
-		se := res.Plan.Stats.Search
-		s.lpSolves.Add(se.LPSolves)
-		s.simplexPivots.Add(se.SimplexPivots)
-		s.warmStarts.Add(se.WarmStarts)
-		s.etaUpdates.Add(se.EtaUpdates)
-		s.refactors.Add(se.Refactorizations)
-		s.sparseRefacs.Add(se.SparseRefactorizations)
-		s.denseFBs.Add(se.DenseFallbacks)
-		s.fillIn.Add(se.FillIn)
-		// BasisNonzeros is a high-water mark: CAS-max rather than add.
-		for {
-			cur := s.basisNnz.Load()
-			if se.BasisNonzeros <= cur || s.basisNnz.CompareAndSwap(cur, se.BasisNonzeros) {
-				break
-			}
-		}
-		s.wsReuses.Add(se.WorkspaceReuses)
-		s.cutsAdded.Add(se.CutsAdded)
-		s.cutRounds.Add(se.CutRounds)
-		s.nodesPresolve.Add(se.NodesPresolved)
-		s.boundsTight.Add(se.BoundsTightened)
-		s.branchings.Add(se.Branchings)
-		s.pcBranches.Add(se.PseudocostBranches)
-	}
-	s.cache.add(key, res)
-	s.render(w, fm, res, key, "miss")
-}
-
-// requestOptions translates query parameters into synthesis options and
-// the per-request deadline budget.
-func (s *Server) requestOptions(q map[string][]string) (core.Options, time.Duration, error) {
-	get := func(k string) string {
-		if v, ok := q[k]; ok && len(v) > 0 {
-			return v[0]
-		}
-		return ""
-	}
-	opt := core.DefaultOptions()
-	opt.Layout.Workers = s.cfg.Workers
-	opt.Layout.NoCuts = s.cfg.NoCuts
-	opt.Layout.NoPresolve = s.cfg.NoPresolve
-	opt.Layout.Branching = s.cfg.Branching
-	opt.Layout.Kernel = s.cfg.Kernel
-	if v := get("time"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return opt, 0, fmt.Errorf("time must be a positive duration (e.g. 30s)")
-		}
-		if d > s.cfg.MaxLayoutTime {
-			d = s.cfg.MaxLayoutTime
-		}
-		opt.Layout.TimeLimit = d
-	}
-	if v := get("workers"); v != "" {
-		wk, err := strconv.Atoi(v)
-		if err != nil || wk < 1 {
-			return opt, 0, fmt.Errorf("workers must be a positive integer")
-		}
-		if wk > s.cfg.Workers {
-			wk = s.cfg.Workers // clients may lower, never raise
-		}
-		opt.Layout.Workers = wk
-	}
-	switch v := get("effort"); v {
-	case "", "auto":
-	case "full":
-		opt.Layout.Effort = layout.EffortFull
-		opt.Layout.GuidedThreshold = 0
-	case "guided":
-		opt.Layout.Effort = layout.EffortGuided
-	case "seed":
-		opt.Layout.SkipMILP = true
-	default:
-		return opt, 0, fmt.Errorf("unknown effort %q (want full, guided, seed or auto)", v)
-	}
-	switch v := get("nodrc"); v {
-	case "", "0", "false":
-	case "1", "true":
-		opt.RunDRC = false
-	default:
-		return opt, 0, fmt.Errorf("nodrc must be boolean")
-	}
-	timeout := s.cfg.DefaultTimeout
-	if v := get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return opt, 0, fmt.Errorf("timeout must be a positive duration (e.g. 10s)")
-		}
-		timeout = d
-	}
-	return opt, timeout, nil
+	writeJSON(w, http.StatusOK, out)
 }
 
 // chooseFormat resolves the response format: an explicit ?format= wins,
@@ -538,27 +426,6 @@ func chooseFormat(formatParam, accept string) (export.Format, int, error) {
 	return f, 0, nil
 }
 
-// writeSynthesisError maps a synthesis failure onto the wire: deadline
-// expiry is the gateway-timeout contract, client disconnects are
-// recorded but unanswerable, design-rule violations are the client's
-// problem, anything else is ours.
-func (s *Server) writeSynthesisError(w http.ResponseWriter, err error, res *core.Result) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		s.timeouts.Add(1)
-		http.Error(w, fmt.Sprintf("synthesis deadline exceeded: %v", err),
-			http.StatusGatewayTimeout)
-	case errors.Is(err, context.Canceled):
-		s.canceled.Add(1) // client gone; the response writer is dead
-	case res != nil && res.DRC != nil && !res.DRC.Clean():
-		s.failed.Add(1)
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-	default:
-		s.failed.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
 // render writes the design in the negotiated format. The body is
 // buffered first so a writer error can still become a clean 500 instead
 // of a torn 200.
@@ -566,8 +433,8 @@ func (s *Server) render(w http.ResponseWriter, fm export.Format, res *core.Resul
 	var buf bytes.Buffer
 	if err := fm.Write(&buf, res.Design, res.Plan); err != nil {
 		s.failed.Add(1)
-		http.Error(w, fmt.Sprintf("rendering %s: %v", fm.Name, err),
-			http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError,
+			errDoc(CodeRender, fmt.Sprintf("rendering %s: %v", fm.Name, err)))
 		return
 	}
 	h := w.Header()

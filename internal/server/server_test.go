@@ -364,8 +364,9 @@ func TestQueuedRequestHonorsDeadline(t *testing.T) {
 }
 
 // TestHealthzAndDrain covers the operational endpoints and graceful
-// shutdown: draining flips /healthz to 503 and refuses new synthesis
-// work while an in-flight solve runs to a successful completion.
+// shutdown: draining flips /readyz to 503 (while /healthz, the
+// liveness probe, stays 200) and refuses new synthesis work while an
+// in-flight solve runs to a successful completion.
 func TestHealthzAndDrain(t *testing.T) {
 	s := New(Config{Jobs: 1})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -376,13 +377,15 @@ func TestHealthzAndDrain(t *testing.T) {
 	go httpSrv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", resp.StatusCode)
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", ep, resp.StatusCode)
+		}
 	}
 
 	// Start a solve that outlives the drain trigger.
@@ -412,13 +415,25 @@ func TestHealthzAndDrain(t *testing.T) {
 	}
 
 	s.Drain()
-	resp, err = http.Get(base + "/healthz")
+	// Liveness stays up: a draining process must not be restarted.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz = %d, want 503", resp.StatusCode)
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("draining readyz lacks Retry-After")
 	}
 	resp, err = http.Post(base+"/v1/synthesize", "text/plain", strings.NewReader(tinySrc))
 	if err != nil {
