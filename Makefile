@@ -4,13 +4,14 @@
 #   make test-short     the fast tier: go test -short ./... (inner-loop sanity)
 #   make race           the race detector across the whole module
 #   make race-solver    quick race pass over the solver stack only
-#   make fuzz-smoke     short solver fuzz runs (parallel-vs-sequential + cut validity)
+#   make fuzz-smoke     short solver fuzz runs (parallel-vs-sequential + cut validity + MPS parse)
 #   make conformance    full randomized synthesis sweep (200 seeds, no race)
 #   make docs-check     every internal package documents itself in a doc.go
 #   make serve-check    build the daemon + httptest smoke of the HTTP API under -race
 #   make loadtest-smoke short columbaload run against an in-process server (zero shed, well-formed report)
 #   make loadtest       the full tail-latency run behind BENCH_serving.json (1000 requests)
-#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check + loadtest smoke (CI gate)
+#   make milp-check     MPS corpus differential matrix + round-trip + columbamilp CLI goldens
+#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check + loadtest smoke + milp check (CI gate)
 #   make bench-solver   the sequential-vs-parallel solver benchmark pair
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
 #   make bench-cuts     tree reductions on vs off: node/pivot numbers for EXPERIMENTS.md
@@ -19,7 +20,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check loadtest-smoke loadtest verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
+.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check loadtest-smoke loadtest milp-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
 
 build:
 	$(GO) build ./...
@@ -45,13 +46,16 @@ race:
 race-solver:
 	$(GO) test -race -count=1 ./internal/milp/... ./internal/lp/...
 
-# One go test invocation can drive only one -fuzz target, so the two
+# One go test invocation can drive only one -fuzz target, so the three
 # smoke runs are separate lines: the parallel-vs-sequential solver
-# property at the root, and the cut/presolve validity property
-# (no reduction may exclude an integer-feasible point) in internal/milp.
+# property at the root, the cut/presolve validity property (no reduction
+# may exclude an integer-feasible point) in internal/milp, and the MPS
+# parser property (never panic, typed errors, write→parse→write is a
+# byte fixpoint) in internal/mps.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMILPParallel -fuzztime 15s .
 	$(GO) test -run '^$$' -fuzz FuzzCutValidity -fuzztime 15s ./internal/milp/
+	$(GO) test -run '^$$' -fuzz FuzzParseMPS -fuzztime 15s ./internal/mps/
 
 # The randomized synthesis conformance property at full width: every one
 # of the 200 generator seeds must either be rejected with a typed
@@ -125,7 +129,16 @@ loadtest-smoke:
 loadtest:
 	$(GO) run ./cmd/columbaload -n 1000 -c 64 -o BENCH_serving.json
 
-verify: vet race fuzz-smoke conformance docs-check serve-check loadtest-smoke bench-kernel
+# The general-MILP ingestion gate: the corpus differential matrix (every
+# instance keeps its golden status/objective across presolve × cuts ×
+# kernel × branching), the write→parse→write round-trip, and the
+# columbamilp CLI's golden/error-contract tests.
+milp-check:
+	$(GO) build ./cmd/columbamilp
+	$(GO) test -count=1 ./internal/mps/
+	$(GO) test -count=1 ./cmd/columbamilp/
+
+verify: vet race fuzz-smoke conformance docs-check serve-check loadtest-smoke bench-kernel milp-check
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .

@@ -1,0 +1,54 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+
+	"columbas/internal/layout"
+	"columbas/internal/mps"
+	"columbas/internal/planar"
+)
+
+// MILPModel generates a random netlist from the seed under the Default
+// configuration, planarizes it, and builds the full placement MILP —
+// the eager-separation model the layout pipeline would converge to. The
+// returned instance is self-contained: solving it standalone reproduces
+// the placement optimum.
+func MILPModel(seed int64) (*mps.Instance, error) {
+	return Default().MILPModel(seed)
+}
+
+// MILPModel is the configurable form of the package-level MILPModel:
+// the netlist is generated under c, so callers control the instance
+// size (a 1-lane config yields models a standalone solver finishes in
+// seconds; Default yields thousand-variable benchmarks).
+func (c Config) MILPModel(seed int64) (*mps.Instance, error) {
+	n := c.Generate(seed)
+	pr, err := planar.Planarize(n)
+	if err != nil {
+		return nil, fmt.Errorf("gen: planarize seed %d: %w", seed, err)
+	}
+	// DefaultOptions carries the paper's objective weights (α, β, γ, κ);
+	// the zero Options would emit an empty objective row.
+	m, err := layout.PlacementModel(pr, layout.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("gen: placement model seed %d: %w", seed, err)
+	}
+	return &mps.Instance{Name: n.Name, Model: m, ObjName: "AREA"}, nil
+}
+
+// WriteMPS emits the seed's placement MILP in MPS form, giving external
+// solvers (or the standalone columbamilp CLI) the exact instances the
+// layout benchmarks run.
+func WriteMPS(w io.Writer, seed int64) error {
+	return Default().WriteMPS(w, seed)
+}
+
+// WriteMPS emits the placement MILP for a netlist generated under c.
+func (c Config) WriteMPS(w io.Writer, seed int64) error {
+	in, err := c.MILPModel(seed)
+	if err != nil {
+		return err
+	}
+	return mps.Write(w, in)
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"columbas/internal/milp"
+	"columbas/internal/mps"
+)
+
+// tinyConfig yields one-lane netlists whose placement MILPs a
+// standalone solver (no greedy seed, no lazy separation) finishes
+// quickly — the full Default models are thousand-variable benchmarks.
+func tinyConfig() Config {
+	return Config{MinLanes: 1, MaxLanes: 1, MaxMuxes: 1}
+}
+
+// TestWriteMPS checks the generator→MPS path: the emitted file
+// re-parses into a model with the same shape as the in-memory one, and
+// write→parse→write is a byte fixpoint.
+func TestWriteMPS(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		in, err := MILPModel(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var first bytes.Buffer
+		if err := WriteMPS(&first, seed); err != nil {
+			t.Fatalf("seed %d: write: %v", seed, err)
+		}
+		in2, err := mps.ParseBytes(first.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: re-parse: %v", seed, err)
+		}
+		a, b := in.Model, in2.Model
+		if a.NumVars() != b.NumVars() || a.NumRows() != b.NumRows() || a.NumInt() != b.NumInt() {
+			t.Fatalf("seed %d: shape (%d,%d,%d) vs (%d,%d,%d)", seed,
+				a.NumVars(), a.NumRows(), a.NumInt(), b.NumVars(), b.NumRows(), b.NumInt())
+		}
+		if a.NumVars() == 0 || a.NumRows() == 0 {
+			t.Fatalf("seed %d: degenerate model", seed)
+		}
+		nonzeroObj := false
+		for v := 0; v < a.NumVars() && !nonzeroObj; v++ {
+			nonzeroObj = a.ObjCoef(milp.VarID(v)) != 0
+		}
+		if !nonzeroObj {
+			t.Fatalf("seed %d: empty objective row (weights not applied)", seed)
+		}
+		var second bytes.Buffer
+		if err := mps.Write(&second, in2); err != nil {
+			t.Fatalf("seed %d: re-write: %v", seed, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("seed %d: write→parse→write not a fixpoint", seed)
+		}
+	}
+}
+
+// TestWriteMPSSolvable solves a re-parsed tiny-config instance end to
+// end: the emitted MPS must stand alone (no seed, no lazy separation)
+// and still reach an incumbent.
+func TestWriteMPSSolvable(t *testing.T) {
+	in, err := tinyConfig().MILPModel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mps.Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	in2, err := mps.ParseBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := in2.Model.Solve(milp.Options{TimeLimit: 30 * time.Second, StallLimit: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != milp.Optimal && r.Status != milp.Feasible {
+		t.Fatalf("re-parsed model reached no incumbent: %v", r.Status)
+	}
+}

@@ -1,0 +1,31 @@
+package layout
+
+import (
+	"columbas/internal/milp"
+	"columbas/internal/planar"
+)
+
+// PlacementModel builds the full placement MILP for a planarized
+// netlist and returns it without solving: the model solve assembles on
+// its final separation round, with every needed non-overlap disjunction
+// added eagerly instead of lazily. The result is a self-contained
+// instance — exporting it (e.g. as MPS via internal/mps) and solving it
+// standalone reproduces the placement optimum the layout pipeline would
+// reach.
+func PlacementModel(pr *planar.Result, opt Options) (*milp.Model, error) {
+	b, err := buildModel(pr, opt)
+	if err != nil {
+		return nil, err
+	}
+	var active [][2]int
+	n := len(b.rects)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if b.needDisjunction(i, j) {
+				active = append(active, [2]int{i, j})
+			}
+		}
+	}
+	b.buildMILP(false, active)
+	return b.model, nil
+}

@@ -89,6 +89,7 @@ func T(v VarID, coef float64) *Expr { return NewExpr().Add(v, coef) }
 type Model struct {
 	prob   *lp.Problem
 	names  []string
+	byName map[string]VarID // first variable declared under each name
 	isInt  []bool
 	groups [][]VarID // disjunction groups: exactly one member is 0
 	objSet bool
@@ -96,7 +97,7 @@ type Model struct {
 }
 
 // NewModel returns an empty model.
-func NewModel() *Model { return &Model{prob: lp.NewProblem()} }
+func NewModel() *Model { return &Model{prob: lp.NewProblem(), byName: map[string]VarID{}} }
 
 // NumVars returns the number of variables declared so far.
 func (m *Model) NumVars() int { return len(m.names) }
@@ -134,11 +135,61 @@ func (m *Model) addVar(name string, lo, hi float64, isInt bool) VarID {
 	id := m.prob.AddVar(lo, hi, 0)
 	m.names = append(m.names, name)
 	m.isInt = append(m.isInt, isInt)
+	if m.byName == nil {
+		m.byName = map[string]VarID{}
+	}
+	if _, dup := m.byName[name]; !dup {
+		m.byName[name] = VarID(id)
+	}
 	return VarID(id)
 }
 
 // Name returns the declared name of v.
 func (m *Model) Name(v VarID) string { return m.names[v] }
+
+// VarByName returns the variable declared under name. When several
+// variables share a name (legal — the solver never looks at names) the
+// first declaration wins. The second result is false when no variable of
+// that name exists. Together with Name this is the name↔VarID round trip
+// external model formats (internal/mps) rely on.
+func (m *Model) VarByName(name string) (VarID, bool) {
+	v, ok := m.byName[name]
+	return v, ok
+}
+
+// IsInt reports whether v carries an integrality constraint (Int or
+// Binary declaration).
+func (m *Model) IsInt(v VarID) bool { return m.isInt[v] }
+
+// ObjCoef returns the objective coefficient of v as set by the last
+// Minimize call (0 before any).
+func (m *Model) ObjCoef(v VarID) float64 { return m.prob.Cost(int(v)) }
+
+// ObjConst returns the constant part of the objective as set by the last
+// Minimize call (0 before any).
+func (m *Model) ObjConst() float64 { return m.objC }
+
+// Row is a read-only view of one constraint: Terms (sense) RHS. The
+// terms slice aliases the model's live storage — callers must not modify
+// it.
+type Row struct {
+	Terms []lp.Term
+	Sense lp.Sense
+	RHS   float64
+}
+
+// Rows returns read-only views of every constraint row in insertion
+// order, including the group-sum rows MarkDisjunction adds. The views
+// alias live storage: cheap to build, never to be mutated. Model walkers
+// (the MPS writer, external format exporters) are the intended callers.
+func (m *Model) Rows() []Row {
+	rows := make([]Row, m.prob.NumRows())
+	for i := range rows {
+		terms, sense, rhs := m.prob.Row(i)
+		rows[i] = Row{Terms: terms, Sense: sense, RHS: rhs}
+	}
+	return rows
+}
 
 // Bounds returns the current bounds of v.
 func (m *Model) Bounds(v VarID) (lo, hi float64) { return m.prob.Bounds(int(v)) }

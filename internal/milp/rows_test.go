@@ -1,0 +1,117 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"columbas/internal/lp"
+)
+
+// TestModelRows pins the read-only Rows() walker against NumRows() and
+// the lp layer's per-row accessor: same count, and per row the same
+// terms, sense and right-hand side — including the constant folding
+// AddLE/AddGE/AddEQ perform and the group-sum row MarkDisjunction adds.
+func TestModelRows(t *testing.T) {
+	m := NewModel()
+	x := m.Var("x", 0, 10)
+	y := m.Int("y", -2, 7)
+	a, b := m.Binary("a"), m.Binary("b")
+	m.AddLE(NewExpr().Add(x, 2).Add(y, -1).AddConst(3), 8) // 2x - y <= 5
+	m.AddGE(NewExpr().Add(y, 1).Add(a, 4), -2)
+	m.AddEQ(NewExpr().Add(x, 1).Add(x, 1), 6) // merged to 2x = 6
+	m.MarkDisjunction([]VarID{a, b})          // adds a + b = 1
+
+	rows := m.Rows()
+	if len(rows) != m.NumRows() {
+		t.Fatalf("Rows() returned %d rows, NumRows() = %d", len(rows), m.NumRows())
+	}
+	if m.NumRows() != 4 {
+		t.Fatalf("NumRows() = %d, want 4", m.NumRows())
+	}
+	for i, r := range rows {
+		terms, sense, rhs := m.prob.Row(i)
+		if r.Sense != sense || r.RHS != rhs {
+			t.Fatalf("row %d: Rows() gave (%v, %v), lp layer has (%v, %v)",
+				i, r.Sense, r.RHS, sense, rhs)
+		}
+		if len(r.Terms) != len(terms) {
+			t.Fatalf("row %d: %d terms vs lp's %d", i, len(r.Terms), len(terms))
+		}
+		for k := range terms {
+			if r.Terms[k] != terms[k] {
+				t.Fatalf("row %d term %d: %+v vs lp's %+v", i, k, r.Terms[k], terms[k])
+			}
+		}
+	}
+	// Spot-check the folded constants and senses.
+	if rows[0].Sense != lp.LE || rows[0].RHS != 5 {
+		t.Fatalf("row 0: got %v %v, want <= 5", rows[0].Sense, rows[0].RHS)
+	}
+	if rows[2].Sense != lp.EQ || rows[2].RHS != 6 {
+		t.Fatalf("row 2: got %v %v, want = 6", rows[2].Sense, rows[2].RHS)
+	}
+	if len(rows[2].Terms) != 1 || rows[2].Terms[0].Coef != 2 {
+		t.Fatalf("row 2: terms %+v, want the merged single 2x term", rows[2].Terms)
+	}
+	if rows[3].Sense != lp.EQ || rows[3].RHS != 1 {
+		t.Fatalf("disjunction row: got %v %v, want = 1", rows[3].Sense, rows[3].RHS)
+	}
+
+	// Integrality and objective accessors used by the same walkers.
+	if m.IsInt(x) || !m.IsInt(y) || !m.IsInt(a) {
+		t.Fatalf("IsInt: x=%v y=%v a=%v, want false true true", m.IsInt(x), m.IsInt(y), m.IsInt(a))
+	}
+	m.Minimize(NewExpr().Add(x, 1.5).Add(y, -2).AddConst(7))
+	if got := m.ObjCoef(x); got != 1.5 {
+		t.Fatalf("ObjCoef(x) = %v, want 1.5", got)
+	}
+	if got := m.ObjCoef(a); got != 0 {
+		t.Fatalf("ObjCoef(a) = %v, want 0", got)
+	}
+	if got := m.ObjConst(); got != 7 {
+		t.Fatalf("ObjConst() = %v, want 7", got)
+	}
+	if lo, hi := m.Bounds(y); lo != -2 || hi != 7 {
+		t.Fatalf("Bounds(y) = [%v, %v], want [-2, 7]", lo, hi)
+	}
+}
+
+// TestVarByName pins the name↔VarID round trip: every declared name maps
+// back to its VarID, duplicates resolve to the first declaration, and
+// unknown names report absence.
+func TestVarByName(t *testing.T) {
+	m := NewModel()
+	x := m.Var("x", 0, 1)
+	y := m.Int("y", 0, 3)
+	dup1 := m.Binary("dup")
+	dup2 := m.Binary("dup")
+	for _, v := range []VarID{x, y, dup1} {
+		got, ok := m.VarByName(m.Name(v))
+		if !ok || got != v {
+			t.Fatalf("VarByName(%q) = (%v, %v), want (%v, true)", m.Name(v), got, ok, v)
+		}
+	}
+	if got, ok := m.VarByName("dup"); !ok || got != dup1 {
+		t.Fatalf("VarByName(dup) = (%v, %v), want first declaration %v", got, ok, dup1)
+	}
+	if got := m.Name(dup2); got != "dup" {
+		t.Fatalf("Name(dup2) = %q, want dup", got)
+	}
+	if _, ok := m.VarByName("nope"); ok {
+		t.Fatal("VarByName(nope) reported a hit")
+	}
+	// The accessors stay coherent after a solve (Rows/ObjCoef feed the
+	// MPS writer, which runs on solved and unsolved models alike).
+	m.AddLE(Sum(x, y), 2)
+	m.Minimize(NewExpr().Add(y, -1))
+	r, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj-(-2)) > 1e-6 {
+		t.Fatalf("solve: %v obj %v, want optimal -2", r.Status, r.Obj)
+	}
+	if got, ok := m.VarByName("y"); !ok || got != y {
+		t.Fatalf("VarByName(y) after solve = (%v, %v)", got, ok)
+	}
+}

@@ -1,0 +1,88 @@
+package mps
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"columbas/internal/milp"
+)
+
+// corpusEntry is one line of testdata/corpus.json: an instance file and
+// its golden outcome. Obj is in the instance's stated sense (so a
+// MAXIMIZE instance records its maximum).
+type corpusEntry struct {
+	File   string  `json:"file"`
+	Status string  `json:"status"`
+	Obj    float64 `json:"obj"`
+}
+
+func loadCorpus(t testing.TB) []corpusEntry {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "corpus.json"))
+	if err != nil {
+		t.Fatalf("corpus manifest: %v", err)
+	}
+	var entries []corpusEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("corpus manifest: %v", err)
+	}
+	if len(entries) < 20 {
+		t.Fatalf("corpus has %d instances, want at least 20", len(entries))
+	}
+	return entries
+}
+
+// TestCorpusManifestComplete pins the manifest against the directory:
+// every .mps file is listed exactly once and every listed file exists.
+func TestCorpusManifestComplete(t *testing.T) {
+	entries := loadCorpus(t)
+	listed := map[string]bool{}
+	for _, e := range entries {
+		if listed[e.File] {
+			t.Errorf("%s listed twice in corpus.json", e.File)
+		}
+		listed[e.File] = true
+		if _, err := os.Stat(filepath.Join("testdata", e.File)); err != nil {
+			t.Errorf("%s listed but missing: %v", e.File, err)
+		}
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.mps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if base := filepath.Base(f); !listed[base] {
+			t.Errorf("%s on disk but not in corpus.json", base)
+		}
+	}
+}
+
+// TestCorpusGoldenOptima solves every corpus instance with default
+// options and checks the golden status and objective (in the instance's
+// stated sense).
+func TestCorpusGoldenOptima(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.File, func(t *testing.T) {
+			in, err := ParseFile(filepath.Join("testdata", e.File))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			r, err := in.Model.Solve(milp.Options{})
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if r.Status.String() != e.Status {
+				t.Fatalf("status %v, golden %s", r.Status, e.Status)
+			}
+			if e.Status == "optimal" {
+				if got := in.Objective(r.Obj); math.Abs(got-e.Obj) > 1e-6 {
+					t.Fatalf("objective %v, golden %v", got, e.Obj)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,24 @@
+// Package mps reads and writes MILP models in MPS form, the interchange
+// format of the MIPLIB-style benchmark ecosystem, bridging arbitrary
+// external instances into internal/milp (and internal/milp models out to
+// external solvers).
+//
+// The reader (Parse/ParseBytes/ParseFile) accepts fixed- and free-format
+// MPS: the NAME, OBJSENSE, ROWS, COLUMNS (with INTORG/INTEND integrality
+// markers), RHS, RANGES and BOUNDS sections, the UP/LO/FX/FR/MI/PL and
+// integer BV/LI/UI bound types, comment and blank lines, and the
+// Fortran 'D' exponent. Every rejection is a typed *ParseError carrying
+// the 1-based line and column of the offending field. The writer (Write)
+// emits a deterministic free-format file the reader maps back to an
+// identical model — the write→parse→write fixpoint the package's
+// round-trip suite and FuzzParseMPS pin.
+//
+// The exact supported subset, the deliberate deviations from the 1960s
+// fixed-format standard, and the error model are documented in
+// docs/mps.md.
+//
+// Key types: Instance couples the parsed milp.Model with the file-level
+// metadata the model cannot carry (instance name, objective row name,
+// and the MAXIMIZE flag — the model always stores the minimization
+// form); ParseError is the typed rejection.
+package mps

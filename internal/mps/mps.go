@@ -1,0 +1,56 @@
+package mps
+
+import (
+	"fmt"
+
+	"columbas/internal/milp"
+)
+
+// Instance is a parsed MPS file: the model plus the file-level metadata
+// a milp.Model cannot carry.
+type Instance struct {
+	// Name is the NAME field of the file (empty when absent).
+	Name string
+	// Model is the instance as a minimization MILP. When Maximize is
+	// set, the model's objective is the negation of the file's: solve
+	// the model and report -Result.Obj as the instance objective (see
+	// Objective).
+	Model *milp.Model
+	// Maximize records an OBJSENSE MAXIMIZE file.
+	Maximize bool
+	// ObjName is the name of the objective (first N) row.
+	ObjName string
+}
+
+// Objective converts a model objective value (always minimization, see
+// Model) into the instance's stated sense.
+func (in *Instance) Objective(modelObj float64) float64 {
+	if in.Maximize {
+		return -modelObj
+	}
+	return modelObj
+}
+
+// ParseError is a rejected MPS input. Line and Col are the 1-based
+// position of the offending field; Section names the section being
+// parsed ("" before the first header).
+type ParseError struct {
+	Line    int
+	Col     int
+	Section string
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	if e.Section != "" {
+		return fmt.Sprintf("mps: line %d, col %d (%s section): %s", e.Line, e.Col, e.Section, e.Msg)
+	}
+	return fmt.Sprintf("mps: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, section, format string, args ...any) *ParseError {
+	if line < 1 {
+		line = 1 // end-of-input errors on empty files have no current line
+	}
+	return &ParseError{Line: line, Col: col, Section: section, Msg: fmt.Sprintf(format, args...)}
+}

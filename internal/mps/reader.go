@@ -1,0 +1,538 @@
+package mps
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"columbas/internal/lp"
+	"columbas/internal/milp"
+)
+
+// Intermediate build state: the model is assembled only at end-of-input,
+// because integrality (markers vs BV/LI/UI bound types) and bounds are
+// not fully known until every section has been read.
+
+type pVar struct {
+	name   string
+	lo, hi float64
+	loSet  bool // an explicit lower bound was given (LO/FX/MI/FR/BV/LI)
+	isInt  bool
+	obj    float64
+}
+
+type pRow struct {
+	name   string
+	kind   byte // 'N' (free), 'L', 'G', 'E'
+	terms  []lp.Term
+	rhs    float64
+	rng    float64
+	rngSet bool
+}
+
+type parser struct {
+	line    int
+	section string
+
+	name     string
+	maximize bool
+	objName  string
+	objRow   int // index into rows of the objective row, -1 until seen
+	objConst float64
+
+	vars    []pVar
+	varIdx  map[string]int
+	rows    []pRow
+	rowIdx  map[string]int
+	inMark  bool // between INTORG and INTEND
+	sawRows bool
+	ended   bool // ENDATA seen
+}
+
+// token is one whitespace-separated field with its 1-based start column.
+type token struct {
+	s   string
+	col int
+}
+
+// splitFields tokenizes a line, recording each field's 1-based column so
+// errors can point at the exact offending field. Free- and (blank-free)
+// fixed-format lines tokenize identically; see docs/mps.md for the
+// embedded-blank deviation.
+func splitFields(line string) []token {
+	var out []token
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		out = append(out, token{s: line[start:i], col: start + 1})
+	}
+	return out
+}
+
+// parseNum parses an MPS numeric field, accepting the Fortran 'D'
+// exponent alongside the usual forms.
+func parseNum(t token, line int, section string) (float64, *ParseError) {
+	s := t.s
+	if strings.ContainsAny(s, "Dd") {
+		s = strings.Map(func(r rune) rune {
+			if r == 'D' || r == 'd' {
+				return 'E'
+			}
+			return r
+		}, s)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errAt(line, t.col, section, "invalid numeric field %q", t.s)
+	}
+	return v, nil
+}
+
+// Parse reads one MPS instance. Inputs are accepted in free format and
+// in the (blank-free) fixed format; every rejection is a *ParseError
+// with the exact line/column position.
+func Parse(r io.Reader) (*Instance, error) {
+	p := &parser{
+		objRow: -1,
+		varIdx: map[string]int{},
+		rowIdx: map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		p.line++
+		line := strings.TrimRight(sc.Text(), "\r")
+		trimmed := strings.TrimLeft(line, " \t")
+		if trimmed == "" || trimmed[0] == '*' {
+			continue // comment or blank line
+		}
+		var perr *ParseError
+		if line[0] != ' ' && line[0] != '\t' {
+			perr = p.header(line)
+		} else {
+			perr = p.data(line)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		if p.ended {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+// ParseBytes parses an in-memory MPS document.
+func ParseBytes(b []byte) (*Instance, error) { return Parse(bytes.NewReader(b)) }
+
+// ParseFile parses the MPS file at path.
+func ParseFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// header handles a section-indicator line (column 1 is non-blank).
+func (p *parser) header(line string) *ParseError {
+	fields := splitFields(line)
+	key := strings.ToUpper(fields[0].s)
+	switch key {
+	case "NAME":
+		if len(fields) > 1 {
+			p.name = fields[1].s
+		}
+		p.section = "NAME"
+	case "OBJSENSE":
+		p.section = "OBJSENSE"
+		if len(fields) > 1 {
+			return p.setObjSense(fields[1])
+		}
+	case "ROWS":
+		p.section = "ROWS"
+		p.sawRows = true
+	case "COLUMNS":
+		if !p.sawRows {
+			return errAt(p.line, fields[0].col, p.section, "COLUMNS section before ROWS")
+		}
+		p.section = "COLUMNS"
+	case "RHS":
+		p.section = "RHS"
+	case "RANGES":
+		p.section = "RANGES"
+	case "BOUNDS":
+		p.section = "BOUNDS"
+	case "ENDATA":
+		p.ended = true
+	default:
+		return errAt(p.line, fields[0].col, p.section, "unknown section %q", fields[0].s)
+	}
+	return nil
+}
+
+func (p *parser) setObjSense(t token) *ParseError {
+	switch strings.ToUpper(t.s) {
+	case "MAX", "MAXIMIZE":
+		p.maximize = true
+	case "MIN", "MINIMIZE":
+		p.maximize = false
+	default:
+		return errAt(p.line, t.col, "OBJSENSE", "unknown objective sense %q (want MIN or MAX)", t.s)
+	}
+	return nil
+}
+
+// data handles an indented data line of the current section.
+func (p *parser) data(line string) *ParseError {
+	fields := splitFields(line)
+	switch p.section {
+	case "OBJSENSE":
+		return p.setObjSense(fields[0])
+	case "ROWS":
+		return p.rowLine(fields)
+	case "COLUMNS":
+		return p.columnLine(fields)
+	case "RHS":
+		return p.rhsLine(fields)
+	case "RANGES":
+		return p.rangeLine(fields)
+	case "BOUNDS":
+		return p.boundLine(fields)
+	case "NAME":
+		return errAt(p.line, fields[0].col, p.section, "data line outside any section")
+	}
+	return errAt(p.line, fields[0].col, p.section, "data line before the first section header")
+}
+
+func (p *parser) rowLine(fields []token) *ParseError {
+	if len(fields) != 2 {
+		return errAt(p.line, fields[0].col, "ROWS", "want exactly 2 fields (type, name), got %d", len(fields))
+	}
+	var kind byte
+	switch strings.ToUpper(fields[0].s) {
+	case "N":
+		kind = 'N'
+	case "L":
+		kind = 'L'
+	case "G":
+		kind = 'G'
+	case "E":
+		kind = 'E'
+	default:
+		return errAt(p.line, fields[0].col, "ROWS", "unknown row type %q (want N, L, G or E)", fields[0].s)
+	}
+	name := fields[1].s
+	if _, dup := p.rowIdx[name]; dup {
+		return errAt(p.line, fields[1].col, "ROWS", "duplicate row name %q", name)
+	}
+	p.rowIdx[name] = len(p.rows)
+	p.rows = append(p.rows, pRow{name: name, kind: kind})
+	if kind == 'N' && p.objRow < 0 {
+		p.objRow = len(p.rows) - 1
+		p.objName = name
+	}
+	return nil
+}
+
+// isMarker reports an INTORG/INTEND marker line. The canonical layout is
+//
+//	MARKERNAME  'MARKER'  'INTORG'
+//
+// but the keyword pair is accepted in any fields after the first.
+func isMarker(fields []token) (string, bool) {
+	for _, f := range fields[1:] {
+		if strings.EqualFold(f.s, "'MARKER'") {
+			for _, g := range fields[1:] {
+				switch strings.ToUpper(g.s) {
+				case "'INTORG'":
+					return "INTORG", true
+				case "'INTEND'":
+					return "INTEND", true
+				}
+			}
+			return "", true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) columnLine(fields []token) *ParseError {
+	if mode, ok := isMarker(fields); ok {
+		switch mode {
+		case "INTORG":
+			p.inMark = true
+		case "INTEND":
+			p.inMark = false
+		default:
+			return errAt(p.line, fields[0].col, "COLUMNS", "marker line without 'INTORG' or 'INTEND'")
+		}
+		return nil
+	}
+	if len(fields) < 3 || len(fields)%2 == 0 {
+		return errAt(p.line, fields[0].col, "COLUMNS", "want column name followed by row/value pairs, got %d fields", len(fields))
+	}
+	colName := fields[0].s
+	vi, ok := p.varIdx[colName]
+	if !ok {
+		vi = len(p.vars)
+		p.varIdx[colName] = vi
+		p.vars = append(p.vars, pVar{name: colName, lo: 0, hi: math.Inf(1), isInt: p.inMark})
+	}
+	for k := 1; k+1 < len(fields); k += 2 {
+		rowName, valTok := fields[k], fields[k+1]
+		ri, ok := p.rowIdx[rowName.s]
+		if !ok {
+			return errAt(p.line, rowName.col, "COLUMNS", "unknown row %q", rowName.s)
+		}
+		v, perr := parseNum(valTok, p.line, "COLUMNS")
+		if perr != nil {
+			return perr
+		}
+		switch {
+		case ri == p.objRow:
+			p.vars[vi].obj += v
+		case p.rows[ri].kind == 'N':
+			// Non-objective free row: parsed and discarded (docs/mps.md).
+		default:
+			p.rows[ri].terms = append(p.rows[ri].terms, lp.Term{Var: vi, Coef: v})
+		}
+	}
+	return nil
+}
+
+// vectorPairs strips the optional vector-name field of an RHS/RANGES
+// line: the canonical form is "name row val [row val]", but the
+// nameless free-format variant "row val [row val]" is accepted when the
+// first field already names a row and the field count is even.
+func (p *parser) vectorPairs(fields []token, section string) ([]token, *ParseError) {
+	start := 1
+	if _, isRow := p.rowIdx[fields[0].s]; isRow && len(fields)%2 == 0 {
+		start = 0
+	}
+	pairs := fields[start:]
+	if len(pairs) == 0 || len(pairs)%2 != 0 {
+		return nil, errAt(p.line, fields[0].col, section, "want a vector name followed by row/value pairs, got %d fields", len(fields))
+	}
+	return pairs, nil
+}
+
+func (p *parser) rhsLine(fields []token) *ParseError {
+	pairs, perr := p.vectorPairs(fields, "RHS")
+	if perr != nil {
+		return perr
+	}
+	for k := 0; k < len(pairs); k += 2 {
+		rowName, valTok := pairs[k], pairs[k+1]
+		ri, ok := p.rowIdx[rowName.s]
+		if !ok {
+			return errAt(p.line, rowName.col, "RHS", "unknown row %q", rowName.s)
+		}
+		v, perr := parseNum(valTok, p.line, "RHS")
+		if perr != nil {
+			return perr
+		}
+		if ri == p.objRow {
+			// An RHS entry on the objective row sets the objective
+			// constant with opposite sign (obj = cᵀx − rhs).
+			p.objConst = -v
+		} else if p.rows[ri].kind != 'N' {
+			p.rows[ri].rhs = v
+		}
+	}
+	return nil
+}
+
+func (p *parser) rangeLine(fields []token) *ParseError {
+	pairs, perr := p.vectorPairs(fields, "RANGES")
+	if perr != nil {
+		return perr
+	}
+	for k := 0; k < len(pairs); k += 2 {
+		rowName, valTok := pairs[k], pairs[k+1]
+		ri, ok := p.rowIdx[rowName.s]
+		if !ok {
+			return errAt(p.line, rowName.col, "RANGES", "unknown row %q", rowName.s)
+		}
+		if p.rows[ri].kind == 'N' {
+			return errAt(p.line, rowName.col, "RANGES", "range on free (N) row %q", rowName.s)
+		}
+		v, perr := parseNum(valTok, p.line, "RANGES")
+		if perr != nil {
+			return perr
+		}
+		p.rows[ri].rng = v
+		p.rows[ri].rngSet = true
+	}
+	return nil
+}
+
+// boundKinds maps a BOUNDS type to whether it takes a value field and
+// whether it forces integrality.
+var boundKinds = map[string]struct{ hasVal, forcesInt bool }{
+	"LO": {true, false}, "UP": {true, false}, "FX": {true, false},
+	"FR": {false, false}, "MI": {false, false}, "PL": {false, false},
+	"BV": {false, true}, "LI": {true, true}, "UI": {true, true},
+}
+
+func (p *parser) boundLine(fields []token) *ParseError {
+	kindTok := fields[0]
+	kind := strings.ToUpper(kindTok.s)
+	spec, ok := boundKinds[kind]
+	if !ok {
+		return errAt(p.line, kindTok.col, "BOUNDS", "unknown bound type %q", kindTok.s)
+	}
+	// Canonical: "TYPE vectorname column [value]". The nameless
+	// free-format variant "TYPE column [value]" is accepted when the
+	// field count matches the short form. Valueless types (FR/MI/PL/BV)
+	// tolerate a trailing dummy numeric field, which some writers emit.
+	want := 3 // TYPE vectorname column
+	if spec.hasVal {
+		want = 4
+	}
+	var colTok token
+	var valTok *token
+	switch {
+	case len(fields) >= want: // canonical form (extras ignored)
+		colTok = fields[2]
+		if spec.hasVal {
+			valTok = &fields[3]
+		}
+	case len(fields) == want-1: // nameless variant
+		colTok = fields[1]
+		if spec.hasVal {
+			valTok = &fields[2]
+		}
+	default:
+		return errAt(p.line, kindTok.col, "BOUNDS", "want %d fields for bound type %s, got %d", want, kind, len(fields))
+	}
+	vi, ok := p.varIdx[colTok.s]
+	if !ok {
+		return errAt(p.line, colTok.col, "BOUNDS", "unknown column %q", colTok.s)
+	}
+	var val float64
+	if valTok != nil {
+		var perr *ParseError
+		if val, perr = parseNum(*valTok, p.line, "BOUNDS"); perr != nil {
+			return perr
+		}
+	}
+	v := &p.vars[vi]
+	if spec.forcesInt {
+		v.isInt = true
+	}
+	switch kind {
+	case "LO", "LI":
+		v.lo = val
+		v.loSet = true
+	case "UP", "UI":
+		v.hi = val
+		// MPSX convention: a negative upper bound on a variable whose
+		// lower bound is still the default 0 drops the lower bound to
+		// -inf rather than leaving an empty [0, v<0] domain.
+		if val < 0 && !v.loSet {
+			v.lo = math.Inf(-1)
+		}
+	case "FX":
+		v.lo, v.hi = val, val
+		v.loSet = true
+	case "FR":
+		v.lo, v.hi = math.Inf(-1), math.Inf(1)
+		v.loSet = true
+	case "MI":
+		v.lo = math.Inf(-1)
+		v.loSet = true
+	case "PL":
+		v.hi = math.Inf(1)
+	case "BV":
+		v.lo, v.hi = 0, 1
+		v.loSet = true
+	}
+	return nil
+}
+
+// build assembles the milp.Model once every section has been read.
+func (p *parser) build() (*Instance, error) {
+	if p.objRow < 0 {
+		return nil, errAt(p.line, 1, p.section, "no objective (type N) row declared")
+	}
+	m := milp.NewModel()
+	for _, v := range p.vars {
+		if v.isInt {
+			m.Int(v.name, v.lo, v.hi)
+		} else {
+			m.Var(v.name, v.lo, v.hi)
+		}
+	}
+	// Constraint rows in declaration order; a RANGES entry widens the
+	// row to an activity interval realised as an LE/GE pair.
+	for _, r := range p.rows {
+		if r.kind == 'N' {
+			continue
+		}
+		lo, hi := math.Inf(-1), math.Inf(1)
+		switch r.kind {
+		case 'L':
+			hi = r.rhs
+			if r.rngSet {
+				lo = r.rhs - math.Abs(r.rng)
+			}
+		case 'G':
+			lo = r.rhs
+			if r.rngSet {
+				hi = r.rhs + math.Abs(r.rng)
+			}
+		case 'E':
+			lo, hi = r.rhs, r.rhs
+			if r.rngSet {
+				if r.rng >= 0 {
+					hi = r.rhs + r.rng
+				} else {
+					lo = r.rhs + r.rng
+				}
+			}
+		}
+		e := &milp.Expr{Terms: r.terms}
+		switch {
+		case lo == hi:
+			m.AddEQ(e, lo)
+		default:
+			if !math.IsInf(hi, 1) {
+				m.AddLE(e, hi)
+			}
+			if !math.IsInf(lo, -1) {
+				m.AddGE(e, lo)
+			}
+		}
+	}
+	obj := milp.NewExpr()
+	sign := 1.0
+	if p.maximize {
+		sign = -1
+	}
+	for vi, v := range p.vars {
+		if v.obj != 0 {
+			obj.Add(milp.VarID(vi), sign*v.obj)
+		}
+	}
+	obj.AddConst(sign * p.objConst)
+	m.Minimize(obj)
+	return &Instance{Name: p.name, Model: m, Maximize: p.maximize, ObjName: p.objName}, nil
+}

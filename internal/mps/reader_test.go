@@ -1,0 +1,276 @@
+package mps
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"columbas/internal/lp"
+	"columbas/internal/milp"
+)
+
+func mustParse(t *testing.T, src string) *Instance {
+	t.Helper()
+	in, err := ParseBytes([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return in
+}
+
+// TestParseStructure pins the full structural mapping of a small
+// instance: names, variable order, integrality, bounds, row senses and
+// folded coefficients.
+func TestParseStructure(t *testing.T) {
+	in := mustParse(t, `
+NAME          DEMO
+ROWS
+ N  COST
+ L  CAP
+ G  FLOOR
+ E  PIN
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    A         COST          -10   CAP             1
+    A         FLOOR           2
+    MARKER                 'MARKER'                 'INTEND'
+    Y         COST          0.5   CAP             3
+    Y         PIN             1
+RHS
+    RHS       CAP             2   FLOOR          -1
+    RHS       PIN           1.5
+BOUNDS
+ UP BND       A               1
+ UP BND       Y               9
+ENDATA
+`[1:])
+	if in.Name != "DEMO" || in.ObjName != "COST" || in.Maximize {
+		t.Fatalf("metadata: %+v", in)
+	}
+	m := in.Model
+	if m.NumVars() != 2 || m.NumRows() != 3 || m.NumInt() != 1 {
+		t.Fatalf("shape: %d vars, %d rows, %d ints", m.NumVars(), m.NumRows(), m.NumInt())
+	}
+	a, ok := m.VarByName("A")
+	if !ok || !m.IsInt(a) || m.Name(a) != "A" {
+		t.Fatalf("A: id %v ok %v", a, ok)
+	}
+	y, _ := m.VarByName("Y")
+	if m.IsInt(y) {
+		t.Fatal("Y parsed as integer")
+	}
+	if lo, hi := m.Bounds(a); lo != 0 || hi != 1 {
+		t.Fatalf("A bounds [%v, %v]", lo, hi)
+	}
+	if got := m.ObjCoef(a); got != -10 {
+		t.Fatalf("ObjCoef(A) = %v", got)
+	}
+	if got := m.ObjCoef(y); got != 0.5 {
+		t.Fatalf("ObjCoef(Y) = %v", got)
+	}
+	rows := m.Rows()
+	wantRows := []struct {
+		sense lp.Sense
+		rhs   float64
+	}{{lp.LE, 2}, {lp.GE, -1}, {lp.EQ, 1.5}}
+	for i, w := range wantRows {
+		if rows[i].Sense != w.sense || rows[i].RHS != w.rhs {
+			t.Fatalf("row %d: %v %v, want %v %v", i, rows[i].Sense, rows[i].RHS, w.sense, w.rhs)
+		}
+	}
+	if len(rows[0].Terms) != 2 {
+		t.Fatalf("CAP terms: %+v", rows[0].Terms)
+	}
+}
+
+// TestParseRangesExpansion checks that a ranged L row becomes an LE/GE
+// pair with the standard activity interval.
+func TestParseRangesExpansion(t *testing.T) {
+	in := mustParse(t, `
+ROWS
+ N  OBJ
+ L  BAND
+COLUMNS
+    X         OBJ             1   BAND            1
+RHS
+    RHS       BAND            8
+RANGES
+    RNG       BAND            3
+ENDATA
+`[1:])
+	rows := in.Model.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want the LE/GE pair", len(rows))
+	}
+	if rows[0].Sense != lp.LE || rows[0].RHS != 8 {
+		t.Fatalf("row 0: %v %v, want <= 8", rows[0].Sense, rows[0].RHS)
+	}
+	if rows[1].Sense != lp.GE || rows[1].RHS != 5 {
+		t.Fatalf("row 1: %v %v, want >= 5", rows[1].Sense, rows[1].RHS)
+	}
+}
+
+// TestParseBoundSemantics covers the bound-type matrix: FR, MI, PL, FX,
+// the MPSX negative-UP convention, and integrality forced by BV/LI/UI.
+func TestParseBoundSemantics(t *testing.T) {
+	in := mustParse(t, `
+ROWS
+ N  OBJ
+COLUMNS
+    F         OBJ             1
+    M         OBJ             1
+    P         OBJ             1
+    X         OBJ             1
+    NU        OBJ             1
+    NK        OBJ             1
+    B         OBJ             1
+    L         OBJ             1
+BOUNDS
+ FR BND       F
+ MI BND       M
+ PL BND       P
+ FX BND       X            -2.5
+ UP BND       NU             -2
+ LO BND       NK              0
+ UP BND       NK             -2
+ BV BND       B
+ LI BND       L               3
+ UI BND       L               7
+ENDATA
+`)
+	m := in.Model
+	inf := math.Inf(1)
+	check := func(name string, wantLo, wantHi float64, wantInt bool) {
+		t.Helper()
+		v, ok := m.VarByName(name)
+		if !ok {
+			t.Fatalf("no variable %s", name)
+		}
+		lo, hi := m.Bounds(v)
+		if lo != wantLo || hi != wantHi || m.IsInt(v) != wantInt {
+			t.Fatalf("%s: [%v, %v] int=%v, want [%v, %v] int=%v",
+				name, lo, hi, m.IsInt(v), wantLo, wantHi, wantInt)
+		}
+	}
+	check("F", -inf, inf, false)
+	check("M", -inf, inf, false) // MI leaves hi at the +inf default
+	check("P", 0, inf, false)
+	check("X", -2.5, -2.5, false)
+	check("NU", -inf, -2, false) // negative UP drops the default lo
+	check("NK", 0, -2, false)    // explicit LO 0 pins it (empty domain kept)
+	check("B", 0, 1, true)
+	check("L", 3, 7, true)
+}
+
+// TestParseErrorPositions pins the typed error contract: every
+// rejection is a *ParseError carrying the exact 1-based line/column of
+// the offending field and the section name.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+		section   string
+		msgPart   string
+	}{
+		{"unknown-section", "JUNK\n", 1, 1, "", "unknown section"},
+		{"data-before-section", "    X OBJ 1\n", 1, 5, "", "before the first section"},
+		{"bad-row-type", "ROWS\n Q  R1\n", 2, 2, "ROWS", "unknown row type"},
+		{"dup-row", "ROWS\n N  OBJ\n L  R1\n L  R1\n", 4, 5, "ROWS", "duplicate row"},
+		{"columns-before-rows", "COLUMNS\n    X OBJ 1\n", 1, 1, "", "COLUMNS section before ROWS"},
+		{"unknown-row", "ROWS\n N  OBJ\nCOLUMNS\n    X  BAD  1\n", 4, 8, "COLUMNS", "unknown row"},
+		{"bad-number", "ROWS\n N  OBJ\nCOLUMNS\n    X  OBJ  1x2\n", 4, 13, "COLUMNS", "invalid numeric"},
+		{"odd-pairs", "ROWS\n N  OBJ\nCOLUMNS\n    X  OBJ\n", 4, 5, "COLUMNS", "row/value pairs"},
+		{"rhs-unknown-row", "ROWS\n N  OBJ\nCOLUMNS\n    X OBJ 1\nRHS\n    RHS  BAD  1\n", 6, 10, "RHS", "unknown row"},
+		{"range-on-free-row", "ROWS\n N  OBJ\nCOLUMNS\n    X OBJ 1\nRANGES\n    RNG  OBJ  1\n", 6, 10, "RANGES", "free (N) row"},
+		{"bad-bound-type", "ROWS\n N  OBJ\nCOLUMNS\n    X OBJ 1\nBOUNDS\n ZZ BND X 1\n", 6, 2, "BOUNDS", "unknown bound type"},
+		{"bound-unknown-col", "ROWS\n N  OBJ\nCOLUMNS\n    X OBJ 1\nBOUNDS\n UP BND Y 1\n", 6, 9, "BOUNDS", "unknown column"},
+		{"bound-missing-value", "ROWS\n N  OBJ\nCOLUMNS\n    X OBJ 1\nBOUNDS\n UP X\n", 6, 2, "BOUNDS", "want 4 fields"},
+		{"bad-objsense", "OBJSENSE\n    SIDEWAYS\n", 2, 5, "OBJSENSE", "unknown objective sense"},
+		{"no-obj-row", "ROWS\n L  R1\nENDATA\n", 3, 1, "ROWS", "no objective"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseBytes([]byte(c.src))
+			if err == nil {
+				t.Fatal("parse accepted the input")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, want *ParseError: %v", err, err)
+			}
+			if pe.Line != c.line || pe.Col != c.col {
+				t.Fatalf("position %d:%d, want %d:%d (%v)", pe.Line, pe.Col, c.line, c.col, pe)
+			}
+			if pe.Section != c.section {
+				t.Fatalf("section %q, want %q (%v)", pe.Section, c.section, pe)
+			}
+			if !strings.Contains(pe.Msg, c.msgPart) {
+				t.Fatalf("message %q missing %q", pe.Msg, c.msgPart)
+			}
+		})
+	}
+}
+
+// TestParseMaximize checks the OBJSENSE MAX mapping: the model stores
+// the negated objective and Objective converts back.
+func TestParseMaximize(t *testing.T) {
+	in := mustParse(t, `
+NAME MAXDEMO
+OBJSENSE MAX
+ROWS
+ N  PROFIT
+ L  CAP
+COLUMNS
+    X         PROFIT          3   CAP             1
+RHS
+    RHS       CAP             2   PROFIT          5
+ENDATA
+`[1:])
+	if !in.Maximize {
+		t.Fatal("Maximize not set")
+	}
+	m := in.Model
+	x, _ := m.VarByName("X")
+	if got := m.ObjCoef(x); got != -3 {
+		t.Fatalf("model ObjCoef = %v, want the negated -3", got)
+	}
+	// PROFIT rhs 5 means constant -5 in the max objective, so the
+	// minimization model carries +5.
+	if got := m.ObjConst(); got != 5 {
+		t.Fatalf("model ObjConst = %v, want 5", got)
+	}
+	r, err := m.Solve(milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max 3x - 5 with x <= 2: x = 2, objective 1.
+	if r.Status != milp.Optimal || math.Abs(in.Objective(r.Obj)-1) > 1e-6 {
+		t.Fatalf("got %v obj %v, want optimal 1", r.Status, in.Objective(r.Obj))
+	}
+}
+
+// TestParseFortranExponent accepts D-exponent numerals.
+func TestParseFortranExponent(t *testing.T) {
+	in := mustParse(t, `
+ROWS
+ N  OBJ
+ L  R1
+COLUMNS
+    X         OBJ        -1.5D1   R1            2d0
+RHS
+    RHS       R1          1.0D1
+ENDATA
+`[1:])
+	m := in.Model
+	x, _ := m.VarByName("X")
+	if got := m.ObjCoef(x); got != -15 {
+		t.Fatalf("ObjCoef = %v, want -15", got)
+	}
+	rows := m.Rows()
+	if rows[0].Terms[0].Coef != 2 || rows[0].RHS != 10 {
+		t.Fatalf("row: %+v", rows[0])
+	}
+}

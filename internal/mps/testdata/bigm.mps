@@ -1,0 +1,26 @@
+* Big-M two-way disjunction (the paper's relative-position pattern):
+* either xa is 10 right of xb or vice versa; minimize xa + xb -> 10.
+NAME          BIGM
+ROWS
+ N  COST
+ L  D1
+ L  D2
+ E  ONE
+COLUMNS
+    XA        COST            1   D1              1
+    XA        D2             -1
+    XB        COST            1   D1             -1
+    XB        D2              1
+    MARKER                 'MARKER'                 'INTORG'
+    Q1        D1          -1000   ONE             1
+    Q2        D2          -1000   ONE             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       D1            -10   D2            -10
+    RHS       ONE             1
+BOUNDS
+ UP BND       XA             15
+ UP BND       XB             15
+ BV BND       Q1
+ BV BND       Q2
+ENDATA

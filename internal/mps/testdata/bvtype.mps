@@ -1,0 +1,14 @@
+* Integrality via BV bound types only (no COLUMNS markers).
+NAME          BVTYPE
+ROWS
+ N  COST
+ G  ONE
+COLUMNS
+    X1        COST            3   ONE             1
+    X2        COST            2   ONE             1
+RHS
+    RHS       ONE             1
+BOUNDS
+ BV BND       X1
+ BV BND       X2
+ENDATA

@@ -1,0 +1,25 @@
+* Comment and blank-line tolerance, Fortran D exponents, and the
+* nameless free-format RHS variant.
+
+NAME COMMENTS
+* the rows
+ROWS
+ N  COST
+
+ L  CAP
+COLUMNS
+* markers work with comments interleaved
+    MARKER                 'MARKER'                 'INTORG'
+    A         COST        -3D0   CAP             1
+
+    B         COST      -5.0d0   CAP             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    CAP 1
+BOUNDS
+ BV BND       A
+ BV BND       B
+
+ENDATA
+* trailing text after ENDATA is ignored
+garbage that would otherwise be a parse error

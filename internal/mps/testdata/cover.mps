@@ -1,0 +1,21 @@
+* Pure-binary knapsack whose LP relaxation is fractional (2.5 items of
+* weight 4 fill capacity 10): the shape that triggers cover cuts.
+NAME          COVER
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X1        COST           -5   CAP             4
+    X2        COST           -5   CAP             4
+    X3        COST           -5   CAP             4
+    X4        COST           -5   CAP             4
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       CAP            10
+BOUNDS
+ BV BND       X1
+ BV BND       X2
+ BV BND       X3
+ BV BND       X4
+ENDATA

@@ -1,0 +1,19 @@
+* Equality system with a single feasible point: x+y=7, x-y=1 -> (4,3).
+NAME          EQSYS
+ROWS
+ N  COST
+ E  SUM
+ E  DIF
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   SUM             1
+    X         DIF             1
+    Y         COST            2   SUM             1
+    Y         DIF            -1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       SUM             7   DIF             1
+BOUNDS
+ UI BND       X              10
+ UI BND       Y              10
+ENDATA

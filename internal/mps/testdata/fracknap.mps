@@ -1,0 +1,17 @@
+NAME          FRACKNAP
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X1        COST           -9   CAP             6
+    X2        COST           -7   CAP             5
+    X3        COST           -5   CAP             4
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       CAP            10
+BOUNDS
+ BV BND       X1
+ BV BND       X2
+ BV BND       X3
+ENDATA

@@ -1,0 +1,16 @@
+* A free continuous variable that goes negative at the optimum.
+NAME          FREEVAR
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   R1              4
+    MARKER                 'MARKER'                 'INTEND'
+    Y         COST            1   R1              1
+RHS
+    RHS       R1              2
+BOUNDS
+ BV BND       X
+ FR BND       Y
+ENDATA

@@ -1,0 +1,14 @@
+* 2x = 3 has no integer solution.
+NAME          INFEAS
+ROWS
+ N  COST
+ E  PAR
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   PAR             2
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       PAR             3
+BOUNDS
+ UI BND       X              10
+ENDATA

@@ -1,0 +1,13 @@
+NAME          INTLINE
+ROWS
+ N  COST
+ L  LIM
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST           -1   LIM             3
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       LIM            10
+BOUNDS
+ UI BND       X              10
+ENDATA

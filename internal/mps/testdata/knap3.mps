@@ -1,0 +1,18 @@
+* 3-item knapsack: pick at most 2 of A (10), B (6), C (4).
+NAME          KNAP3
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    A         COST          -10   CAP             1
+    B         COST           -6   CAP             1
+    C         COST           -4   CAP             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       CAP             2
+BOUNDS
+ UP BND       A               1
+ UP BND       B               1
+ UP BND       C               1
+ENDATA

@@ -1,0 +1,20 @@
+* OBJSENSE MAXIMIZE: max 10A + 6B + 4C with at most 2 items -> 16.
+NAME          MAXKNAP
+OBJSENSE
+    MAX
+ROWS
+ N  PROFIT
+ L  CAP
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    A         PROFIT         10   CAP             1
+    B         PROFIT          6   CAP             1
+    C         PROFIT          4   CAP             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       CAP             2
+BOUNDS
+ BV BND       A
+ BV BND       B
+ BV BND       C
+ENDATA

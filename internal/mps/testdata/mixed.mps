@@ -1,0 +1,18 @@
+* Mixed integer/continuous with fractional data: x int, y continuous.
+NAME          MIXED
+ROWS
+ N  COST
+ L  R1
+ G  R2
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST           -2   R1              1
+    MARKER                 'MARKER'                 'INTEND'
+    Y         COST           -1   R1              1
+    Y         R2              1
+RHS
+    RHS       R1            6.5   R2           1.25
+BOUNDS
+ UI BND       X               4
+ UP BND       Y              10
+ENDATA

@@ -1,0 +1,15 @@
+* Negative integer lower bound: 2x >= -7 rounds up to x >= -3.
+NAME          NEGLB
+ROWS
+ N  COST
+ G  R1
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   R1              2
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       R1             -7
+BOUNDS
+ LO BND       X              -5
+ UP BND       X               5
+ENDATA

@@ -1,0 +1,13 @@
+* MPSX negative-UP convention: UP -2 with no explicit lower bound drops
+* the lower bound to -inf, so x ranges over (-inf, -2]. Continuous only.
+NAME          NEGUB
+ROWS
+ N  COST
+ G  FLOOR
+COLUMNS
+    X         COST            1   FLOOR           1
+RHS
+    RHS       FLOOR          -6
+BOUNDS
+ UP BND       X              -2
+ENDATA

@@ -1,0 +1,15 @@
+* Objective with a constant term: min x + 100 via an RHS entry on the
+* objective row (rhs = -constant).
+NAME          OBJCONST
+ROWS
+ N  COST
+ G  LIM
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   LIM             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       LIM             2   COST         -100
+BOUNDS
+ UI BND       X               5
+ENDATA

@@ -1,0 +1,16 @@
+* RANGES on an E row, negative range: x = 4 with range -2 becomes 2 <= x <= 4.
+NAME          RANGEEQN
+ROWS
+ N  COST
+ E  BAND
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST            1   BAND            1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       BAND            4
+RANGES
+    RNG       BAND           -2
+BOUNDS
+ UI BND       X              10
+ENDATA

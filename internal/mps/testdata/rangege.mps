@@ -1,0 +1,18 @@
+* RANGES on a G row: x1 + x2 >= 2 with range 5 becomes 2 <= x1+x2 <= 7.
+NAME          RANGEGE
+ROWS
+ N  COST
+ G  BAND
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X1        COST           -1   BAND            1
+    X2        COST           -1   BAND            1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       BAND            2
+RANGES
+    RNG       BAND            5
+BOUNDS
+ UI BND       X1              4
+ UI BND       X2              4
+ENDATA

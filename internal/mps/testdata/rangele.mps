@@ -1,0 +1,18 @@
+* RANGES on an L row: x1 + x2 <= 8 with range 3 becomes 5 <= x1+x2 <= 8.
+NAME          RANGELE
+ROWS
+ N  COST
+ L  BAND
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X1        COST            1   BAND            1
+    X2        COST            2   BAND            1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       BAND            8
+RANGES
+    RNG       BAND            3
+BOUNDS
+ UI BND       X1              6
+ UI BND       X2              6
+ENDATA

@@ -1,0 +1,16 @@
+* Degenerate ties: two symmetric optima (x1=1 or x2=1), objective 1.
+NAME          TIES
+ROWS
+ N  COST
+ G  ONE
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X1        COST            1   ONE             1
+    X2        COST            1   ONE             1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       ONE             1
+BOUNDS
+ BV BND       X1
+ BV BND       X2
+ENDATA

@@ -1,0 +1,19 @@
+* LI/UI integer bound types; UI also forces integrality on Y, which is
+* declared outside the markers.
+NAME          UILITYPE
+ROWS
+ N  COST
+ L  R1
+ L  R2
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST           -1   R1              1
+    MARKER                 'MARKER'                 'INTEND'
+    Y         COST           -1   R2              1
+RHS
+    RHS       R1            4.5   R2            2.5
+BOUNDS
+ LI BND       X               2
+ UI BND       X               5
+ UI BND       Y               3
+ENDATA

@@ -1,0 +1,12 @@
+* min -x with x integer and no upper bound: unbounded below.
+NAME          UNBOUNDED
+ROWS
+ N  COST
+ G  LB
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    X         COST           -1   LB              1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       LB              0
+ENDATA

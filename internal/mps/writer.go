@@ -1,0 +1,233 @@
+package mps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"columbas/internal/lp"
+	"columbas/internal/milp"
+)
+
+// Write emits the instance as deterministic free-format MPS. The output
+// always re-parses into an identical instance (the round-trip property
+// the package tests pin): every variable appears in COLUMNS (with a
+// zero objective entry when it has no other coefficient), integrality
+// is carried by INTORG/INTEND markers, and bounds are emitted whenever
+// they deviate from the MPS defaults ([0, +inf)). RANGES is never
+// written — a parsed range row already lives in the model as an LE/GE
+// pair, and writing the pair back preserves its semantics.
+//
+// Variable names are sanitized into single whitespace-free fields and
+// de-duplicated (a model is free to reuse names; a file is not). An
+// instance whose bounds or coefficients are NaN is rejected.
+func Write(w io.Writer, in *Instance) error {
+	m := in.Model
+	bw := bufio.NewWriter(w)
+	names := varNames(m)
+
+	name := in.Name
+	if name == "" {
+		name = "COLUMBA"
+	}
+	fmt.Fprintf(bw, "NAME          %s\n", sanitizeName(name))
+	if in.Maximize {
+		fmt.Fprintf(bw, "OBJSENSE\n    MAX\n")
+	}
+
+	objName := sanitizeName(in.ObjName)
+	if objName == "" {
+		objName = "OBJ"
+	}
+	rows := m.Rows()
+	rowNames := make([]string, len(rows))
+	for i := range rows {
+		rowNames[i] = fmt.Sprintf("R%07d", i+1)
+	}
+	if rowTaken(rowNames, objName) {
+		objName = "OBJ.0"
+	}
+
+	fmt.Fprintln(bw, "ROWS")
+	fmt.Fprintf(bw, " N  %s\n", objName)
+	for i, r := range rows {
+		fmt.Fprintf(bw, " %c  %s\n", senseChar(r.Sense), rowNames[i])
+	}
+
+	// Column-major view: per variable, its objective coefficient then
+	// its row coefficients in row order.
+	type entry struct {
+		row  string
+		coef float64
+	}
+	cols := make([][]entry, m.NumVars())
+	for i, r := range rows {
+		for _, t := range r.Terms {
+			if t.Coef == 0 {
+				// A zero entry (e.g. duplicate input entries merged to 0)
+				// would be dropped on re-parse; omit it so write→parse→write
+				// is a fixpoint.
+				continue
+			}
+			cols[t.Var] = append(cols[t.Var], entry{row: rowNames[i], coef: t.Coef})
+		}
+	}
+	sign := 1.0
+	if in.Maximize {
+		sign = -1 // the model stores the negated (minimization) objective
+	}
+
+	fmt.Fprintln(bw, "COLUMNS")
+	inMark := false
+	for v := 0; v < m.NumVars(); v++ {
+		isInt := m.IsInt(milp.VarID(v))
+		if isInt != inMark {
+			mode := "INTORG"
+			if !isInt {
+				mode = "INTEND"
+			}
+			fmt.Fprintf(bw, "    MARKER%04d  'MARKER'  '%s'\n", v, mode)
+			inMark = isInt
+		}
+		var ents []entry
+		if oc := m.ObjCoef(milp.VarID(v)); oc != 0 || len(cols[v]) == 0 {
+			ents = append(ents, entry{row: objName, coef: sign * oc})
+		}
+		ents = append(ents, cols[v]...)
+		for _, e := range ents {
+			val, err := formatNum(e.coef)
+			if err != nil {
+				return fmt.Errorf("mps: column %s, row %s: %w", names[v], e.row, err)
+			}
+			fmt.Fprintf(bw, "    %-9s %-9s %s\n", names[v], e.row, val)
+		}
+	}
+	if inMark {
+		fmt.Fprintf(bw, "    MARKER%04d  'MARKER'  'INTEND'\n", m.NumVars())
+	}
+
+	fmt.Fprintln(bw, "RHS")
+	if c := sign * m.ObjConst(); c != 0 {
+		val, err := formatNum(-c) // rhs on the objective row = -constant
+		if err != nil {
+			return fmt.Errorf("mps: objective constant: %w", err)
+		}
+		fmt.Fprintf(bw, "    %-9s %-9s %s\n", "RHS", objName, val)
+	}
+	for i, r := range rows {
+		if r.RHS == 0 {
+			continue
+		}
+		val, err := formatNum(r.RHS)
+		if err != nil {
+			return fmt.Errorf("mps: row %s rhs: %w", rowNames[i], err)
+		}
+		fmt.Fprintf(bw, "    %-9s %-9s %s\n", "RHS", rowNames[i], val)
+	}
+
+	var bnds strings.Builder
+	for v := 0; v < m.NumVars(); v++ {
+		lo, hi := m.Bounds(milp.VarID(v))
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			return fmt.Errorf("mps: variable %s has NaN bounds", names[v])
+		}
+		negInfLo, infHi := math.IsInf(lo, -1), math.IsInf(hi, 1)
+		switch {
+		case lo == 0 && infHi:
+			// The MPS default; nothing to write.
+		case negInfLo && infHi:
+			fmt.Fprintf(&bnds, " FR %-9s %s\n", "BND", names[v])
+		case lo == hi:
+			fmt.Fprintf(&bnds, " FX %-9s %-9s %s\n", "BND", names[v], mustNum(lo))
+		default:
+			switch {
+			case negInfLo:
+				fmt.Fprintf(&bnds, " MI %-9s %s\n", "BND", names[v])
+			case lo != 0:
+				fmt.Fprintf(&bnds, " LO %-9s %-9s %s\n", "BND", names[v], mustNum(lo))
+			case hi < 0:
+				// An UP with a negative value and an unwritten lower
+				// bound would flip lo to -inf on re-parse (the MPSX
+				// convention) — pin the default 0 explicitly.
+				fmt.Fprintf(&bnds, " LO %-9s %-9s 0\n", "BND", names[v])
+			}
+			if !infHi {
+				fmt.Fprintf(&bnds, " UP %-9s %-9s %s\n", "BND", names[v], mustNum(hi))
+			}
+		}
+	}
+	if bnds.Len() > 0 {
+		fmt.Fprintln(bw, "BOUNDS")
+		bw.WriteString(bnds.String())
+	}
+	fmt.Fprintln(bw, "ENDATA")
+	return bw.Flush()
+}
+
+func senseChar(s lp.Sense) byte {
+	switch s {
+	case lp.LE:
+		return 'L'
+	case lp.GE:
+		return 'G'
+	default:
+		return 'E'
+	}
+}
+
+// formatNum renders a finite float64 in the shortest form that parses
+// back to the same value.
+func formatNum(v float64) (string, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "", fmt.Errorf("non-finite coefficient %v", v)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64), nil
+}
+
+// mustNum is formatNum for values the caller has already checked are
+// finite (bounds after the NaN guard; ±inf never reaches it).
+func mustNum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sanitizeName turns an arbitrary model name into a single MPS field:
+// whitespace (illegal inside a free-format field) and '*' (the comment
+// introducer) become '_'.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\r' || r == '\n' || r == '*' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// varNames returns a sanitized, de-duplicated file name for every model
+// variable, deterministically: the first holder keeps the sanitized
+// name, later duplicates get a ".<id>" suffix (repeated until unique).
+func varNames(m *milp.Model) []string {
+	names := make([]string, m.NumVars())
+	taken := make(map[string]bool, m.NumVars())
+	for v := range names {
+		n := sanitizeName(m.Name(milp.VarID(v)))
+		if n == "" {
+			n = fmt.Sprintf("X%07d", v+1)
+		}
+		for taken[n] {
+			n = fmt.Sprintf("%s.%d", n, v)
+		}
+		taken[n] = true
+		names[v] = n
+	}
+	return names
+}
+
+func rowTaken(rowNames []string, name string) bool {
+	for _, r := range rowNames {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
