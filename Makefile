@@ -11,7 +11,9 @@
 #   make loadtest-smoke short columbaload run against an in-process server (zero shed, well-formed report)
 #   make loadtest       the full tail-latency run behind BENCH_serving.json (1000 requests)
 #   make milp-check     MPS corpus differential matrix + round-trip + columbamilp CLI goldens
-#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check + loadtest smoke + milp check (CI gate)
+#   make bench-delta-smoke tiny cold-vs-warm delta run (verdict parity + counter identities)
+#   make bench-delta    the full delta warm-start measurement behind BENCH_delta.json
+#   make verify         vet + race + fuzz smoke + conformance + docs check + serve check + loadtest smoke + delta smoke + milp check (CI gate)
 #   make bench-solver   the sequential-vs-parallel solver benchmark pair
 #   make bench-warmstart warm vs cold pivot/wall numbers for EXPERIMENTS.md
 #   make bench-cuts     tree reductions on vs off: node/pivot numbers for EXPERIMENTS.md
@@ -20,7 +22,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check loadtest-smoke loadtest milp-check verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
+.PHONY: build test test-short vet race race-solver fuzz-smoke conformance docs-check serve-check loadtest-smoke loadtest milp-check bench-delta-smoke bench-delta verify bench-solver bench bench-warmstart bench-cuts bench-kernel bench-scaling
 
 build:
 	$(GO) build ./...
@@ -138,7 +140,22 @@ milp-check:
 	$(GO) test -count=1 ./internal/mps/
 	$(GO) test -count=1 ./cmd/columbamilp/
 
-verify: vet race fuzz-smoke conformance docs-check serve-check loadtest-smoke bench-kernel milp-check
+# The delta warm-start gate: a tiny edit chain and weight sweep solved
+# cold and delta-warm must agree on every verdict and respect the
+# milp_delta_* counter identities (docs/metrics.md).
+bench-delta-smoke:
+	$(GO) build ./cmd/columbadelta
+	$(GO) test -count=1 -run TestDeltaSmoke ./internal/bench/
+
+# The full delta measurement: the chip9 case through a 10-step
+# single-unit-edit chain and a 3x3 (alpha, beta) weight grid, each
+# instance solved cold (-no-delta) and delta-warm. The report is the
+# BENCH_delta.json artifact quoted in EXPERIMENTS.md ("Incremental
+# re-synthesis").
+bench-delta:
+	$(GO) run ./cmd/columbadelta -o BENCH_delta.json
+
+verify: vet race fuzz-smoke conformance docs-check serve-check loadtest-smoke bench-delta-smoke bench-kernel milp-check
 
 bench-solver:
 	$(GO) test -run '^$$' -bench 'BenchmarkSolve(Sequential|Parallel)$$' -benchtime 3x -count=1 .

@@ -58,6 +58,7 @@ func run() error {
 		noWarm   = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
 		noCuts   = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre    = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
+		noDelta  = flag.Bool("no-delta", false, "disable the delta-aware warm-start pipeline: ignore any donor hint, solve cold (ablation)")
 		branch   = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
 		kernel   = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 		pprofCPU = flag.String("pprof-cpu", "", "write a CPU profile of the whole run to this file")
@@ -92,6 +93,7 @@ func run() error {
 	cfg.NoWarmStart = *noWarm
 	cfg.NoCuts = *noCuts
 	cfg.NoPresolve = *noPre
+	cfg.NoDelta = *noDelta
 	var err error
 	if cfg.Branching, err = milp.ParseBranchRule(*branch); err != nil {
 		return fmt.Errorf("-branching: %w", err)

@@ -1,0 +1,101 @@
+// Command columbadelta measures the delta-aware warm-start pipeline and
+// writes the columbas-delta/v1 JSON report behind BENCH_delta.json. It
+// runs two scenarios, each instance solved cold (-no-delta ablation) and
+// delta-warm: an edit-sequence chain (the base case re-synthesized after
+// a string of single-unit edits, each warm solve chaining a hint from
+// its predecessor) and a weight sweep (one netlist under a grid of
+// objective weights, each cell chaining from its nearest finished
+// neighbor in weight space — the POST /v2/explore pattern).
+//
+// Usage:
+//
+//	columbadelta -o BENCH_delta.json
+//	columbadelta -case chip16 -steps 5 -grid 0.5,1,2 -time 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"columbas/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "columbadelta:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	def := bench.DefaultDeltaConfig()
+	var (
+		caseID  = flag.String("case", def.Case, "base netlist case (empty: a generated small netlist)")
+		steps   = flag.Int("steps", def.Steps, "single-unit edits in the chain")
+		seed    = flag.Int64("seed", def.Seed, "edit-choice (and generator) seed")
+		budget  = flag.Duration("time", def.Time, "MILP budget per solve")
+		stall   = flag.Int("stall", def.StallLimit, "branch-and-bound stall limit")
+		workers = flag.Int("workers", def.Workers, "branch-and-bound workers (0/1: sequential)")
+		gap     = flag.Float64("gap", def.Gap, "relative optimality gap")
+		grid    = flag.String("grid", "0.5,1,2", "comma-separated weight-sweep axis values (empty: skip the sweep)")
+		out     = flag.String("o", "-", "report path (-: stdout)")
+	)
+	flag.Parse()
+
+	cfg := bench.DeltaConfig{
+		Case:       *caseID,
+		Steps:      *steps,
+		Seed:       *seed,
+		Time:       *budget,
+		StallLimit: *stall,
+		Workers:    *workers,
+		Gap:        *gap,
+	}
+	if *grid != "" {
+		for _, f := range strings.Split(*grid, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("-grid values must be non-negative numbers: %q", f)
+			}
+			cfg.Grid = append(cfg.Grid, v)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	rep, err := bench.RunDelta(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	es := rep.EditSequence
+	fmt.Fprintf(os.Stderr,
+		"columbadelta: edit chain %d steps: cold %.1fs, warm %.1fs (%.1f%% faster), agree=%t\n",
+		len(es.Steps), es.ColdTotalMS/1e3, es.WarmTotalMS/1e3, es.SpeedupPct, es.AllAgree)
+	if ws := rep.WeightSweep; ws != nil {
+		fmt.Fprintf(os.Stderr,
+			"columbadelta: weight sweep %d cells: cold %.1fs, warm %.1fs (%.1f%% faster), agree=%t\n",
+			len(ws.Steps), ws.ColdTotalMS/1e3, ws.WarmTotalMS/1e3, ws.SpeedupPct, ws.AllAgree)
+	}
+	fmt.Fprintf(os.Stderr, "columbadelta: total harness wall %.1fs\n", time.Since(start).Seconds())
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(*out, doc, 0o644)
+}

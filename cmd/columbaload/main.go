@@ -3,8 +3,10 @@
 // and cancel requests at a server — an external one via -url, or an
 // in-process instance it spins up itself — follows every job's SSE
 // progress stream to its terminal state, and writes a
-// columbas-load/v1 JSON report (p50/p90/p95/p99/max latency, shed and
-// error counts, final server stats). BENCH_serving.json is this
+// columbas-load/v2 JSON report (p50/p90/p95/p99/max latency, shed and
+// error counts, final server stats). Percentiles the sample is too small
+// to support are null in the report and "n/a" on stderr — a p99 over 9
+// samples would only restate the maximum. BENCH_serving.json is this
 // program's output.
 //
 // Usage:
@@ -103,9 +105,15 @@ func run() error {
 		*n, rep.DurationS, rep.ThroughputRPS,
 		rep.Succeeded, rep.CacheHits, rep.Canceled, rep.Shed, rep.Timeouts, rep.Failed, rep.Errors)
 	l := rep.Latency
+	pv := func(p *float64) string {
+		if p == nil {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1fms", *p)
+	}
 	fmt.Fprintf(os.Stderr,
-		"columbaload: latency p50 %.1fms  p90 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
-		l.P50MS, l.P90MS, l.P95MS, l.P99MS, l.MaxMS)
+		"columbaload: latency (n=%d) p50 %s  p90 %s  p95 %s  p99 %s  max %.1fms\n",
+		l.Count, pv(l.P50MS), pv(l.P90MS), pv(l.P95MS), pv(l.P99MS), l.MaxMS)
 
 	doc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -51,6 +51,7 @@ func run() error {
 		noWarm    = flag.Bool("no-warmstart", false, "solve every branch-and-bound LP cold instead of warm-starting from the parent basis (ablation)")
 		noCuts    = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre     = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
+		noDelta   = flag.Bool("no-delta", false, "ignore any delta warm-start donor and solve cold (ablation)")
 		branching = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
 		kernel    = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 		noDRC     = flag.Bool("nodrc", false, "skip the design-rule check")
@@ -75,6 +76,7 @@ func run() error {
 		NoWarmStart: *noWarm,
 		NoCuts:      *noCuts,
 		NoPresolve:  *noPre,
+		NoDelta:     *noDelta,
 		Branching:   *branching,
 		Kernel:      *kernel,
 	}

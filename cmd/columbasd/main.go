@@ -62,6 +62,7 @@ func run() error {
 		traceLog = flag.String("trace-log", "", "append one columbas-trace/v1 JSON line per request to this file")
 		noCuts   = flag.Bool("no-cuts", false, "disable root cutting planes (Gomory + cover) in the layout MILPs (ablation)")
 		noPre    = flag.Bool("no-presolve", false, "disable MILP presolve (bound tightening, redundant rows, coefficient strengthening) (ablation)")
+		noDelta  = flag.Bool("no-delta", false, "disable the delta-aware warm-start pipeline: no similarity-index donors, every solve cold (ablation)")
 		branch   = flag.String("branching", "", "branch-and-bound variable selection rule: pseudocost (default) or mostfrac")
 		kernel   = flag.String("kernel", "auto", "LP basis engine: auto (size/density heuristic), dense or sparse")
 	)
@@ -97,6 +98,7 @@ func run() error {
 		MaxBodyBytes:   *maxBody,
 		NoCuts:         *noCuts,
 		NoPresolve:     *noPre,
+		NoDelta:        *noDelta,
 		Branching:      rule,
 		Kernel:         kernelMode,
 	}

@@ -2,6 +2,7 @@ package columbas
 
 import (
 	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"columbas/internal/core"
 	"columbas/internal/gen"
 	"columbas/internal/lp"
+	"columbas/internal/milp"
 	"columbas/internal/netlist"
 )
 
@@ -96,6 +98,87 @@ func TestSynthesisConformanceWarmColdAgree(t *testing.T) {
 				seed, warm.DRC.Clean(), cold.DRC.Clean())
 		}
 	}
+}
+
+// The delta-aware warm-start pipeline must be invisible at the pipeline
+// level: re-synthesizing an edit-sequence chain with each step chaining
+// a warm hint from its predecessor reaches the same verdict (typed
+// rejection vs clean design) and the same objective, within the
+// optimality gap, as solving every step cold under -no-delta. A hint
+// that steered the search into excluding the optimum — a poisoned
+// incumbent, a stale pair set tightening the model, a corrupt root basis
+// — would surface here as a verdict flip or an objective drift no gap
+// explains.
+func TestSynthesisConformanceDeltaWarmAgree(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	const steps = 5
+	// The property under test is verdict parity, and the budget applies to
+	// both sides of every step equally, so a tighter budget than the other
+	// conformance sweeps keeps the 20×5 matrix affordable without
+	// weakening the comparison.
+	deltaOpts := func() core.Options {
+		opt := conformanceOpts()
+		opt.Layout.TimeLimit = 3 * time.Second
+		opt.Layout.StallLimit = 12
+		return opt
+	}
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chain := gen.EditSequence(seed, steps)
+			var prev *core.Result
+			for i, n := range chain {
+				coldOpt := deltaOpts()
+				coldOpt.NoDelta = true
+				cold, coldErr := core.Synthesize(n, coldOpt)
+				// Step 0 has no donor, so the warm side is the cold side by
+				// construction — don't pay for the same solve twice.
+				warm, warmErr := cold, coldErr
+				warmOpt := deltaOpts()
+				if prev != nil {
+					warmOpt.Warm = prev.WarmHint()
+					warm, warmErr = core.Synthesize(n, warmOpt)
+				}
+				if (warmErr == nil) != (coldErr == nil) {
+					t.Errorf("seed %d step %d: warm err=%v, cold err=%v", seed, i, warmErr, coldErr)
+					return
+				}
+				if warmErr != nil {
+					var serr *core.SynthesisError
+					if !errors.As(warmErr, &serr) {
+						t.Errorf("seed %d step %d: untyped synthesis error: %v", seed, i, warmErr)
+					}
+					prev = nil
+					continue
+				}
+				if warm.DRC.Clean() != cold.DRC.Clean() {
+					t.Errorf("seed %d step %d: DRC disagreement warm=%v cold=%v\n%s",
+						seed, i, warm.DRC.Clean(), cold.DRC.Clean(), n.Format())
+				}
+				// When both sides proved optimality, their objectives must
+				// agree within the combined gap slack (each stop is within
+				// Gap of the true optimum).
+				ws, cs := warm.Plan.Stats, cold.Plan.Stats
+				if ws.Status == milp.Optimal && cs.Status == milp.Optimal {
+					tol := 2*warmOpt.Layout.Gap*math.Max(math.Abs(ws.Obj), math.Abs(cs.Obj)) + 1e-6
+					if diff := math.Abs(ws.Obj - cs.Obj); diff > tol {
+						t.Errorf("seed %d step %d: objective drift warm=%g cold=%g (tol %g)\n%s",
+							seed, i, ws.Obj, cs.Obj, tol, n.Format())
+					}
+				}
+				prev = warm
+			}
+		}(seed)
+	}
+	wg.Wait()
 }
 
 // The 2×2 cuts × presolve matrix must be interchangeable at the

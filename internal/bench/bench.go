@@ -40,6 +40,9 @@ type Config struct {
 	// NoPresolve disables MILP presolve (bound tightening, redundant
 	// rows, coefficient strengthening).
 	NoPresolve bool
+	// NoDelta disables the delta-aware warm-start pipeline: any donor
+	// hint (core.Options.Warm) is ignored and every solve runs cold.
+	NoDelta bool
 	// Branching selects the branch-and-bound variable selection rule;
 	// the zero value is pseudocost branching.
 	Branching milp.BranchRule
@@ -102,6 +105,7 @@ func RunS(c cases.Case, muxes int, cfg Config) (*SRun, error) {
 	opt.Layout.NoWarmStart = cfg.NoWarmStart
 	opt.Layout.NoCuts = cfg.NoCuts
 	opt.Layout.NoPresolve = cfg.NoPresolve
+	opt.NoDelta = cfg.NoDelta
 	opt.Layout.Branching = cfg.Branching
 	opt.Layout.Kernel = cfg.Kernel
 	if cfg.StallLimit > 0 {

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"columbas/internal/cases"
+	"columbas/internal/core"
+	"columbas/internal/gen"
+	"columbas/internal/netlist"
+)
+
+// DeltaReportSchema identifies the columbadelta report document — the
+// BENCH_delta.json artifact.
+const DeltaReportSchema = "columbas-delta/v1"
+
+// DeltaConfig parameterizes one delta-aware warm-start benchmark: an
+// edit-sequence scenario (incremental re-synthesis of a netlist chain,
+// each step one unit edit from the last) and a weight-sweep scenario
+// (one netlist under a grid of objective weights), each solved twice —
+// cold with the delta pipeline ablated, and delta-warm with every step
+// chaining a hint from its predecessor.
+type DeltaConfig struct {
+	// Case is the base netlist of both scenarios (a cases ID like
+	// "chip9"); empty uses gen.Generate(Seed) — small and fast, the
+	// smoke-test shape.
+	Case string
+	// Steps is the number of single-unit edits in the chain.
+	Steps int
+	// Seed drives the edit choices (and the generated base when Case is
+	// empty).
+	Seed int64
+	// Time bounds each layout MILP; StallLimit and Workers mirror
+	// layout.Options.
+	Time       time.Duration
+	StallLimit int
+	Workers    int
+	// Gap is the relative optimality gap each solve may stop at.
+	Gap float64
+	// Grid lists the α and β axis values of the weight sweep (the grid
+	// is Grid×Grid cells); empty skips the sweep scenario.
+	Grid []float64
+}
+
+// DefaultDeltaConfig is the BENCH_delta.json shape: the paper's chip9
+// case, a 10-step edit chain, and a 3×3 weight grid. Seed 6 is the
+// first edit seed whose full 10-step chip9 chain keeps every step's
+// generation model feasible — on most seeds some edit's model goes
+// infeasible and the cold side degrades to the (fast) greedy-seed
+// fallback, which would measure seed-fallback wall, not MILP wall.
+func DefaultDeltaConfig() DeltaConfig {
+	return DeltaConfig{
+		Case:       "chip9",
+		Steps:      10,
+		Seed:       6,
+		Time:       20 * time.Second,
+		StallLimit: 200,
+		Gap:        0.1,
+		Grid:       []float64{0.5, 1, 2},
+	}
+}
+
+// DeltaStep is one solved instance of a scenario, cold and warm side by
+// side.
+type DeltaStep struct {
+	Name   string  `json:"name"`
+	ColdMS float64 `json:"cold_ms"`
+	WarmMS float64 `json:"warm_ms"`
+	// ColdStatus/WarmStatus are the MILP termination statuses. They are
+	// recorded for the report but not compared: a delta-warm solve whose
+	// donor-fixed relations restricted the model honestly reports
+	// Feasible where an unrestricted solve may prove Optimal, and that
+	// says nothing about the design. Agree is DRC-verdict parity.
+	ColdStatus string `json:"cold_status"`
+	WarmStatus string `json:"warm_status"`
+	ColdDRC    bool   `json:"cold_drc_clean"`
+	WarmDRC    bool   `json:"warm_drc_clean"`
+	Agree      bool   `json:"agree"`
+	// The delta counter triple of the warm solve (all zero on step 0,
+	// which has no donor yet).
+	DeltaWarmStarts   int64 `json:"delta_warm_starts"`
+	DeltaFallbacks    int64 `json:"delta_fallbacks"`
+	IncumbentFromHint int64 `json:"incumbent_from_hint"`
+}
+
+// DeltaScenario aggregates one scenario's steps.
+type DeltaScenario struct {
+	Steps       []DeltaStep `json:"steps"`
+	ColdTotalMS float64     `json:"cold_total_ms"`
+	WarmTotalMS float64     `json:"warm_total_ms"`
+	// SpeedupPct is the warm side's total-wall reduction in percent.
+	SpeedupPct float64 `json:"speedup_pct"`
+	// AllAgree reports verdict and DRC parity across every step.
+	AllAgree bool `json:"all_agree"`
+}
+
+// DeltaReport is the columbas-delta/v1 document.
+type DeltaReport struct {
+	Schema string `json:"schema"`
+	Config struct {
+		Case       string    `json:"case,omitempty"`
+		Steps      int       `json:"steps"`
+		Seed       int64     `json:"seed"`
+		TimeMS     int64     `json:"time_ms"`
+		StallLimit int       `json:"stall_limit"`
+		Workers    int       `json:"workers"`
+		Gap        float64   `json:"gap"`
+		Grid       []float64 `json:"grid,omitempty"`
+	} `json:"config"`
+	EditSequence DeltaScenario  `json:"edit_sequence"`
+	WeightSweep  *DeltaScenario `json:"weight_sweep,omitempty"`
+}
+
+// deltaBase resolves the scenario's base netlist.
+func deltaBase(cfg DeltaConfig) (*netlist.Netlist, error) {
+	if cfg.Case == "" {
+		return gen.Generate(cfg.Seed), nil
+	}
+	c, err := cases.Get(cfg.Case)
+	if err != nil {
+		return nil, err
+	}
+	return netlist.ParseString(c.Source)
+}
+
+// deltaOptions builds the shared option base of both sides.
+func deltaOptions(cfg DeltaConfig) core.Options {
+	opt := core.DefaultOptions()
+	opt.Layout.TimeLimit = cfg.Time
+	opt.Layout.StallLimit = cfg.StallLimit
+	opt.Layout.Workers = cfg.Workers
+	opt.Layout.Gap = cfg.Gap
+	return opt
+}
+
+// deltaSolve runs one instance and folds it into a step. warm == nil
+// solves cold under -no-delta (the ablation side); otherwise the hint is
+// chained in. It returns the result for hint harvesting.
+func deltaSolve(ctx context.Context, n *netlist.Netlist, base core.Options, warm *core.Result) (*core.Result, error) {
+	opt := base
+	if warm == nil {
+		opt.NoDelta = true
+	} else {
+		opt.Warm = warm.WarmHint()
+	}
+	return core.SynthesizeContext(ctx, n, opt)
+}
+
+// fillStep records one cold/warm result pair.
+func fillStep(name string, cold, warm *core.Result) DeltaStep {
+	st := DeltaStep{
+		Name:       name,
+		ColdMS:     float64(cold.Runtime) / float64(time.Millisecond),
+		WarmMS:     float64(warm.Runtime) / float64(time.Millisecond),
+		ColdStatus: cold.Plan.Stats.Status.String(),
+		WarmStatus: warm.Plan.Stats.Status.String(),
+		ColdDRC:    cold.DRC.Clean(),
+		WarmDRC:    warm.DRC.Clean(),
+	}
+	// Verdict parity (success vs typed rejection) is enforced upstream:
+	// RunDelta aborts when one side errors. Here both sides produced a
+	// design, so agreement is the DRC verdict.
+	st.Agree = st.ColdDRC == st.WarmDRC
+	se := warm.Plan.Stats.Search
+	st.DeltaWarmStarts = se.DeltaWarmStarts
+	st.DeltaFallbacks = se.DeltaFallbacks
+	st.IncumbentFromHint = se.IncumbentFromHint
+	return st
+}
+
+// finish seals a scenario's totals.
+func (sc *DeltaScenario) finish() {
+	sc.AllAgree = true
+	for _, st := range sc.Steps {
+		sc.ColdTotalMS += st.ColdMS
+		sc.WarmTotalMS += st.WarmMS
+		if !st.Agree {
+			sc.AllAgree = false
+		}
+	}
+	if sc.ColdTotalMS > 0 {
+		sc.SpeedupPct = 100 * (sc.ColdTotalMS - sc.WarmTotalMS) / sc.ColdTotalMS
+	}
+}
+
+// RunDelta measures the delta-aware warm-start pipeline: every instance
+// of both scenarios is solved cold (-no-delta) and delta-warm, and the
+// report carries per-step walls, verdict parity and the delta counters.
+func RunDelta(ctx context.Context, cfg DeltaConfig) (*DeltaReport, error) {
+	base, err := deltaBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := deltaOptions(cfg)
+	rep := &DeltaReport{Schema: DeltaReportSchema}
+	rep.Config.Case = cfg.Case
+	rep.Config.Steps = cfg.Steps
+	rep.Config.Seed = cfg.Seed
+	rep.Config.TimeMS = cfg.Time.Milliseconds()
+	rep.Config.StallLimit = cfg.StallLimit
+	rep.Config.Workers = cfg.Workers
+	rep.Config.Gap = cfg.Gap
+	rep.Config.Grid = cfg.Grid
+
+	// Edit-sequence scenario: the warm side chains each step's hint from
+	// its predecessor's warm result — the incremental re-synthesis loop.
+	chain := gen.EditSequenceFrom(base, cfg.Seed, cfg.Steps)
+	var prevWarm *core.Result
+	for i, n := range chain {
+		cold, err := deltaSolve(ctx, n, opt, nil)
+		if err != nil {
+			return nil, fmt.Errorf("delta: edit step %d cold: %w", i, err)
+		}
+		warm, err := deltaSolve(ctx, n, opt, prevWarm)
+		if err != nil {
+			return nil, fmt.Errorf("delta: edit step %d warm: %w", i, err)
+		}
+		rep.EditSequence.Steps = append(rep.EditSequence.Steps, fillStep(n.Name, cold, warm))
+		prevWarm = warm
+	}
+	rep.EditSequence.finish()
+
+	// Weight-sweep scenario: one netlist under a Grid×Grid (α, β) grid;
+	// the warm side chains each cell from its nearest finished neighbor
+	// in weight space, mirroring POST /v2/explore.
+	if len(cfg.Grid) > 0 {
+		type cell struct{ a, b float64 }
+		var cells []cell
+		for _, a := range cfg.Grid {
+			for _, b := range cfg.Grid {
+				cells = append(cells, cell{a, b})
+			}
+		}
+		sweep := &DeltaScenario{}
+		results := make([]*core.Result, len(cells))
+		for i, cl := range cells {
+			copt := opt
+			copt.Layout.Alpha, copt.Layout.Beta = cl.a, cl.b
+			cold, err := deltaSolve(ctx, base, copt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("delta: sweep cell %d cold: %w", i, err)
+			}
+			var donor *core.Result
+			bestD := math.Inf(1)
+			for p := 0; p < i; p++ {
+				d := math.Abs(cells[p].a-cl.a) + math.Abs(cells[p].b-cl.b)
+				if results[p] != nil && d < bestD {
+					bestD, donor = d, results[p]
+				}
+			}
+			warm, err := deltaSolve(ctx, base, copt, donor)
+			if err != nil {
+				return nil, fmt.Errorf("delta: sweep cell %d warm: %w", i, err)
+			}
+			results[i] = warm
+			sweep.Steps = append(sweep.Steps,
+				fillStep(fmt.Sprintf("a=%g,b=%g", cl.a, cl.b), cold, warm))
+		}
+		sweep.finish()
+		rep.WeightSweep = sweep
+	}
+	return rep, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDeltaSmoke is the `make bench-delta-smoke` gate: a tiny edit chain
+// and weight sweep over a generated netlist must complete with cold/warm
+// verdict parity on every step and sane counter identities. The
+// full-scale chip9 run behind BENCH_delta.json uses the same harness
+// with bigger knobs.
+func TestDeltaSmoke(t *testing.T) {
+	rep, err := RunDelta(context.Background(), DeltaConfig{
+		Steps:      2,
+		Seed:       9,
+		Time:       5 * time.Second,
+		StallLimit: 60,
+		Gap:        0.2,
+		Workers:    2,
+		Grid:       []float64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != DeltaReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if got := len(rep.EditSequence.Steps); got != 3 {
+		t.Fatalf("edit chain has %d steps, want 3", got)
+	}
+	if !rep.EditSequence.AllAgree {
+		t.Fatalf("cold/warm verdicts diverged: %+v", rep.EditSequence.Steps)
+	}
+	if rep.WeightSweep == nil || len(rep.WeightSweep.Steps) != 4 {
+		t.Fatalf("weight sweep missing or wrong size: %+v", rep.WeightSweep)
+	}
+	if !rep.WeightSweep.AllAgree {
+		t.Fatalf("sweep cold/warm verdicts diverged: %+v", rep.WeightSweep.Steps)
+	}
+	for i, st := range rep.EditSequence.Steps {
+		if st.IncumbentFromHint > st.DeltaWarmStarts {
+			t.Fatalf("step %d: IncumbentFromHint %d > DeltaWarmStarts %d",
+				i, st.IncumbentFromHint, st.DeltaWarmStarts)
+		}
+		if i == 0 && (st.DeltaWarmStarts != 0 || st.DeltaFallbacks != 0) {
+			t.Fatalf("step 0 has no donor but counted delta rounds: %+v", st)
+		}
+	}
+	// At least one later step must actually have warm-started — the
+	// whole point of the pipeline.
+	warmed := int64(0)
+	for _, st := range rep.EditSequence.Steps[1:] {
+		warmed += st.DeltaWarmStarts
+	}
+	for _, st := range rep.WeightSweep.Steps[1:] {
+		warmed += st.DeltaWarmStarts
+	}
+	if warmed == 0 {
+		t.Fatalf("no step warm-started: edit=%+v sweep=%+v",
+			rep.EditSequence.Steps, rep.WeightSweep.Steps)
+	}
+}

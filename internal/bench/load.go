@@ -19,8 +19,11 @@ import (
 )
 
 // LoadReportSchema identifies the columbaload report document — the
-// BENCH_serving.json artifact.
-const LoadReportSchema = "columbas-load/v1"
+// BENCH_serving.json artifact. v2 made the latency percentiles nullable:
+// a percentile whose nearest-rank index collapses onto the sample maximum
+// (p99 over 9 samples) is reported as null instead of a misleading
+// number, and every latency block carries its sample count.
+const LoadReportSchema = "columbas-load/v2"
 
 // LoadOptions parameterizes one load run against a columbasd instance.
 type LoadOptions struct {
@@ -104,15 +107,19 @@ type LoadConfigDoc struct {
 	Warmup         bool    `json:"warmup"`
 }
 
-// LatencyStats summarizes a latency sample in milliseconds.
+// LatencyStats summarizes a latency sample in milliseconds. Count is the
+// sample size every percentile was computed over; a percentile the sample
+// is too small to support — its nearest-rank index would just re-report
+// the maximum, the way p99 over 9 samples did in early BENCH_serving
+// artifacts — is null rather than a number that reads like a tail.
 type LatencyStats struct {
-	Count  int64   `json:"count"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P90MS  float64 `json:"p90_ms"`
-	P95MS  float64 `json:"p95_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Count  int64    `json:"count"`
+	MeanMS float64  `json:"mean_ms"`
+	P50MS  *float64 `json:"p50_ms"`
+	P90MS  *float64 `json:"p90_ms"`
+	P95MS  *float64 `json:"p95_ms"`
+	P99MS  *float64 `json:"p99_ms"`
+	MaxMS  float64  `json:"max_ms"`
 }
 
 // summarize computes the percentile block from raw durations.
@@ -127,13 +134,20 @@ func summarize(durs []time.Duration) LatencyStats {
 		sum += d
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
-	pct := func(q float64) float64 {
-		// Nearest-rank: the smallest sample ≥ q of the distribution.
+	pct := func(q float64) *float64 {
+		// Nearest-rank: the smallest sample ≥ q of the distribution. The
+		// q-quantile needs at least 1/(1-q) samples (p99: 100, p95: 20,
+		// p90: 10, p50: 2) before its rank is distinct from the maximum;
+		// below that the percentile is suppressed.
+		if float64(len(durs)) < 1/(1-q) {
+			return nil
+		}
 		i := int(math.Ceil(q*float64(len(durs)))) - 1
 		if i < 0 {
 			i = 0
 		}
-		return ms(durs[i])
+		v := ms(durs[i])
+		return &v
 	}
 	st.MeanMS = ms(sum / time.Duration(len(durs)))
 	st.P50MS = pct(0.50)

@@ -29,6 +29,15 @@ type Options struct {
 	// RunDRC verifies the completed design against the design rules and
 	// fails synthesis on violations.
 	RunDRC bool `json:"run_drc"`
+	// NoDelta disables the delta-aware warm-start path: any Warm hint is
+	// ignored and the pipeline solves cold (ablation; also what the
+	// server sets for -no-delta requests so the win stays measurable).
+	NoDelta bool `json:"no_delta,omitempty"`
+	// Warm, when non-nil, is a donor design's warm-start payload (see
+	// layout.WarmHint), typically Result.WarmHint() of a previous solve
+	// of a similar netlist. Stale or wrongly shaped hints degrade
+	// silently to a cold solve. Transient: never serialized.
+	Warm *layout.WarmHint `json:"-"`
 	// Trace, when non-nil, records the run as hierarchical phase spans
 	// (parse → planarize → layout → validate → drc) with the counters
 	// documented in docs/metrics.md. A nil trace disables all recording.
@@ -98,6 +107,16 @@ func (r *Result) Metrics() Metrics {
 	}
 }
 
+// WarmHint packs this result's layout into the donor payload a later
+// synthesis of a similar netlist can warm-start from (Options.Warm).
+// Returns nil when the result carries no plan.
+func (r *Result) WarmHint() *layout.WarmHint {
+	if r == nil {
+		return nil
+	}
+	return layout.HintFromPlan(r.Plan)
+}
+
 // Synthesize runs the full Columba S flow on a parsed netlist. It is
 // SynthesizeContext under context.Background().
 func Synthesize(n *netlist.Netlist, opt Options) (*Result, error) {
@@ -130,6 +149,9 @@ func SynthesizeContext(ctx context.Context, n *netlist.Netlist, opt Options) (*R
 	lopt := opt.Layout
 	if lopt == (layout.Options{}) {
 		lopt = layout.DefaultOptions()
+	}
+	if opt.Warm != nil && !opt.NoDelta {
+		lopt.Warm = opt.Warm
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, &SynthesisError{Phase: PhaseCancel, Err: err}
@@ -247,6 +269,9 @@ func recordLayout(sp *obs.Span, plan *layout.Plan) {
 	sp.SetInt("milp_group_branches", se.GroupBranches)
 	sp.SetInt("milp_pseudocost_branches", se.PseudocostBranches)
 	sp.SetInt("milp_reliability_fallbacks", se.ReliabilityFallbacks)
+	sp.SetInt("milp_delta_warm_starts", se.DeltaWarmStarts)
+	sp.SetInt("milp_delta_fallbacks", se.DeltaFallbacks)
+	sp.SetInt("milp_incumbent_from_hint", se.IncumbentFromHint)
 	for i, w := range se.PerWorker {
 		if se.Workers <= 1 {
 			break

@@ -48,6 +48,10 @@ type OptionSpec struct {
 	NoWarmStart bool `json:"no_warmstart,omitempty"`
 	NoCuts      bool `json:"no_cuts,omitempty"`
 	NoPresolve  bool `json:"no_presolve,omitempty"`
+	// NoDelta disables the delta-aware warm-start path for this request:
+	// no similarity-index donor is consulted and any supplied hint is
+	// ignored (ablation; see Options.NoDelta).
+	NoDelta bool `json:"no_delta,omitempty"`
 	// Branching selects the variable selection rule: "pseudocost"
 	// (default) or "mostfrac"; empty keeps the base rule.
 	Branching string `json:"branching,omitempty"`
@@ -116,6 +120,9 @@ func (sp OptionSpec) Apply(base Options) (Options, error) {
 	}
 	if sp.NoPresolve {
 		opt.Layout.NoPresolve = true
+	}
+	if sp.NoDelta {
+		opt.NoDelta = true
 	}
 	if sp.Branching != "" {
 		rule, err := milp.ParseBranchRule(sp.Branching)

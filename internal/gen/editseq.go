@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"columbas/internal/netlist"
+)
+
+// EditSequence generates a chain of steps+1 netlists, each one unit edit
+// away from its predecessor — the workload of the delta-aware warm-start
+// pipeline, which resolves such near misses to a donor design instead of
+// solving cold. The chain starts from Generate(seed) under the Default
+// configuration and applies one random edit per step: add a chamber,
+// remove a previously added one, resize a unit's footprint, or reconnect
+// a terminal. The same seed always yields the same chain, and every
+// netlist in it is guaranteed to pass netlist.Validate; a violation is a
+// generator bug and panics.
+func EditSequence(seed int64, steps int) []*netlist.Netlist {
+	return EditSequenceFrom(Generate(seed), seed, steps)
+}
+
+// EditSequenceFrom builds the same kind of one-edit-apart chain starting
+// from an explicit base netlist instead of a generated one — the
+// incremental re-synthesis benchmarks edit the paper's evaluation cases
+// (chip9-class netlists) this way. The base is not mutated.
+func EditSequenceFrom(base *netlist.Netlist, seed int64, steps int) []*netlist.Netlist {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed17))
+	seq := make([]*netlist.Netlist, 0, steps+1)
+	seq = append(seq, base)
+
+	// Added chambers attach to units of the base netlist only, so a later
+	// remove edit can never orphan another added unit.
+	baseUnits := make([]string, 0, len(base.Units))
+	for _, u := range base.Units {
+		baseUnits = append(baseUnits, u.Name)
+	}
+	var added []string
+
+	cur := base
+	for k := 1; k <= steps; k++ {
+		n := cloneNetlist(cur)
+		n.Name = fmt.Sprintf("%s-e%d", base.Name, k)
+		switch op := rng.Intn(4); {
+		case op == 0: // add a chamber draining one base unit
+			name := fmt.Sprintf("x%d", k)
+			host := baseUnits[rng.Intn(len(baseUnits))]
+			n.Units = append(n.Units, netlist.Unit{Name: name, Type: netlist.Chamber, Opt: netlist.Plain})
+			n.Nets = append(n.Nets,
+				net(unit(host), unit(name)),
+				net(unit(name), out(fmt.Sprintf("xo%d", k))))
+			added = append(added, name)
+		case op == 1 && len(added) > 0: // remove a previously added chamber
+			victim := added[rng.Intn(len(added))]
+			removeUnit(n, victim)
+			kept := added[:0]
+			for _, a := range added {
+				if a != victim {
+					kept = append(kept, a)
+				}
+			}
+			added = kept
+		case op == 2: // resize one unit's footprint override
+			u := &n.Units[rng.Intn(len(n.Units))]
+			w, h := baseFootprint(u.Type)
+			scale := 1 + 0.25*float64(1+rng.Intn(2))
+			u.W, u.H = w*scale, h*scale
+		default: // reconnect: move one terminal to a fresh fluid port
+			ports := 0
+			for ni := range n.Nets {
+				for ei := range n.Nets[ni].Endpoints {
+					if n.Nets[ni].Endpoints[ei].IsTerminal() {
+						ports++
+					}
+				}
+			}
+			pick := rng.Intn(ports)
+			for ni := range n.Nets {
+				for ei := range n.Nets[ni].Endpoints {
+					if !n.Nets[ni].Endpoints[ei].IsTerminal() {
+						continue
+					}
+					if pick == 0 {
+						n.Nets[ni].Endpoints[ei].Terminal = fmt.Sprintf("r%d", k)
+					}
+					pick--
+				}
+			}
+		}
+		if err := n.Validate(); err != nil {
+			panic(fmt.Sprintf("gen: edit sequence seed %d step %d invalid: %v", seed, k, err))
+		}
+		seq = append(seq, n)
+		cur = n
+	}
+	return seq
+}
+
+// cloneNetlist deep-copies a netlist so an edit never aliases its
+// predecessor.
+func cloneNetlist(n *netlist.Netlist) *netlist.Netlist {
+	c := &netlist.Netlist{
+		Name:  n.Name,
+		Muxes: n.Muxes,
+		Units: append([]netlist.Unit(nil), n.Units...),
+		Nets:  make([]netlist.Net, len(n.Nets)),
+	}
+	for i, nt := range n.Nets {
+		c.Nets[i] = netlist.Net{Endpoints: append([]netlist.Endpoint(nil), nt.Endpoints...)}
+	}
+	for _, g := range n.Parallel {
+		c.Parallel = append(c.Parallel, append([]string(nil), g...))
+	}
+	return c
+}
+
+// removeUnit drops the unit and every net that references it. Callers
+// guarantee the removal orphans no peer (the dropped nets' other
+// endpoints keep at least one connection) and that the unit is in no
+// parallel group.
+func removeUnit(n *netlist.Netlist, name string) {
+	units := n.Units[:0]
+	for _, u := range n.Units {
+		if u.Name != name {
+			units = append(units, u)
+		}
+	}
+	n.Units = units
+	nets := n.Nets[:0]
+	for _, nt := range n.Nets {
+		hit := false
+		for _, e := range nt.Endpoints {
+			if e.Unit == name {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			nets = append(nets, nt)
+		}
+	}
+	n.Nets = nets
+}

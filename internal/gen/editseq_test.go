@@ -1,0 +1,60 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"columbas/internal/netlist"
+)
+
+// Every netlist in an edit sequence must validate, round-trip through
+// Format → Parse, and differ from its predecessor by a bounded edit: at
+// most one unit added or removed, and (on a pure resize or reconnect) an
+// unchanged unit count.
+func TestEditSequenceValidAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		seq := EditSequence(seed, 6)
+		if len(seq) != 7 {
+			t.Fatalf("seed %d: got %d netlists, want 7", seed, len(seq))
+		}
+		for k, n := range seq {
+			if err := n.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: Validate: %v", seed, k, err)
+			}
+			back, err := netlist.ParseString(n.Format())
+			if err != nil {
+				t.Fatalf("seed %d step %d: reparse: %v\n%s", seed, k, err, n.Format())
+			}
+			if !reflect.DeepEqual(n, back) {
+				t.Fatalf("seed %d step %d: round trip changed the netlist", seed, k)
+			}
+			if k == 0 {
+				continue
+			}
+			prev := seq[k-1]
+			du := len(n.Units) - len(prev.Units)
+			if du < -1 || du > 1 {
+				t.Fatalf("seed %d step %d: unit count jumped by %d", seed, k, du)
+			}
+		}
+	}
+}
+
+// The chain is deterministic in the seed, and edits never mutate the
+// predecessor in place.
+func TestEditSequenceDeterministicAndUnaliased(t *testing.T) {
+	a := EditSequence(42, 5)
+	b := EditSequence(42, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two EditSequence(42, 5) calls disagree")
+	}
+	base := Generate(42)
+	if !reflect.DeepEqual(a[0], base) {
+		t.Fatal("step 0 is not Generate(seed)")
+	}
+	// Re-deriving the chain must leave earlier steps untouched.
+	c := EditSequence(42, 2)
+	if !reflect.DeepEqual(c[0], base) {
+		t.Fatal("editing aliased the base netlist")
+	}
+}

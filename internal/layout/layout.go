@@ -266,6 +266,14 @@ type Options struct {
 	// seed and each lazy-separation MILP round with that round's solver
 	// counters. A nil span disables the recording at no cost.
 	Obs *obs.Span `json:"-"`
+	// Warm, when non-nil, is a donor design's warm-start payload (see
+	// WarmHint): its geometry seeds the starting incumbent, its active
+	// pair set pre-fills the lazy separation loop, and its root basis
+	// warm-starts the first MILP round. Every part is validated and
+	// silently dropped when stale, so a wrong hint costs only the checks.
+	// The SearchStats delta counters (DeltaWarmStarts, DeltaFallbacks,
+	// IncumbentFromHint) report what was actually used.
+	Warm *WarmHint `json:"-"`
 }
 
 // DefaultOptions returns the options used by the Columba S flow.
@@ -310,6 +318,13 @@ type Plan struct {
 	Rects  []*PRect
 	Planar *planar.Result
 	Stats  SolveStats
+	// ActivePairs names the rect pairs whose non-overlap disjunctions
+	// the lazy separation loop converged on, and RootBasis the final
+	// MILP round's root LP basis — the donor payload HintFromPlan packs
+	// into a WarmHint for the next similar solve. Both are nil on
+	// seed-only plans and never serialize.
+	ActivePairs [][2]string `json:"-"`
+	RootBasis   *lp.Basis   `json:"-"`
 }
 
 // Rect returns the named rect, or nil.

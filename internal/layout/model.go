@@ -58,6 +58,14 @@ type builder struct {
 	seedXMax, seedYMax float64
 	seedBoxes          []geom.Rect
 	seedTops           []bool
+
+	// Delta warm start (solve): pairs whose relative order is fixed from
+	// the donor geometry in deltaBoxes instead of getting a disjunction.
+	// Cleared when a donor-restricted round comes back infeasible.
+	// deltaApplied counts the relations the last buildMILP actually fixed.
+	deltaFixed   map[[2]int]bool
+	deltaBoxes   []geom.Rect
+	deltaApplied int
 }
 
 // pairDisj is one non-overlap disjunction between rects i and j. qs holds
@@ -568,6 +576,7 @@ func (b *builder) buildMILP(guided bool, active [][2]int) {
 	m := milp.NewModel()
 	b.model = m
 	b.pairs = nil
+	b.deltaApplied = 0
 	b.ctrlQ = map[int][2]milp.VarID{}
 	n := len(b.rects)
 	b.xl = make([]milp.VarID, n)
@@ -893,6 +902,16 @@ func (b *builder) addNonOverlap(guided bool, active [][2]int) {
 				b.fixRelation(i, j)
 				continue
 			}
+			// Delta warm start: both rects carry donor geometry, so the
+			// donor's relative order stands in for the disjunction — the
+			// binaries collapse and the pair costs one LE row. Pairs the
+			// donor boxes cannot order cleanly (or that may only separate
+			// horizontally when the donor shows a vertical split) keep the
+			// full disjunction.
+			if b.deltaFixed[p] && b.fixRelationFrom(b.deltaBoxes, i, j, xOnly) {
+				b.deltaApplied++
+				continue
+			}
 			mbij, mbji := b.pairMargins(i, j)
 			q1 := m.Binary(fmt.Sprintf("q.%s|%s.l", ri.Name, rj.Name))
 			q2 := m.Binary(fmt.Sprintf("q.%s|%s.r", ri.Name, rj.Name))
@@ -917,7 +936,8 @@ func (b *builder) addNonOverlap(guided bool, active [][2]int) {
 }
 
 // fixRelation hard-codes the seed's relative position of rects i, j
-// (EffortGuided). Must run after snapshotSeed.
+// (EffortGuided). Must run after snapshotSeed. The seed is overlap-free
+// by construction, so one of the four relations always applies.
 func (b *builder) fixRelation(i, j int) {
 	m := b.model
 	mbij, mbji := b.pairMargins(i, j)
@@ -932,6 +952,32 @@ func (b *builder) fixRelation(i, j int) {
 	default:
 		m.AddLE(milp.T(b.yt[j], 1).Add(b.yb[i], -1), -mbji/mmScale)
 	}
+}
+
+// fixRelationFrom emits the relative order of rects i, j implied by the
+// given (donor) geometry as a single LE row, reporting whether a clean
+// relation applied. Unlike fixRelation it refuses to guess: boxes the
+// geometry leaves overlapping, or a vertical split for a pair that may
+// only separate horizontally (xOnly), return false and the caller keeps
+// the full disjunction.
+func (b *builder) fixRelationFrom(boxes []geom.Rect, i, j int, xOnly bool) bool {
+	m := b.model
+	bi, bj := boxes[i], boxes[j]
+	switch {
+	case bi.XR <= bj.XL+1: // i west of j
+		m.AddLE(milp.T(b.xr[i], 1).Add(b.xl[j], -1), 0)
+	case bj.XR <= bi.XL+1:
+		m.AddLE(milp.T(b.xr[j], 1).Add(b.xl[i], -1), 0)
+	case !xOnly && bi.YT <= bj.YB+1: // i below j
+		mbij, _ := b.pairMargins(i, j)
+		m.AddLE(milp.T(b.yt[i], 1).Add(b.yb[j], -1), -mbij/mmScale)
+	case !xOnly && bj.YT <= bi.YB+1:
+		_, mbji := b.pairMargins(i, j)
+		m.AddLE(milp.T(b.yt[j], 1).Add(b.yb[i], -1), -mbji/mmScale)
+	default:
+		return false
+	}
+	return true
 }
 
 // setObjective emits the minimisation objective (13).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"columbas/internal/geom"
+	"columbas/internal/lp"
 	"columbas/internal/milp"
 	"columbas/internal/obs"
 )
@@ -57,18 +58,6 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		deadline = opt.Deadline
 	}
 
-	// Later separation rounds only need to re-settle the fresh pairs, so
-	// their stall budget shrinks: the first round explores, the rest fix.
-	roundStall := func(round int) int {
-		if round <= 1 {
-			return stall
-		}
-		if s := stall / 4; s > 30 {
-			return s
-		}
-		return 30
-	}
-
 	var active [][2]int
 	activeSet := map[[2]int]bool{}
 	if opt.EagerSeparation {
@@ -83,10 +72,55 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			}
 		}
 	}
+	// Delta warm start: a donor design's converged pair set pre-fills the
+	// separation loop (skipping the rounds that would rediscover it), its
+	// geometry fixes the relative order of donor-placed pairs (collapsing
+	// their disjunction binaries) and becomes a candidate starting
+	// incumbent each round, and its root basis warm-starts the first MILP
+	// round. Everything is validated; stale donor material silently
+	// degrades to a cold round — including a mid-loop rebuild when the
+	// donor-fixed relations turn out to over-constrain the edited design.
+	hint := opt.Warm
+	var hintBoxes []geom.Rect
+	var hintTops []bool
+	var hintMatched []bool
+	var hintPairList [][2]int
+	hintGeom := false
+	hintPairsAdded := 0
+	deltaFixed := map[[2]int]bool{}
+	if hint != nil {
+		if hp := b.hintPairs(hint, activeSet); len(hp) > 0 {
+			active = append(active, hp...)
+			hintPairList = hp
+			hintPairsAdded = len(hp)
+		}
+		hintBoxes, hintTops, hintMatched, hintGeom = b.hintGeometry(hint)
+		if hintGeom && !guided {
+			deltaFixedPairs(deltaFixed, active, hintMatched)
+		}
+	}
+	b.deltaBoxes = hintBoxes
+	// Later separation rounds only need to re-settle the fresh pairs, so
+	// their stall budget shrinks: the first round explores, the rest fix.
+	// A round 1 pre-filled from a donor pair set is already a fix round —
+	// the disjunctions are converged, not discovered — and exploring the
+	// enlarged model at the full stall budget would cost more wall than
+	// the cold rounds it replaces.
+	roundStall := func(round int) int {
+		if round <= 1 && hintPairsAdded == 0 {
+			return stall
+		}
+		if s := stall / 4; s > 30 {
+			return s
+		}
+		return 30
+	}
 	var last *milp.Result
 	var agg milp.SearchStats
 	totalNodes := 0
 	rounds := 0
+	deltaDropped := false
+	lastRestricted := false
 	for rounds < maxSepRounds {
 		if interrupted(opt.Interrupt) {
 			// Canceled between rounds: the valid greedy seed stands.
@@ -102,10 +136,35 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			return plan, nil
 		}
 		rounds++
+		b.deltaFixed = deltaFixed
 		b.buildMILP(guided, active)
 		var seed []float64
 		if !opt.NoSeed {
 			seed = b.seedVector()
+		}
+		// The donor geometry competes with the greedy seed for the round's
+		// starting incumbent: whichever validates with the better objective
+		// wins. A donor vector that fails the feasibility check (overlaps
+		// introduced by the edit, missing rects) is dropped silently.
+		usedHintVec := false
+		if hintGeom {
+			hv := b.hintVector(hintBoxes, hintTops)
+			if ok, hobj := b.model.CheckStart(hv); ok {
+				use := true
+				if seed != nil {
+					if sok, sobj := b.model.CheckStart(seed); sok && sobj <= hobj {
+						use = false
+					}
+				}
+				if use {
+					seed = hv
+					usedHintVec = true
+				}
+			}
+		}
+		var rootBasis *lp.Basis
+		if hint != nil && rounds == 1 {
+			rootBasis = hint.RootBasis
 		}
 		remaining := time.Until(deadline)
 		if remaining < time.Second {
@@ -119,6 +178,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			Gap:         opt.Gap,
 			StallLimit:  roundStall(rounds),
 			Start:       seed,
+			RootBasis:   rootBasis,
 			Workers:     opt.Workers,
 			NoWarmStart: opt.NoWarmStart,
 			NoCuts:      opt.NoCuts,
@@ -131,10 +191,77 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			return nil, fmt.Errorf("layout: MILP solve: %w", err)
 		}
 		agg.Merge(res.Stats)
+		if res.Status == milp.Infeasible && !deltaDropped &&
+			(b.deltaApplied > 0 || hintPairsAdded > 0) {
+			// The donor material over-constrained the edited design: a
+			// fixed ordering the new extents cannot realise, or a donor
+			// disjunction demanding a hard margin separation the cold
+			// trajectory would never even ask for (its separation oracle
+			// tolerates slack the big-M rows do not). Drop every
+			// model-shaping part of the hint — fixed relations and
+			// pre-filled pairs — and redo the separation as a fresh cold
+			// round; the oracle re-discovers any pair the design genuinely
+			// needs, and true infeasibility is re-detected there, so warm
+			// and cold verdicts cannot diverge.
+			agg.DeltaFallbacks++
+			recordRound(roundSp, b, res, len(active))
+			totalNodes += res.Nodes
+			deltaFixed = map[[2]int]bool{}
+			if hintPairsAdded > 0 {
+				drop := make(map[[2]int]bool, len(hintPairList))
+				for _, p := range hintPairList {
+					drop[p] = true
+				}
+				kept := active[:0]
+				for _, p := range active {
+					if drop[p] {
+						delete(activeSet, p)
+						continue
+					}
+					kept = append(kept, p)
+				}
+				active = kept
+				hintPairsAdded = 0
+			}
+			deltaDropped = true
+			continue
+		}
+		if hint != nil {
+			// Exactly one delta counter per round while a hint is active:
+			// warm when any donor material reached the round (incumbent,
+			// donor-fixed relations, pre-filled pairs, or the round-1 root
+			// basis), fallback when the hint contributed nothing.
+			if usedHintVec {
+				agg.IncumbentFromHint++
+			}
+			if usedHintVec || b.deltaApplied > 0 ||
+				(rounds == 1 && (hintPairsAdded > 0 || rootBasis != nil)) {
+				agg.DeltaWarmStarts++
+			} else {
+				agg.DeltaFallbacks++
+			}
+		}
 		recordRound(roundSp, b, res, len(active))
 		totalNodes += res.Nodes
 		if res.Status == milp.Infeasible {
-			return nil, fmt.Errorf("layout: generation model infeasible for %s", b.pr.Name)
+			// The discovered pair set admits no point satisfying every
+			// margin and band row. Which pairs get discovered is
+			// trajectory-dependent (warm starts, ablations and budgets all
+			// steer the separation loop), so erroring here would make the
+			// synthesis verdict depend on the solver path taken. The greedy
+			// seed is a valid overlap-free layout regardless; deliver it —
+			// DRC still judges the result — exactly like the other dead
+			// ends (budget exhausted, unresolved overlaps at the cap).
+			b.restoreSeed()
+			plan.XMax, plan.YMax = b.seedXMax, b.seedYMax
+			plan.Stats = SolveStats{
+				Status: res.Status, Nodes: totalNodes,
+				Vars: b.model.NumVars(), Rows: b.model.NumRows(), Binaries: b.model.NumInt(),
+				SeedUsed: true, SeedOnly: true,
+				Search: agg,
+			}
+			plan.Stats.Rounds = rounds
+			return plan, nil
 		}
 		if res.Status != milp.Optimal && res.Status != milp.Feasible {
 			// Budget exhausted with no incumbent: the greedy seed stands.
@@ -150,6 +277,7 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		}
 		plan.XMax, plan.YMax = b.applySolution(res)
 		last = res
+		lastRestricted = b.deltaApplied > 0
 		fresh := b.overlappingPairs(activeSet)
 		if len(fresh) == 0 {
 			break
@@ -158,6 +286,12 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 			activeSet[p] = true
 		}
 		active = append(active, fresh...)
+		if hintGeom && !guided && !deltaDropped {
+			// Freshly separated pairs of donor-placed rects can be fixed
+			// too: the donor layout kept them apart even without an
+			// explicit disjunction, so its ordering is just as valid.
+			deltaFixedPairs(deltaFixed, fresh, hintMatched)
+		}
 		if time.Now().After(deadline) {
 			// Out of budget with unresolved overlaps: keep the valid seed.
 			b.restoreSeed()
@@ -183,8 +317,16 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		plan.Stats.Search = agg
 		return plan, nil
 	}
+	status := last.Status
+	if lastRestricted && status == milp.Optimal {
+		// Donor-fixed relations restrict the search to the donor's
+		// topology: the solve is exact within that restriction, but
+		// global optimality is unproven, so the honest status is
+		// Feasible — same as a cold solve that stalled out.
+		status = milp.Feasible
+	}
 	plan.Stats = SolveStats{
-		Status:   last.Status,
+		Status:   status,
 		Nodes:    totalNodes,
 		Runtime:  last.Runtime,
 		Obj:      last.Obj,
@@ -196,6 +338,10 @@ func (b *builder) solve(opt Options) (*Plan, error) {
 		Search:   agg,
 	}
 	plan.Stats.Rounds = rounds
+	// Donor payload for the next similar solve: the converged pair set
+	// and the final round's root basis (see HintFromPlan).
+	plan.ActivePairs = b.pairNames(active)
+	plan.RootBasis = last.RootBasis
 	return plan, nil
 }
 

@@ -300,6 +300,16 @@ type Options struct {
 	// Start, if non-nil, is a caller-provided integer-feasible assignment
 	// (length NumVars) used as the initial incumbent after validation.
 	Start []float64
+	// RootBasis, if non-nil, warm-starts the root relaxation from a
+	// caller-provided LP basis — typically Result.RootBasis of a previous
+	// solve of a structurally similar model (the delta-aware pipeline's
+	// donor). A basis whose dimensions do not match the prepared root
+	// problem (different row count after presolve/cuts, different
+	// variable count) is silently ignored by the LP kernel's
+	// compatibility check, which falls back to a cold solve; when the
+	// root cut loop produces its own basis, that one wins. Ignored under
+	// NoWarmStart.
+	RootBasis *lp.Basis
 	// Gap is the relative optimality gap at which search stops early
 	// (e.g. 0.01 for 1%). 0 means prove optimality.
 	Gap float64
@@ -360,6 +370,12 @@ type Result struct {
 	// Stats is the solve's full counter set (Nodes and Runtime above are
 	// retained as convenience aliases of Stats.NodesExplored/Stats.Wall).
 	Stats SearchStats
+	// RootBasis is the optimal LP basis of the root relaxation (the
+	// final cut-loop basis when the root node itself was answered without
+	// one), retained so a later solve of a similar model can warm-start
+	// from it via Options.RootBasis. Nil when the root never reached an
+	// optimal basis (infeasible, interrupted, presolved away).
+	RootBasis *lp.Basis
 }
 
 // Value returns the solution value of v.
@@ -561,6 +577,13 @@ func (m *Model) tryRoundingOn(prob *lp.Problem, x []float64) ([]float64, float64
 	}
 	return cand, obj, true
 }
+
+// CheckStart reports whether x is an integer-feasible assignment for the
+// model (length, bounds, integrality, every constraint row) and returns
+// its objective value when it is. It is exactly the validation Solve
+// applies to Options.Start, exported so delta-aware callers can test a
+// donor design's vector before offering it as a starting incumbent.
+func (m *Model) CheckStart(x []float64) (bool, float64) { return m.checkFeasible(x) }
 
 // checkFeasible verifies a candidate assignment against all constraints,
 // bounds and integrality, returning its objective when feasible.

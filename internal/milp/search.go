@@ -87,6 +87,7 @@ type search struct {
 	incObj       float64
 	rootObj      float64 // root relaxation objective (global lower bound)
 	rootSolved   bool
+	rootBasisOut *lp.Basis // optimal basis of the root node's relaxation
 	unbounded    bool
 	stopped      bool // a budget, gap, interrupt or error ended the search early
 	interrupted  bool // opt.Interrupt fired (subset of stopped)
@@ -186,6 +187,12 @@ func (s *search) prepareRoot() {
 	doPresolve := !s.opt.NoPresolve
 	doCuts := !s.opt.NoCuts && s.m.NumInt() > 0
 	if !doPresolve && !doCuts {
+		// No root reductions: the caller-provided donor basis (if any) is
+		// the root's only warm start. Dimension mismatches are absorbed by
+		// the LP kernel's compatibility check at solve time.
+		if !s.opt.NoWarmStart && len(s.frontier) > 0 {
+			s.frontier[0].basis = s.opt.RootBasis
+		}
 		return
 	}
 	s.baseProb = s.m.prob.CloneWithRows()
@@ -219,6 +226,11 @@ func (s *search) prepareRoot() {
 	w.FillIn += s.baseProb.FillInCount()
 	if nnz := s.baseProb.BasisNonzeroPeak(); nnz > w.BasisNonzeros {
 		w.BasisNonzeros = nnz
+	}
+	if s.rootBasis == nil && !s.opt.NoWarmStart {
+		// The cut loop minted no basis of its own (cuts off, or nothing
+		// separated before the first solve): fall back to the donor basis.
+		s.rootBasis = s.opt.RootBasis
 	}
 	if len(s.frontier) > 0 {
 		s.frontier[0].basis = s.rootBasis
@@ -683,6 +695,9 @@ func (s *search) expand(id, idx int, n *node, prob *lp.Problem) bool {
 	s.done(id, func() {
 		if n.parent == nil {
 			s.rootObj, s.rootSolved = obj, true
+			if b := sol.Basis(); b != nil {
+				s.rootBasisOut = b
+			}
 		}
 		if haveRound && roundObj < s.incObj-1e-9 {
 			s.roundHits++
@@ -815,6 +830,12 @@ func (s *search) result() (*Result, error) {
 		Stats:   s.statsSnapshot(),
 	}
 	res.Stats.Wall = res.Runtime
+	res.RootBasis = s.rootBasisOut
+	if res.RootBasis == nil && s.rootBasis != s.opt.RootBasis {
+		// Fall back to the cut loop's final basis — but never echo the
+		// caller's own donor basis back as this solve's root basis.
+		res.RootBasis = s.rootBasis
+	}
 	if s.unbounded {
 		res.Status = Unbounded
 		return res, nil

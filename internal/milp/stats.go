@@ -139,6 +139,21 @@ type SearchStats struct {
 	GroupBranches        int64
 	PseudocostBranches   int64
 	ReliabilityFallbacks int64
+	// DeltaWarmStarts / DeltaFallbacks / IncumbentFromHint are the
+	// delta-aware pipeline's counters. The search itself never writes
+	// them: the layout layer increments them on the merged per-solve stats
+	// when a caller-provided warm hint (a donor design's geometry, active
+	// disjunction pairs and root basis) was applied to a separation round
+	// (DeltaWarmStarts), when a hint was present but nothing in it was
+	// usable (DeltaFallbacks), or when the donor's geometry vector
+	// survived validation and became the round's starting incumbent
+	// (IncumbentFromHint). Identities: IncumbentFromHint ≤
+	// DeltaWarmStarts, and per layout solve DeltaWarmStarts +
+	// DeltaFallbacks ≤ separation rounds; all three are zero when no hint
+	// was supplied.
+	DeltaWarmStarts   int64
+	DeltaFallbacks    int64
+	IncumbentFromHint int64
 	// Interrupted reports that the search was halted by Options.Interrupt
 	// (an external cancellation, e.g. an HTTP client disconnect) rather
 	// than running to a status or budget of its own. Merge ORs it across
@@ -239,6 +254,9 @@ func (st *SearchStats) Merge(other SearchStats) {
 	st.GroupBranches += other.GroupBranches
 	st.PseudocostBranches += other.PseudocostBranches
 	st.ReliabilityFallbacks += other.ReliabilityFallbacks
+	st.DeltaWarmStarts += other.DeltaWarmStarts
+	st.DeltaFallbacks += other.DeltaFallbacks
+	st.IncumbentFromHint += other.IncumbentFromHint
 	st.Interrupted = st.Interrupted || other.Interrupted
 	st.Wall += other.Wall
 	for len(st.PerWorker) < len(other.PerWorker) {

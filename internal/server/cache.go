@@ -29,12 +29,15 @@ func newCacheKey(n *netlist.Netlist, opt core.Options) cacheKey {
 	// Workers is included: parallel branch and bound may legally settle
 	// on a different tie-equivalent placement, so byte-identical replies
 	// are only guaranteed per worker count.
-	fmt.Fprintf(h, "\x00a=%g;b=%g;g=%g;k=%g;tl=%d;gap=%g;stall=%d;eff=%d;gthr=%d;skip=%t;noseed=%t;eager=%t;w=%d;drc=%t",
+	// NoDelta is included too: a delta-warm solve may legally settle on a
+	// different tie-equivalent placement than a cold one, so ablation
+	// (-no-delta) runs never share entries with warm-started ones.
+	fmt.Fprintf(h, "\x00a=%g;b=%g;g=%g;k=%g;tl=%d;gap=%g;stall=%d;eff=%d;gthr=%d;skip=%t;noseed=%t;eager=%t;w=%d;drc=%t;nodelta=%t",
 		lo.Alpha, lo.Beta, lo.Gamma, lo.Kappa,
 		lo.TimeLimit, lo.Gap, lo.StallLimit,
 		lo.Effort, lo.GuidedThreshold,
 		lo.SkipMILP, lo.NoSeed, lo.EagerSeparation,
-		lo.Workers, opt.RunDRC)
+		lo.Workers, opt.RunDRC, opt.NoDelta)
 	var k cacheKey
 	h.Sum(k[:0])
 	return k
@@ -54,6 +57,12 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// SimilarityHits and SimilarityMisses count the delta-aware nearest-
+	// donor lookups consulted on exact misses (skipped entirely under
+	// -no-delta): a similarity hit warm-starts the solve from the donor
+	// design instead of solving cold.
+	SimilarityHits   int64 `json:"similarity_hits"`
+	SimilarityMisses int64 `json:"similarity_misses"`
 }
 
 // resultCache is a bounded LRU of completed synthesis results, keyed by
@@ -66,10 +75,16 @@ type resultCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	simHits   int64
+	simMisses int64
 }
 
 type cacheEntry struct {
 	key cacheKey
+	// fp is the entry's structural fingerprint, doubling the LRU as the
+	// delta-aware similarity index (see similar); nil entries are
+	// invisible to similarity lookups.
+	fp  *designFP
 	res *core.Result
 }
 
@@ -98,9 +113,10 @@ func (c *resultCache) get(k cacheKey) (*core.Result, bool) {
 	return nil, false
 }
 
-// add installs a completed result, evicting from the LRU tail past
-// capacity. Re-adding an existing key only refreshes its recency.
-func (c *resultCache) add(k cacheKey, res *core.Result) {
+// add installs a completed result with its similarity fingerprint,
+// evicting from the LRU tail past capacity. Re-adding an existing key
+// only refreshes its recency.
+func (c *resultCache) add(k cacheKey, fp *designFP, res *core.Result) {
 	if c.cap == 0 {
 		return
 	}
@@ -108,10 +124,11 @@ func (c *resultCache) add(k cacheKey, res *core.Result) {
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		ent.fp, ent.res = fp, res
 		return
 	}
-	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, fp: fp, res: res})
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
@@ -125,10 +142,12 @@ func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Capacity:  c.cap,
-		Len:       c.ll.Len(),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Capacity:         c.cap,
+		Len:              c.ll.Len(),
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		SimilarityHits:   c.simHits,
+		SimilarityMisses: c.simMisses,
 	}
 }

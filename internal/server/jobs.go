@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"columbas/internal/core"
+	"columbas/internal/layout"
 	"columbas/internal/netlist"
 	"columbas/internal/obs"
 )
@@ -187,6 +188,7 @@ type job struct {
 	created time.Time
 	name    string // design name
 	key     cacheKey
+	fp      *designFP    // similarity fingerprint (nil: caching disabled)
 	opt     core.Options // resolved options (Trace stripped)
 	timeout time.Duration
 	format  string // default render format ("" = negotiate per GET)
@@ -459,6 +461,10 @@ type submitRequest struct {
 	opt     core.Options
 	timeout time.Duration
 	format  string // default render format for the job resource
+	// warm pins an explicit donor hint (the /v2/explore chain); when nil
+	// and the options allow delta warm starts, submit consults the
+	// similarity index instead.
+	warm *layout.WarmHint
 }
 
 // submit runs a validated request through cache lookup and admission
@@ -494,6 +500,19 @@ func (s *Server) submit(req submitRequest) (*job, time.Duration, error) {
 		s.jobs.add(j)
 		j.finalize(JobSucceeded, res, 0, nil, s.cfg.JobTTL)
 		return j, 0, nil
+	}
+	j.fp = newDesignFP(req.n, req.opt)
+
+	// Exact miss: a near miss can still warm-start. An explicit donor
+	// (the /v2/explore chain) wins; otherwise the similarity index is
+	// consulted for the nearest previously solved design. -no-delta
+	// requests skip both and solve cold.
+	if !req.opt.NoDelta {
+		if req.warm != nil {
+			j.opt.Warm = req.warm
+		} else if donor := s.cache.similar(j.fp); donor != nil {
+			j.opt.Warm = donor.WarmHint()
+		}
 	}
 
 	var deadline time.Time
@@ -532,7 +551,7 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	if err == nil {
 		s.completed.Add(1)
 		s.recordSolverStats(res)
-		s.cache.add(j.key, res)
+		s.cache.add(j.key, j.fp, res)
 		j.finalize(JobSucceeded, res, 0, nil, s.cfg.JobTTL)
 		return
 	}
@@ -576,6 +595,9 @@ func (s *Server) solve(ctx context.Context, j *job, n *netlist.Netlist) (*core.R
 	tr.Observe(j.hub.traceObserver())
 	sp := tr.Phase("cache")
 	sp.Label("result", "miss")
+	if j.opt.Warm != nil {
+		sp.Label("delta", "warm")
+	}
 	cs := s.cache.stats()
 	sp.SetInt("hits", cs.Hits)
 	sp.SetInt("misses", cs.Misses)

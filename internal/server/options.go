@@ -73,6 +73,7 @@ func (s *Server) resolveOptions(sp core.OptionSpec) (core.Options, time.Duration
 	base.Layout.NoPresolve = s.cfg.NoPresolve
 	base.Layout.Branching = s.cfg.Branching
 	base.Layout.Kernel = s.cfg.Kernel
+	base.NoDelta = s.cfg.NoDelta
 	opt, err := sp.Apply(base)
 	if err != nil {
 		return opt, 0, err

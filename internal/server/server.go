@@ -67,6 +67,10 @@ type Config struct {
 	// NoPresolve disables MILP presolve (bound tightening, redundant
 	// rows, coefficient strengthening).
 	NoPresolve bool
+	// NoDelta disables the delta-aware warm-start pipeline for every job
+	// served by this process: no similarity-index donors, no /v2/explore
+	// hint chaining — every solve runs cold (ablation deployments).
+	NoDelta bool
 	// Branching selects the branch-and-bound variable selection rule;
 	// the zero value is pseudocost branching.
 	Branching milp.BranchRule
@@ -127,6 +131,9 @@ type Server struct {
 	boundsTight   atomic.Int64
 	branchings    atomic.Int64
 	pcBranches    atomic.Int64
+	deltaWarms    atomic.Int64
+	deltaFBs      atomic.Int64
+	incFromHint   atomic.Int64
 
 	traceMu sync.Mutex
 }
@@ -185,6 +192,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/formats", s.handleFormats)
 	s.mux.HandleFunc("POST /v2/jobs", s.handleJobCreate)
+	s.mux.HandleFunc("POST /v2/explore", s.handleExplore)
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v2/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v2/jobs/{id}/result", s.handleJobResult)
@@ -305,6 +313,12 @@ type SolverStats struct {
 	BoundsTightened        int64 `json:"bounds_tightened"`
 	Branchings             int64 `json:"branchings"`
 	PseudocostBranches     int64 `json:"pseudocost_branches"`
+	// The delta family mirrors the milp_delta_* counters: warm starts and
+	// fallbacks of the delta-aware pipeline, and incumbents seeded from a
+	// donor design. All three stay zero on a -no-delta deployment.
+	DeltaWarmStarts   int64 `json:"delta_warm_starts"`
+	DeltaFallbacks    int64 `json:"delta_fallbacks"`
+	IncumbentFromHint int64 `json:"incumbent_from_hint"`
 }
 
 // recordSolverStats folds a completed synthesis's search counters into
@@ -336,6 +350,9 @@ func (s *Server) recordSolverStats(res *core.Result) {
 	s.boundsTight.Add(se.BoundsTightened)
 	s.branchings.Add(se.Branchings)
 	s.pcBranches.Add(se.PseudocostBranches)
+	s.deltaWarms.Add(se.DeltaWarmStarts)
+	s.deltaFBs.Add(se.DeltaFallbacks)
+	s.incFromHint.Add(se.IncumbentFromHint)
 }
 
 // snapshot assembles the current Stats.
@@ -380,6 +397,9 @@ func (s *Server) snapshot() Stats {
 			BoundsTightened:        s.boundsTight.Load(),
 			Branchings:             s.branchings.Load(),
 			PseudocostBranches:     s.pcBranches.Load(),
+			DeltaWarmStarts:        s.deltaWarms.Load(),
+			DeltaFallbacks:         s.deltaFBs.Load(),
+			IncumbentFromHint:      s.incFromHint.Load(),
 		},
 		Cache: s.cache.stats(),
 	}
